@@ -1,0 +1,100 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Weighted Liapunov (§4.1)** — emphasising one of w_ALU / w_MUX / w_REG
+  must not worsen the corresponding metric;
+* **Redundant-frame reuse rule** — MFSA's reuse-first instance policy vs
+  the eager policy (always offer a fresh instance): reuse-first must give
+  strictly cheaper ALU area on the multiplier-heavy examples;
+* **Mux input-sharing optimisation (§5.6)** — the optimiser must beat the
+  naive fixed-orientation assignment on the merged-ALU examples.
+"""
+
+import pytest
+
+from repro.core.liapunov import LiapunovWeights
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.analysis import TimingModel
+from repro.dfg.ops import standard_operation_set
+from repro.library.ncr import datapath_library
+from repro.bench.suites import EXAMPLES
+
+
+def run(key, **kwargs):
+    spec = EXAMPLES[key]
+    ops = standard_operation_set(spec.mfsa_mul_latency)
+    timing = TimingModel(ops=ops, clock_period_ns=spec.mfsa_clock_ns)
+    scheduler = MFSAScheduler(
+        spec.build(), timing, datapath_library(), cs=spec.mfsa_cs, **kwargs
+    )
+    return scheduler.run()
+
+
+class TestWeightAblation:
+    @pytest.mark.parametrize("key", ["ex3", "ex4"])
+    def test_alu_weight(self, benchmark, key):
+        plain = run(key)
+        heavy = benchmark(run, key, weights=LiapunovWeights(alu=25.0))
+        assert heavy.cost.alu <= plain.cost.alu
+
+    @pytest.mark.parametrize("key", ["ex3", "ex4"])
+    def test_reg_weight(self, key):
+        plain = run(key)
+        heavy = run(key, weights=LiapunovWeights(reg=25.0))
+        assert (
+            heavy.datapath.register_count() <= plain.datapath.register_count()
+        )
+
+    @pytest.mark.parametrize("key", ["ex3", "ex4"])
+    def test_mux_weight(self, key):
+        plain = run(key)
+        heavy = run(key, weights=LiapunovWeights(mux=25.0))
+        assert heavy.cost.mux <= plain.cost.mux + 1e-9
+
+
+class TestOpenPolicyAblation:
+    """The paper's reuse-first redundant-frame rule vs eager opening."""
+
+    @pytest.mark.parametrize("key", ["ex3", "ex5", "ex6"])
+    def test_reuse_first_is_cheaper(self, benchmark, key):
+        reuse = run(key, open_policy="reuse-first")
+        eager = benchmark(run, key, open_policy="eager")
+        assert reuse.cost.alu < eager.cost.alu
+
+    def test_eager_opens_more_instances(self):
+        reuse = run("ex3", open_policy="reuse-first")
+        eager = run("ex3", open_policy="eager")
+        assert len(eager.alu_labels()) > len(reuse.alu_labels())
+
+
+class TestMuxOptimisationAblation:
+    def test_optimiser_beats_fixed_orientation(self):
+        from repro.allocation.mux import (
+            MuxOperand,
+            optimize_mux_inputs,
+        )
+
+        result = run("ex6")
+        improvements = 0
+        for instance in result.datapath.instances.values():
+            operands = []
+            dfg = result.schedule.dfg
+            ops = result.schedule.timing.ops
+            for name in instance.ops:
+                node = dfg.node(name)
+                signals = node.operand_names()
+                operands.append(
+                    MuxOperand(
+                        op=name,
+                        left=signals[0],
+                        right=signals[1] if len(signals) > 1 else None,
+                        commutative=ops.spec(node.kind).commutative,
+                    )
+                )
+            optimised = optimize_mux_inputs(operands).total_inputs
+            naive = len({o.left for o in operands}) + len(
+                {o.right for o in operands if o.right is not None}
+            )
+            assert optimised <= naive
+            if optimised < naive:
+                improvements += 1
+        assert improvements >= 1  # sharing actually pays off somewhere

@@ -1,0 +1,131 @@
+"""Reproduces the §6 quality/speed comparison against other schedulers.
+
+Paper claims: (1) MFSA costs are within -4 % … +5 % of FDS/MAHA/ILP
+results; (2) "The main advantage of our methods over existing scheduling
+and allocation algorithms is in running time."  With the original tools
+unavailable we compare against our own force-directed, list and exact
+schedulers (see DESIGN.md substitutions):
+
+* quality — MFS matches the exact optimum on the small examples and stays
+  within one FU / 5 % weighted area of FDS on all six;
+* speed — MFS is benchmarked against FDS on the same inputs; the paper's
+  claim translates to MFS being at least a few times faster.
+"""
+
+import pytest
+
+from repro.bench.baselines import compare_methods, render_baselines
+from repro.bench.suites import EXAMPLES
+from repro.dfg.analysis import TimingModel
+from repro.dfg.ops import standard_operation_set
+from repro.core.mfs import MFSScheduler
+from repro.schedule.force_directed import force_directed_schedule
+
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return compare_methods()
+
+
+def test_quality_table(benchmark, report):
+    rows = benchmark(compare_methods)
+    by_example = {}
+    for row in rows:
+        by_example.setdefault(row.example, {})[row.method] = row
+    for example, methods in by_example.items():
+        if "exact" in methods:
+            assert methods["mfs"].total_units == methods["exact"].total_units
+        assert methods["mfs"].total_units <= methods["fds"].total_units + 1
+        assert (
+            methods["mfs"].weighted_area
+            <= 1.05 * methods["fds"].weighted_area
+        )
+    report("baselines", render_baselines(rows))
+
+
+@pytest.mark.parametrize("key", ["ex5", "ex6"])
+def test_mfs_runtime_benchmark(benchmark, key):
+    """MFS wall time on the two largest examples (speed-claim numerator)."""
+    spec = EXAMPLES[key]
+    case = spec.table1_cases[0]
+    dfg = spec.build()
+    ops = standard_operation_set(case.mul_latency)
+    timing = TimingModel(ops=ops)
+
+    benchmark(
+        lambda: MFSScheduler(dfg, timing, cs=case.cs, mode="time").run()
+    )
+
+
+@pytest.mark.parametrize("key", ["ex5", "ex6"])
+def test_fds_runtime_benchmark(benchmark, key):
+    """FDS wall time on the same inputs (speed-claim denominator)."""
+    spec = EXAMPLES[key]
+    case = spec.table1_cases[0]
+    dfg = spec.build()
+    ops = standard_operation_set(case.mul_latency)
+    timing = TimingModel(ops=ops)
+
+    benchmark(lambda: force_directed_schedule(dfg, timing, case.cs))
+
+
+def test_annealing_comparison(benchmark):
+    """The paper's anti-annealing argument (§1): MFS reaches comparable
+    quality without "probabilistic exploration and tuning problems" —
+    i.e. deterministically and much faster."""
+    import time
+
+    from repro.schedule.annealing import annealing_schedule
+
+    spec = EXAMPLES["ex3"]
+    case = spec.table1_cases[0]
+    dfg = spec.build()
+    ops = standard_operation_set(case.mul_latency)
+    timing = TimingModel(ops=ops)
+
+    annealed = benchmark(
+        lambda: annealing_schedule(dfg, timing, cs=case.cs, seed=1)
+    )
+    mfs = MFSScheduler(dfg, timing, cs=case.cs, mode="time").run()
+    # quality: annealing cannot beat MFS by more than one unit here
+    assert sum(mfs.fu_counts.values()) <= sum(annealed.fu_usage().values()) + 1
+
+    def clock(fn):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    mfs_time = clock(lambda: MFSScheduler(dfg, timing, cs=case.cs, mode="time").run())
+    sa_time = clock(lambda: annealing_schedule(dfg, timing, cs=case.cs, seed=1))
+    assert mfs_time * 3 < sa_time
+
+
+def test_mfs_faster_than_fds_on_large_examples():
+    """Direct head-to-head: MFS at least 3x faster than FDS on EWF."""
+    import time
+
+    spec = EXAMPLES["ex6"]
+    case = spec.table1_cases[0]
+    dfg = spec.build()
+    ops = standard_operation_set(case.mul_latency)
+    timing = TimingModel(ops=ops)
+
+    def clock(fn, repeat=5):
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    mfs_time = clock(
+        lambda: MFSScheduler(dfg, timing, cs=case.cs, mode="time").run()
+    )
+    fds_time = clock(lambda: force_directed_schedule(dfg, timing, case.cs))
+    assert mfs_time * 3 < fds_time, (
+        f"MFS {mfs_time:.4f}s vs FDS {fds_time:.4f}s"
+    )

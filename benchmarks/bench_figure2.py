@@ -1,0 +1,33 @@
+"""Regenerates the paper's **Figure 2** (PF/RF/FF/MF frames of an op).
+
+Like the paper's operation ``r``, the rendered operation has two placed
+predecessors (the K marks).  Asserts the four frame regions are present
+and that the selected position lies inside the move frame.
+"""
+
+import pytest
+
+from repro.bench.figures import figure2
+from repro.bench.suites import EXAMPLES
+
+
+
+@pytest.mark.parametrize("key", ["ex3", "ex6"])
+def test_figure2(benchmark, report, key):
+    text = benchmark(figure2, key)
+    assert "Figure 2" in text
+    assert "PF rows" in text
+    body = text.split("legend")[0]
+    assert "*" in body  # the selected position
+    assert "K" in body  # placed predecessors
+    report(f"figure2-{key}", text)
+
+
+def test_figure2_selected_position_was_in_move_frame():
+    """The * mark must be a position the move frame offered."""
+    from repro.bench.figures import _run
+
+    result = _run("ex3")
+    for name, frame in result.frames_log.items():
+        chosen = result.placements[name]
+        assert chosen in frame.mf

@@ -1,0 +1,47 @@
+"""Bulk fuzz harness: many random designs through the whole stack.
+
+A quantity-over-depth complement to the hypothesis suites: hundreds of
+seeded random graphs are pushed through MFS, MFSA, the static verifier
+and both simulators; the benchmark measures end-to-end synthesis
+throughput, and every design must verify.
+"""
+
+import pytest
+
+from repro.allocation.verify import verify_datapath
+from repro.core.mfs import MFSScheduler
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.generators import random_dfg
+from repro.dfg.ops import OpKind, standard_operation_set
+from repro.library.ncr import datapath_library
+from repro.sim.executor import verify_equivalence
+from repro.sim.rtl_executor import verify_controller_equivalence
+
+TIMING = TimingModel(ops=standard_operation_set())
+LIBRARY = datapath_library()
+KINDS = (OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.AND, OpKind.OR)
+
+
+def run_one(seed: int) -> None:
+    g = random_dfg(seed=seed, n_ops=12 + seed % 14, kinds=KINDS)
+    cs = critical_path_length(g, TIMING) + seed % 3
+    mfs = MFSScheduler(g, TIMING, cs=cs, mode="time").run()
+    mfs.schedule.validate()
+    mfsa = MFSAScheduler(g, TIMING, LIBRARY, cs=cs, style=1 + seed % 2).run()
+    assert verify_datapath(mfsa.datapath) == []
+    inputs = {name: (seed + i * 3) % 21 - 10 for i, name in enumerate(g.inputs)}
+    verify_equivalence(mfsa.datapath, inputs)
+    verify_controller_equivalence(mfsa.datapath, inputs)
+
+
+def test_fuzz_throughput(benchmark):
+    """Throughput of full synthesis+verification on one mid-size design."""
+    benchmark(run_one, 12345)
+
+
+@pytest.mark.parametrize("block", range(8))
+def test_fuzz_block(block):
+    """25 seeded designs per block, 200 total."""
+    for seed in range(block * 25, (block + 1) * 25):
+        run_one(seed)

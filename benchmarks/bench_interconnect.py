@@ -1,0 +1,53 @@
+"""Interconnect-style study: multiplexers vs buses (§4.1's "(or buses)").
+
+For every example, cost the MFSA datapath under both interconnect styles
+and report the comparison; sanity-shape: bus count equals the peak number
+of simultaneous operand transfers, and sharing keeps transfers-per-wire
+at or above 1.
+"""
+
+import pytest
+
+from repro.allocation.buses import allocate_buses, compare_interconnect_styles
+from repro.allocation.interconnect import sharing_ratio, wire_count
+from repro.bench.suites import EXAMPLES
+from repro.bench.table2 import run_example
+
+
+@pytest.mark.parametrize("key", sorted(EXAMPLES))
+def test_interconnect_styles(benchmark, report, key):
+    spec = EXAMPLES[key]
+    result = run_example(spec, style=1)
+    datapath = result.datapath
+
+    comparison = benchmark(compare_interconnect_styles, datapath)
+    allocation = allocate_buses(datapath)
+    assert allocation.bus_count == allocation.peak_parallel_transfers()
+    assert sharing_ratio(datapath) >= 1.0
+    assert wire_count(datapath) >= 1
+
+    lines = [
+        f"#{spec.number} ({key}): mux {comparison.mux_area:.0f} um^2 "
+        f"({comparison.mux_count} muxes) vs bus {comparison.bus_area:.0f} "
+        f"um^2 ({comparison.bus_count} buses) -> {comparison.winner}"
+    ]
+    report(f"interconnect-{key}", "\n".join(lines))
+
+
+def test_bus_count_tracks_parallelism():
+    """Tighter schedules (more parallel transfers) need more buses."""
+    spec = EXAMPLES["ex6"]
+    from repro.bench.suites import ewf
+    from repro.core.mfsa import MFSAScheduler
+    from repro.dfg.analysis import TimingModel
+    from repro.dfg.ops import standard_operation_set
+    from repro.library.ncr import datapath_library
+
+    timing = TimingModel(ops=standard_operation_set(2))
+    library = datapath_library()
+    tight = MFSAScheduler(ewf(), timing, library, cs=17).run()
+    loose = MFSAScheduler(ewf(), timing, library, cs=34).run()
+    assert (
+        allocate_buses(tight.datapath).bus_count
+        >= allocate_buses(loose.datapath).bus_count
+    )

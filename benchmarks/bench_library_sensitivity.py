@@ -1,0 +1,97 @@
+"""Cell-library sensitivity ablation.
+
+DESIGN.md substitutes a synthetic library for the NCR data book and
+claims Table-2 *shapes* only depend on cost ratios.  This bench stresses
+that claim: vary the merge discount (how cheaply functions combine into
+one ALU) and the register/mux price level, and check the shapes that
+must be invariant:
+
+* MFSA always completes and the datapath stays simulation-equivalent;
+* a *cheaper* merge discount never increases the number of ALU
+  instances chosen (merging only gets more attractive);
+* pricier registers steer the weighted optimiser toward designs with no
+  more registers than the cheap-register run.
+"""
+
+import pytest
+
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.analysis import TimingModel
+from repro.dfg.ops import OpKind, standard_operation_set
+from repro.library.cells import CellLibrary, MuxCostTable
+from repro.library.ncr import _DATAPATH_FAMILY, BASE_AREAS, MERGE_GLUE
+from repro.sim.executor import verify_equivalence
+from repro.bench.suites import EXAMPLES
+
+
+def library_with(merge_fraction: float, register_area: float) -> CellLibrary:
+    """The datapath family re-costed with different ratios."""
+    from repro.library.cells import ALUCell
+
+    cells = []
+    seen = set()
+    for combo in _DATAPATH_FAMILY:
+        kinds = frozenset(str(k) for k in combo)
+        if kinds in seen:
+            continue
+        seen.add(kinds)
+        areas = sorted((BASE_AREAS[str(k)] for k in combo), reverse=True)
+        area = areas[0] + sum(
+            merge_fraction * a + MERGE_GLUE for a in areas[1:]
+        )
+        cells.append(
+            ALUCell(name="alu_" + "_".join(sorted(kinds)), kinds=kinds,
+                    area=round(area, 1))
+        )
+    return CellLibrary(
+        name=f"sensitivity-m{merge_fraction}",
+        alus=cells,
+        register_area=register_area,
+        mux_costs=MuxCostTable({2: 700.0, 3: 1080.0, 4: 1480.0}),
+    )
+
+
+def run(key, library):
+    spec = EXAMPLES[key]
+    ops = standard_operation_set(spec.mfsa_mul_latency)
+    timing = TimingModel(ops=ops, clock_period_ns=spec.mfsa_clock_ns)
+    return MFSAScheduler(
+        spec.build(), timing, library, cs=spec.mfsa_cs
+    ).run()
+
+
+@pytest.mark.parametrize("key", ["ex1", "ex3", "ex4"])
+@pytest.mark.parametrize("merge_fraction", [0.15, 0.35, 0.6])
+def test_any_ratio_completes_and_verifies(benchmark, key, merge_fraction):
+    library = library_with(merge_fraction, register_area=1550.0)
+    result = benchmark(run, key, library)
+    dfg = result.schedule.dfg
+    inputs = {name: (i % 9) - 4 for i, name in enumerate(dfg.inputs)}
+    verify_equivalence(result.datapath, inputs)
+
+
+@pytest.mark.parametrize("key", ["ex1", "ex3"])
+def test_cheaper_merging_never_needs_more_alus(key):
+    cheap_merge = run(key, library_with(0.1, 1550.0))
+    dear_merge = run(key, library_with(0.7, 1550.0))
+    assert len(cheap_merge.alu_labels()) <= len(dear_merge.alu_labels())
+
+
+@pytest.mark.parametrize("key", ["ex3", "ex4"])
+def test_register_price_steers_reg_weight(key):
+    from repro.core.liapunov import LiapunovWeights
+
+    spec = EXAMPLES[key]
+    ops = standard_operation_set(spec.mfsa_mul_latency)
+    timing = TimingModel(ops=ops, clock_period_ns=spec.mfsa_clock_ns)
+    library = library_with(0.35, 1550.0)
+    cheap = MFSAScheduler(
+        spec.build(), timing, library, cs=spec.mfsa_cs
+    ).run()
+    pricey = MFSAScheduler(
+        spec.build(), timing, library, cs=spec.mfsa_cs,
+        weights=LiapunovWeights(reg=8.0),
+    ).run()
+    assert (
+        pricey.datapath.register_count() <= cheap.datapath.register_count()
+    )

@@ -1,0 +1,60 @@
+"""Scalability sweep backing the O(l^3) complexity analysis (§3.2).
+
+Layered synthetic workloads of growing size; the benchmark records MFS
+and MFSA wall times so the growth curve can be read off the
+pytest-benchmark table, and a sanity test checks the growth stays far
+below the quartic envelope.
+"""
+
+import time
+
+import pytest
+
+from repro.core.mfs import MFSScheduler
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.generators import layered_workload
+from repro.dfg.ops import standard_operation_set
+from repro.library.ncr import datapath_library
+
+TIMING = TimingModel(ops=standard_operation_set())
+SIZES = [(4, 5), (8, 5), (8, 10), (16, 10)]  # (layers, width) -> 20..160 ops
+
+
+@pytest.mark.parametrize("layers,width", SIZES)
+def test_mfs_scaling(benchmark, layers, width):
+    g = layered_workload(seed=1, layers=layers, width=width)
+    cs = critical_path_length(g, TIMING) + 2
+
+    result = benchmark(
+        lambda: MFSScheduler(g, TIMING, cs=cs, mode="time").run()
+    )
+    result.schedule.validate()
+
+
+@pytest.mark.parametrize("layers,width", SIZES[:3])
+def test_mfsa_scaling(benchmark, layers, width):
+    g = layered_workload(seed=1, layers=layers, width=width)
+    cs = critical_path_length(g, TIMING) + 2
+    library = datapath_library()
+
+    result = benchmark(
+        lambda: MFSAScheduler(g, TIMING, library, cs=cs).run()
+    )
+    result.schedule.validate()
+
+
+def test_growth_below_quartic_envelope():
+    def runtime(layers, width):
+        g = layered_workload(seed=1, layers=layers, width=width)
+        cs = critical_path_length(g, TIMING) + 2
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            MFSScheduler(g, TIMING, cs=cs, mode="time").run()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small = max(runtime(6, 5), 1e-3)
+    large = runtime(12, 10)  # 4x operations
+    assert large / small < 4**4

@@ -1,0 +1,63 @@
+"""Wide design-space sweeps over all six examples.
+
+Extends Table 1's few points into full latency/FU-demand curves:
+
+* total FU count is non-increasing in T (the design-space staircase);
+* given enough time, every example converges to the distribution lower
+  bound ``max_kind ⌈N_kind/T⌉``-style minimal hardware (1 unit per kind
+  once T exceeds the serial length);
+* MFSA cost is non-increasing in T as well.
+"""
+
+import pytest
+
+from repro.bench.suites import EXAMPLES
+from repro.core.mfs import MFSScheduler
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.ops import standard_operation_set
+from repro.library.ncr import datapath_library
+
+
+@pytest.mark.parametrize("key", sorted(EXAMPLES))
+def test_mfs_staircase(benchmark, key):
+    spec = EXAMPLES[key]
+    dfg = spec.build()
+    ops = standard_operation_set(spec.mfsa_mul_latency)
+    timing = TimingModel(ops=ops, clock_period_ns=spec.mfsa_clock_ns)
+    base = critical_path_length(dfg, timing)
+    budgets = [base + step for step in (0, 1, 2, 4, 8, 16)]
+
+    def sweep():
+        return [
+            MFSScheduler(dfg, timing, cs=cs, mode="time").run().fu_counts
+            for cs in budgets
+        ]
+
+    curves = benchmark(sweep)
+    totals = [sum(c.values()) for c in curves]
+    assert totals == sorted(totals, reverse=True)
+    # convergence: with generous time, one unit per kind suffices
+    serial = sum(timing.latency(n.kind) for n in dfg)
+    final = MFSScheduler(dfg, timing, cs=serial, mode="time").run()
+    assert all(count == 1 for count in final.fu_counts.values())
+
+
+@pytest.mark.parametrize("key", ["ex3", "ex4", "ex6"])
+def test_mfsa_cost_staircase(benchmark, key):
+    spec = EXAMPLES[key]
+    dfg = spec.build()
+    ops = standard_operation_set(spec.mfsa_mul_latency)
+    timing = TimingModel(ops=ops, clock_period_ns=spec.mfsa_clock_ns)
+    library = datapath_library()
+    base = critical_path_length(dfg, timing)
+    budgets = [base, base + 2, base + 6, base + 12]
+
+    def sweep():
+        return [
+            MFSAScheduler(dfg, timing, library, cs=cs).run().cost.alu
+            for cs in budgets
+        ]
+
+    costs = benchmark(sweep)
+    assert costs == sorted(costs, reverse=True)

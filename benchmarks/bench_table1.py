@@ -1,0 +1,55 @@
+"""Regenerates the paper's **Table 1** (MFS results on the six examples).
+
+One benchmark per example: times the full sweep of that example's
+time-constraint cases and checks the reproduced FU mixes — exact equality
+wherever the paper's scanned cell is parseable, the monotone
+fewer-units-with-more-time trend everywhere.
+"""
+
+import pytest
+
+from repro.bench.suites import EXAMPLES
+from repro.bench.table1 import render_table1, run_case, table1_rows
+
+
+
+@pytest.mark.parametrize("key", sorted(EXAMPLES))
+def test_table1_example(benchmark, report, key):
+    spec = EXAMPLES[key]
+
+    def sweep():
+        return [run_case(spec, case) for case in spec.table1_cases]
+
+    results = benchmark(sweep)
+
+    for case, result in zip(spec.table1_cases, results):
+        result.schedule.validate()
+        assert result.schedule.makespan() <= case.cs
+        if case.paper_fu is not None:
+            assert result.fu_counts == dict(case.paper_fu), (
+                f"{key} T={case.cs}: measured {result.fu_counts} "
+                f"vs paper {dict(case.paper_fu)}"
+            )
+
+    report("table1", render_table1(table1_rows()))
+
+
+def test_table1_trend_units_decrease_with_budget(benchmark):
+    """Across every example: larger T never needs more total FUs."""
+
+    def collect():
+        return table1_rows()
+
+    rows = benchmark(collect)
+    from collections import defaultdict
+
+    groups = defaultdict(list)
+    for row in rows:
+        groups[(row.number, row.mul_latency)].append(row)
+    for rows_of_group in groups.values():
+        unique_cs = {}
+        for row in rows_of_group:
+            unique_cs.setdefault(row.cs, row)
+        ordered = [unique_cs[cs] for cs in sorted(unique_cs)]
+        totals = [sum(r.fu_counts.values()) for r in ordered]
+        assert totals == sorted(totals, reverse=True)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark prints the regenerated table/figure once per session, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the paper-artifact
+regeneration command.  See EXPERIMENTS.md for the paper-vs-measured log.
+"""
+
+import pytest
+
+_printed = set()
+
+
+@pytest.fixture
+def report(capsys):
+    """``report(key, text)`` prints ``text`` once per session per key."""
+
+    def print_once(key, text):
+        if key in _printed:
+            return
+        _printed.add(key)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return print_once

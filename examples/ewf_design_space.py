@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the elliptic wave filter (example #6).
+
+Sweeps the time constraint T with 2-cycle multipliers — the classic
+latency/area trade-off study every 1990s HLS paper runs on EWF — printing
+the MFS functional-unit demand and the full MFSA cost per point, plus the
+structural-pipelining variant.
+
+Run:  python examples/ewf_design_space.py
+"""
+
+from repro import TimingModel, standard_operation_set
+from repro.core.mfs import MFSScheduler
+from repro.core.mfsa import MFSAScheduler
+from repro.library.ncr import datapath_library
+from repro.bench.suites import ewf
+from repro.bench.table1 import format_fu_mix
+
+
+def main() -> None:
+    ops = standard_operation_set(mul_latency=2)
+    timing = TimingModel(ops=ops)
+    library = datapath_library()
+
+    print("EWF design space (2-cycle multipliers)")
+    print(f"{'T':>4} {'MFS FU mix':<14} {'ALUs':<22} {'cost um^2':>10} "
+          f"{'REG':>4} {'MUX':>4}")
+    print("-" * 64)
+    for cs in (17, 18, 19, 21, 24, 28):
+        mfs = MFSScheduler(ewf(), timing, cs=cs, mode="time").run()
+        mfsa = MFSAScheduler(ewf(), timing, library, cs=cs).run()
+        cost = mfsa.cost
+        alus = "; ".join(sorted(mfsa.alu_labels()))
+        print(
+            f"{cs:>4} {format_fu_mix(mfs.fu_counts):<14} {alus:<22} "
+            f"{cost.total:>10.0f} {mfsa.datapath.register_count():>4} "
+            f"{mfsa.datapath.mux_count():>4}"
+        )
+
+    print()
+    print("Automated exploration (repro.explore): Pareto front and knee")
+    from repro.explore import design_space, knee_point, pareto_front
+
+    points = design_space(
+        ewf(), timing, library, budgets=(17, 18, 19, 21, 24, 28, 34)
+    )
+    front = pareto_front(points)
+    knee = knee_point(front)
+    print(f"  Pareto points: {[(p.cs, int(p.total_area)) for p in front]}")
+    print(f"  knee: T={knee.cs}, area {knee.total_area:.0f} um^2")
+
+    print()
+    print("Structural pipelining: a 2-stage pipelined multiplier accepts a")
+    print("new product every cycle, shrinking the multiplier count:")
+    for cs in (17, 19, 21):
+        plain = MFSScheduler(ewf(), timing, cs=cs, mode="time").run()
+        pipelined = MFSScheduler(
+            ewf(), timing, cs=cs, mode="time", pipelined_kinds=("mul",)
+        ).run()
+        print(
+            f"  T={cs}: non-pipelined {format_fu_mix(plain.fu_counts):<8} "
+            f"-> pipelined {format_fu_mix(pipelined.fu_counts)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

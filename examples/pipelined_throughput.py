@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Functional pipelining study (§5.5.2): throughput vs hardware.
+
+Treats the HAL loop body as a pipelined loop: for each initiation
+interval L, MFS folds resource usage modulo L so consecutive iterations
+overlap.  Smaller L means higher throughput and more hardware — the
+trade-off this script prints.  Also shows the paper's two-instance
+unfolding (DFGdouble) and the resulting partition.
+
+Run:  python examples/pipelined_throughput.py
+"""
+
+from repro import TimingModel, standard_operation_set
+from repro.core.mfs import MFSScheduler
+from repro.dfg.pipeline import (
+    overlap_report,
+    partition_double,
+    unfold_two_instances,
+)
+from repro.bench.suites import hal_diffeq
+from repro.bench.table1 import format_fu_mix
+
+
+def main() -> None:
+    timing = TimingModel(ops=standard_operation_set())
+    cs = 6
+
+    print(f"HAL loop body, time constraint T={cs}")
+    print(f"{'L':>3} {'FU mix':<14} {'total FUs':>9} {'overlap':>8} "
+          f"{'iterations/cycle':>17}")
+    print("-" * 56)
+    baseline = MFSScheduler(hal_diffeq(), timing, cs=cs, mode="time").run()
+    print(
+        f"{'-':>3} {format_fu_mix(baseline.fu_counts):<14} "
+        f"{sum(baseline.fu_counts.values()):>9} {'1':>8} "
+        f"{1 / cs:>17.3f}"
+    )
+    for latency in (4, 3, 2, 1):
+        result = MFSScheduler(
+            hal_diffeq(), timing, cs=cs, mode="time", latency_l=latency
+        ).run()
+        report = overlap_report(result.schedule)
+        print(
+            f"{latency:>3} {format_fu_mix(result.fu_counts):<14} "
+            f"{sum(result.fu_counts.values()):>9} "
+            f"{report.max_overlap():>8} {1 / latency:>17.3f}"
+        )
+
+    print()
+    print("Paper's two-instance construction (§5.5.2):")
+    double = unfold_two_instances(hal_diffeq())
+    partition = partition_double(double, timing, cs=cs, latency=3)
+    print(
+        f"  DFGdouble: {len(double)} ops; boundary at step "
+        f"{partition.boundary}: |DFGp1| = {len(partition.first)}, "
+        f"|DFGp2| = {len(partition.second)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables legacy
+editable installs (`pip install -e . --no-use-pep517`) on systems where
+PEP-517 editable builds are unavailable (e.g. offline machines missing
+`wheel`).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,168 @@
+"""repro — Move Frame Scheduling & Mixed Scheduling-Allocation.
+
+A production-quality reproduction of
+
+    M. Nourani and C. Papachristou, "Move Frame Scheduling and Mixed
+    Scheduling-Allocation for the Automated Synthesis of Digital
+    Systems", DAC 1992.
+
+Public API highlights
+---------------------
+* :class:`~repro.dfg.builder.DFGBuilder` / :class:`~repro.dfg.graph.DFG` —
+  build behavioral data-flow graphs (or parse them with
+  :func:`~repro.dfg.parser.parse_behavior`);
+* :func:`~repro.core.mfs.mfs_schedule` — Move Frame Scheduling under time
+  or resource constraints, with chaining, multi-cycle operations, mutual
+  exclusion, structural and functional pipelining;
+* :func:`~repro.core.mfsa.mfsa_synthesize` — simultaneous scheduling and
+  allocation of ALUs, registers and multiplexers against a cell library;
+* :mod:`repro.schedule` — ASAP/ALAP, list, force-directed and exact
+  baseline schedulers;
+* :mod:`repro.allocation` — left-edge register allocation, mux input
+  optimisation, datapath construction;
+* :mod:`repro.rtl` — FSM controller and structural Verilog emission;
+* :mod:`repro.sim` — reference evaluation and cycle-accurate datapath
+  simulation (functional-equivalence oracle);
+* :mod:`repro.bench` — the paper's six design examples and the Table-1 /
+  Table-2 / Figure-1 / Figure-2 regeneration harnesses.
+"""
+
+from repro.errors import (
+    AllocationError,
+    DFGError,
+    InfeasibleScheduleError,
+    LibraryError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    StabilityError,
+)
+from repro.dfg import (
+    DFG,
+    DFGBuilder,
+    LoopFolder,
+    OpKind,
+    OperationSet,
+    OpSpec,
+    TimingModel,
+    add_loop_control,
+    balance_tree,
+    common_subexpression_elimination,
+    constant_fold,
+    critical_path_length,
+    eliminate_dead_code,
+    merge_conditional_shared_ops,
+    parse_behavior,
+    standard_operation_set,
+)
+from repro.library import (
+    ALUCell,
+    CellLibrary,
+    MuxCostTable,
+    ncr_like_library,
+    simple_fu_library,
+)
+from repro.schedule import (
+    Schedule,
+    annealing_schedule,
+    exact_schedule,
+    force_directed_schedule,
+    list_schedule_resource_constrained,
+    list_schedule_time_constrained,
+    schedule_alap,
+    schedule_asap,
+)
+from repro.core import (
+    GridPosition,
+    LiapunovWeights,
+    MFSAResult,
+    MFSAScheduler,
+    MFSResult,
+    MFSScheduler,
+    PlacementGrid,
+    ResourceConstrainedLiapunov,
+    TimeConstrainedLiapunov,
+    Trajectory,
+    mfs_schedule,
+    mfsa_synthesize,
+)
+from repro.allocation import (
+    Datapath,
+    bind_functional_units,
+    compare_interconnect_styles,
+    left_edge_allocate,
+    value_lifetimes,
+    verify_datapath,
+)
+from repro.explore import design_space, knee_point, pareto_front
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "DFGError",
+    "ScheduleError",
+    "InfeasibleScheduleError",
+    "AllocationError",
+    "LibraryError",
+    "StabilityError",
+    "SimulationError",
+    # dfg
+    "DFG",
+    "DFGBuilder",
+    "OpKind",
+    "OpSpec",
+    "OperationSet",
+    "TimingModel",
+    "standard_operation_set",
+    "parse_behavior",
+    "critical_path_length",
+    "constant_fold",
+    "eliminate_dead_code",
+    "balance_tree",
+    "merge_conditional_shared_ops",
+    "common_subexpression_elimination",
+    "add_loop_control",
+    "LoopFolder",
+    # library
+    "ALUCell",
+    "CellLibrary",
+    "MuxCostTable",
+    "ncr_like_library",
+    "simple_fu_library",
+    # schedules
+    "Schedule",
+    "schedule_asap",
+    "schedule_alap",
+    "list_schedule_resource_constrained",
+    "list_schedule_time_constrained",
+    "force_directed_schedule",
+    "exact_schedule",
+    "annealing_schedule",
+    # core
+    "GridPosition",
+    "PlacementGrid",
+    "TimeConstrainedLiapunov",
+    "ResourceConstrainedLiapunov",
+    "LiapunovWeights",
+    "Trajectory",
+    "MFSScheduler",
+    "MFSResult",
+    "mfs_schedule",
+    "MFSAScheduler",
+    "MFSAResult",
+    "mfsa_synthesize",
+    # allocation
+    "Datapath",
+    "bind_functional_units",
+    "left_edge_allocate",
+    "value_lifetimes",
+    "verify_datapath",
+    "compare_interconnect_styles",
+    # exploration
+    "design_space",
+    "pareto_front",
+    "knee_point",
+]

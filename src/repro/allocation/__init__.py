@@ -1,0 +1,42 @@
+"""Datapath allocation substrate: lifetimes, registers, muxes, binding.
+
+* :mod:`repro.allocation.lifetimes` — value life-span analysis over a
+  schedule (chaining-aware);
+* :mod:`repro.allocation.registers` — left-edge / activity-selection
+  register allocation (§5.8, paper ref. [19]);
+* :mod:`repro.allocation.mux` — multiplexer input-list minimisation with
+  commutative operand swapping (§5.6);
+* :mod:`repro.allocation.interconnect` — source-line sharing (§5.7);
+* :mod:`repro.allocation.binding` — FU binding for plain MFS schedules;
+* :mod:`repro.allocation.datapath` — the RTL-level datapath structure and
+  its cost roll-up.
+"""
+
+from repro.allocation.lifetimes import Lifetime, value_lifetimes
+from repro.allocation.registers import RegisterAllocation, left_edge_allocate
+from repro.allocation.mux import MuxAssignment, optimize_mux_inputs
+from repro.allocation.binding import bind_functional_units
+from repro.allocation.datapath import ALUInstance, Datapath, CostBreakdown
+from repro.allocation.buses import (
+    BusAllocation,
+    allocate_buses,
+    compare_interconnect_styles,
+)
+from repro.allocation.verify import verify_datapath
+
+__all__ = [
+    "BusAllocation",
+    "allocate_buses",
+    "compare_interconnect_styles",
+    "verify_datapath",
+    "Lifetime",
+    "value_lifetimes",
+    "RegisterAllocation",
+    "left_edge_allocate",
+    "MuxAssignment",
+    "optimize_mux_inputs",
+    "bind_functional_units",
+    "ALUInstance",
+    "Datapath",
+    "CostBreakdown",
+]

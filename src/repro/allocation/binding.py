@@ -1,0 +1,65 @@
+"""Functional-unit binding for plain schedules.
+
+MFS placements already imply a binding (the grid column ``x``); baseline
+schedulers (list/FDS/exact) only produce start steps, so this module
+packs their operations onto unit instances greedily — first fit in start
+order, honouring multi-cycle occupancy and mutual exclusion — to make any
+schedule buildable into a datapath.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.schedule.types import Schedule
+
+
+def bind_functional_units(schedule: Schedule) -> Dict[str, Tuple[str, int]]:
+    """Bind every node to ``(kind, instance-index)`` (1-based index).
+
+    Deterministic: operations are bound in (start step, insertion order).
+    The number of instances used per kind equals
+    :meth:`Schedule.fu_usage` for interval-shaped occupancy.
+    """
+    dfg, timing = schedule.dfg, schedule.timing
+    insertion = {name: i for i, name in enumerate(dfg.node_names())}
+    order = sorted(
+        dfg.node_names(), key=lambda n: (schedule.start(n), insertion[n])
+    )
+    # instances[kind] -> list of lists of (node, steps) already bound
+    instances: Dict[str, List[List[str]]] = {}
+    binding: Dict[str, Tuple[str, int]] = {}
+
+    def steps_of(name: str) -> Tuple[int, ...]:
+        node = dfg.node(name)
+        start = schedule.start(name)
+        occupancy = (
+            1
+            if node.kind in schedule.pipelined_kinds
+            else timing.latency(node.kind)
+        )
+        raw = range(start, start + occupancy)
+        if schedule.latency_l:
+            return tuple(((s - 1) % schedule.latency_l) + 1 for s in raw)
+        return tuple(raw)
+
+    footprints: Dict[str, Tuple[int, ...]] = {}
+
+    def conflicts(a: str, b: str) -> bool:
+        if dfg.mutually_exclusive(a, b):
+            return False
+        return bool(set(footprints[a]) & set(footprints[b]))
+
+    for name in order:
+        kind = dfg.node(name).kind
+        footprints[name] = steps_of(name)
+        units = instances.setdefault(kind, [])
+        for index, unit in enumerate(units):
+            if all(not conflicts(name, other) for other in unit):
+                unit.append(name)
+                binding[name] = (kind, index + 1)
+                break
+        else:
+            units.append([name])
+            binding[name] = (kind, len(units))
+    return binding

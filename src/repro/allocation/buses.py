@@ -1,0 +1,184 @@
+"""Bus-based interconnect (§4.1's "multiplexers (or buses)").
+
+The paper's datapath style feeds each ALU through two multiplexers; the
+parenthetical alternative routes operands over shared **buses** instead:
+every transfer in a control step is assigned to a bus, transfers in the
+same step need distinct buses, and each bus costs its drivers (one
+tri-state driver per distinct source) plus a fixed spine.
+
+This module converts an allocated datapath to the bus style:
+
+* enumerate the operand transfers per control step,
+* colour simultaneous transfers onto a minimal number of buses
+  (left-edge over steps — transfers are unit-time, so greedy per-step
+  packing is optimal),
+* cost the result and compare against the mux style, reproducing the
+  classic crossover: mux interconnect wins for small designs, buses win
+  once many sources fan into many sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.allocation.datapath import Datapath
+
+#: Synthetic costs consistent with :mod:`repro.library.ncr` (µm²).
+BUS_SPINE_AREA = 900.0
+BUS_DRIVER_AREA = 240.0
+BUS_RECEIVER_AREA = 60.0
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One operand delivery: ``source`` signal into ``(instance, port)``
+    at control step ``step``."""
+
+    step: int
+    source: str
+    sink: Tuple[str, int]
+    port: int
+    op: str
+
+
+@dataclass
+class Bus:
+    """One shared bus: its transfers, drivers and receivers."""
+
+    index: int
+    transfers: List[Transfer] = field(default_factory=list)
+
+    def sources(self) -> Tuple[str, ...]:
+        """Distinct signals driven onto this bus (each needs a driver)."""
+        return tuple(sorted({t.source for t in self.transfers}))
+
+    def sinks(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Distinct (instance, index, port) receivers."""
+        return tuple(
+            sorted({(t.sink[0], t.sink[1], t.port) for t in self.transfers})
+        )
+
+    def area(self) -> float:
+        return (
+            BUS_SPINE_AREA
+            + BUS_DRIVER_AREA * len(self.sources())
+            + BUS_RECEIVER_AREA * len(self.sinks())
+        )
+
+
+@dataclass
+class BusAllocation:
+    """Result of bus-style interconnect allocation."""
+
+    buses: List[Bus]
+    transfers: List[Transfer]
+
+    @property
+    def bus_count(self) -> int:
+        return len(self.buses)
+
+    def area(self) -> float:
+        """Total interconnect area of the bus style."""
+        return sum(bus.area() for bus in self.buses)
+
+    def peak_parallel_transfers(self) -> int:
+        """Lower bound on the bus count (met by construction)."""
+        per_step: Dict[int, int] = {}
+        for transfer in self.transfers:
+            per_step[transfer.step] = per_step.get(transfer.step, 0) + 1
+        return max(per_step.values(), default=0)
+
+
+def enumerate_transfers(datapath: Datapath) -> List[Transfer]:
+    """All operand deliveries of the schedule, one per operand read.
+
+    Constants are excluded (they are hardwired to mux/bus inputs at no
+    transfer cost in either style).
+    """
+    dfg = datapath.schedule.dfg
+    transfers: List[Transfer] = []
+    for name in dfg.node_names():
+        node = dfg.node(name)
+        step = datapath.schedule.start(name)
+        key = datapath.binding[name]
+        instance = datapath.instances[key]
+        signals = node.operand_names()
+        for position, signal in enumerate(signals):
+            if signal.startswith("#"):
+                continue
+            port = (
+                1
+                if len(signals) == 1
+                else instance.mux.port_of(name, textual_left=(position == 0))
+            )
+            transfers.append(
+                Transfer(
+                    step=step, source=signal, sink=key, port=port, op=name
+                )
+            )
+    return transfers
+
+
+def allocate_buses(datapath: Datapath) -> BusAllocation:
+    """Pack transfers onto a minimal set of buses.
+
+    Transfers are unit-time, so the minimum bus count equals the peak
+    number of simultaneous transfers; the greedy packs deterministically
+    and prefers keeping a *source* on the bus that already drives it
+    (fewer drivers), then the lowest bus index.
+    """
+    transfers = enumerate_transfers(datapath)
+    buses: List[Bus] = []
+    busy: Dict[Tuple[int, int], bool] = {}  # (bus, step) occupied
+
+    order = sorted(
+        transfers, key=lambda t: (t.step, t.source, t.sink, t.port)
+    )
+    for transfer in order:
+        chosen: Optional[Bus] = None
+        # Pass 1: a free bus already driven by this source.
+        for bus in buses:
+            if busy.get((bus.index, transfer.step)):
+                continue
+            if transfer.source in bus.sources():
+                chosen = bus
+                break
+        # Pass 2: any free bus.
+        if chosen is None:
+            for bus in buses:
+                if not busy.get((bus.index, transfer.step)):
+                    chosen = bus
+                    break
+        if chosen is None:
+            chosen = Bus(index=len(buses))
+            buses.append(chosen)
+        chosen.transfers.append(transfer)
+        busy[(chosen.index, transfer.step)] = True
+    return BusAllocation(buses=buses, transfers=transfers)
+
+
+@dataclass(frozen=True)
+class InterconnectComparison:
+    """Mux-style vs bus-style interconnect cost for one datapath."""
+
+    mux_area: float
+    bus_area: float
+    bus_count: int
+    mux_count: int
+
+    @property
+    def winner(self) -> str:
+        return "mux" if self.mux_area <= self.bus_area else "bus"
+
+
+def compare_interconnect_styles(datapath: Datapath) -> InterconnectComparison:
+    """Cost the same datapath under both interconnect styles."""
+    allocation = allocate_buses(datapath)
+    mux_area = datapath.cost_breakdown().mux
+    return InterconnectComparison(
+        mux_area=mux_area,
+        bus_area=allocation.area(),
+        bus_count=allocation.bus_count,
+        mux_count=datapath.mux_count(),
+    )

@@ -1,0 +1,70 @@
+"""Interconnect accounting and sharing (§5.7).
+
+Data transfers between ALUs (and from registers/inputs to ALUs) ride on
+connection lines.  Lines carrying the *same source signal* into the *same
+multiplexer* are shared — which is exactly how the mux optimiser keys its
+input lists — so this module's job is reporting: enumerate the physical
+wires of a datapath, count how many transfers each one serves, and expose
+the savings ratio the Liapunov f_MUX term benefits from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.allocation.datapath import Datapath
+
+
+@dataclass(frozen=True)
+class Wire:
+    """One physical connection line of the datapath.
+
+    ``source`` is a signal name (``op:<node>``, ``in:<name>`` or
+    ``#<const>``); ``sink`` identifies an ALU instance and mux port.
+    """
+
+    source: str
+    sink: Tuple[str, int]
+    port: int
+
+
+def wires(datapath: Datapath) -> List[Wire]:
+    """All physical wires, one per (source, instance, port)."""
+    result: List[Wire] = []
+    for key, instance in sorted(datapath.instances.items()):
+        for port, signals in ((1, instance.mux.l1), (2, instance.mux.l2)):
+            for signal in signals:
+                result.append(Wire(source=signal, sink=key, port=port))
+    return result
+
+
+def transfer_counts(datapath: Datapath) -> Dict[Wire, int]:
+    """How many operand transfers each wire serves (sharing degree)."""
+    counts: Dict[Wire, int] = {wire: 0 for wire in wires(datapath)}
+    dfg = datapath.schedule.dfg
+    for name, key in datapath.binding.items():
+        node = dfg.node(name)
+        instance = datapath.instances[key]
+        signals = node.operand_names()
+        for position, signal in enumerate(signals):
+            port = instance.mux.port_of(name, textual_left=(position == 0))
+            if len(signals) == 1:
+                port = 1
+            wire = Wire(source=signal, sink=key, port=port)
+            counts[wire] = counts.get(wire, 0) + 1
+    return counts
+
+
+def sharing_ratio(datapath: Datapath) -> float:
+    """Transfers per wire: 1.0 means no sharing, higher is better."""
+    counts = transfer_counts(datapath)
+    if not counts:
+        return 1.0
+    transfers = sum(counts.values())
+    return transfers / len(counts)
+
+
+def wire_count(datapath: Datapath) -> int:
+    """Number of physical connection lines."""
+    return len(wires(datapath))

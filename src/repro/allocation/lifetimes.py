@@ -1,0 +1,97 @@
+"""Value life-span analysis (§4.1 f_REG, §5.8).
+
+A value produced by operation ``p`` is *born* when ``p`` finishes (end of
+step ``end(p)``) and must stay registered until its last consumer has read
+it.  Conventions used throughout the library:
+
+* a consumer starting at step ``s`` reads its inputs at the *beginning* of
+  ``s``, so a value with last consumer ``s`` occupies a register over the
+  half-open step interval ``[end(p), s)`` — if ``s == end(p)`` the transfer
+  is combinational (chaining) and needs no register;
+* a *non-pipelined multi-cycle* consumer holds its operands on the FU
+  input for its whole duration, so such values stay registered through
+  the consumer's **end** step (pipelined units latch at the start);
+* values feeding primary outputs stay alive through ``cs + 1`` (they must
+  be observable after the last step);
+* primary inputs and constants live in input/constant resources, not in
+  datapath registers, unless ``count_inputs`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.schedule.types import Schedule
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """Register occupancy of one value.
+
+    ``birth`` is the step after which the value exists (producer's end
+    step); ``death`` is the step at whose beginning it is last read.  The
+    value needs a register iff ``death > birth``.
+    """
+
+    value: str
+    birth: int
+    death: int
+
+    @property
+    def needs_register(self) -> bool:
+        return self.death > self.birth
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        """Whether two lifetimes cannot share a register.
+
+        Degenerate lifetimes (``death == birth``) occupy no storage and
+        never conflict.
+        """
+        if not self.needs_register or not other.needs_register:
+            return False
+        return self.birth < other.death and other.birth < self.death
+
+
+def value_lifetimes(
+    schedule: Schedule,
+    count_inputs: bool = False,
+) -> Dict[str, Lifetime]:
+    """Lifetime of every value (node output, and optionally primary input).
+
+    Keys are signal names as produced by
+    :meth:`repro.dfg.graph.Port.signal_name` (``op:<node>`` / ``in:<name>``).
+    """
+    dfg = schedule.dfg
+    lifetimes: Dict[str, Lifetime] = {}
+
+    last_use: Dict[str, int] = {}
+    for node in dfg:
+        latency = schedule.timing.latency(node.kind)
+        if latency > 1 and node.kind not in schedule.pipelined_kinds:
+            consume_until = schedule.end(node.name)
+        else:
+            consume_until = schedule.start(node.name)
+        for port in node.operands:
+            if port.is_const:
+                continue
+            key = port.signal_name()
+            last_use[key] = max(last_use.get(key, 0), consume_until)
+    for out_name, port in dfg.outputs.items():
+        if port.is_const:
+            continue
+        key = port.signal_name()
+        last_use[key] = max(last_use.get(key, 0), schedule.cs + 1)
+
+    for node in dfg:
+        key = f"op:{node.name}"
+        birth = schedule.end(node.name)
+        death = last_use.get(key, birth)
+        lifetimes[key] = Lifetime(value=key, birth=birth, death=death)
+
+    if count_inputs:
+        for name in dfg.inputs:
+            key = f"in:{name}"
+            death = last_use.get(key, 0)
+            lifetimes[key] = Lifetime(value=key, birth=0, death=death)
+    return lifetimes

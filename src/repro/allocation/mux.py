@@ -1,0 +1,132 @@
+"""Multiplexer input-list optimisation (§5.6).
+
+Each ALU has two input multiplexers, ``MUX¹`` and ``MUX²``, feeding its
+left and right operand ports.  Given the operations bound to one ALU, the
+task is to build two signal lists ``L1``/``L2`` with ``|L1| + |L2|``
+minimum: non-commutative operations fix their operand sides; each
+commutative operation may be flipped.
+
+The paper uses a constructive pass (non-commutative first, then the two
+orientations of each commutative operation); we add a cheap fixpoint
+improvement sweep on top, which never hurts and frequently saves an input.
+Interconnect sharing (§5.7) falls out of the signal-name keying: operands
+carrying the same signal occupy a single mux input / wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class MuxOperand:
+    """Operand pair of one operation bound to an ALU."""
+
+    op: str
+    left: str
+    right: Optional[str]
+    commutative: bool
+
+
+@dataclass
+class MuxAssignment:
+    """Optimised mux configuration of one ALU.
+
+    ``swapped`` records which commutative operations feed their textual
+    left operand into port 2 (needed by RTL generation and simulation).
+    """
+
+    l1: Tuple[str, ...]
+    l2: Tuple[str, ...]
+    swapped: Dict[str, bool]
+
+    @property
+    def total_inputs(self) -> int:
+        """``|L1| + |L2|`` — the optimised size."""
+        return len(self.l1) + len(self.l2)
+
+    def port_of(self, op: str, textual_left: bool) -> int:
+        """Physical port (1 or 2) an operand reaches after swapping."""
+        flipped = self.swapped.get(op, False)
+        if textual_left:
+            return 2 if flipped else 1
+        return 1 if flipped else 2
+
+
+def _build_lists(
+    fixed_l1: Set[str],
+    fixed_l2: Set[str],
+    commutatives: Sequence[MuxOperand],
+    swapped: Dict[str, bool],
+) -> Tuple[Set[str], Set[str]]:
+    """L1/L2 contents for the given orientations."""
+    l1, l2 = set(fixed_l1), set(fixed_l2)
+    for item in commutatives:
+        if swapped[item.op]:
+            l1.add(item.right)
+            l2.add(item.left)
+        else:
+            l1.add(item.left)
+            l2.add(item.right)
+    return l1, l2
+
+
+def optimize_mux_inputs(operands: Sequence[MuxOperand]) -> MuxAssignment:
+    """Build minimal L1/L2 lists for one ALU's operations.
+
+    Deterministic: operations are processed in the order given, and ties
+    prefer the unswapped orientation.
+    """
+    fixed_l1: Set[str] = set()
+    fixed_l2: Set[str] = set()
+    swapped: Dict[str, bool] = {}
+    commutatives: List[MuxOperand] = []
+
+    for item in operands:
+        if item.commutative and item.right is not None:
+            commutatives.append(item)
+        else:
+            fixed_l1.add(item.left)
+            if item.right is not None:
+                fixed_l2.add(item.right)
+            swapped[item.op] = False
+
+    # Constructive pass (§5.6): try both orientations greedily.
+    l1, l2 = set(fixed_l1), set(fixed_l2)
+    for item in commutatives:
+        straight = (item.left not in l1) + (item.right not in l2)
+        flipped = (item.right not in l1) + (item.left not in l2)
+        swapped[item.op] = flipped < straight
+        if swapped[item.op]:
+            l1.add(item.right)
+            l2.add(item.left)
+        else:
+            l1.add(item.left)
+            l2.add(item.right)
+
+    # Fixpoint improvement: re-orient while the total size shrinks.
+    for _sweep in range(len(commutatives) + 1):
+        changed = False
+        for item in commutatives:
+            current = swapped[item.op]
+            sizes = {}
+            for orientation in (False, True):
+                swapped[item.op] = orientation
+                trial_l1, trial_l2 = _build_lists(
+                    fixed_l1, fixed_l2, commutatives, swapped
+                )
+                sizes[orientation] = len(trial_l1) + len(trial_l2)
+            best = current if sizes[current] <= sizes[not current] else not current
+            swapped[item.op] = best
+            changed = changed or best != current
+        if not changed:
+            break
+
+    l1, l2 = _build_lists(fixed_l1, fixed_l2, commutatives, swapped)
+    return MuxAssignment(l1=tuple(sorted(l1)), l2=tuple(sorted(l2)), swapped=swapped)
+
+
+def mux_cost_of(assignment: MuxAssignment, mux_costs) -> float:
+    """Cost of the two input muxes under a :class:`MuxCostTable`."""
+    return mux_costs.cost(len(assignment.l1)) + mux_costs.cost(len(assignment.l2))

@@ -1,0 +1,127 @@
+"""Static datapath verification (no simulation needed).
+
+:func:`verify_datapath` checks every structural invariant an allocated
+design must satisfy, returning a list of human-readable violations
+(empty = clean).  The cycle-accurate simulators catch these dynamically;
+this verifier localises problems without stimulus and is cheap enough to
+run on every synthesis result.
+
+Checks:
+
+1. every operation is bound to a capable ALU instance;
+2. no two operations overlap in time on one instance (unless mutually
+   exclusive);
+3. every operand signal appears on the mux port that feeds it;
+4. register sharing is conflict-free (no overlapping lifetimes in one
+   register) and every stored value has a register;
+5. style-2 designs have no ALU self-loop (optional, ``expect_style2``);
+6. mux select tables are consistent (derivable without conflicts).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import RTLError
+from repro.allocation.datapath import Datapath
+
+
+def verify_datapath(
+    datapath: Datapath, expect_style2: bool = False
+) -> List[str]:
+    """Return all structural violations of ``datapath`` (empty = clean)."""
+    violations: List[str] = []
+    schedule = datapath.schedule
+    dfg = schedule.dfg
+    timing = schedule.timing
+
+    # 1. binding capability -------------------------------------------------
+    for name in dfg.node_names():
+        key = datapath.binding.get(name)
+        if key is None:
+            violations.append(f"operation {name!r} is unbound")
+            continue
+        instance = datapath.instances.get(key)
+        if instance is None:
+            violations.append(f"operation {name!r} bound to ghost ALU {key}")
+            continue
+        if not instance.cell.can_execute(dfg.node(name).kind):
+            violations.append(
+                f"operation {name!r} ({dfg.node(name).kind}) on incapable "
+                f"ALU {instance.label()}"
+            )
+
+    # 2. temporal exclusivity per instance ----------------------------------
+    for key, instance in datapath.instances.items():
+        occupancy = {}
+        for name in instance.ops:
+            kind = dfg.node(name).kind
+            span = (
+                1
+                if kind in schedule.pipelined_kinds
+                else timing.latency(kind)
+            )
+            for step in range(
+                schedule.start(name), schedule.start(name) + span
+            ):
+                folded = step
+                if schedule.latency_l:
+                    folded = ((step - 1) % schedule.latency_l) + 1
+                other = occupancy.get(folded)
+                if other is not None and not dfg.mutually_exclusive(
+                    name, other
+                ):
+                    violations.append(
+                        f"{name!r} and {other!r} overlap on "
+                        f"{instance.label()} at step {folded}"
+                    )
+                occupancy[folded] = name
+
+    # 3. mux routing ---------------------------------------------------------
+    for name in dfg.node_names():
+        node = dfg.node(name)
+        instance = datapath.instances[datapath.binding[name]]
+        signals = node.operand_names()
+        for position, signal in enumerate(signals):
+            port = (
+                1
+                if len(signals) == 1
+                else instance.mux.port_of(name, textual_left=(position == 0))
+            )
+            inputs = instance.mux.l1 if port == 1 else instance.mux.l2
+            if signal not in inputs:
+                violations.append(
+                    f"signal {signal!r} of {name!r} missing from mux port "
+                    f"{port} of {instance.label()}"
+                )
+
+    # 4. register sharing ----------------------------------------------------
+    for index in range(datapath.registers.count):
+        stored = [
+            datapath.lifetimes[value]
+            for value in datapath.registers.values_in(index)
+        ]
+        for i, first in enumerate(stored):
+            for second in stored[i + 1:]:
+                if first.overlaps(second):
+                    violations.append(
+                        f"r{index}: lifetimes of {first.value!r} and "
+                        f"{second.value!r} overlap"
+                    )
+    for signal, life in datapath.lifetimes.items():
+        if life.needs_register and signal not in datapath.registers.assignment:
+            violations.append(f"stored value {signal!r} has no register")
+
+    # 5. style-2 self-loops ----------------------------------------------------
+    if expect_style2 and datapath.has_self_loop():
+        violations.append("style-2 design contains an ALU self-loop")
+
+    # 6. controller consistency -------------------------------------------------
+    try:
+        from repro.rtl.controller import build_controller
+
+        build_controller(datapath)
+    except (RTLError, KeyError, ValueError, IndexError) as error:
+        violations.append(f"controller: {error}")
+
+    return violations

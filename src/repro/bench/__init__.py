@@ -1,0 +1,49 @@
+"""Benchmark workloads and the paper's table/figure regeneration harnesses.
+
+* :mod:`repro.bench.suites` — the six design examples of §6 (or documented
+  surrogates, see DESIGN.md) plus extra workloads;
+* :mod:`repro.bench.table1` — regenerates Table 1 (MFS FU mixes per time
+  constraint);
+* :mod:`repro.bench.table2` — regenerates Table 2 (MFSA RTL structures,
+  styles 1 and 2);
+* :mod:`repro.bench.figures` — regenerates Figures 1 and 2 as ASCII
+  renderings of real algorithm state;
+* :mod:`repro.bench.baselines` — quality comparison harness against the
+  list / force-directed / exact schedulers (§6's literature comparison).
+"""
+
+from repro.bench.suites import (
+    EXAMPLES,
+    ExampleSpec,
+    Table1Case,
+    ar_lattice,
+    chained_addsub,
+    conditional_example,
+    ewf,
+    facet_like,
+    fir16,
+    hal_diffeq,
+    iir_bandpass,
+)
+from repro.bench.table1 import Table1Row, table1_rows, render_table1
+from repro.bench.table2 import Table2Row, table2_rows, render_table2
+
+__all__ = [
+    "EXAMPLES",
+    "ExampleSpec",
+    "Table1Case",
+    "facet_like",
+    "chained_addsub",
+    "hal_diffeq",
+    "iir_bandpass",
+    "ar_lattice",
+    "ewf",
+    "fir16",
+    "conditional_example",
+    "Table1Row",
+    "table1_rows",
+    "render_table1",
+    "Table2Row",
+    "table2_rows",
+    "render_table2",
+]

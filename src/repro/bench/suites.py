@@ -1,0 +1,470 @@
+"""The paper's six design examples (§6) plus auxiliary workloads.
+
+The paper only says "six design examples from the literature"; DESIGN.md
+documents how each was identified or, where identification is impossible,
+crafted as a *surrogate* with the operation-type signature Table 1 reveals
+(kinds, critical path, special features).  Confidence levels:
+
+========  =====================================  ==========
+Example   Function                               Confidence
+========  =====================================  ==========
+#1        :func:`facet_like`                     medium
+#2        :func:`chained_addsub`                 low (crafted)
+#3        :func:`hal_diffeq` (canonical HAL)     high
+#4        :func:`iir_bandpass`                   low (crafted)
+#5        :func:`ar_lattice`                     medium
+#6        :func:`ewf` (EWF-shaped surrogate)     high (op mix exact)
+========  =====================================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.graph import DFG
+from repro.dfg.ops import OpKind
+
+
+# ----------------------------------------------------------------------
+# Example #1 — FACET-era logic/arithmetic example
+# ----------------------------------------------------------------------
+def facet_like() -> DFG:
+    """Surrogate for example #1: kinds {*, +, −, =, &, |}.
+
+    Reproduces the Table-1 row exactly: at T=4 both additions collide
+    (2 adders); at T=5 one slips a step (1 adder); every other kind needs
+    one unit at either T.
+    """
+    b = DFGBuilder("facet_like")
+    a, bb, c, d, e, f, g, h = b.inputs("a", "b", "c", "d", "e", "f", "g", "h")
+    m1 = b.op(OpKind.MUL, a, bb, name="m1")
+    s1 = b.op(OpKind.SUB, c, d, name="s1")
+    a1 = b.op(OpKind.ADD, m1, e, name="a1")
+    a2 = b.op(OpKind.ADD, s1, f, name="a2")
+    cmp = b.op(OpKind.EQ, a1, g, name="cmp")
+    an = b.op(OpKind.AND, a2, h, name="an")
+    orr = b.op(OpKind.OR, cmp, an, name="orr")
+    b.output("result", orr)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Example #2 — chained add/sub string
+# ----------------------------------------------------------------------
+def chained_addsub() -> DFG:
+    """Surrogate for example #2 (chaining, kinds {+, −}).
+
+    An eight-operation alternating add/sub chain: with a 20 ns clock and
+    10 ns adders two dependent operations chain per step, so the whole
+    string fits T=4 with one adder and one subtractor — the Table-1 row.
+    """
+    b = DFGBuilder("chained_addsub")
+    values = b.inputs(*(f"i{k}" for k in range(1, 10)))
+    acc = b.op(OpKind.ADD, values[0], values[1], name="a1")
+    names = ["s1", "a2", "s2", "a3", "s3", "a4", "s4"]
+    kinds = [
+        OpKind.SUB,
+        OpKind.ADD,
+        OpKind.SUB,
+        OpKind.ADD,
+        OpKind.SUB,
+        OpKind.ADD,
+        OpKind.SUB,
+    ]
+    for index, (kind, name) in enumerate(zip(kinds, names)):
+        acc = b.op(kind, acc, values[index + 2], name=name)
+    b.output("result", acc)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Example #3 — the HAL differential-equation benchmark (canonical)
+# ----------------------------------------------------------------------
+def hal_diffeq() -> DFG:
+    """The HAL benchmark (Paulin & Knight): 6 *, 2 −, 2 +, 1 <.
+
+    Solves ``y'' + 3xy' + 3y = 0`` by one Euler step; the canonical DFG
+    keeps both ``u·dx`` products separate (no common-subexpression
+    elimination), matching the figure used throughout the 1990s HLS
+    literature.
+    """
+    b = DFGBuilder("hal_diffeq")
+    x, dx, u, y, a = b.inputs("x", "dx", "u", "y", "a")
+    three = b.const(3)
+    m1 = b.op(OpKind.MUL, three, x, name="m1")
+    m2 = b.op(OpKind.MUL, u, dx, name="m2")
+    m3 = b.op(OpKind.MUL, three, y, name="m3")
+    m4 = b.op(OpKind.MUL, m1, m2, name="m4")
+    m5 = b.op(OpKind.MUL, m3, dx, name="m5")
+    m6 = b.op(OpKind.MUL, u, dx, name="m6")
+    s1 = b.op(OpKind.SUB, u, m4, name="s1")
+    s2 = b.op(OpKind.SUB, s1, m5, name="s2")
+    a1 = b.op(OpKind.ADD, y, m6, name="a1")
+    a2 = b.op(OpKind.ADD, x, dx, name="a2")
+    c1 = b.op(OpKind.LT, a2, a, name="c1")
+    b.outputs(u1=s2, y1=a1, x1=a2, again=c1)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Example #4 — IIR bandpass biquad cascade (crafted)
+# ----------------------------------------------------------------------
+def iir_bandpass() -> DFG:
+    """Surrogate for example #4: kinds {*, +, −}, critical path 8.
+
+    Two cascaded biquad sections with feed-forward taps: 23 operations
+    (8 *, 9 +, 6 −); the spine M-A-M-A-S-A-S-A gives the 8-step critical
+    path (1-cycle units) that admits the paper's T ∈ {8, 9, 13} sweep.
+    """
+    b = DFGBuilder("iir_bandpass")
+    xin, w1, w2, w3, w4 = b.inputs("x", "w1", "w2", "w3", "w4")
+    b0, b1c, a1c, a2c = b.inputs("b0", "b1", "a1", "a2")
+    # --- section 1 spine (depths annotated for 1-cycle units) -------------
+    m1 = b.op(OpKind.MUL, xin, b0, name="m1")           # depth 1
+    t1 = b.op(OpKind.ADD, m1, w1, name="t1")            # depth 2
+    m2 = b.op(OpKind.MUL, t1, a1c, name="m2")           # depth 3
+    t2 = b.op(OpKind.ADD, m2, w2, name="t2")            # depth 4
+    d1 = b.op(OpKind.SUB, t2, w1, name="d1")            # depth 5
+    t3 = b.op(OpKind.ADD, d1, xin, name="t3")           # depth 6
+    d2 = b.op(OpKind.SUB, t3, w2, name="d2")            # depth 7
+    y1 = b.op(OpKind.ADD, d2, w3, name="y1")            # depth 8
+    # --- section-1 side taps ----------------------------------------------
+    m3 = b.op(OpKind.MUL, w1, b1c, name="m3")           # depth 1
+    m4 = b.op(OpKind.MUL, w2, a2c, name="m4")           # depth 1
+    f1 = b.op(OpKind.ADD, m3, m4, name="f1")            # depth 2
+    g1 = b.op(OpKind.SUB, f1, w3, name="g1")            # depth 3
+    # --- section 2 (parallel, shallower) ------------------------------------
+    m5 = b.op(OpKind.MUL, w3, b0, name="m5")            # depth 1
+    m6 = b.op(OpKind.MUL, w4, b1c, name="m6")           # depth 1
+    t4 = b.op(OpKind.ADD, m5, m6, name="t4")            # depth 2
+    m7 = b.op(OpKind.MUL, t4, a1c, name="m7")           # depth 3
+    t5 = b.op(OpKind.ADD, m7, w4, name="t5")            # depth 4
+    d3 = b.op(OpKind.SUB, t5, w3, name="d3")            # depth 5
+    # --- merge / state updates ----------------------------------------------
+    m8 = b.op(OpKind.MUL, g1, a2c, name="m8")           # depth 4
+    t6 = b.op(OpKind.ADD, m8, d3, name="t6")            # depth 6
+    d4 = b.op(OpKind.SUB, t6, w4, name="d4")            # depth 7
+    t7 = b.op(OpKind.ADD, d4, t4, name="t7")            # depth 8
+    d5 = b.op(OpKind.SUB, t4, g1, name="d5")            # depth 4
+    b.outputs(y=y1, w1_next=t3, w2_next=d2, acc=t7, err=d5)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Example #5 — AR lattice filter
+# ----------------------------------------------------------------------
+def ar_lattice() -> DFG:
+    """AR-lattice-shaped workload: 16 *, 12 + (the classic 28-op mix).
+
+    Four lattice sections of 4 multiplications + 2 recombination
+    additions.  Sections 1→2→3 are serial; section 4 hangs off section 2
+    in parallel with section 3, so the 2-cycle-multiplier critical path is
+    3 · (2 + 1) = 9 steps — admitting the paper's T ∈ {9, 10, 13} sweep.
+    Four shallow tap additions complete the 12-addition mix.
+    """
+    b = DFGBuilder("ar_lattice")
+    a0, b0 = b.inputs("a0", "b0")
+    coefficients = b.inputs(*(f"k{k}" for k in range(1, 17)))
+    taps = b.inputs("c1", "c2", "c3", "c4")
+
+    def section(index: int, a_in, b_in):
+        base = 4 * (index - 1)
+        m1 = b.op(OpKind.MUL, a_in, coefficients[base], name=f"s{index}_m1")
+        m2 = b.op(OpKind.MUL, b_in, coefficients[base + 1], name=f"s{index}_m2")
+        m3 = b.op(OpKind.MUL, a_in, coefficients[base + 2], name=f"s{index}_m3")
+        m4 = b.op(OpKind.MUL, b_in, coefficients[base + 3], name=f"s{index}_m4")
+        a_out = b.op(OpKind.ADD, m1, m2, name=f"s{index}_a1")
+        b_out = b.op(OpKind.ADD, m3, m4, name=f"s{index}_a2")
+        return a_out, b_out
+
+    a1_, b1_ = section(1, a0, b0)        # outputs at depth 3 (2-cycle mult)
+    a2_, b2_ = section(2, a1_, b1_)      # depth 6
+    a3_, b3_ = section(3, a2_, b2_)      # depth 9
+    a4_, b4_ = section(4, a1_, b1_)      # depth 6; slack 3 at T=9
+
+    t1 = b.op(OpKind.ADD, a1_, taps[0], name="tap1")   # depth 4
+    t2 = b.op(OpKind.ADD, a2_, taps[1], name="tap2")   # depth 7
+    t3 = b.op(OpKind.ADD, b2_, taps[2], name="tap3")   # depth 7
+    t4 = b.op(OpKind.ADD, t1, taps[3], name="tap4")    # depth 5
+    b.outputs(y1=a3_, y2=b3_, y3=a4_, y4=b4_, e1=t2, e2=t3, e3=t4)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Example #6 — fifth-order elliptic wave filter (EWF-shaped)
+# ----------------------------------------------------------------------
+def ewf() -> DFG:
+    """EWF-shaped workload: 34 operations (26 +, 8 *), critical path 14
+    with 1-cycle and 17 with 2-cycle multipliers — the canonical EWF
+    numbers (the published edge list is reconstructed structurally; see
+    DESIGN.md substitutions).
+
+    The graph is a cross-coupled adaptor cascade: an 11-addition /
+    3-multiplication spine plus five coefficient cross-products whose
+    windows pin them against the spine multipliers, forcing the canonical
+    3-multiplier / 3-adder demand at T=17 (2-cycle multipliers) that
+    relaxes to 2/2 at T=19 and 1/2 at T=21.
+    """
+    b = DFGBuilder("ewf")
+    xin = b.input("x")
+    sv = dict(enumerate(b.inputs(*(f"sv{k}" for k in range(1, 8))), start=1))
+    g = dict(enumerate(b.inputs(*(f"g{k}" for k in range(1, 9))), start=1))
+
+    p1 = b.op(OpKind.ADD, xin, sv[1], name="p1")
+    p2 = b.op(OpKind.ADD, p1, sv[2], name="p2")
+    p3 = b.op(OpKind.MUL, p2, g[1], name="p3")
+    q1 = b.op(OpKind.MUL, p1, g[4], name="q1")
+    x1 = b.op(OpKind.ADD, q1, sv[3], name="x1")
+    p4 = b.op(OpKind.ADD, p3, x1, name="p4")
+    q2 = b.op(OpKind.MUL, p2, g[5], name="q2")
+    x2 = b.op(OpKind.ADD, q2, sv[4], name="x2")
+    p5 = b.op(OpKind.ADD, p4, x2, name="p5")
+    w1 = b.op(OpKind.ADD, x1, sv[5], name="w1")
+    q3 = b.op(OpKind.MUL, w1, g[6], name="q3")
+    x3 = b.op(OpKind.ADD, q3, sv[6], name="x3")
+    p6 = b.op(OpKind.MUL, p5, g[2], name="p6")
+    p7 = b.op(OpKind.ADD, p6, x3, name="p7")
+    w2 = b.op(OpKind.ADD, x2, sv[7], name="w2")
+    q4 = b.op(OpKind.MUL, x3, g[7], name="q4")
+    x4 = b.op(OpKind.ADD, q4, sv[1], name="x4")
+    p8 = b.op(OpKind.ADD, p7, w2, name="p8")
+    p9 = b.op(OpKind.MUL, p8, g[3], name="p9")
+    q5 = b.op(OpKind.MUL, p8, g[8], name="q5")
+    x5 = b.op(OpKind.ADD, q5, sv[2], name="x5")
+    p10 = b.op(OpKind.ADD, p9, sv[3], name="p10")
+    p11 = b.op(OpKind.ADD, p10, sv[4], name="p11")
+    p12 = b.op(OpKind.ADD, p11, x4, name="p12")
+    p13 = b.op(OpKind.ADD, p12, x5, name="p13")
+    p14 = b.op(OpKind.ADD, p13, sv[6], name="p14")
+
+    # Loose state-update adder chains (complete the 26-addition mix).
+    r1 = b.op(OpKind.ADD, xin, sv[7], name="r1")
+    r2 = b.op(OpKind.ADD, r1, sv[1], name="r2")
+    r3 = b.op(OpKind.ADD, r2, q1, name="r3")
+    r4 = b.op(OpKind.ADD, r3, sv[2], name="r4")
+    r5 = b.op(OpKind.ADD, q2, sv[5], name="r5")
+    r6 = b.op(OpKind.ADD, r5, x1, name="r6")
+    r7 = b.op(OpKind.ADD, x3, sv[6], name="r7")
+    r8 = b.op(OpKind.ADD, r7, x5, name="r8")
+
+    b.outputs(
+        y=p14,
+        sv1_next=p11,
+        sv2_next=r4,
+        sv3_next=r6,
+        sv4_next=r8,
+        sv5_next=x4,
+        sv6_next=w2,
+        sv7_next=p13,
+    )
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Auxiliary workloads (not part of the paper's six)
+# ----------------------------------------------------------------------
+def fir16() -> DFG:
+    """16-tap FIR filter: 16 multiplications + 15-addition tree."""
+    b = DFGBuilder("fir16")
+    samples = b.inputs(*(f"x{k}" for k in range(16)))
+    coefficients = b.inputs(*(f"h{k}" for k in range(16)))
+    products = [
+        b.op(OpKind.MUL, samples[k], coefficients[k], name=f"p{k}")
+        for k in range(16)
+    ]
+    level = products
+    depth = 0
+    while len(level) > 1:
+        depth += 1
+        next_level = []
+        for index in range(0, len(level) - 1, 2):
+            next_level.append(
+                b.op(
+                    OpKind.ADD,
+                    level[index],
+                    level[index + 1],
+                    name=f"t{depth}_{index // 2}",
+                )
+            )
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    b.output("y", level[0])
+    return b.build()
+
+
+def conditional_example() -> DFG:
+    """If-then-else workload exercising mutual exclusion (§5.1).
+
+    Both arms hold a multiplication and an addition; they are mutually
+    exclusive, so MFS may pack them onto the same units in the same steps.
+    """
+    b = DFGBuilder("conditional")
+    a, c, d, e, f = b.inputs("a", "c", "d", "e", "f")
+    cond = b.op(OpKind.GT, a, c, name="cond")
+    b.then_branch("c0")
+    tm = b.op(OpKind.MUL, d, e, name="then_mul")
+    ta = b.op(OpKind.ADD, tm, f, name="then_add")
+    b.else_branch("c0")
+    em = b.op(OpKind.MUL, d, f, name="else_mul")
+    ea = b.op(OpKind.ADD, em, e, name="else_add")
+    b.end_branch("c0")
+    merged = b.op(OpKind.ADD, ta, ea, name="merge")
+    b.outputs(sel=cond, out=merged)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Registry of the paper's six examples with their Table-1 cases
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table1Case:
+    """One (example, T) cell of Table 1.
+
+    ``paper_fu`` is the FU mix the paper reports where the scanned text is
+    parseable, else ``None``; keys are kind names, values unit counts.
+    """
+
+    cs: int
+    mul_latency: int = 1
+    clock_ns: Optional[float] = None
+    latency_l: Optional[int] = None
+    pipelined_kinds: Tuple[str, ...] = ()
+    paper_fu: Optional[Mapping[str, int]] = None
+
+
+@dataclass(frozen=True)
+class ExampleSpec:
+    """One of the paper's six examples with its experiment parameters."""
+
+    key: str
+    number: int
+    factory: Callable[[], DFG]
+    description: str
+    confidence: str
+    feature: str
+    table1_cases: Tuple[Table1Case, ...]
+    mfsa_cs: int
+    mfsa_mul_latency: int = 1
+    mfsa_clock_ns: Optional[float] = None
+
+    def build(self) -> DFG:
+        """Construct a fresh DFG instance."""
+        return self.factory()
+
+
+EXAMPLES: Dict[str, ExampleSpec] = {
+    spec.key: spec
+    for spec in (
+        ExampleSpec(
+            key="ex1",
+            number=1,
+            factory=facet_like,
+            description="FACET-era logic/arith example {*,+,-,=,&,|}",
+            confidence="medium",
+            feature="",
+            table1_cases=(
+                Table1Case(
+                    cs=4,
+                    paper_fu={
+                        "mul": 1, "add": 2, "sub": 1, "eq": 1, "and": 1, "or": 1
+                    },
+                ),
+                Table1Case(
+                    cs=5,
+                    paper_fu={
+                        "mul": 1, "add": 1, "sub": 1, "eq": 1, "and": 1, "or": 1
+                    },
+                ),
+            ),
+            mfsa_cs=4,
+        ),
+        ExampleSpec(
+            key="ex2",
+            number=2,
+            factory=chained_addsub,
+            description="chained add/sub string (crafted surrogate)",
+            confidence="low",
+            feature="C",
+            table1_cases=(
+                Table1Case(
+                    cs=4, clock_ns=20.0, paper_fu={"add": 1, "sub": 1}
+                ),
+            ),
+            mfsa_cs=4,
+            mfsa_clock_ns=20.0,
+        ),
+        ExampleSpec(
+            key="ex3",
+            number=3,
+            factory=hal_diffeq,
+            description="HAL differential equation (canonical)",
+            confidence="high",
+            feature="F/S",
+            table1_cases=(
+                Table1Case(cs=4, paper_fu=None),
+                Table1Case(cs=6, paper_fu=None),
+                Table1Case(cs=8, paper_fu=None),
+                # Functional pipelining with latency 3 at T=6.
+                Table1Case(cs=6, latency_l=3, paper_fu=None),
+                # Structural pipelining: 2-cycle pipelined multiplier.
+                Table1Case(
+                    cs=6, mul_latency=2, pipelined_kinds=("mul",), paper_fu=None
+                ),
+            ),
+            mfsa_cs=6,
+        ),
+        ExampleSpec(
+            key="ex4",
+            number=4,
+            factory=iir_bandpass,
+            description="IIR bandpass biquad cascade (crafted surrogate)",
+            confidence="low",
+            feature="",
+            table1_cases=(
+                Table1Case(cs=8, paper_fu=None),
+                Table1Case(cs=9, paper_fu=None),
+                Table1Case(cs=13, paper_fu={"mul": 1, "add": 1, "sub": 1}),
+            ),
+            mfsa_cs=9,
+        ),
+        ExampleSpec(
+            key="ex5",
+            number=5,
+            factory=ar_lattice,
+            description="AR lattice filter (16*, 12+)",
+            confidence="medium",
+            feature="2-cycle mult",
+            table1_cases=(
+                Table1Case(cs=9, mul_latency=2, paper_fu=None),
+                Table1Case(cs=10, mul_latency=2, paper_fu=None),
+                Table1Case(cs=13, mul_latency=2, paper_fu=None),
+            ),
+            mfsa_cs=10,
+            mfsa_mul_latency=2,
+        ),
+        ExampleSpec(
+            key="ex6",
+            number=6,
+            factory=ewf,
+            description="fifth-order elliptic wave filter (EWF-shaped)",
+            confidence="high",
+            feature="S, 2-cycle mult",
+            table1_cases=(
+                Table1Case(cs=17, mul_latency=2, paper_fu={"mul": 3, "add": 3}),
+                Table1Case(cs=19, mul_latency=2, paper_fu={"mul": 2, "add": 2}),
+                Table1Case(cs=21, mul_latency=2, paper_fu={"mul": 1, "add": 2}),
+                # Structurally pipelined multiplier variant (feature "S"):
+                # a pipelined unit accepts a new product every step, so the
+                # multiplier count drops further.
+                Table1Case(
+                    cs=17, mul_latency=2, pipelined_kinds=("mul",), paper_fu=None
+                ),
+            ),
+            mfsa_cs=17,
+            mfsa_mul_latency=2,
+        ),
+    )
+}

@@ -1,0 +1,112 @@
+"""Regeneration harness for the paper's Table 1 (MFS results).
+
+For every example and every time constraint ``T`` the paper swept, run MFS
+and report the functional-unit mix in the paper's notation (``**,+,-`` =
+two multipliers, one adder, one subtractor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.dfg.analysis import TimingModel
+from repro.dfg.ops import OP_SYMBOLS, standard_operation_set
+from repro.core.mfs import MFSResult, MFSScheduler
+from repro.bench.suites import EXAMPLES, ExampleSpec, Table1Case
+
+
+@dataclass
+class Table1Row:
+    """One (example, T) cell of the regenerated Table 1."""
+
+    example: str
+    number: int
+    feature: str
+    cs: int
+    mul_latency: int
+    fu_counts: Dict[str, int]
+    makespan: int
+    paper_fu: Optional[Mapping[str, int]]
+
+    def fu_notation(self) -> str:
+        """Paper-style FU mix, e.g. ``**,+,-``."""
+        return format_fu_mix(self.fu_counts)
+
+    def matches_paper(self) -> Optional[bool]:
+        """Whether the measured mix equals the paper's (None if unknown)."""
+        if self.paper_fu is None:
+            return None
+        return dict(self.paper_fu) == dict(self.fu_counts)
+
+
+def format_fu_mix(fu_counts: Mapping[str, int]) -> str:
+    """Render FU counts the way Table 1 prints them."""
+    order = ["mul", "add", "sub", "div", "lt", "gt", "eq", "and", "or"]
+    parts: List[str] = []
+    for kind in order:
+        count = fu_counts.get(kind, 0)
+        if count:
+            parts.append(OP_SYMBOLS.get(kind, kind) * count)
+    for kind, count in fu_counts.items():
+        if kind not in order and count:
+            parts.append(OP_SYMBOLS.get(kind, kind) * count)
+    return ",".join(parts)
+
+
+def run_case(spec: ExampleSpec, case: Table1Case) -> MFSResult:
+    """Run MFS for one Table-1 cell."""
+    dfg = spec.build()
+    ops = standard_operation_set(mul_latency=case.mul_latency)
+    timing = TimingModel(ops=ops, clock_period_ns=case.clock_ns)
+    scheduler = MFSScheduler(
+        dfg,
+        timing,
+        cs=case.cs,
+        mode="time",
+        latency_l=case.latency_l,
+        pipelined_kinds=case.pipelined_kinds,
+    )
+    return scheduler.run()
+
+
+def table1_rows(keys: Optional[Iterable[str]] = None) -> List[Table1Row]:
+    """Regenerate every Table-1 cell (optionally a subset of examples)."""
+    rows: List[Table1Row] = []
+    for key, spec in EXAMPLES.items():
+        if keys is not None and key not in set(keys):
+            continue
+        for case in spec.table1_cases:
+            result = run_case(spec, case)
+            rows.append(
+                Table1Row(
+                    example=key,
+                    number=spec.number,
+                    feature=spec.feature,
+                    cs=case.cs,
+                    mul_latency=case.mul_latency,
+                    fu_counts=result.fu_counts,
+                    makespan=result.schedule.makespan(),
+                    paper_fu=case.paper_fu,
+                )
+            )
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Text rendering in the shape of the paper's Table 1."""
+    lines = [
+        "Table 1 — MFS results (measured vs paper where parseable)",
+        f"{'Ex':<4}{'feature':<14}{'T':>4}  {'FU mix (measured)':<28}"
+        f"{'FU mix (paper)':<24}{'match':<6}",
+        "-" * 80,
+    ]
+    for row in rows:
+        paper = format_fu_mix(row.paper_fu) if row.paper_fu else "n/a"
+        match = row.matches_paper()
+        verdict = "-" if match is None else ("yes" if match else "NO")
+        lines.append(
+            f"#{row.number:<3}{row.feature:<14}{row.cs:>4}  "
+            f"{row.fu_notation():<28}{paper:<24}{verdict:<6}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Extra DSP workloads beyond the paper's six examples.
+
+Used by the scalability benchmarks, the examples and the wider test
+coverage; each is a standard kernel a 1992 HLS tool would be pointed at.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.graph import DFG
+from repro.dfg.ops import OpKind
+
+
+def dct8() -> DFG:
+    """8-point DCT-II butterfly network (Loeffler-style structure).
+
+    Stage 1: 4 add/4 sub butterflies; stage 2: butterflies on the even
+    half and coefficient rotations on the odd half; stage 3: output
+    combinations.  26 adds/subs and 10 multiplies.
+    """
+    b = DFGBuilder("dct8")
+    x = list(b.inputs(*(f"x{k}" for k in range(8))))
+    c = list(b.inputs(*(f"c{k}" for k in range(10))))
+
+    # stage 1 butterflies
+    s = [b.op(OpKind.ADD, x[k], x[7 - k], name=f"s1a{k}") for k in range(4)]
+    d = [b.op(OpKind.SUB, x[k], x[7 - k], name=f"s1s{k}") for k in range(4)]
+
+    # stage 2: even half
+    e0 = b.op(OpKind.ADD, s[0], s[3], name="e0")
+    e1 = b.op(OpKind.ADD, s[1], s[2], name="e1")
+    e2 = b.op(OpKind.SUB, s[0], s[3], name="e2")
+    e3 = b.op(OpKind.SUB, s[1], s[2], name="e3")
+    # stage 2: odd half rotations
+    r = []
+    for k in range(4):
+        m = b.op(OpKind.MUL, d[k], c[k], name=f"rot{k}")
+        r.append(m)
+    t0 = b.op(OpKind.ADD, r[0], r[1], name="t0")
+    t1 = b.op(OpKind.SUB, r[2], r[3], name="t1")
+    t2 = b.op(OpKind.ADD, r[1], r[2], name="t2")
+    t3 = b.op(OpKind.SUB, r[0], r[3], name="t3")
+
+    # stage 3: outputs
+    y0 = b.op(OpKind.ADD, e0, e1, name="y0")
+    y4 = b.op(OpKind.SUB, e0, e1, name="y4")
+    m2 = b.op(OpKind.MUL, e2, c[4], name="m2")
+    m3 = b.op(OpKind.MUL, e3, c[5], name="m3")
+    y2 = b.op(OpKind.ADD, m2, m3, name="y2")
+    y6 = b.op(OpKind.SUB, m2, m3, name="y6")
+    m4 = b.op(OpKind.MUL, t0, c[6], name="m4")
+    m5 = b.op(OpKind.MUL, t1, c[7], name="m5")
+    m6 = b.op(OpKind.MUL, t2, c[8], name="m6")
+    m7 = b.op(OpKind.MUL, t3, c[9], name="m7")
+    y1 = b.op(OpKind.ADD, m4, m5, name="y1")
+    y3 = b.op(OpKind.SUB, m6, m7, name="y3")
+    y5 = b.op(OpKind.ADD, m6, m7, name="y5")
+    y7 = b.op(OpKind.SUB, m4, m5, name="y7")
+
+    b.outputs(
+        y0=y0, y1=y1, y2=y2, y3=y3, y4=y4, y5=y5, y6=y6, y7=y7
+    )
+    return b.build()
+
+
+def fft8() -> DFG:
+    """8-point radix-2 FFT dataflow (real/imag interleaved, 3 stages).
+
+    Twiddle multiplications are modelled as two multiplies + add/sub per
+    complex product (real arithmetic only, like every 1992 HLS paper).
+    """
+    b = DFGBuilder("fft8")
+    re = list(b.inputs(*(f"re{k}" for k in range(8))))
+    im = list(b.inputs(*(f"im{k}" for k in range(8))))
+    wr = list(b.inputs(*(f"wr{k}" for k in range(3))))
+    wi = list(b.inputs(*(f"wi{k}" for k in range(3))))
+
+    def butterfly(ar, ai, br, bi, stage, index, twiddle):
+        prefix = f"s{stage}b{index}"
+        if twiddle is None:
+            tr, ti = br, bi
+        else:
+            twr, twi = twiddle
+            m1 = b.op(OpKind.MUL, br, twr, name=f"{prefix}_m1")
+            m2 = b.op(OpKind.MUL, bi, twi, name=f"{prefix}_m2")
+            m3 = b.op(OpKind.MUL, br, twi, name=f"{prefix}_m3")
+            m4 = b.op(OpKind.MUL, bi, twr, name=f"{prefix}_m4")
+            tr = b.op(OpKind.SUB, m1, m2, name=f"{prefix}_tr")
+            ti = b.op(OpKind.ADD, m3, m4, name=f"{prefix}_ti")
+        or1 = b.op(OpKind.ADD, ar, tr, name=f"{prefix}_or0")
+        oi1 = b.op(OpKind.ADD, ai, ti, name=f"{prefix}_oi0")
+        or2 = b.op(OpKind.SUB, ar, tr, name=f"{prefix}_or1")
+        oi2 = b.op(OpKind.SUB, ai, ti, name=f"{prefix}_oi1")
+        return (or1, oi1), (or2, oi2)
+
+    # stage 1: stride-4 butterflies, no twiddles
+    pairs = []
+    for k in range(4):
+        top, bottom = butterfly(
+            re[k], im[k], re[k + 4], im[k + 4], 1, k, None
+        )
+        pairs.append((top, bottom))
+    level1 = [p[0] for p in pairs] + [p[1] for p in pairs]
+
+    # stage 2: stride-2, twiddle on the second half
+    level2: List = [None] * 8
+    for half in range(2):
+        base = half * 4
+        for k in range(2):
+            twiddle = None if k == 0 else (wr[0], wi[0])
+            a = level1[base + k]
+            c = level1[base + k + 2]
+            top, bottom = butterfly(
+                a[0], a[1], c[0], c[1], 2, base + k, twiddle
+            )
+            level2[base + k] = top
+            level2[base + k + 2] = bottom
+
+    # stage 3: stride-1, distinct twiddles
+    level3: List = [None] * 8
+    for quarter in range(4):
+        base = quarter * 2
+        twiddle = None if quarter % 2 == 0 else (wr[1 + quarter // 2], wi[1 + quarter // 2])
+        a = level2[base]
+        c = level2[base + 1]
+        top, bottom = butterfly(a[0], a[1], c[0], c[1], 3, base, twiddle)
+        level3[base] = top
+        level3[base + 1] = bottom
+
+    for k, (out_re, out_im) in enumerate(level3):
+        b.output(f"Xre{k}", out_re)
+        b.output(f"Xim{k}", out_im)
+    return b.build()
+
+
+def biquad() -> DFG:
+    """Direct-form-II biquad section: 4 multiplies, 4 adds/subs."""
+    b = DFGBuilder("biquad")
+    xin, w1, w2 = b.inputs("x", "w1", "w2")
+    a1c, a2c, b1c, b2c = b.inputs("a1", "a2", "b1", "b2")
+    m1 = b.op(OpKind.MUL, w1, a1c, name="m1")
+    m2 = b.op(OpKind.MUL, w2, a2c, name="m2")
+    w0 = b.op(OpKind.SUB, b.op(OpKind.SUB, xin, m1, name="d1"), m2, name="w0")
+    m3 = b.op(OpKind.MUL, w1, b1c, name="m3")
+    m4 = b.op(OpKind.MUL, w2, b2c, name="m4")
+    y = b.op(OpKind.ADD, b.op(OpKind.ADD, w0, m3, name="s1"), m4, name="y")
+    b.outputs(y=y, w0=w0)
+    return b.build()

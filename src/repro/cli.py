@@ -1,0 +1,306 @@
+"""Command-line interface.
+
+Invoke as ``python -m repro`` (or the ``repro-hls`` console script):
+
+* ``repro-hls table1`` / ``table2`` — regenerate the paper's tables;
+* ``repro-hls figure1`` / ``figure2`` — regenerate the figures;
+* ``repro-hls baselines`` — the §6 scheduler-quality comparison;
+* ``repro-hls schedule design.beh --cs 6`` — run MFS on a behavioral file;
+* ``repro-hls synth design.beh --cs 6 --verilog out.v`` — run MFSA and
+  emit the RTL structure.
+
+Behavioral files use the :mod:`repro.dfg.parser` language.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.ops import standard_operation_set
+from repro.dfg.parser import parse_behavior
+from repro.core.mfs import MFSScheduler
+from repro.core.mfsa import MFSAScheduler
+from repro.library.ncr import datapath_library
+from repro.io.text import render_datapath, render_schedule
+
+
+def _load_dfg(path: str):
+    with open(path) as handle:
+        return parse_behavior(handle.read(), name=path)
+
+
+def _timing(args) -> TimingModel:
+    ops = standard_operation_set(mul_latency=args.mul_latency)
+    return TimingModel(ops=ops, clock_period_ns=args.clock_ns)
+
+
+def _add_timing_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mul-latency",
+        type=int,
+        default=1,
+        help="multiplier latency in control steps (default 1)",
+    )
+    parser.add_argument(
+        "--clock-ns",
+        type=float,
+        default=None,
+        help="clock period in ns; enables operation chaining",
+    )
+
+
+def _command_table1(args) -> int:
+    from repro.bench.table1 import render_table1, table1_rows
+
+    keys = [args.example] if args.example else None
+    print(render_table1(table1_rows(keys=keys)))
+    return 0
+
+
+def _command_table2(args) -> int:
+    from repro.bench.table2 import render_table2, table2_rows
+
+    keys = [args.example] if args.example else None
+    print(render_table2(table2_rows(keys=keys)))
+    return 0
+
+
+def _command_figure(args, which: int) -> int:
+    from repro.bench.figures import figure1, figure2
+
+    renderer = figure1 if which == 1 else figure2
+    print(renderer(args.example or "ex3"))
+    return 0
+
+
+def _command_baselines(_args) -> int:
+    from repro.bench.baselines import compare_methods, render_baselines
+
+    print(render_baselines(compare_methods()))
+    return 0
+
+
+def _command_schedule(args) -> int:
+    dfg = _load_dfg(args.file)
+    timing = _timing(args)
+    cs = args.cs or critical_path_length(dfg, timing)
+    scheduler = MFSScheduler(
+        dfg,
+        timing,
+        cs=cs,
+        mode="time",
+        latency_l=args.latency_l,
+        pipelined_kinds=tuple(args.pipelined.split(",")) if args.pipelined else (),
+    )
+    result = scheduler.run()
+    if args.json:
+        from repro.io.jsonio import schedule_to_json
+
+        print(schedule_to_json(result.schedule))
+    elif args.dot:
+        from repro.io.dot import schedule_to_dot
+
+        print(schedule_to_dot(result.schedule))
+    else:
+        print(render_schedule(result.schedule))
+    if args.svg:
+        from repro.io.svg import schedule_to_svg
+
+        binding = {
+            name: (pos.table, pos.x)
+            for name, pos in result.placements.items()
+        }
+        with open(args.svg, "w") as handle:
+            handle.write(schedule_to_svg(result.schedule, binding=binding))
+        print(f"wrote {args.svg}", file=sys.stderr)
+    return 0
+
+
+def _command_explore(args) -> int:
+    from repro.explore import design_space, knee_point, pareto_front, render_design_space
+    from repro.library.ncr import datapath_library
+
+    dfg = _load_dfg(args.file)
+    timing = _timing(args)
+    budgets = (
+        [int(v) for v in args.budgets.split(",")] if args.budgets else None
+    )
+    points = design_space(
+        dfg, timing, datapath_library(), budgets=budgets, style=args.style
+    )
+    print(render_design_space(points))
+    knee = knee_point(pareto_front(points))
+    if knee is not None:
+        print(f"knee: T={knee.cs}, area {knee.total_area:.0f} um^2")
+    return 0
+
+
+def _command_synth(args) -> int:
+    dfg = _load_dfg(args.file)
+    timing = _timing(args)
+    cs = args.cs or critical_path_length(dfg, timing)
+    scheduler = MFSAScheduler(
+        dfg,
+        timing,
+        datapath_library(),
+        cs=cs,
+        style=args.style,
+    )
+    result = scheduler.run()
+    if args.json:
+        from repro.io.jsonio import synthesis_to_json
+
+        print(synthesis_to_json(result))
+    else:
+        print(render_datapath(result.datapath))
+    if args.verilog:
+        if args.structural:
+            from repro.rtl.structural import emit_structural_verilog as emitter
+        else:
+            from repro.rtl.verilog import emit_verilog as emitter
+
+        with open(args.verilog, "w") as handle:
+            handle.write(emitter(result.datapath, module_name=args.module))
+        print(f"wrote {args.verilog}", file=sys.stderr)
+    if args.testbench:
+        from repro.rtl.testbench import emit_testbench
+
+        vectors = [_parse_inputs(args.inputs, dfg.inputs)]
+        with open(args.testbench, "w") as handle:
+            handle.write(
+                emit_testbench(
+                    result.datapath, vectors, module_name=args.module
+                )
+            )
+        print(f"wrote {args.testbench}", file=sys.stderr)
+    if args.vcd:
+        from repro.sim.executor import execute_datapath
+        from repro.sim.vcd import write_vcd
+
+        inputs = _parse_inputs(args.inputs, dfg.inputs)
+        trace = execute_datapath(result.datapath, inputs)
+        write_vcd(args.vcd, result.datapath, trace)
+        print(f"wrote {args.vcd}", file=sys.stderr)
+    return 0
+
+
+def _parse_inputs(spec: Optional[str], names) -> Dict[str, int]:
+    values = {name: 0 for name in names}
+    if spec:
+        for pair in spec.split(","):
+            name, _eq, value = pair.partition("=")
+            values[name.strip()] = int(value)
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hls",
+        description="Move Frame Scheduling / MFSA high-level synthesis "
+        "(reproduction of Nourani & Papachristou, DAC 1992)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, helptext in (
+        ("table1", "regenerate the paper's Table 1 (MFS)"),
+        ("table2", "regenerate the paper's Table 2 (MFSA)"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--example", choices=[f"ex{i}" for i in range(1, 7)])
+
+    for which in (1, 2):
+        p = sub.add_parser(f"figure{which}", help=f"regenerate Figure {which}")
+        p.add_argument("--example", choices=[f"ex{i}" for i in range(1, 7)])
+
+    sub.add_parser("baselines", help="scheduler quality comparison (§6)")
+
+    p = sub.add_parser(
+        "report", help="regenerate every paper artifact into one document"
+    )
+    p.add_argument("--out", help="write Markdown here (default: stdout)")
+    p.add_argument(
+        "--no-runtimes",
+        action="store_true",
+        help="skip the (slow) runtime measurements",
+    )
+
+    p = sub.add_parser("schedule", help="run MFS on a behavioral file")
+    p.add_argument("file")
+    p.add_argument("--cs", type=int, help="time constraint (default: critical path)")
+    p.add_argument("--latency-l", type=int, default=None,
+                   help="functional-pipelining initiation interval")
+    p.add_argument("--pipelined", default="",
+                   help="comma-separated structurally pipelined kinds")
+    p.add_argument("--json", action="store_true", help="JSON output")
+    p.add_argument("--dot", action="store_true", help="Graphviz output")
+    p.add_argument("--svg", help="write a Gantt chart SVG to this path")
+    _add_timing_arguments(p)
+
+    p = sub.add_parser(
+        "explore", help="latency/area design-space sweep on a behavioral file"
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--budgets", help="comma-separated time budgets (default: auto ladder)"
+    )
+    p.add_argument("--style", type=int, choices=[1, 2], default=1)
+    _add_timing_arguments(p)
+
+    p = sub.add_parser("synth", help="run MFSA on a behavioral file")
+    p.add_argument("file")
+    p.add_argument("--cs", type=int)
+    p.add_argument("--style", type=int, choices=[1, 2], default=1)
+    p.add_argument("--verilog", help="write Verilog to this path")
+    p.add_argument(
+        "--structural",
+        action="store_true",
+        help="emit the fully structural design (shared ALUs, real muxes)",
+    )
+    p.add_argument(
+        "--testbench",
+        help="write a self-checking testbench (uses --inputs as the vector)",
+    )
+    p.add_argument("--module", default="datapath", help="Verilog module name")
+    p.add_argument("--vcd", help="simulate and write a VCD waveform")
+    p.add_argument("--inputs", help="simulation inputs, e.g. a=3,b=5")
+    p.add_argument("--json", action="store_true")
+    _add_timing_arguments(p)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _command_table1(args)
+    if args.command == "table2":
+        return _command_table2(args)
+    if args.command == "figure1":
+        return _command_figure(args, 1)
+    if args.command == "figure2":
+        return _command_figure(args, 2)
+    if args.command == "baselines":
+        return _command_baselines(args)
+    if args.command == "report":
+        from repro.bench.report import generate_report, write_report
+
+        if args.out:
+            write_report(args.out, include_runtimes=not args.no_runtimes)
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(generate_report(include_runtimes=not args.no_runtimes))
+        return 0
+    if args.command == "schedule":
+        return _command_schedule(args)
+    if args.command == "explore":
+        return _command_explore(args)
+    if args.command == "synth":
+        return _command_synth(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

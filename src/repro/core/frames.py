@@ -1,0 +1,206 @@
+"""Primary / Redundant / Forbidden / Move frames (§3.2 Step 4, Fig. 2).
+
+For an operation ``O_i`` executable in table ``j``:
+
+* **Primary frame** ``PF`` — the rectangle ``[ASAP_i, ALAP_i] × [1, max_j]``
+  (its place in the ASNAP and ALFAP tables);
+* **Redundant frame** ``RF`` — columns ``current_j + 1 … max_j``: instances
+  that have not been opened yet (``current_j`` starts at ``⌈N_j / cs⌉``);
+* **Forbidden frame** ``FF`` — steps that violate data dependences with
+  *already placed* operations.  The paper uses predecessors only (safe
+  because its priority order is topological); we also honour placed
+  successors, a strict generalisation.  With chaining enabled (§5.4) the
+  predecessor's finishing step itself is allowed when the accumulated
+  combinational delay fits the clock period;
+* **Move frame** ``MF = PF − (RF ∪ FF)`` minus occupied cells — the
+  positions the operation may move to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.dfg.analysis import TimingModel
+from repro.dfg.graph import DFG
+from repro.core.grid import GridPosition, PlacementGrid
+
+
+@dataclass
+class FrameSet:
+    """The four frames of one operation at one scheduling iteration.
+
+    ``rows`` are control steps, ``cols`` FU-instance indices; all ranges
+    are inclusive.  ``mf`` is the explicit list of placeable positions.
+    """
+
+    node: str
+    table: str
+    pf_rows: Tuple[int, int]
+    pf_cols: Tuple[int, int]
+    rf_cols: Optional[Tuple[int, int]]
+    ff_rows_before: int
+    ff_rows_after: int
+    chain_rows: Tuple[int, ...]
+    mf: List[GridPosition] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the move frame has no placeable position."""
+        return not self.mf
+
+    def pf_positions(self) -> List[GridPosition]:
+        """All primary-frame positions (used by the Figure-2 renderer)."""
+        lo_y, hi_y = self.pf_rows
+        lo_x, hi_x = self.pf_cols
+        return [
+            GridPosition(self.table, x, y)
+            for y in range(lo_y, hi_y + 1)
+            for x in range(lo_x, hi_x + 1)
+        ]
+
+    def in_rf(self, position: GridPosition) -> bool:
+        """Whether a position lies in the redundant frame."""
+        if self.rf_cols is None:
+            return False
+        return self.rf_cols[0] <= position.x <= self.rf_cols[1]
+
+    def in_ff(self, position: GridPosition) -> bool:
+        """Whether a position lies in the forbidden frame."""
+        if position.y <= self.ff_rows_before:
+            return position.y not in self.chain_rows
+        return position.y >= self.ff_rows_after
+
+
+def _chain_feasible_rows(
+    dfg: DFG,
+    timing: TimingModel,
+    node: str,
+    placed_starts: Mapping[str, int],
+    chain_offsets: Mapping[str, float],
+) -> Tuple[int, ...]:
+    """Predecessor finishing steps the node may still chain into (§5.4)."""
+    if not timing.chaining:
+        return ()
+    kind = dfg.node(node).kind
+    if timing.latency(kind) != 1:
+        return ()
+    period = timing.clock_period_ns
+    delay = timing.delay_ns(kind)
+    rows: List[int] = []
+    pred_ends: Dict[int, float] = {}
+    for pred in dfg.predecessors(node):
+        if pred not in placed_starts:
+            continue
+        pred_kind = dfg.node(pred).kind
+        if timing.latency(pred_kind) != 1:
+            continue
+        end = placed_starts[pred]
+        offset = chain_offsets.get(pred, timing.delay_ns(pred_kind))
+        pred_ends[end] = max(pred_ends.get(end, 0.0), offset)
+    latest_pred_end = max(
+        (
+            placed_starts[p] + timing.latency(dfg.node(p).kind) - 1
+            for p in dfg.predecessors(node)
+            if p in placed_starts
+        ),
+        default=0,
+    )
+    for end, offset in pred_ends.items():
+        if end != latest_pred_end:
+            # An earlier step would still violate the later predecessor.
+            continue
+        others_fit = all(
+            placed_starts[p] + timing.latency(dfg.node(p).kind) - 1 < end
+            or (
+                timing.latency(dfg.node(p).kind) == 1
+                and placed_starts[p] == end
+            )
+            for p in dfg.predecessors(node)
+            if p in placed_starts
+        )
+        if others_fit and offset + delay <= period + 1e-9:
+            rows.append(end)
+    return tuple(rows)
+
+
+def compute_frames(
+    dfg: DFG,
+    timing: TimingModel,
+    grid: PlacementGrid,
+    node: str,
+    table: str,
+    asap: Mapping[str, int],
+    alap: Mapping[str, int],
+    current: int,
+    placed_starts: Mapping[str, int],
+    chain_offsets: Optional[Mapping[str, float]] = None,
+    excluded_instances: Tuple[int, ...] = (),
+) -> FrameSet:
+    """Build PF/RF/FF and the resulting move frame for one operation.
+
+    Parameters
+    ----------
+    current:
+        ``current_j`` — number of opened instances of ``table``; columns
+        beyond it form the redundant frame.
+    placed_starts:
+        Start steps of already placed operations.
+    chain_offsets:
+        Within-step accumulated combinational delay of placed single-cycle
+        operations (chaining only).
+    excluded_instances:
+        Instance columns the operation may not use (MFSA design style 2:
+        no self-loop around an ALU — §4.2).
+    """
+    chain_offsets = chain_offsets or {}
+    kind = dfg.node(node).kind
+    latency = timing.latency(kind)
+    max_cols = grid.columns(table)
+
+    pf_rows = (asap[node], alap[node])
+    pf_cols = (1, max_cols)
+    rf_cols = (current + 1, max_cols) if current < max_cols else None
+
+    # Forbidden rows below: every step <= the latest placed-predecessor
+    # finishing step is forbidden (chaining re-admits specific rows).
+    latest_pred_end = 0
+    for pred in dfg.predecessors(node):
+        if pred in placed_starts:
+            pred_latency = timing.latency(dfg.node(pred).kind)
+            latest_pred_end = max(
+                latest_pred_end, placed_starts[pred] + pred_latency - 1
+            )
+    # Forbidden rows above: the node must finish before any placed successor
+    # starts (the paper's order makes this vacuous; kept for generality).
+    earliest_succ_start = grid.cs + 1
+    for succ in dfg.successors(node):
+        if succ in placed_starts:
+            earliest_succ_start = min(earliest_succ_start, placed_starts[succ])
+    ff_rows_after = earliest_succ_start - latency + 1
+
+    chain_rows = _chain_feasible_rows(
+        dfg, timing, node, placed_starts, chain_offsets
+    )
+
+    frame = FrameSet(
+        node=node,
+        table=table,
+        pf_rows=pf_rows,
+        pf_cols=pf_cols,
+        rf_cols=rf_cols,
+        ff_rows_before=latest_pred_end,
+        ff_rows_after=ff_rows_after,
+        chain_rows=chain_rows,
+    )
+
+    banned = set(excluded_instances)
+    for y in range(pf_rows[0], pf_rows[1] + 1):
+        if frame.in_ff(GridPosition(table, 1, y)):
+            continue
+        for x in range(1, min(current, max_cols) + 1):
+            if x in banned:
+                continue
+            if grid.is_free(node, table, x, y, latency):
+                frame.mf.append(GridPosition(table, x, y))
+    return frame

@@ -1,0 +1,159 @@
+"""Liapunov (energy) functions guiding MFS and MFSA (§2.4, §3.1, §4.1).
+
+The *static* functions used by MFS assign a fixed value to every grid
+position:
+
+* time-constrained:      ``V(x, y) = x + n·y``  with ``n = max_j max_j``
+  (so the last FU of step ``t`` is cheaper than the first FU of ``t+1``);
+* resource-constrained:  ``V(x, y) = cs·x + y`` (an existing FU at ``t+1``
+  beats a new FU at ``t``).
+
+The *dynamic* MFSA function values a candidate position by
+
+    ``f_TIME + f_ALU + f_MUX + f_REG``
+
+where ``f_TIME = C·y`` and ``C`` is derived from the library bounds so that
+an earlier control step always wins when one is available (§4.1); the other
+terms are incremental hardware costs supplied by the allocation state.  A
+weighted variant supports user emphasis (``w_TIME·f_TIME + …``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.grid import GridPosition
+from repro.library.cells import CellLibrary
+
+
+class StaticLiapunov:
+    """Base class for the static MFS energy functions.
+
+    Subclasses implement :meth:`value`.  ``tie_key`` produces the full
+    comparison key used when several positions share the minimum energy —
+    the paper breaks such ties arbitrarily; we break them deterministically
+    by (value, step, instance).
+    """
+
+    def value(self, position: GridPosition) -> float:
+        """Energy of one grid position."""
+        raise NotImplementedError
+
+    def tie_key(self, position: GridPosition):
+        """Deterministic total order on positions."""
+        return (self.value(position), position.y, position.x)
+
+    def best(self, positions) -> Optional[GridPosition]:
+        """Minimum-energy position of an iterable (None when empty)."""
+        positions = list(positions)
+        if not positions:
+            return None
+        return min(positions, key=self.tie_key)
+
+
+@dataclass
+class TimeConstrainedLiapunov(StaticLiapunov):
+    """``V = x + n·y`` — never waste a control step (§3.1).
+
+    ``n`` must be at least the widest table (``max_j``) so that position
+    ``(max_j, t)`` has lower energy than ``(1, t+1)``.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+
+    def value(self, position: GridPosition) -> float:
+        return position.x + self.n * position.y
+
+
+@dataclass
+class ResourceConstrainedLiapunov(StaticLiapunov):
+    """``V = cs·x + y`` — reuse an existing FU instead of adding one (§3.1).
+
+    ``cs`` must be an upper bound on the number of control steps so that
+    position ``(x, cs)`` still beats ``(x+1, 1)``.
+    """
+
+    cs: int
+
+    def __post_init__(self) -> None:
+        if self.cs < 1:
+            raise ValueError(f"cs must be >= 1, got {self.cs}")
+
+    def value(self, position: GridPosition) -> float:
+        return self.cs * position.x + position.y
+
+
+@dataclass(frozen=True)
+class LiapunovWeights:
+    """User emphasis weights of the four MFSA cost factors (§4.1).
+
+    All ones gives "an overall optimizer without emphasising any particular
+    factor" — the paper's default.
+    """
+
+    time: float = 1.0
+    alu: float = 1.0
+    mux: float = 1.0
+    reg: float = 1.0
+
+    def __post_init__(self) -> None:
+        for label, weight in (
+            ("time", self.time),
+            ("alu", self.alu),
+            ("mux", self.mux),
+            ("reg", self.reg),
+        ):
+            if weight < 0:
+                raise ValueError(f"weight {label} must be >= 0, got {weight}")
+
+
+class MFSALiapunov:
+    """The dynamic MFSA energy function (§4.1).
+
+    The constant ``C`` satisfies the paper's inequality
+
+        ``C > [f_ALU_max + f_MUX_max + f_REG_max] − [f_ALU_min + f_MUX_min
+        + f_REG_min]``
+
+    (all minimums are zero), guaranteeing that ``f_TIME = C·y`` dominates:
+    control step ``t`` is selected before ``t+1`` whenever hardware allows.
+    """
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        weights: LiapunovWeights = LiapunovWeights(),
+    ) -> None:
+        self.library = library
+        self.weights = weights
+        spread = library.f_alu_max() + library.f_mux_max() + library.f_reg_max()
+        # Scale by the largest hardware weight so weighting cannot break
+        # the time-dominance inequality.
+        hardware_weight = max(weights.alu, weights.mux, weights.reg, 1e-9)
+        self.c_constant = (spread * hardware_weight + 1.0) / max(
+            weights.time, 1e-9
+        )
+
+    def f_time(self, y: int) -> float:
+        """``C · y`` — the step-ordering term."""
+        return self.c_constant * y
+
+    def value(self, y: int, f_alu: float, f_mux: float, f_reg: float) -> float:
+        """Total (weighted) energy of a candidate placement."""
+        w = self.weights
+        return (
+            w.time * self.f_time(y)
+            + w.alu * f_alu
+            + w.mux * f_mux
+            + w.reg * f_reg
+        )
+
+    def hardware_value(self, f_alu: float, f_mux: float, f_reg: float) -> float:
+        """The hardware-only part of :meth:`value` (for reporting)."""
+        w = self.weights
+        return w.alu * f_alu + w.mux * f_mux + w.reg * f_reg

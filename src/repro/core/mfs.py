@@ -1,0 +1,330 @@
+"""Move Frame Scheduling — MFS (§3).
+
+The algorithm, exactly as the paper lays it out:
+
+1. ASAP and ALAP schedules within the given number of control steps fix
+   each operation's time frame;
+2. ``max_j`` per FU type comes from the user's resource constraints or,
+   failing that, from the ASAP/ALAP concurrency; mobilities determine the
+   priority order;
+3. the ASNAP/ALFAP tables bound a 2-D frame per operation;
+4. each operation, in priority order, is placed at the minimum-Liapunov
+   position of its move frame ``MF = PF − (RF ∪ FF)``; if the frame is
+   empty the opened-FU count ``current_j`` grows by one and the frames are
+   rebuilt ("local rescheduling").
+
+Supported synthesis aspects (§5): mutual exclusion, multi-cycle operations,
+chaining, structural pipelining (pipelined FUs) and functional pipelining
+(latency-``L`` folding).  Loop folding and the two-instance functional
+pipelining procedure are DFG transforms (:mod:`repro.dfg.transforms`,
+:mod:`repro.dfg.pipeline`) that feed this scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.errors import InfeasibleScheduleError, ScheduleError
+from repro.dfg.analysis import (
+    TimingModel,
+    alap_schedule,
+    asap_schedule,
+    critical_path_length,
+    type_concurrency,
+)
+from repro.dfg.graph import DFG
+from repro.schedule.types import Schedule
+from repro.core.frames import FrameSet, compute_frames
+from repro.core.grid import GridPosition, PlacementGrid
+from repro.core.liapunov import (
+    ResourceConstrainedLiapunov,
+    StaticLiapunov,
+    TimeConstrainedLiapunov,
+)
+from repro.core.priorities import priority_order
+from repro.core.stability import Trajectory
+
+
+@dataclass
+class MFSResult:
+    """Everything a run produces.
+
+    ``placements`` carries the FU binding implied by the grid (instance
+    index ``x``), which downstream allocation reuses; ``fu_counts`` is the
+    Table-1 metric (units actually needed per kind).
+    """
+
+    schedule: Schedule
+    placements: Dict[str, GridPosition]
+    trajectory: Trajectory
+    grid: PlacementGrid
+    fu_counts: Dict[str, int]
+    frames_log: Dict[str, FrameSet] = field(default_factory=dict)
+
+    @property
+    def starts(self) -> Dict[str, int]:
+        """Node → start step (shorthand)."""
+        return self.schedule.starts
+
+
+class MFSScheduler:
+    """Configurable MFS runner.
+
+    Parameters
+    ----------
+    dfg, timing:
+        The graph and its latency/delay model.
+    cs:
+        Time constraint (required in ``"time"`` mode; in ``"resource"``
+        mode it is the optional step *upper bound* for the tables).
+    mode:
+        ``"time"`` (fixed ``cs``, minimise/balance FUs — Liapunov
+        ``x + n·y``) or ``"resource"`` (fixed FU bounds — Liapunov
+        ``cs·x + y``).
+    resource_bounds:
+        kind → ``max_j``.  Optional in time mode (ASAP/ALAP concurrency is
+        the default upper bound, per the paper); required in resource mode.
+    latency_l:
+        Functional-pipelining initiation interval (§5.5.2).
+    pipelined_kinds:
+        Kinds executed on structurally pipelined FUs (§5.5.1).
+    relax_bounds:
+        In time mode without user bounds, allow the automatic ``max_j`` to
+        grow if local rescheduling exhausts it (the paper's "presummed big
+        number" fallback).  User-supplied bounds are never relaxed.
+    record_frames:
+        Keep the last :class:`FrameSet` per node (Figure-2 regeneration).
+    """
+
+    def __init__(
+        self,
+        dfg: DFG,
+        timing: TimingModel,
+        cs: Optional[int] = None,
+        mode: str = "time",
+        resource_bounds: Optional[Mapping[str, int]] = None,
+        latency_l: Optional[int] = None,
+        pipelined_kinds: Iterable[str] = (),
+        relax_bounds: bool = True,
+        record_frames: bool = False,
+    ) -> None:
+        if mode not in ("time", "resource"):
+            raise ValueError(f"mode must be 'time' or 'resource', got {mode!r}")
+        self.dfg = dfg
+        self.timing = timing
+        self.mode = mode
+        self.latency_l = latency_l
+        self.pipelined_kinds = frozenset(str(k) for k in pipelined_kinds)
+        self.relax_bounds = relax_bounds
+        self.record_frames = record_frames
+        self.user_bounds = dict(resource_bounds) if resource_bounds else None
+
+        dfg.validate(timing.ops)
+        self._check_pipelining()
+
+        if mode == "time":
+            if cs is None:
+                raise ScheduleError("time-constrained MFS needs cs")
+            self.cs = cs
+        else:
+            if not self.user_bounds:
+                raise ScheduleError("resource-constrained MFS needs resource_bounds")
+            self.cs = cs if cs is not None else self._serial_upper_bound()
+
+    # ------------------------------------------------------------------
+    def _check_pipelining(self) -> None:
+        if self.latency_l is None:
+            return
+        if self.latency_l < 1:
+            raise ScheduleError(f"latency L must be >= 1, got {self.latency_l}")
+        for kind in self.dfg.kinds_used():
+            latency = self.timing.latency(kind)
+            if latency > self.latency_l and kind not in self.pipelined_kinds:
+                raise ScheduleError(
+                    f"kind {kind!r} (latency {latency}) cannot run under "
+                    f"functional pipelining with L={self.latency_l} on a "
+                    f"non-pipelined FU"
+                )
+
+    def _serial_upper_bound(self) -> int:
+        """A step budget that always suffices: run everything serially."""
+        total = sum(
+            self.timing.latency(node.kind) for node in self.dfg
+        )
+        return max(total, critical_path_length(self.dfg, self.timing), 1)
+
+    def _auto_bounds(
+        self, asap: Mapping[str, int], alap: Mapping[str, int]
+    ) -> Dict[str, int]:
+        """§3.2 Step 2: max FU counts seen in the ASAP and ALAP schedules."""
+        asap_usage = type_concurrency(
+            self.dfg, asap, self.timing, self.latency_l, self.pipelined_kinds
+        )
+        alap_usage = type_concurrency(
+            self.dfg, alap, self.timing, self.latency_l, self.pipelined_kinds
+        )
+        bounds: Dict[str, int] = {}
+        for kind in self.dfg.kinds_used():
+            bounds[kind] = max(asap_usage.get(kind, 1), alap_usage.get(kind, 1))
+        return bounds
+
+    def _initial_current(self, kind: str, max_j: int) -> int:
+        """§3.2 Step 4: ``current_j = ⌈N_j / cs⌉`` (at least 1, at most max)."""
+        count = self.dfg.count_by_kind().get(kind, 0)
+        return min(max(1, math.ceil(count / self.cs)), max_j)
+
+    # ------------------------------------------------------------------
+    def run(self) -> MFSResult:
+        """Execute MFS and return the full result."""
+        dfg, timing = self.dfg, self.timing
+        if len(dfg) == 0:
+            empty = Schedule(dfg=dfg, timing=timing, cs=max(self.cs or 1, 1), starts={})
+            return MFSResult(
+                schedule=empty,
+                placements={},
+                trajectory=Trajectory(),
+                grid=PlacementGrid(dfg, max(self.cs or 1, 1), {}),
+                fu_counts={},
+            )
+
+        asap = asap_schedule(dfg, timing)
+        alap = alap_schedule(dfg, timing, self.cs)  # raises if infeasible
+
+        if self.user_bounds is not None:
+            max_j = dict(self.user_bounds)
+            for kind in dfg.kinds_used():
+                if kind not in max_j:
+                    raise ScheduleError(f"no resource bound given for kind {kind!r}")
+            bounds_are_auto = False
+        else:
+            max_j = self._auto_bounds(asap, alap)
+            bounds_are_auto = True
+
+        grid = PlacementGrid(
+            dfg,
+            self.cs,
+            columns=dict(max_j),
+            latency_l=self.latency_l,
+            pipelined_tables=self.pipelined_kinds,
+        )
+        liapunov = self._make_liapunov(max_j)
+        order = priority_order(dfg, timing, asap, alap)
+
+        current: Dict[str, int] = {
+            kind: self._initial_current(kind, max_j[kind])
+            for kind in dfg.kinds_used()
+        }
+        placed_starts: Dict[str, int] = {}
+        chain_offsets: Dict[str, float] = {}
+        trajectory = Trajectory()
+        frames_log: Dict[str, FrameSet] = {}
+
+        for name in order:
+            kind = dfg.node(name).kind
+            while True:
+                frame = compute_frames(
+                    dfg,
+                    timing,
+                    grid,
+                    name,
+                    table=kind,
+                    asap=asap,
+                    alap=alap,
+                    current=current[kind],
+                    placed_starts=placed_starts,
+                    chain_offsets=chain_offsets,
+                )
+                if not frame.empty:
+                    break
+                # §3.2 Step 4: local rescheduling — open one more FU.
+                if current[kind] < grid.columns(kind):
+                    current[kind] += 1
+                    continue
+                if bounds_are_auto and self.relax_bounds:
+                    grid.widen(kind, grid.columns(kind) + 1)
+                    current[kind] = grid.columns(kind)
+                    liapunov = self._make_liapunov(
+                        {k: grid.columns(k) for k in grid.tables()}
+                    )
+                    continue
+                raise InfeasibleScheduleError(
+                    f"no position for {name!r} ({kind}) within "
+                    f"{grid.columns(kind)} units and {self.cs} steps"
+                )
+            if self.record_frames:
+                frames_log[name] = frame
+            alternatives = tuple(
+                (position, liapunov.value(position)) for position in frame.mf
+            )
+            chosen = liapunov.best(frame.mf)
+            grid.place(name, chosen, timing.latency(kind))
+            placed_starts[name] = chosen.y
+            self._update_chain_offset(name, chosen.y, placed_starts, chain_offsets)
+            trajectory.record(
+                node=name,
+                position=chosen,
+                energy=liapunov.value(chosen),
+                alternatives=alternatives,
+            )
+
+        schedule = Schedule(
+            dfg=dfg,
+            timing=timing,
+            cs=self.cs,
+            starts=dict(placed_starts),
+            latency_l=self.latency_l,
+            pipelined_kinds=self.pipelined_kinds,
+        )
+        schedule.validate(
+            resource_bounds=self.user_bounds if self.mode == "resource" else None
+        )
+        trajectory.verify()
+        fu_counts = schedule.fu_usage()
+        return MFSResult(
+            schedule=schedule,
+            placements=grid.placements(),
+            trajectory=trajectory,
+            grid=grid,
+            fu_counts=fu_counts,
+            frames_log=frames_log,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_liapunov(self, max_j: Mapping[str, int]) -> StaticLiapunov:
+        if self.mode == "time":
+            n = max(max_j.values()) if max_j else 1
+            return TimeConstrainedLiapunov(n=max(n, 1))
+        return ResourceConstrainedLiapunov(cs=self.cs)
+
+    def _update_chain_offset(
+        self,
+        name: str,
+        start: int,
+        placed_starts: Mapping[str, int],
+        chain_offsets: Dict[str, float],
+    ) -> None:
+        if not self.timing.chaining:
+            return
+        kind = self.dfg.node(name).kind
+        if self.timing.latency(kind) != 1:
+            return
+        incoming = 0.0
+        for pred in self.dfg.predecessors(name):
+            pred_kind = self.dfg.node(pred).kind
+            if self.timing.latency(pred_kind) != 1:
+                continue
+            if placed_starts.get(pred) == start:
+                incoming = max(incoming, chain_offsets.get(pred, 0.0))
+        chain_offsets[name] = incoming + self.timing.delay_ns(kind)
+
+
+def mfs_schedule(
+    dfg: DFG,
+    timing: TimingModel,
+    cs: Optional[int] = None,
+    **kwargs,
+) -> MFSResult:
+    """One-call convenience wrapper around :class:`MFSScheduler`."""
+    return MFSScheduler(dfg, timing, cs=cs, **kwargs).run()

@@ -1,0 +1,512 @@
+"""Move Frame Scheduling-Allocation — MFSA (§4).
+
+MFSA keeps MFS's tables, frames and movement mechanism but
+
+* one table exists per *ALU cell* of the user's library (an addition may
+  go to ``(+)``, ``(+-)``, ``(+>)``, … — §4.1), and
+* the Liapunov function is *dynamic*:
+
+      ``V = Σ (f_TIME + f_ALU + f_MUX + f_REG)``
+
+  where ``f_ALU`` is the cost of opening a new ALU instance (zero when
+  reusing one), ``f_MUX`` the incremental multiplexer cost under best
+  input-signal sharing (§5.6), and ``f_REG`` the incremental register cost
+  from the candidate's input-signal life spans (§5.8).  ``f_TIME = C·y``
+  dominates so control steps are never wasted.
+
+Two design styles (§4.2): style 1 is unrestricted; style 2 forbids
+self-loops around ALUs (an operation may not share an instance with its
+DFG predecessors or successors — the SYNTEST self-testable style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import InfeasibleScheduleError, ScheduleError
+from repro.dfg.analysis import TimingModel, alap_schedule, asap_schedule
+from repro.dfg.graph import DFG
+from repro.library.cells import ALUCell, CellLibrary
+from repro.schedule.types import Schedule
+from repro.allocation.datapath import CostBreakdown, Datapath
+from repro.allocation.lifetimes import Lifetime
+from repro.allocation.mux import MuxOperand, optimize_mux_inputs
+from repro.allocation.registers import IncrementalRegisterEstimator
+from repro.core.frames import FrameSet, compute_frames
+from repro.core.grid import GridPosition, PlacementGrid
+from repro.core.liapunov import LiapunovWeights, MFSALiapunov
+from repro.core.priorities import priority_order
+from repro.core.stability import Trajectory
+
+
+@dataclass
+class MFSAResult:
+    """Schedule + RTL structure + audit trail of one MFSA run."""
+
+    schedule: Schedule
+    datapath: Datapath
+    placements: Dict[str, GridPosition]
+    trajectory: Trajectory
+    grid: PlacementGrid
+    style: int
+    frames_log: Dict[str, List[FrameSet]] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> CostBreakdown:
+        """Area roll-up (Table-2 ``Cost``)."""
+        return self.datapath.cost_breakdown()
+
+    def alu_labels(self) -> List[str]:
+        """Paper-style ALU list (Table-2 ``ALU's`` column)."""
+        return self.datapath.alu_labels()
+
+
+class _AllocationState:
+    """Mutable hardware picture MFSA's dynamic Liapunov function reads."""
+
+    def __init__(self, dfg: DFG, timing: TimingModel, library: CellLibrary) -> None:
+        self.dfg = dfg
+        self.timing = timing
+        self.library = library
+        self.ops_on: Dict[Tuple[str, int], List[str]] = {}
+        self.opened_columns: Dict[str, int] = {}
+        self._mux_cost: Dict[Tuple[str, int], float] = {}
+        self.registers = IncrementalRegisterEstimator()
+        self.alu_area_spent = 0.0
+
+    # -- ALU ------------------------------------------------------------
+    def instance_open(self, cell: ALUCell, x: int) -> bool:
+        return (cell.name, x) in self.ops_on
+
+    def f_alu(self, cell: ALUCell, x: int) -> float:
+        """§4.1: a new ALU costs its area; an existing one is free."""
+        return 0.0 if self.instance_open(cell, x) else cell.area
+
+    # -- MUX ------------------------------------------------------------
+    def _mux_operand(self, name: str) -> MuxOperand:
+        node = self.dfg.node(name)
+        spec = self.timing.ops.spec(node.kind)
+        signals = node.operand_names()
+        return MuxOperand(
+            op=name,
+            left=signals[0],
+            right=signals[1] if len(signals) > 1 else None,
+            commutative=spec.commutative,
+        )
+
+    def mux_cost_before(self, cell: ALUCell, x: int) -> float:
+        return self._mux_cost.get((cell.name, x), 0.0)
+
+    def mux_cost_with(self, cell: ALUCell, x: int, name: str) -> float:
+        members = self.ops_on.get((cell.name, x), [])
+        operands = [self._mux_operand(member) for member in members]
+        operands.append(self._mux_operand(name))
+        assignment = optimize_mux_inputs(operands)
+        costs = self.library.mux_costs
+        return costs.cost(len(assignment.l1)) + costs.cost(len(assignment.l2))
+
+    def f_mux(self, cell: ALUCell, x: int, name: str) -> float:
+        """§4.1: multiplexer cost delta under best signal sharing."""
+        return self.mux_cost_with(cell, x, name) - self.mux_cost_before(cell, x)
+
+    # -- REG ------------------------------------------------------------
+    def input_lifetimes(
+        self,
+        name: str,
+        y: int,
+        placed_ends: Mapping[str, int],
+        pipelined_kinds: frozenset = frozenset(),
+    ) -> List[Lifetime]:
+        """Life spans the candidate step ``y`` gives the node's inputs.
+
+        A non-pipelined multi-cycle consumer holds its operands until its
+        end step (see :mod:`repro.allocation.lifetimes`).
+        """
+        node = self.dfg.node(name)
+        latency = self.timing.latency(node.kind)
+        death = y
+        if latency > 1 and node.kind not in pipelined_kinds:
+            death = y + latency - 1
+        lifetimes: List[Lifetime] = []
+        seen = set()
+        for port in node.operands:
+            if not port.is_node or port.name in seen:
+                continue
+            seen.add(port.name)
+            birth = placed_ends[port.name]
+            lifetimes.append(
+                Lifetime(value=port.signal_name(), birth=birth, death=death)
+            )
+        return lifetimes
+
+    def f_reg(self, lifetimes: List[Lifetime]) -> float:
+        """§4.1/§5.8: new registers required, via activity selection."""
+        return self.registers.cost_of(lifetimes) * self.library.register_area
+
+    # -- commit ----------------------------------------------------------
+    def commit(
+        self, name: str, cell: ALUCell, x: int, lifetimes: List[Lifetime]
+    ) -> None:
+        key = (cell.name, x)
+        if key not in self.ops_on:
+            self.alu_area_spent += cell.area
+        self._mux_cost[key] = self.mux_cost_with(cell, x, name)
+        self.ops_on.setdefault(key, []).append(name)
+        self.opened_columns[cell.name] = max(
+            self.opened_columns.get(cell.name, 0), x
+        )
+        self.registers.commit(lifetimes)
+
+    def excluded_instances(self, cell: ALUCell, name: str) -> Tuple[int, ...]:
+        """Style-2 exclusions: instances hosting a predecessor/successor."""
+        related = set(self.dfg.predecessors(name)) | set(self.dfg.successors(name))
+        banned = []
+        for (cell_name, x), members in self.ops_on.items():
+            if cell_name == cell.name and related & set(members):
+                banned.append(x)
+        return tuple(banned)
+
+
+class MFSAScheduler:
+    """Configurable MFSA runner (time-constrained, per the paper's Table 2).
+
+    Parameters mirror :class:`~repro.core.mfs.MFSScheduler`; additionally:
+
+    library:
+        The :class:`CellLibrary` of available (multifunction) ALUs,
+        registers and mux costs.
+    style:
+        1 = unrestricted RTL, 2 = no self-loop around ALUs (§4.2).
+    weights:
+        The §4.1 weighted-Liapunov emphasis (default: all ones).
+    max_instances_per_cell:
+        Column budget per ALU cell table (default: enough for every
+        compatible operation — the "presummed big number").
+    """
+
+    def __init__(
+        self,
+        dfg: DFG,
+        timing: TimingModel,
+        library: CellLibrary,
+        cs: int,
+        style: int = 1,
+        weights: LiapunovWeights = LiapunovWeights(),
+        latency_l: Optional[int] = None,
+        pipelined_kinds: Iterable[str] = (),
+        max_instances_per_cell: Optional[int] = None,
+        record_frames: bool = False,
+        count_input_registers: bool = True,
+        open_policy: str = "reuse-first",
+        area_budget: Optional[float] = None,
+    ) -> None:
+        if style not in (1, 2):
+            raise ValueError(f"style must be 1 or 2, got {style}")
+        if open_policy not in ("reuse-first", "eager"):
+            raise ValueError(
+                f"open_policy must be 'reuse-first' or 'eager', got {open_policy!r}"
+            )
+        self.dfg = dfg
+        self.timing = timing
+        self.library = library
+        self.cs = cs
+        self.style = style
+        self.weights = weights
+        self.latency_l = latency_l
+        self.pipelined_kinds = frozenset(str(k) for k in pipelined_kinds)
+        self.max_instances_per_cell = max_instances_per_cell
+        self.record_frames = record_frames
+        self.count_input_registers = count_input_registers
+        # "reuse-first" is the paper's redundant-frame rule (open a new ALU
+        # instance only when no opened one can host the operation);
+        # "eager" always offers a fresh instance, letting f_TIME dominance
+        # buy hardware for earlier steps — kept as an ablation knob.
+        self.open_policy = open_policy
+        # Optional ALU-area cap (cost-constrained synthesis in the spirit
+        # of the paper's ref. [9]): opening an instance that would push
+        # the summed ALU area past the budget is forbidden; if no
+        # placement remains the run fails rather than overspend.  Note the
+        # reuse-first policy already opens the fewest instances the greedy
+        # can: the cap certifies a ceiling (and catches regressions), it
+        # does not buy area reductions below the policy's natural
+        # appetite — a budget under that appetite raises
+        # :class:`InfeasibleScheduleError`.
+        if area_budget is not None and area_budget <= 0:
+            raise ValueError(f"area_budget must be positive, got {area_budget}")
+        self.area_budget = area_budget
+
+        dfg.validate(timing.ops)
+        library.check_covers(dfg.kinds_used())
+        self._check_pipelining()
+
+    def _check_pipelining(self) -> None:
+        if self.latency_l is None:
+            return
+        if self.latency_l < 1:
+            raise ScheduleError(f"latency L must be >= 1, got {self.latency_l}")
+        for kind in self.dfg.kinds_used():
+            latency = self.timing.latency(kind)
+            if latency > self.latency_l and kind not in self.pipelined_kinds:
+                raise ScheduleError(
+                    f"kind {kind!r} (latency {latency}) cannot run under "
+                    f"functional pipelining with L={self.latency_l}"
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> MFSAResult:
+        dfg, timing = self.dfg, self.timing
+        if len(dfg) == 0:
+            raise ScheduleError("MFSA needs a non-empty DFG")
+
+        asap = asap_schedule(dfg, timing)
+        alap = alap_schedule(dfg, timing, self.cs)
+        order = priority_order(dfg, timing, asap, alap)
+
+        candidates_by_kind: Dict[str, Tuple[ALUCell, ...]] = {
+            kind: self.library.cells_for(kind) for kind in dfg.kinds_used()
+        }
+        cell_rank = {cell.name: i for i, cell in enumerate(self.library.cells())}
+
+        counts = dfg.count_by_kind()
+        columns: Dict[str, int] = {}
+        pipelined_tables = []
+        for cell in self.library.cells():
+            compatible = sum(
+                counts.get(kind, 0) for kind in cell.kinds
+            )
+            if compatible == 0:
+                continue
+            budget = (
+                self.max_instances_per_cell
+                if self.max_instances_per_cell is not None
+                else compatible
+            )
+            columns[cell.name] = max(1, budget)
+            if cell.kinds and cell.kinds <= self.pipelined_kinds:
+                pipelined_tables.append(cell.name)
+
+        grid = PlacementGrid(
+            dfg,
+            self.cs,
+            columns=columns,
+            latency_l=self.latency_l,
+            pipelined_tables=pipelined_tables,
+        )
+        liapunov = MFSALiapunov(self.library, self.weights)
+        state = _AllocationState(dfg, timing, self.library)
+
+        # Area-budget bookkeeping: cheapest capable cell per kind and how
+        # many operations of each kind are still unplaced.  Opening an
+        # instance must leave enough headroom to cover every kind that
+        # would otherwise end up with no capable instance at all.
+        cheapest_cell_area = {
+            kind: min(cell.area for cell in candidates_by_kind[kind])
+            for kind in candidates_by_kind
+        }
+        remaining_by_kind = dict(counts)
+
+        def reserve_after(cell: ALUCell, for_kind: str) -> float:
+            """Headroom needed for kinds not yet covered by any instance.
+
+            A lower bound: the dearest single uncovered kind's cheapest
+            cell (one multifunction cell may cover several kinds at once,
+            so summing would over-reserve and reject feasible budgets).
+            """
+            reserve = 0.0
+            for kind, left in remaining_by_kind.items():
+                pending = left - (1 if kind == for_kind else 0)
+                if pending <= 0:
+                    continue
+                if cell.can_execute(kind):
+                    continue
+                if any(
+                    self.library.cell(cell_name).can_execute(kind)
+                    for (cell_name, _x) in state.ops_on
+                ):
+                    continue
+                reserve = max(reserve, cheapest_cell_area[kind])
+            return reserve
+
+        placed_starts: Dict[str, int] = {}
+        placed_ends: Dict[str, int] = {}
+        chain_offsets: Dict[str, float] = {}
+        trajectory = Trajectory()
+        frames_log: Dict[str, List[FrameSet]] = {}
+
+        for name in order:
+            kind = dfg.node(name).kind
+            latency = timing.latency(kind)
+            reg_cache: Dict[int, Tuple[float, List[Lifetime]]] = {}
+            alternatives: List[Tuple[GridPosition, float]] = []
+
+            def gather(fresh_instance: bool):
+                """Collect candidate placements.
+
+                ``fresh_instance=False`` is the paper's redundant-frame rule:
+                only already opened ALU instances are eligible.  When that
+                move frame is empty, MFSA "locally reschedules" by letting
+                one fresh instance per cell kind join the frame
+                (``fresh_instance=True``) and the f_ALU term arbitrates
+                which cell to open.
+                """
+                best_key = None
+                best_choice = None
+                for cell in candidates_by_kind[kind]:
+                    opened = state.opened_columns.get(cell.name, 0)
+                    current = (
+                        min(opened + 1, grid.columns(cell.name))
+                        if fresh_instance
+                        else opened
+                    )
+                    if current == 0:
+                        continue
+                    excluded = (
+                        state.excluded_instances(cell, name)
+                        if self.style == 2
+                        else ()
+                    )
+                    frame = compute_frames(
+                        dfg,
+                        timing,
+                        grid,
+                        name,
+                        table=cell.name,
+                        asap=asap,
+                        alap=alap,
+                        current=current,
+                        placed_starts=placed_starts,
+                        chain_offsets=chain_offsets,
+                        excluded_instances=excluded,
+                    )
+                    if self.record_frames:
+                        frames_log.setdefault(name, []).append(frame)
+                    for position in frame.mf:
+                        if not fresh_instance and position.x > opened:
+                            continue
+                        if (
+                            self.area_budget is not None
+                            and not state.instance_open(cell, position.x)
+                            and state.alu_area_spent
+                            + cell.area
+                            + reserve_after(cell, kind)
+                            > self.area_budget
+                        ):
+                            continue
+                        if position.y not in reg_cache:
+                            lifetimes = state.input_lifetimes(
+                                name,
+                                position.y,
+                                placed_ends,
+                                self.pipelined_kinds,
+                            )
+                            reg_cache[position.y] = (
+                                state.f_reg(lifetimes),
+                                lifetimes,
+                            )
+                        f_reg, lifetimes = reg_cache[position.y]
+                        f_alu = state.f_alu(cell, position.x)
+                        f_mux = state.f_mux(cell, position.x, name)
+                        energy = liapunov.value(position.y, f_alu, f_mux, f_reg)
+                        alternatives.append((position, energy))
+                        key = (
+                            energy,
+                            position.y,
+                            cell_rank[cell.name],
+                            position.x,
+                        )
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best_choice = (cell, position, energy, lifetimes)
+                return best_choice
+
+            if self.open_policy == "eager":
+                best_choice = gather(fresh_instance=True)
+            else:
+                best_choice = gather(fresh_instance=False)
+                if best_choice is None:
+                    best_choice = gather(fresh_instance=True)
+            if best_choice is None:
+                raise InfeasibleScheduleError(
+                    f"MFSA found no position for {name!r} ({kind}) in "
+                    f"{self.cs} steps (style {self.style})"
+                )
+            cell, position, energy, lifetimes = best_choice
+            remaining_by_kind[kind] -= 1
+            grid.place(name, position, latency)
+            placed_starts[name] = position.y
+            placed_ends[name] = position.y + latency - 1
+            self._update_chain_offset(name, position.y, placed_starts, chain_offsets)
+            state.commit(name, cell, position.x, lifetimes)
+            trajectory.record(
+                node=name,
+                position=position,
+                energy=energy,
+                alternatives=tuple(alternatives),
+            )
+
+        schedule = Schedule(
+            dfg=dfg,
+            timing=timing,
+            cs=self.cs,
+            starts=dict(placed_starts),
+            latency_l=self.latency_l,
+            pipelined_kinds=self.pipelined_kinds,
+        )
+        schedule.validate()
+        trajectory.verify()
+
+        binding = {
+            name: (pos.table, pos.x) for name, pos in grid.placements().items()
+        }
+        datapath = Datapath(
+            schedule,
+            self.library,
+            binding,
+            count_input_registers=self.count_input_registers,
+        )
+        if self.style == 2 and datapath.has_self_loop():
+            raise ScheduleError(
+                "style-2 MFSA produced a self-loop around an ALU (internal error)"
+            )
+        return MFSAResult(
+            schedule=schedule,
+            datapath=datapath,
+            placements=grid.placements(),
+            trajectory=trajectory,
+            grid=grid,
+            style=self.style,
+            frames_log=frames_log,
+        )
+
+    def _update_chain_offset(
+        self,
+        name: str,
+        start: int,
+        placed_starts: Mapping[str, int],
+        chain_offsets: Dict[str, float],
+    ) -> None:
+        if not self.timing.chaining:
+            return
+        kind = self.dfg.node(name).kind
+        if self.timing.latency(kind) != 1:
+            return
+        incoming = 0.0
+        for pred in self.dfg.predecessors(name):
+            pred_kind = self.dfg.node(pred).kind
+            if self.timing.latency(pred_kind) != 1:
+                continue
+            if placed_starts.get(pred) == start:
+                incoming = max(incoming, chain_offsets.get(pred, 0.0))
+        chain_offsets[name] = incoming + self.timing.delay_ns(kind)
+
+
+def mfsa_synthesize(
+    dfg: DFG,
+    timing: TimingModel,
+    library: CellLibrary,
+    cs: int,
+    **kwargs,
+) -> MFSAResult:
+    """One-call convenience wrapper around :class:`MFSAScheduler`."""
+    return MFSAScheduler(dfg, timing, library, cs, **kwargs).run()

@@ -1,0 +1,64 @@
+"""Data-flow-graph substrate.
+
+This package provides everything the schedulers consume:
+
+* :mod:`repro.dfg.ops` — operation kinds (``+``, ``*``, comparisons, logic)
+  with per-kind latency/delay/commutativity metadata;
+* :mod:`repro.dfg.graph` — the :class:`~repro.dfg.graph.DFG` container with
+  nodes, edges, primary inputs/outputs and validation;
+* :mod:`repro.dfg.builder` — a fluent construction API;
+* :mod:`repro.dfg.parser` — a small behavioral language compiled to a DFG;
+* :mod:`repro.dfg.analysis` — ASAP/ALAP/mobility/critical-path analyses;
+* :mod:`repro.dfg.transforms` — conditional merging, loop folding, etc.;
+* :mod:`repro.dfg.pipeline` — structural/functional pipelining transforms;
+* :mod:`repro.dfg.generators` — random DFGs for property testing.
+"""
+
+from repro.dfg.ops import OpKind, OpSpec, OperationSet, standard_operation_set
+from repro.dfg.graph import DFG, Node, Port
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.parser import parse_behavior
+from repro.dfg.analysis import (
+    TimingModel,
+    asap_schedule,
+    alap_schedule,
+    critical_path_length,
+    mobilities,
+    type_concurrency,
+)
+from repro.dfg.optimize import (
+    balance_tree,
+    constant_fold,
+    eliminate_dead_code,
+)
+from repro.dfg.transforms import (
+    LoopFolder,
+    add_loop_control,
+    common_subexpression_elimination,
+    merge_conditional_shared_ops,
+)
+
+__all__ = [
+    "OpKind",
+    "OpSpec",
+    "OperationSet",
+    "standard_operation_set",
+    "DFG",
+    "Node",
+    "Port",
+    "DFGBuilder",
+    "parse_behavior",
+    "TimingModel",
+    "asap_schedule",
+    "alap_schedule",
+    "critical_path_length",
+    "mobilities",
+    "type_concurrency",
+    "constant_fold",
+    "eliminate_dead_code",
+    "balance_tree",
+    "merge_conditional_shared_ops",
+    "common_subexpression_elimination",
+    "add_loop_control",
+    "LoopFolder",
+]

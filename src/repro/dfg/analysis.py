@@ -1,0 +1,216 @@
+"""Timing analyses: ASAP, ALAP, mobility, critical path, concurrency.
+
+These are the paper's Step 1/Step 2 ingredients (§3.2).  All schedules map
+node name → *start* control step, 1-based.  A node of latency ``k`` occupies
+steps ``s … s+k-1`` (§5.3: "k consecutive single-cycle operations").
+
+Chaining (§5.4) is supported through :class:`TimingModel`: when a finite
+clock period is set, consecutive data-dependent single-cycle operations may
+share a control step as long as their accumulated combinational delay fits
+in the period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import InfeasibleScheduleError, ScheduleError
+from repro.dfg.graph import DFG
+from repro.dfg.ops import OperationSet
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Execution-time model for one scheduling run.
+
+    Attributes
+    ----------
+    ops:
+        The operation set supplying latencies and combinational delays.
+    clock_period_ns:
+        Control-step clock period ``T`` (§5.4).  ``None`` disables chaining:
+        every operation starts at a step boundary.
+    """
+
+    ops: OperationSet
+    clock_period_ns: Optional[float] = None
+
+    @property
+    def chaining(self) -> bool:
+        """Whether operation chaining is enabled."""
+        return self.clock_period_ns is not None
+
+    def latency(self, kind: str) -> int:
+        """Latency of ``kind`` in control steps."""
+        return self.ops.latency(kind)
+
+    def delay_ns(self, kind: str) -> float:
+        """Combinational delay of ``kind`` in nanoseconds."""
+        return self.ops.delay_ns(kind)
+
+    def check_kind_fits_clock(self, kind: str) -> None:
+        """Raise if a single-cycle ``kind`` cannot fit one clock period."""
+        if not self.chaining:
+            return
+        if self.latency(kind) == 1 and self.delay_ns(kind) > self.clock_period_ns:
+            raise ScheduleError(
+                f"operation kind {kind!r} has delay {self.delay_ns(kind)} ns, "
+                f"longer than the clock period {self.clock_period_ns} ns"
+            )
+
+
+#: Within-step finishing offset assigned to operations that complete exactly
+#: at a step boundary (multi-cycle ops, or when chaining is disabled): any
+#: dependent operation must start in a *later* step.
+_FULL_STEP = float("inf")
+
+
+def _forward_times(
+    dfg: DFG,
+    timing: TimingModel,
+    order: Tuple[str, ...],
+    predecessors,
+) -> Dict[str, Tuple[int, float]]:
+    """Generic chaining-aware longest-path pass.
+
+    Returns node → ``(start_step, finish_offset_ns)`` where ``finish_offset``
+    is the accumulated combinational delay inside the node's final step
+    (``_FULL_STEP`` when nothing may chain after it).
+    """
+    period = timing.clock_period_ns
+    times: Dict[str, Tuple[int, float]] = {}
+    for name in order:
+        node = dfg.node(name)
+        latency = timing.latency(node.kind)
+        delay = timing.delay_ns(node.kind)
+        timing.check_kind_fits_clock(node.kind)
+        start_step = 1
+        start_offset = 0.0
+        for pred in predecessors(name):
+            pred_node = dfg.node(pred)
+            pred_start, pred_finish_offset = times[pred]
+            pred_end_step = pred_start + timing.latency(pred_node.kind) - 1
+            if (
+                timing.chaining
+                and latency == 1
+                and pred_finish_offset != _FULL_STEP
+                and pred_finish_offset + delay <= period
+            ):
+                cand_step, cand_offset = pred_end_step, pred_finish_offset
+            else:
+                cand_step, cand_offset = pred_end_step + 1, 0.0
+            if (cand_step, cand_offset) > (start_step, start_offset):
+                start_step, start_offset = cand_step, cand_offset
+        if timing.chaining and latency == 1:
+            finish_offset = start_offset + delay
+        else:
+            finish_offset = _FULL_STEP
+        times[name] = (start_step, finish_offset)
+    return times
+
+
+def asap_schedule(dfg: DFG, timing: TimingModel) -> Dict[str, int]:
+    """As-soon-as-possible start steps (1-based), honouring chaining."""
+    order = dfg.topological_order()
+    times = _forward_times(dfg, timing, order, dfg.predecessors)
+    return {name: step for name, (step, _offset) in times.items()}
+
+
+def alap_schedule(dfg: DFG, timing: TimingModel, cs: int) -> Dict[str, int]:
+    """As-late-as-possible start steps within ``cs`` control steps.
+
+    Computed as a reverse ASAP pass (the chain-fit relation is symmetric),
+    then mirrored.  Raises :class:`InfeasibleScheduleError` when the
+    critical path does not fit in ``cs`` steps.
+    """
+    order = tuple(reversed(dfg.topological_order()))
+    times = _forward_times(dfg, timing, order, dfg.successors)
+    alap: Dict[str, int] = {}
+    for name, (reverse_start, _offset) in times.items():
+        latency = timing.latency(dfg.node(name).kind)
+        start = cs - (reverse_start - 1) - (latency - 1)
+        if start < 1:
+            raise InfeasibleScheduleError(
+                f"DFG {dfg.name!r} needs more than {cs} control steps "
+                f"(node {name!r} would start at step {start})"
+            )
+        alap[name] = start
+    return alap
+
+
+def critical_path_length(dfg: DFG, timing: TimingModel) -> int:
+    """Minimum number of control steps any schedule needs."""
+    if len(dfg) == 0:
+        return 0
+    asap = asap_schedule(dfg, timing)
+    return max(
+        asap[name] + timing.latency(dfg.node(name).kind) - 1 for name in asap
+    )
+
+
+def mobilities(
+    asap: Mapping[str, int], alap: Mapping[str, int]
+) -> Dict[str, int]:
+    """Per-operation mobility ``ALAP − ASAP`` (§3.2, Step 2)."""
+    return {name: alap[name] - asap[name] for name in asap}
+
+
+def active_steps(start: int, latency: int) -> range:
+    """Control steps a node occupies given its start step and latency."""
+    return range(start, start + latency)
+
+
+def type_concurrency(
+    dfg: DFG,
+    schedule: Mapping[str, int],
+    timing: TimingModel,
+    latency_l: Optional[int] = None,
+    pipelined_kinds: frozenset = frozenset(),
+) -> Dict[str, int]:
+    """FUs of each kind needed by ``schedule``.
+
+    Honours multi-cycle occupancy, mutual exclusion (§5.1: exclusive
+    operations share a unit), structurally pipelined kinds (§5.5.1: a
+    pipelined FU accepts a new operation every step, so only the start step
+    counts as occupancy) and, when ``latency_l`` is given, functional
+    pipelining (§5.5.2: steps ``t`` and ``t + k·L`` share resources).
+
+    Mutually exclusive operations are packed into units greedily (first
+    fit), matching what the placement grid does during scheduling.
+    """
+    by_kind_step: Dict[str, Dict[int, List[str]]] = {}
+    for name, start in schedule.items():
+        node = dfg.node(name)
+        occupancy = 1 if node.kind in pipelined_kinds else timing.latency(node.kind)
+        for step in active_steps(start, occupancy):
+            folded = ((step - 1) % latency_l) + 1 if latency_l else step
+            by_kind_step.setdefault(node.kind, {}).setdefault(folded, []).append(name)
+
+    needed: Dict[str, int] = {}
+    for kind, steps in by_kind_step.items():
+        best = 0
+        for members in steps.values():
+            units: List[List[str]] = []
+            for member in members:
+                for unit in units:
+                    if all(dfg.mutually_exclusive(member, other) for other in unit):
+                        unit.append(member)
+                        break
+                else:
+                    units.append([member])
+            best = max(best, len(units))
+        needed[kind] = best
+    return needed
+
+
+def schedule_makespan(
+    dfg: DFG, schedule: Mapping[str, int], timing: TimingModel
+) -> int:
+    """Last occupied control step of ``schedule``."""
+    if not schedule:
+        return 0
+    return max(
+        schedule[name] + timing.latency(dfg.node(name).kind) - 1
+        for name in schedule
+    )

@@ -1,0 +1,167 @@
+"""Fluent construction API for data-flow graphs.
+
+:class:`DFGBuilder` wraps a :class:`~repro.dfg.graph.DFG` and hands out
+:class:`Value` objects that overload the Python arithmetic operators, so the
+paper's examples read like the behavioral code they came from::
+
+    b = DFGBuilder("diffeq")
+    x, dx, u, y, a = b.inputs("x", "dx", "u", "y", "a")
+    x1 = x + dx
+    u1 = u - (3 * x) * (u * dx) - (3 * y) * dx
+    b.output("x1", x1)
+    g = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.dfg.graph import DFG, BranchPath, Port
+from repro.dfg.ops import OpKind
+
+Operand = Union["Value", Port, int]
+
+
+class Value:
+    """Handle to a data source inside a builder; supports operators."""
+
+    __slots__ = ("builder", "port")
+
+    def __init__(self, builder: "DFGBuilder", port: Port) -> None:
+        self.builder = builder
+        self.port = port
+
+    # -- binary arithmetic -------------------------------------------------
+    def __add__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.ADD, self, other)
+
+    def __radd__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.ADD, other, self)
+
+    def __sub__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.SUB, self, other)
+
+    def __rsub__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.SUB, other, self)
+
+    def __mul__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.MUL, self, other)
+
+    def __rmul__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.MUL, other, self)
+
+    def __truediv__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.DIV, self, other)
+
+    def __and__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.AND, self, other)
+
+    def __or__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.OR, self, other)
+
+    def __xor__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.XOR, self, other)
+
+    def __lshift__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.SHL, self, other)
+
+    def __rshift__(self, other: Operand) -> "Value":
+        return self.builder.op(OpKind.SHR, self, other)
+
+    # -- comparisons (explicit methods: Python chains __lt__ awkwardly) ----
+    def lt(self, other: Operand) -> "Value":
+        """``self < other`` as a DFG comparison node."""
+        return self.builder.op(OpKind.LT, self, other)
+
+    def gt(self, other: Operand) -> "Value":
+        """``self > other`` as a DFG comparison node."""
+        return self.builder.op(OpKind.GT, self, other)
+
+    def eq(self, other: Operand) -> "Value":
+        """``self == other`` as a DFG comparison node."""
+        return self.builder.op(OpKind.EQ, self, other)
+
+    # -- unary --------------------------------------------------------------
+    def __neg__(self) -> "Value":
+        return self.builder.op(OpKind.NEG, self)
+
+    def __invert__(self) -> "Value":
+        return self.builder.op(OpKind.NOT, self)
+
+
+class DFGBuilder:
+    """Incrementally build a :class:`~repro.dfg.graph.DFG`.
+
+    All node-creating calls honour the *current branch context* set by
+    :meth:`then_branch` / :meth:`else_branch` / :meth:`end_branch`, which
+    tags nodes with branch paths for mutual-exclusion scheduling (§5.1).
+    """
+
+    def __init__(self, name: str = "dfg") -> None:
+        self._dfg = DFG(name)
+        self._branch: BranchPath = ()
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> Value:
+        """Declare one primary input."""
+        return Value(self, self._dfg.add_input(name))
+
+    def inputs(self, *names: str) -> Tuple[Value, ...]:
+        """Declare several primary inputs at once."""
+        return tuple(self.input(name) for name in names)
+
+    def const(self, value: int) -> Value:
+        """A literal constant value."""
+        return Value(self, Port.const(value))
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _port(self, operand: Operand) -> Port:
+        if isinstance(operand, Value):
+            return operand.port
+        if isinstance(operand, Port):
+            return operand
+        if isinstance(operand, int):
+            return Port.const(operand)
+        raise TypeError(f"cannot use {operand!r} as a DFG operand")
+
+    def op(self, kind: str, *operands: Operand, name: Optional[str] = None) -> Value:
+        """Add an operation node in the current branch context."""
+        ports = [self._port(operand) for operand in operands]
+        return Value(self, self._dfg.add_op(kind, ports, name=name, branch=self._branch))
+
+    # ------------------------------------------------------------------
+    # branches (mutual exclusion)
+    # ------------------------------------------------------------------
+    def then_branch(self, condition: str) -> None:
+        """Enter the then-arm of ``condition``; subsequent ops are tagged."""
+        self._branch = self._branch + ((condition, True),)
+
+    def else_branch(self, condition: str) -> None:
+        """Switch to (or enter) the else-arm of ``condition``."""
+        trimmed = tuple(pair for pair in self._branch if pair[0] != condition)
+        self._branch = trimmed + ((condition, False),)
+
+    def end_branch(self, condition: str) -> None:
+        """Leave ``condition``'s branch context."""
+        self._branch = tuple(pair for pair in self._branch if pair[0] != condition)
+
+    # ------------------------------------------------------------------
+    # outputs / result
+    # ------------------------------------------------------------------
+    def output(self, name: str, value: Operand) -> None:
+        """Declare a primary output."""
+        self._dfg.set_output(name, self._port(value))
+
+    def outputs(self, **values: Operand) -> None:
+        """Declare several primary outputs by keyword."""
+        for name, value in values.items():
+            self.output(name, value)
+
+    def build(self) -> DFG:
+        """Validate structure and return the built DFG."""
+        self._dfg.validate()
+        return self._dfg

@@ -1,0 +1,162 @@
+"""Random / synthetic DFG generation for property tests and benchmarks.
+
+:func:`random_dfg` produces layered random graphs with controllable size,
+kind mix and fan-in locality — the workload generator behind the property
+tests and the scalability benchmarks.  All randomness flows through an
+explicit :class:`random.Random` seed, so every generated workload is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dfg.graph import DFG, Port
+from repro.dfg.ops import OpKind
+
+
+DEFAULT_KINDS: Tuple[str, ...] = (
+    OpKind.ADD,
+    OpKind.SUB,
+    OpKind.MUL,
+    OpKind.AND,
+    OpKind.OR,
+    OpKind.LT,
+)
+
+
+def random_dfg(
+    seed: int,
+    n_ops: int = 20,
+    n_inputs: int = 4,
+    kinds: Sequence[str] = DEFAULT_KINDS,
+    locality: int = 6,
+    output_fraction: float = 0.3,
+    name: Optional[str] = None,
+) -> DFG:
+    """Generate a random acyclic DFG.
+
+    Parameters
+    ----------
+    seed:
+        PRNG seed; equal seeds give identical graphs.
+    n_ops:
+        Number of operation nodes (>= 1).
+    n_inputs:
+        Number of primary inputs (>= 1).
+    kinds:
+        Operation kinds to draw from (all binary kinds).
+    locality:
+        Operands are drawn from the ``locality`` most recent values, which
+        controls graph depth: small values give deep chains, large values
+        give wide parallel graphs.
+    output_fraction:
+        Fraction of sink values exposed as primary outputs (at least one).
+    """
+    rng = random.Random(seed)
+    dfg = DFG(name or f"random_{seed}")
+    pool: List[Port] = []
+    for index in range(max(1, n_inputs)):
+        pool.append(dfg.add_input(f"in{index}"))
+
+    for index in range(max(1, n_ops)):
+        kind = rng.choice(list(kinds))
+        window = pool[-max(1, locality):]
+        left = rng.choice(window)
+        right = rng.choice(window)
+        pool.append(dfg.add_op(kind, [left, right], name=f"op{index}"))
+
+    sinks = dfg.sink_nodes()
+    keep = max(1, int(len(sinks) * output_fraction))
+    for out_index, sink in enumerate(sinks[:keep]):
+        dfg.set_output(f"out{out_index}", Port.node(sink))
+    return dfg
+
+
+def random_conditional_dfg(
+    seed: int,
+    n_ops: int = 16,
+    n_inputs: int = 4,
+    kinds: Sequence[str] = DEFAULT_KINDS,
+    name: Optional[str] = None,
+) -> DFG:
+    """Random DFG with one if/else region for mutual-exclusion tests.
+
+    Roughly the middle half of the operations are split between the two
+    arms of a single condition; the rest are unconditional.
+    """
+    rng = random.Random(seed)
+    dfg = DFG(name or f"random_cond_{seed}")
+    pool: List[Port] = []
+    for index in range(max(1, n_inputs)):
+        pool.append(dfg.add_input(f"in{index}"))
+
+    quarter = max(1, n_ops // 4)
+    arms = [()] * quarter
+    arms += [(("c0", True),)] * quarter
+    arms += [(("c0", False),)] * quarter
+    arms += [()] * (n_ops - len(arms))
+
+    # Values created inside an arm may only feed the same arm or the
+    # unconditional tail (reading a then-value in the else-arm would be
+    # reading a never-computed value).
+    arm_of: Dict[str, Tuple] = {}
+    for index, branch in enumerate(arms):
+        kind = rng.choice(list(kinds))
+        candidates = [
+            port
+            for port in pool[-8:]
+            if not port.is_node
+            or arm_of.get(port.name, ()) in ((), branch)
+        ]
+        if not candidates:
+            # The recent window may hold only other-arm values; inputs are
+            # always safe sources.
+            candidates = [Port.input(name) for name in dfg.inputs]
+        left = rng.choice(candidates)
+        right = rng.choice(candidates)
+        port = dfg.add_op(kind, [left, right], name=f"op{index}", branch=branch)
+        arm_of[f"op{index}"] = branch
+        if branch == ():
+            pool.append(port)
+        # Arm-internal values participate with lower probability.
+        elif rng.random() < 0.5:
+            pool.append(port)
+
+    sinks = dfg.sink_nodes()
+    for out_index, sink in enumerate(sinks[: max(1, len(sinks) // 2)]):
+        dfg.set_output(f"out{out_index}", Port.node(sink))
+    return dfg
+
+
+def layered_workload(
+    seed: int,
+    layers: int,
+    width: int,
+    kinds: Sequence[str] = (OpKind.MUL, OpKind.ADD),
+    name: Optional[str] = None,
+) -> DFG:
+    """Regular layered workload (used by the scalability benchmarks).
+
+    ``layers × width`` operations; each operation reads two values from
+    the previous layer, so depth is exactly ``layers``.
+    """
+    rng = random.Random(seed)
+    dfg = DFG(name or f"layered_{layers}x{width}")
+    previous: List[Port] = [
+        dfg.add_input(f"in{index}") for index in range(max(2, width))
+    ]
+    for layer in range(layers):
+        current: List[Port] = []
+        for column in range(width):
+            kind = kinds[(layer + column) % len(kinds)]
+            left = rng.choice(previous)
+            right = rng.choice(previous)
+            current.append(
+                dfg.add_op(kind, [left, right], name=f"l{layer}c{column}")
+            )
+        previous = current
+    for out_index, port in enumerate(previous):
+        dfg.set_output(f"out{out_index}", port)
+    return dfg

@@ -1,0 +1,318 @@
+"""Operation kinds and their metadata.
+
+A scheduler only needs to know, for every operation kind:
+
+* its *type name* (the FU type that can execute it in pure scheduling mode),
+* its *latency* in control steps (multi-cycle operations),
+* its *combinational delay* in nanoseconds (for operation chaining),
+* whether it is *commutative* (multiplexer input-sharing optimisation may
+  swap the operands of commutative operations),
+* its *arity* and a Python evaluator used by the reference simulator.
+
+The kinds used by the paper's examples (``+ - * = & | < >`` …) are provided
+by :func:`standard_operation_set`; users can register additional kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import UnknownOperationError
+
+
+class OpKind(str, enum.Enum):
+    """The operation kinds used by the paper's six design examples.
+
+    The enum inherits from :class:`str` so kinds compare equal to their
+    mnemonic strings, which keeps user-facing APIs ergonomic
+    (``g.add_op("add", ...)`` and ``g.add_op(OpKind.ADD, ...)`` are the same).
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    EQ = "eq"
+    LT = "lt"
+    GT = "gt"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    NEG = "neg"
+    MIN = "min"
+    MAX = "max"
+    MOVE = "move"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Pretty one-character symbols used when rendering schedules and tables,
+#: chosen to match the paper's notation (``*``, ``+``, ``?`` for minus, …).
+OP_SYMBOLS: Mapping[str, str] = {
+    OpKind.ADD: "+",
+    OpKind.SUB: "-",
+    OpKind.MUL: "*",
+    OpKind.DIV: "/",
+    OpKind.EQ: "=",
+    OpKind.LT: "<",
+    OpKind.GT: ">",
+    OpKind.AND: "&",
+    OpKind.OR: "|",
+    OpKind.XOR: "^",
+    OpKind.NOT: "!",
+    OpKind.SHL: "<<",
+    OpKind.SHR: ">>",
+    OpKind.NEG: "~",
+    OpKind.MIN: "m",
+    OpKind.MAX: "M",
+    OpKind.MOVE: ".",
+}
+
+
+def _evaluate_div(a: int, b: int) -> int:
+    """Integer division that truncates toward zero (hardware-style)."""
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+_EVALUATORS: Mapping[str, Callable[..., int]] = {
+    OpKind.ADD: lambda a, b: a + b,
+    OpKind.SUB: lambda a, b: a - b,
+    OpKind.MUL: lambda a, b: a * b,
+    OpKind.DIV: _evaluate_div,
+    OpKind.EQ: lambda a, b: int(a == b),
+    OpKind.LT: lambda a, b: int(a < b),
+    OpKind.GT: lambda a, b: int(a > b),
+    OpKind.AND: lambda a, b: a & b,
+    OpKind.OR: lambda a, b: a | b,
+    OpKind.XOR: lambda a, b: a ^ b,
+    OpKind.NOT: lambda a: ~a,
+    OpKind.SHL: lambda a, b: a << (b & 31),
+    OpKind.SHR: lambda a, b: a >> (b & 31),
+    OpKind.NEG: lambda a: -a,
+    OpKind.MIN: min,
+    OpKind.MAX: max,
+    OpKind.MOVE: lambda a: a,
+}
+
+_COMMUTATIVE = {
+    OpKind.ADD,
+    OpKind.MUL,
+    OpKind.EQ,
+    OpKind.AND,
+    OpKind.OR,
+    OpKind.XOR,
+    OpKind.MIN,
+    OpKind.MAX,
+}
+
+_UNARY = {OpKind.NOT, OpKind.NEG, OpKind.MOVE}
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one operation kind.
+
+    Attributes
+    ----------
+    kind:
+        Canonical kind name (``"add"``, ``"mul"``, …).
+    latency:
+        Execution time in control steps (``>= 1``).  Multi-cycle operations
+        (e.g. a 2-cycle multiplier) are handled by the schedulers per the
+        paper's §5.3.
+    delay_ns:
+        Combinational propagation delay used by chaining-aware timing
+        (paper §5.4).  Irrelevant unless a clocked :class:`TimingModel` with
+        a finite clock period is in use.
+    commutative:
+        Whether operand order is irrelevant; exploited by the multiplexer
+        input-sharing optimiser (paper §5.6).
+    arity:
+        Number of data inputs (1 or 2; the paper assumes at most 2).
+    symbol:
+        One-character rendering used in tables and grid dumps.
+    evaluate:
+        Pure-Python evaluator for the reference simulator.
+    """
+
+    kind: str
+    latency: int = 1
+    delay_ns: float = 1.0
+    commutative: bool = False
+    arity: int = 2
+    symbol: str = "?"
+    evaluate: Callable[..., int] = field(default=lambda *args: 0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"latency must be >= 1, got {self.latency}")
+        if self.arity not in (1, 2):
+            raise ValueError(f"arity must be 1 or 2, got {self.arity}")
+        if self.delay_ns <= 0:
+            raise ValueError(f"delay_ns must be positive, got {self.delay_ns}")
+
+    def with_latency(self, latency: int) -> "OpSpec":
+        """Return a copy of this spec with a different latency.
+
+        Used to derive e.g. a 2-cycle multiplier from the standard set.
+        """
+        return OpSpec(
+            kind=self.kind,
+            latency=latency,
+            delay_ns=self.delay_ns,
+            commutative=self.commutative,
+            arity=self.arity,
+            symbol=self.symbol,
+            evaluate=self.evaluate,
+        )
+
+    def with_delay(self, delay_ns: float) -> "OpSpec":
+        """Return a copy of this spec with a different combinational delay."""
+        return OpSpec(
+            kind=self.kind,
+            latency=self.latency,
+            delay_ns=delay_ns,
+            commutative=self.commutative,
+            arity=self.arity,
+            symbol=self.symbol,
+            evaluate=self.evaluate,
+        )
+
+
+class OperationSet:
+    """Registry of the :class:`OpSpec`\\ s available to one design.
+
+    Per the paper, execution times (latencies, delays) are design inputs
+    ("the user has to specify … execution time for each type of
+    operations"), so they live here rather than on the DFG itself.  The same
+    DFG can be scheduled under different operation sets (e.g. 1-cycle vs
+    2-cycle multipliers) without rebuilding it.
+    """
+
+    def __init__(self, specs: Iterable[OpSpec] = ()) -> None:
+        self._specs: Dict[str, OpSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: OpSpec) -> None:
+        """Add or replace the spec for ``spec.kind``."""
+        self._specs[str(spec.kind)] = spec
+
+    def spec(self, kind: str) -> OpSpec:
+        """Return the spec for ``kind``; raise if it is not registered."""
+        try:
+            return self._specs[str(kind)]
+        except KeyError:
+            raise UnknownOperationError(
+                f"operation kind {kind!r} is not registered"
+            ) from None
+
+    def __contains__(self, kind: str) -> bool:
+        return str(kind) in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def kinds(self) -> Tuple[str, ...]:
+        """All registered kind names, in registration order."""
+        return tuple(self._specs)
+
+    def latency(self, kind: str) -> int:
+        """Latency in control steps of ``kind``."""
+        return self.spec(kind).latency
+
+    def delay_ns(self, kind: str) -> float:
+        """Combinational delay in nanoseconds of ``kind``."""
+        return self.spec(kind).delay_ns
+
+    def copy(self) -> "OperationSet":
+        """Shallow copy (specs are immutable, so this is a full copy)."""
+        return OperationSet(self._specs.values())
+
+    def with_latencies(self, latencies: Mapping[str, int]) -> "OperationSet":
+        """Return a copy with the latencies of some kinds overridden.
+
+        Example: ``ops.with_latencies({"mul": 2})`` models the paper's
+        2-cycle multiplier column of Table 1.
+        """
+        derived = self.copy()
+        for kind, latency in latencies.items():
+            derived.register(self.spec(kind).with_latency(latency))
+        return derived
+
+    def with_delays(self, delays: Mapping[str, float]) -> "OperationSet":
+        """Return a copy with the combinational delays overridden."""
+        derived = self.copy()
+        for kind, delay in delays.items():
+            derived.register(self.spec(kind).with_delay(delay))
+        return derived
+
+
+def standard_operation_set(
+    mul_latency: int = 1,
+    delays_ns: Optional[Mapping[str, float]] = None,
+) -> OperationSet:
+    """Build the operation set used throughout the paper's examples.
+
+    Parameters
+    ----------
+    mul_latency:
+        Latency of multiplication (and division) in control steps.  Table 1
+        uses both 1-cycle ("1") and 2-cycle ("2") multipliers.
+    delays_ns:
+        Optional per-kind combinational-delay overrides for chaining
+        experiments.
+
+    The default delays model a generic cell library: logic ≈ 2 ns,
+    add/sub/compare ≈ 10 ns, multiply ≈ 40 ns.
+    """
+    default_delays = {
+        OpKind.ADD: 10.0,
+        OpKind.SUB: 10.0,
+        OpKind.MUL: 40.0,
+        OpKind.DIV: 40.0,
+        OpKind.EQ: 6.0,
+        OpKind.LT: 8.0,
+        OpKind.GT: 8.0,
+        OpKind.AND: 2.0,
+        OpKind.OR: 2.0,
+        OpKind.XOR: 2.5,
+        OpKind.NOT: 1.0,
+        OpKind.SHL: 4.0,
+        OpKind.SHR: 4.0,
+        OpKind.NEG: 6.0,
+        OpKind.MIN: 9.0,
+        OpKind.MAX: 9.0,
+        OpKind.MOVE: 0.5,
+    }
+    ops = OperationSet()
+    for kind in OpKind:
+        latency = mul_latency if kind in (OpKind.MUL, OpKind.DIV) else 1
+        ops.register(
+            OpSpec(
+                kind=kind.value,
+                latency=latency,
+                delay_ns=default_delays[kind],
+                commutative=kind in _COMMUTATIVE,
+                arity=1 if kind in _UNARY else 2,
+                symbol=OP_SYMBOLS[kind],
+                evaluate=_EVALUATORS[kind],
+            )
+        )
+    if delays_ns:
+        ops = ops.with_delays(delays_ns)
+    return ops

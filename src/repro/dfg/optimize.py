@@ -1,0 +1,189 @@
+"""Classic pre-scheduling DFG optimisations.
+
+These companions of the §5 transforms shrink or reshape the graph before
+scheduling:
+
+* :func:`constant_fold` — evaluate operations whose operands are all
+  literals;
+* :func:`eliminate_dead_code` — drop operations whose value can never
+  reach a primary output;
+* :func:`balance_tree` — tree-height reduction: re-associate chains of
+  the same commutative operation into balanced trees, shortening the
+  critical path (and thereby the reachable time constraints).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.dfg.graph import DFG, Port
+from repro.dfg.ops import OperationSet
+
+
+def constant_fold(dfg: DFG, ops: OperationSet) -> DFG:
+    """Evaluate constant-operand operations at compile time.
+
+    Branch-tagged operations fold too (their value does not depend on the
+    branch).  Runs in one topological pass, so chains of constants
+    collapse completely.
+    """
+    folded_value: Dict[str, int] = {}
+
+    def resolve(port: Port) -> Port:
+        if port.is_node and port.name in folded_value:
+            return Port.const(folded_value[port.name])
+        return port
+
+    clone = DFG(dfg.name)
+    for input_name in dfg.inputs:
+        clone.add_input(input_name)
+    for name in dfg.topological_order():
+        node = dfg.node(name)
+        operands = tuple(resolve(p) for p in node.operands)
+        if all(p.is_const for p in operands):
+            spec = ops.spec(node.kind)
+            folded_value[name] = spec.evaluate(*(p.value for p in operands))
+            continue
+        clone.add_op(node.kind, operands, name=name, branch=node.branch)
+    for out_name, port in dfg.outputs.items():
+        clone.set_output(out_name, resolve(port))
+    return clone
+
+
+def eliminate_dead_code(dfg: DFG) -> DFG:
+    """Remove operations that cannot reach any primary output."""
+    live: Set[str] = set()
+    stack: List[str] = [
+        port.name for port in dfg.outputs.values() if port.is_node
+    ]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        stack.extend(dfg.predecessors(name))
+
+    clone = DFG(dfg.name)
+    for input_name in dfg.inputs:
+        clone.add_input(input_name)
+    for name in dfg.topological_order():
+        if name not in live:
+            continue
+        node = dfg.node(name)
+        clone.add_op(node.kind, node.operands, name=name, branch=node.branch)
+    for out_name, port in dfg.outputs.items():
+        clone.set_output(out_name, port)
+    return clone
+
+
+def _chain_of(
+    dfg: DFG, root: str, single_use: Set[str]
+) -> Tuple[List[Port], List[str]]:
+    """Leaves and interior nodes of the maximal same-kind, same-branch,
+    single-consumer subtree rooted at ``root``."""
+    root_node = dfg.node(root)
+    leaves: List[Port] = []
+    interior: List[str] = []
+
+    def walk(name: str) -> None:
+        for port in dfg.node(name).operands:
+            if port.is_node:
+                child = dfg.node(port.name)
+                if (
+                    child.kind == root_node.kind
+                    and port.name in single_use
+                    and child.branch == root_node.branch
+                ):
+                    interior.append(port.name)
+                    walk(port.name)
+                    continue
+            leaves.append(port)
+
+    walk(root)
+    return leaves, interior
+
+
+def balance_tree(dfg: DFG, ops: OperationSet) -> DFG:
+    """Tree-height reduction over commutative/associative chains.
+
+    Chains like ``(((a+b)+c)+d)`` become balanced trees
+    ``(a+b)+(c+d)``.  Only single-consumer interior nodes re-associate
+    (re-associating a shared value would duplicate work), and only within
+    one branch context.  Associativity is assumed for the commutative
+    kinds (true for the integer semantics of this library's operation
+    set).
+    """
+    consumers: Dict[str, int] = {}
+    for node in dfg:
+        for pred in node.predecessor_names():
+            consumers[pred] = consumers.get(pred, 0) + 1
+    for port in dfg.outputs.values():
+        if port.is_node:
+            consumers[port.name] = consumers.get(port.name, 0) + 1
+    single_use = {name for name, count in consumers.items() if count == 1}
+
+    # Pass 1 (top-down): pick chain roots and their interior nodes.
+    chain_leaves: Dict[str, List[Port]] = {}
+    interior_nodes: Set[str] = set()
+    for name in reversed(dfg.topological_order()):
+        if name in interior_nodes:
+            continue
+        node = dfg.node(name)
+        if node.kind not in ops:
+            continue
+        spec = ops.spec(node.kind)
+        if not spec.commutative or spec.arity != 2:
+            continue
+        leaves, interior = _chain_of(dfg, name, single_use)
+        if len(leaves) > 2:
+            chain_leaves[name] = leaves
+            interior_nodes.update(interior)
+
+    # Pass 2 (bottom-up): rebuild, replacing each chain by a balanced tree.
+    clone = DFG(dfg.name)
+    for input_name in dfg.inputs:
+        clone.add_input(input_name)
+    rebuilt: Dict[str, Port] = {}
+
+    def resolve(port: Port) -> Port:
+        if port.is_node:
+            return rebuilt[port.name]
+        return port
+
+    for name in dfg.topological_order():
+        if name in interior_nodes:
+            continue
+        node = dfg.node(name)
+        if name in chain_leaves:
+            level = [resolve(p) for p in chain_leaves[name]]
+            counter = 0
+            while len(level) > 2:
+                next_level = []
+                for index in range(0, len(level) - 1, 2):
+                    next_level.append(
+                        clone.add_op(
+                            node.kind,
+                            [level[index], level[index + 1]],
+                            name=f"{name}.b{counter}",
+                            branch=node.branch,
+                        )
+                    )
+                    counter += 1
+                if len(level) % 2:
+                    next_level.append(level[-1])
+                level = next_level
+            # the root keeps its original name so outputs stay stable
+            rebuilt[name] = clone.add_op(
+                node.kind, level, name=name, branch=node.branch
+            )
+            continue
+        rebuilt[name] = clone.add_op(
+            node.kind,
+            tuple(resolve(p) for p in node.operands),
+            name=name,
+            branch=node.branch,
+        )
+
+    for out_name, port in dfg.outputs.items():
+        clone.set_output(out_name, resolve(port) if port.is_node else port)
+    return clone

@@ -1,0 +1,229 @@
+"""A small behavioral language compiled to data-flow graphs.
+
+High-level synthesis systems of the paper's era read behavioral text;
+this module provides the equivalent front door::
+
+    input x dx u y a
+    x1 = x + dx
+    u1 = u - (3 * x) * (u * dx) - (3 * y) * dx
+    c  = x1 < a
+    output x1 u1 c
+
+Statements
+----------
+* ``input <name> ...`` — declare primary inputs;
+* ``<name> = <expression>`` — assignment; every operator becomes one DFG
+  node (named after the target for single-operator right-hand sides);
+* ``output <name> ...`` — declare outputs (names must be assigned values
+  or inputs);
+* ``branch <cond> then`` / ``branch <cond> else`` / ``end <cond>`` —
+  mutual-exclusion regions (§5.1);
+* ``#`` starts a comment.
+
+Expressions support ``+ - * / & | ^ << >> < > ==`` with conventional
+precedence, parentheses, unary ``- ~``, integer literals and previously
+defined names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.dfg.builder import DFGBuilder, Value
+from repro.dfg.graph import DFG
+from repro.dfg.ops import OpKind
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><<|>>|==|[+\-*/&|^<>()~]))"
+)
+
+_BINARY_LEVELS: Tuple[Tuple[Tuple[str, str], ...], ...] = (
+    (("|", OpKind.OR),),
+    (("^", OpKind.XOR),),
+    (("&", OpKind.AND),),
+    (("==", OpKind.EQ), ("<", OpKind.LT), (">", OpKind.GT)),
+    (("<<", OpKind.SHL), (">>", OpKind.SHR)),
+    (("+", OpKind.ADD), ("-", OpKind.SUB)),
+    (("*", OpKind.MUL), ("/", OpKind.DIV)),
+)
+
+
+def _tokenize(text: str, line_no: int) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"line {line_no}: cannot tokenize {remainder!r}")
+        position = match.end()
+        if match.group("num") is not None:
+            tokens.append(("num", match.group("num")))
+        elif match.group("name") is not None:
+            tokens.append(("name", match.group("name")))
+        else:
+            tokens.append(("op", match.group("op")))
+    return tokens
+
+
+class _ExpressionParser:
+    """Recursive-descent parser over one token stream."""
+
+    def __init__(
+        self,
+        tokens: List[Tuple[str, str]],
+        builder: DFGBuilder,
+        scope: Dict[str, Value],
+        line_no: int,
+    ) -> None:
+        self.tokens = tokens
+        self.builder = builder
+        self.scope = scope
+        self.line_no = line_no
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"line {self.line_no}: unexpected end of expression")
+        self.position += 1
+        return token
+
+    def expect_op(self, symbol: str) -> None:
+        token = self.take()
+        if token != ("op", symbol):
+            raise ParseError(
+                f"line {self.line_no}: expected {symbol!r}, got {token[1]!r}"
+            )
+
+    def parse(self) -> Value:
+        value = self.parse_level(0)
+        if self.peek() is not None:
+            raise ParseError(
+                f"line {self.line_no}: trailing tokens after expression "
+                f"({self.tokens[self.position:]})"
+            )
+        return value
+
+    def parse_level(self, level: int) -> Value:
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        operators = dict(_BINARY_LEVELS[level])
+        value = self.parse_level(level + 1)
+        while True:
+            token = self.peek()
+            if token is None or token[0] != "op" or token[1] not in operators:
+                return value
+            self.take()
+            right = self.parse_level(level + 1)
+            value = self.builder.op(operators[token[1]], value, right)
+
+    def parse_unary(self) -> Value:
+        token = self.peek()
+        if token == ("op", "-"):
+            self.take()
+            return self.builder.op(OpKind.NEG, self.parse_unary())
+        if token == ("op", "~"):
+            self.take()
+            return self.builder.op(OpKind.NOT, self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Value:
+        token = self.take()
+        if token[0] == "num":
+            return self.builder.const(int(token[1]))
+        if token[0] == "name":
+            if token[1] not in self.scope:
+                raise ParseError(
+                    f"line {self.line_no}: unknown name {token[1]!r}"
+                )
+            return self.scope[token[1]]
+        if token == ("op", "("):
+            value = self.parse_level(0)
+            self.expect_op(")")
+            return value
+        raise ParseError(f"line {self.line_no}: unexpected token {token[1]!r}")
+
+
+def parse_behavior(text: str, name: str = "parsed") -> DFG:
+    """Compile behavioral text to a :class:`~repro.dfg.graph.DFG`."""
+    builder = DFGBuilder(name)
+    scope: Dict[str, Value] = {}
+    outputs: List[Tuple[int, str]] = []
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        head, _space, rest = line.partition(" ")
+
+        if head == "input":
+            for input_name in rest.split():
+                if input_name in scope:
+                    raise ParseError(
+                        f"line {line_no}: name {input_name!r} already defined"
+                    )
+                scope[input_name] = builder.input(input_name)
+            continue
+
+        if head == "output":
+            for output_name in rest.split():
+                outputs.append((line_no, output_name))
+            continue
+
+        if head == "branch":
+            parts = rest.split()
+            if len(parts) != 2 or parts[1] not in ("then", "else"):
+                raise ParseError(
+                    f"line {line_no}: expected 'branch <cond> then|else'"
+                )
+            condition, arm = parts
+            if arm == "then":
+                builder.then_branch(condition)
+            else:
+                builder.else_branch(condition)
+            continue
+
+        if head == "end":
+            condition = rest.strip()
+            if not condition:
+                raise ParseError(f"line {line_no}: expected 'end <cond>'")
+            builder.end_branch(condition)
+            continue
+
+        if "=" in line and not line.startswith("="):
+            target, _eq, expression = line.partition("=")
+            target = target.strip()
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", target):
+                raise ParseError(
+                    f"line {line_no}: invalid assignment target {target!r}"
+                )
+            if target in scope:
+                raise ParseError(
+                    f"line {line_no}: name {target!r} already defined "
+                    f"(the language is single-assignment)"
+                )
+            tokens = _tokenize(expression, line_no)
+            parser = _ExpressionParser(tokens, builder, scope, line_no)
+            scope[target] = parser.parse()
+            continue
+
+        raise ParseError(f"line {line_no}: cannot parse statement {line!r}")
+
+    for line_no, output_name in outputs:
+        if output_name not in scope:
+            raise ParseError(
+                f"line {line_no}: output {output_name!r} was never defined"
+            )
+        builder.output(output_name, scope[output_name])
+    return builder.build()

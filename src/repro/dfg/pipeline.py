@@ -1,0 +1,356 @@
+"""Pipelining transforms (§5.5).
+
+Structural pipelining (§5.5.1)
+------------------------------
+Two equivalent mechanisms are provided:
+
+* the **native mechanism** — pass ``pipelined_kinds`` to the schedulers:
+  the placement grid then books a pipelined FU only at an operation's
+  start step, so the unit accepts a new operation every cycle;
+* the **paper's transform** — :func:`expand_structural_pipeline` splits a
+  k-cycle operation into k chained single-cycle *stage* operations of
+  distinct kinds ("different operations represent different stages of a
+  multi-stage pipelined functional unit").  A post-check,
+  :func:`check_stage_contiguity`, verifies the stages landed in
+  consecutive control steps.
+
+Functional pipelining (§5.5.2)
+------------------------------
+* the **native mechanism** — pass ``latency_l`` to the schedulers: grid
+  occupancy folds modulo ``L`` so steps ``t`` and ``t + k·L`` share
+  hardware;
+* :func:`unfold_two_instances` builds the paper's ``DFGdouble`` (two
+  renamed loop iterations) and :func:`partition_double` splits it at
+  ``⌈(cs+L)/2⌉`` per the five-step procedure;
+* :func:`overlap_report` shows, for a folded schedule, which iterations
+  overlap in each physical step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.dfg.graph import DFG, Port
+from repro.dfg.ops import OperationSet, OpSpec
+from repro.dfg.analysis import TimingModel, asap_schedule
+from repro.schedule.types import Schedule
+
+
+# ----------------------------------------------------------------------
+# structural pipelining (§5.5.1)
+# ----------------------------------------------------------------------
+def stage_kind(kind: str, stage: int) -> str:
+    """Kind name of one pipeline stage of ``kind``."""
+    return f"{kind}.s{stage}"
+
+
+def expand_structural_pipeline(
+    dfg: DFG, ops: OperationSet, kinds: Tuple[str, ...]
+) -> Tuple[DFG, OperationSet]:
+    """The paper's §5.5.1 transform: k-cycle ops become k stage ops.
+
+    Stage 1 performs the computation; stages 2…k are pass-throughs of
+    distinct kinds, chained in sequence.  Returns the transformed DFG and
+    an operation set extended with the stage specs (all 1-cycle).
+    """
+    pipelined = {str(k) for k in kinds}
+    extended = ops.copy()
+    for kind in pipelined:
+        spec = ops.spec(kind)
+        if spec.latency < 2:
+            raise ScheduleError(
+                f"kind {kind!r} has latency {spec.latency}; only multi-cycle "
+                f"operations can be structurally pipelined"
+            )
+        for stage in range(1, spec.latency + 1):
+            if stage == 1:
+                evaluate = spec.evaluate
+                arity = spec.arity
+            else:
+                evaluate = lambda a: a  # noqa: E731 - pass-through stage
+                arity = 1
+            extended.register(
+                OpSpec(
+                    kind=stage_kind(kind, stage),
+                    latency=1,
+                    delay_ns=spec.delay_ns / spec.latency,
+                    commutative=spec.commutative if stage == 1 else False,
+                    arity=arity,
+                    symbol=spec.symbol,
+                    evaluate=evaluate,
+                )
+            )
+
+    clone = DFG(f"{dfg.name}.structpipe")
+    for input_name in dfg.inputs:
+        clone.add_input(input_name)
+    last_stage_of: Dict[str, str] = {}
+
+    def resolve(port: Port) -> Port:
+        if port.is_node and port.name in last_stage_of:
+            return Port.node(last_stage_of[port.name])
+        return port
+
+    for node in dfg:
+        operands = tuple(resolve(p) for p in node.operands)
+        if node.kind in pipelined:
+            latency = ops.spec(node.kind).latency
+            previous = clone.add_op(
+                stage_kind(node.kind, 1),
+                operands,
+                name=f"{node.name}.s1",
+                branch=node.branch,
+            )
+            for stage in range(2, latency + 1):
+                previous = clone.add_op(
+                    stage_kind(node.kind, stage),
+                    [previous],
+                    name=f"{node.name}.s{stage}",
+                    branch=node.branch,
+                )
+            last_stage_of[node.name] = f"{node.name}.s{latency}"
+        else:
+            clone.add_op(node.kind, operands, name=node.name, branch=node.branch)
+    for out_name, port in dfg.outputs.items():
+        clone.set_output(out_name, resolve(port))
+    return clone, extended
+
+
+def check_stage_contiguity(schedule: Schedule) -> None:
+    """Verify expanded pipeline stages sit in consecutive steps (§5.5.1:
+    "must be scheduled in consecutive control steps")."""
+    starts = schedule.starts
+    for name in starts:
+        if ".s" not in name:
+            continue
+        base, _dot, stage_label = name.rpartition(".s")
+        stage = int(stage_label)
+        if stage < 2:
+            continue
+        previous = f"{base}.s{stage - 1}"
+        if starts[name] != starts[previous] + 1:
+            raise ScheduleError(
+                f"pipeline stages {previous!r}@{starts[previous]} and "
+                f"{name!r}@{starts[name]} are not in consecutive steps"
+            )
+
+
+# ----------------------------------------------------------------------
+# functional pipelining (§5.5.2)
+# ----------------------------------------------------------------------
+def unfold_two_instances(dfg: DFG) -> DFG:
+    """Build ``DFGdouble``: two renamed instances of the loop body.
+
+    The instances are data-independent (they model consecutive loop
+    iterations); the ``L``-cycle offset between them is a scheduling
+    constraint, not a data edge.
+    """
+    first = dfg.renamed("i1_")
+    second = dfg.renamed("i2_")
+    double = DFG(f"{dfg.name}.double")
+    for input_name in first.inputs:
+        double.add_input(input_name)
+    for instance in (first, second):
+        for node in instance:
+            double.add_op(
+                node.kind, node.operands, name=node.name, branch=node.branch
+            )
+    for out_name, port in first.outputs.items():
+        double.set_output(f"i1_{out_name}", port)
+    for out_name, port in second.outputs.items():
+        double.set_output(f"i2_{out_name}", port)
+    return double
+
+
+@dataclass
+class DoublePartition:
+    """§5.5.2 step 2: the two halves of ``DFGdouble``."""
+
+    boundary: int
+    first: Tuple[str, ...]
+    second: Tuple[str, ...]
+
+
+def partition_double(
+    double: DFG,
+    timing: TimingModel,
+    cs: int,
+    latency: int,
+    instance2_offset: Optional[int] = None,
+) -> DoublePartition:
+    """Split ``DFGdouble`` at ``⌈(cs + L) / 2⌉`` by (offset) ASAP steps.
+
+    Instance-2 operations are shifted by ``L`` (they enter the pipe one
+    initiation later) before comparing against the boundary.
+    """
+    offset = latency if instance2_offset is None else instance2_offset
+    asap = asap_schedule(double, timing)
+    boundary = -(-(cs + latency) // 2)
+    first: List[str] = []
+    second: List[str] = []
+    for name in double.node_names():
+        step = asap[name] + (offset if name.startswith("i2_") else 0)
+        (first if step <= boundary else second).append(name)
+    return DoublePartition(
+        boundary=boundary, first=tuple(first), second=tuple(second)
+    )
+
+
+@dataclass
+class OverlapReport:
+    """Which loop iterations are active in each physical step of a
+    functionally pipelined schedule."""
+
+    latency: int
+    cs: int
+    per_step: Dict[int, List[Tuple[int, str]]]
+
+    def max_overlap(self) -> int:
+        """Largest number of concurrently active iterations."""
+        best = 0
+        for members in self.per_step.values():
+            iterations = {iteration for iteration, _name in members}
+            best = max(best, len(iterations))
+        return best
+
+
+@dataclass
+class TwoInstanceResult:
+    """§5.5.2 end-to-end result.
+
+    ``iteration`` is the folded single-iteration schedule; ``double`` is
+    the explicit two-instance schedule over ``cs + L`` steps (instance 2
+    shifted by ``L``), which proves the fold: both instances are
+    identical, every dependence holds, and the per-step FU demand of the
+    double schedule equals the folded accounting.
+    """
+
+    iteration: Schedule
+    double: Schedule
+    partition: "DoublePartition"
+    latency: int
+
+
+def two_instance_schedule(
+    dfg: DFG,
+    timing: TimingModel,
+    cs: int,
+    latency: int,
+    **mfs_kwargs,
+) -> TwoInstanceResult:
+    """Run the §5.5.2 functional-pipelining procedure end to end.
+
+    The constructive five-step text of the paper is realised through the
+    equivalent modulo-``L`` resource accounting (DESIGN.md §4): MFS folds
+    one iteration, then the two-instance schedule is materialised by
+    overlapping two copies at offset ``L`` and fully validated — which is
+    exactly the property steps 3–5 of the paper construct by hand.
+    """
+    from repro.core.mfs import MFSScheduler  # local import: avoids cycle
+
+    result = MFSScheduler(
+        dfg, timing, cs=cs, mode="time", latency_l=latency, **mfs_kwargs
+    ).run()
+    iteration = result.schedule
+
+    double = unfold_two_instances(dfg)
+    starts = {}
+    for name, start in iteration.starts.items():
+        starts[f"i1_{name}"] = start
+        starts[f"i2_{name}"] = start + latency
+    double_schedule = Schedule(
+        dfg=double,
+        timing=timing,
+        cs=cs + latency,
+        starts=starts,
+        pipelined_kinds=iteration.pipelined_kinds,
+    )
+    double_schedule.validate()
+
+    # The §5.5.2 guarantee: overlapped instances never demand more
+    # hardware than the folded accounting promised.
+    from repro.dfg.analysis import type_concurrency
+
+    folded_usage = iteration.fu_usage()
+    double_usage = type_concurrency(
+        double,
+        starts,
+        timing,
+        pipelined_kinds=iteration.pipelined_kinds,
+    )
+    for kind, used in double_usage.items():
+        if used > folded_usage.get(kind, 0):
+            raise ScheduleError(
+                f"two-instance overlap of {dfg.name!r} needs {used} "
+                f"{kind!r} units, folded accounting promised "
+                f"{folded_usage.get(kind, 0)}"
+            )
+
+    partition = partition_double(double, timing, cs, latency)
+    return TwoInstanceResult(
+        iteration=iteration,
+        double=double_schedule,
+        partition=partition,
+        latency=latency,
+    )
+
+
+def minimum_initiation_interval(
+    dfg: DFG,
+    timing: TimingModel,
+    cs: int,
+    resource_bounds: Optional[Dict[str, int]] = None,
+    pipelined_kinds: Tuple[str, ...] = (),
+) -> Tuple[int, Schedule]:
+    """Smallest feasible functional-pipelining latency ``L`` (§5.5.2).
+
+    Searches L = 1 … cs with MFS; ``resource_bounds`` (optional) caps the
+    hardware the folded schedule may use.  Returns ``(L, schedule)`` of
+    the fastest feasible initiation interval.
+
+    Raises :class:`ScheduleError` when even L = cs (no overlap) fails —
+    only possible with unsatisfiable resource bounds.
+    """
+    from repro.core.mfs import MFSScheduler  # local import: avoids cycle
+
+    last_error: Optional[Exception] = None
+    for latency in range(1, cs + 1):
+        if any(
+            timing.latency(kind) > latency and kind not in pipelined_kinds
+            for kind in dfg.kinds_used()
+        ):
+            continue  # a non-pipelined multi-cycle op cannot fold this tight
+        try:
+            result = MFSScheduler(
+                dfg,
+                timing,
+                cs=cs,
+                mode="time",
+                latency_l=latency,
+                pipelined_kinds=pipelined_kinds,
+                resource_bounds=resource_bounds,
+            ).run()
+        except ScheduleError as error:
+            last_error = error
+            continue
+        return latency, result.schedule
+    raise ScheduleError(
+        f"no feasible initiation interval up to L={cs} for {dfg.name!r}"
+    ) from last_error
+
+
+def overlap_report(schedule: Schedule) -> OverlapReport:
+    """Analyse a folded (``latency_l``) schedule's iteration overlap."""
+    if not schedule.latency_l:
+        raise ScheduleError("schedule is not functionally pipelined")
+    latency = schedule.latency_l
+    per_step: Dict[int, List[Tuple[int, str]]] = {}
+    for name, start in schedule.starts.items():
+        node_latency = schedule.timing.latency(schedule.dfg.node(name).kind)
+        for step in range(start, start + node_latency):
+            folded = ((step - 1) % latency) + 1
+            iteration = (step - 1) // latency
+            per_step.setdefault(folded, []).append((iteration, name))
+    return OverlapReport(latency=latency, cs=schedule.cs, per_step=per_step)

@@ -1,0 +1,247 @@
+"""DFG transformations: conditional sharing, CSE, loop folding.
+
+* :func:`merge_conditional_shared_ops` — §5.1: operations duplicated
+  across mutually exclusive branches are collapsed to a single operation
+  hoisted to the branches' common context ("we remove all of the
+  operations which are shared between branches except one");
+* :func:`common_subexpression_elimination` — the unconditional variant
+  (the paper's examples deliberately do *not* CSE, e.g. HAL keeps two
+  ``u·dx`` products; this transform lets users choose);
+* :func:`add_loop_control` — §5.2: appends the increment + comparison
+  pair that bounds a loop body's iteration time;
+* :class:`LoopFolder` — §5.2 nested loops: schedule the innermost body
+  under its local time constraint, then expose the whole loop as a single
+  multi-cycle operation to the enclosing level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import DFGError
+from repro.dfg.graph import DFG, Port, branches_mutually_exclusive
+from repro.dfg.ops import OpKind, OperationSet, OpSpec
+from repro.dfg.analysis import TimingModel
+
+
+def _rebuild(dfg: DFG, drop: Mapping[str, str], retag: Mapping[str, tuple]) -> DFG:
+    """Rebuild a DFG with nodes in ``drop`` replaced by their substitute
+    and branch tags overridden by ``retag``."""
+
+    def resolve(name: str) -> str:
+        while name in drop:
+            name = drop[name]
+        return name
+
+    clone = DFG(dfg.name)
+    for input_name in dfg.inputs:
+        clone.add_input(input_name)
+    for node in dfg:
+        if node.name in drop:
+            continue
+        operands = tuple(
+            Port.node(resolve(p.name)) if p.is_node else p for p in node.operands
+        )
+        clone.add_op(
+            node.kind,
+            operands,
+            name=node.name,
+            branch=retag.get(node.name, node.branch),
+        )
+    for out_name, port in dfg.outputs.items():
+        clone.set_output(
+            out_name, Port.node(resolve(port.name)) if port.is_node else port
+        )
+    return clone
+
+
+def _operand_key(dfg: DFG, name: str, ops: Optional[OperationSet]) -> tuple:
+    """Canonical (kind, operands) key; commutative operands are sorted."""
+    node = dfg.node(name)
+    signals = node.operand_names()
+    commutative = False
+    if ops is not None and node.kind in ops:
+        commutative = ops.spec(node.kind).commutative
+    if commutative:
+        signals = tuple(sorted(signals))
+    return (node.kind, signals)
+
+
+def _common_branch_prefix(a: tuple, b: tuple) -> tuple:
+    prefix = []
+    for pair_a, pair_b in zip(a, b):
+        if pair_a != pair_b:
+            break
+        prefix.append(pair_a)
+    return tuple(prefix)
+
+
+def merge_conditional_shared_ops(
+    dfg: DFG, ops: Optional[OperationSet] = None
+) -> DFG:
+    """Collapse operations duplicated across exclusive branches (§5.1).
+
+    Two operations merge when they are mutually exclusive, have the same
+    kind and read the same signals (order-insensitive for commutative
+    kinds when ``ops`` is given).  The survivor is hoisted to the
+    branches' common prefix.  Runs to fixpoint.
+    """
+    current = dfg
+    for _round in range(len(dfg) + 1):
+        drop: Dict[str, str] = {}
+        retag: Dict[str, tuple] = {}
+        by_key: Dict[tuple, List[str]] = {}
+        for node in current:
+            by_key.setdefault(
+                _operand_key(current, node.name, ops), []
+            ).append(node.name)
+        for _key, members in by_key.items():
+            survivors: List[str] = []
+            for name in members:
+                node = current.node(name)
+                merged = False
+                for keeper in survivors:
+                    keeper_node = current.node(keeper)
+                    if branches_mutually_exclusive(
+                        retag.get(keeper, keeper_node.branch), node.branch
+                    ):
+                        drop[name] = keeper
+                        retag[keeper] = _common_branch_prefix(
+                            retag.get(keeper, keeper_node.branch), node.branch
+                        )
+                        merged = True
+                        break
+                if not merged:
+                    survivors.append(name)
+        if not drop:
+            return current
+        current = _rebuild(current, drop, retag)
+    return current
+
+
+def common_subexpression_elimination(
+    dfg: DFG, ops: Optional[OperationSet] = None
+) -> DFG:
+    """Merge structurally identical operations regardless of branches.
+
+    Only operations on the *same* branch path merge (merging across
+    non-exclusive different paths would change execution conditions).
+    """
+    current = dfg
+    for _round in range(len(dfg) + 1):
+        drop: Dict[str, str] = {}
+        seen: Dict[tuple, str] = {}
+        for node in current:
+            key = _operand_key(current, node.name, ops) + (node.branch,)
+            if key in seen:
+                drop[node.name] = seen[key]
+            else:
+                seen[key] = node.name
+        if not drop:
+            return current
+        current = _rebuild(current, drop, {})
+    return current
+
+
+def add_loop_control(
+    dfg: DFG, counter: str = "loop_i", bound: str = "loop_n"
+) -> DFG:
+    """Append the §5.2 loop-control pair (increment + comparison).
+
+    Adds primary inputs for the counter and bound, an increment
+    (``counter + 1``) and an exit comparison (``counter' < bound``), and
+    exposes both as outputs (``<counter>_next``, ``<counter>_continue``).
+    """
+    clone = dfg.copy()
+    counter_port = clone.add_input(counter)
+    bound_port = clone.add_input(bound)
+    increment = clone.add_op(
+        OpKind.ADD, [counter_port, Port.const(1)], name=f"{counter}_incr"
+    )
+    compare = clone.add_op(OpKind.LT, [increment, bound_port], name=f"{counter}_cmp")
+    clone.set_output(f"{counter}_next", increment)
+    clone.set_output(f"{counter}_continue", compare)
+    return clone
+
+
+@dataclass
+class FoldedLoop:
+    """A scheduled loop body packaged as a single outer-level operation.
+
+    ``spec`` is the multi-cycle operation the enclosing level schedules
+    ("the entire loop is treated as a single operation with an execution
+    time equal to the loop's local time constraint", §5.2).
+    """
+
+    name: str
+    body: DFG
+    body_schedule: Mapping[str, int]
+    local_cs: int
+    spec: OpSpec
+
+
+class LoopFolder:
+    """Fold (possibly nested) loops innermost-first (§5.2).
+
+    Usage::
+
+        folder = LoopFolder(timing)
+        inner = folder.fold("inner", inner_body, local_cs=4)
+        # the enclosing DFG may now use kind inner.spec.kind
+        outer_ops = folder.extended_ops()
+    """
+
+    def __init__(self, timing: TimingModel) -> None:
+        self.timing = timing
+        self._folded: Dict[str, FoldedLoop] = {}
+
+    def fold(self, name: str, body: DFG, local_cs: int) -> FoldedLoop:
+        """Schedule ``body`` in ``local_cs`` steps and register the loop op."""
+        from repro.core.mfs import MFSScheduler  # local import: avoids cycle
+
+        if name in self._folded:
+            raise DFGError(f"loop {name!r} already folded")
+        scheduler = MFSScheduler(
+            body, self._timing_for_body(), cs=local_cs, mode="time"
+        )
+        result = scheduler.run()
+        spec = OpSpec(
+            kind=f"loop_{name}",
+            latency=local_cs,
+            delay_ns=1.0,
+            commutative=False,
+            arity=2,
+            symbol="@",
+            evaluate=lambda a, b: a,
+        )
+        folded = FoldedLoop(
+            name=name,
+            body=body,
+            body_schedule=dict(result.schedule.starts),
+            local_cs=local_cs,
+            spec=spec,
+        )
+        self._folded[name] = folded
+        return folded
+
+    def _timing_for_body(self) -> TimingModel:
+        """Bodies may themselves contain previously folded inner loops."""
+        return TimingModel(
+            ops=self.extended_ops(),
+            clock_period_ns=self.timing.clock_period_ns,
+        )
+
+    def extended_ops(self) -> OperationSet:
+        """The base operation set plus one spec per folded loop."""
+        ops = self.timing.ops.copy()
+        for folded in self._folded.values():
+            ops.register(folded.spec)
+        return ops
+
+    def folded(self, name: str) -> FoldedLoop:
+        """The folded loop called ``name``."""
+        try:
+            return self._folded[name]
+        except KeyError:
+            raise DFGError(f"no folded loop named {name!r}") from None

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class DFGError(ReproError):
+    """A data-flow graph is malformed or an operation on it is invalid."""
+
+
+class CycleError(DFGError):
+    """The data-flow graph contains a dependency cycle."""
+
+
+class UnknownOperationError(DFGError):
+    """An operation kind is not registered in the operation set in use."""
+
+
+class ParseError(DFGError):
+    """The behavioral-language parser rejected its input."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is invalid or could not be constructed."""
+
+
+class InfeasibleScheduleError(ScheduleError):
+    """No schedule exists under the given time/resource constraints."""
+
+
+class LibraryError(ReproError):
+    """A cell library is inconsistent or lacks a required cell."""
+
+
+class AllocationError(ReproError):
+    """Datapath allocation (FU/register/mux binding) failed."""
+
+
+class StabilityError(ReproError):
+    """A Liapunov monotonicity invariant was violated during a run."""
+
+
+class SimulationError(ReproError):
+    """Cycle-accurate simulation of a datapath failed or diverged."""
+
+
+class RTLError(ReproError):
+    """RTL netlist construction or emission failed."""

@@ -1,0 +1,164 @@
+"""Design-space exploration driver.
+
+Automates the latency/area sweep every HLS methodology paper runs by
+hand: schedule-and-allocate a behaviour across a range of time budgets,
+collect the cost metrics, extract the Pareto front and pick a knee.
+
+    points = design_space(dfg, timing, library)
+    front = pareto_front(points)
+    pick = knee_point(front)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import InfeasibleScheduleError
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.graph import DFG
+from repro.library.cells import CellLibrary
+from repro.core.liapunov import LiapunovWeights
+from repro.core.mfsa import MFSAResult, MFSAScheduler
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored design: a time budget and its measured costs."""
+
+    cs: int
+    total_area: float
+    alu_area: float
+    register_count: int
+    mux_inputs: int
+    alu_labels: tuple
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (latency, area)."""
+        return (
+            self.cs <= other.cs
+            and self.total_area <= other.total_area
+            and (self.cs < other.cs or self.total_area < other.total_area)
+        )
+
+
+def design_space(
+    dfg: DFG,
+    timing: TimingModel,
+    library: CellLibrary,
+    budgets: Optional[Sequence[int]] = None,
+    style: int = 1,
+    weights: LiapunovWeights = LiapunovWeights(),
+    keep_results: bool = False,
+) -> List[DesignPoint]:
+    """Synthesise the behaviour across a range of time budgets.
+
+    ``budgets`` defaults to a geometric-ish ladder from the critical path
+    to roughly twice the serial length.  Budgets where MFSA cannot place
+    the design (possible under exotic libraries) are skipped.
+
+    With ``keep_results`` each point's full :class:`MFSAResult` is
+    attached via the ``results`` attribute of the returned list (a plain
+    list subclass), for callers that want the actual datapaths.
+    """
+    if budgets is None:
+        base = critical_path_length(dfg, timing)
+        serial = sum(timing.latency(node.kind) for node in dfg)
+        ladder = sorted(
+            {
+                base,
+                base + 1,
+                base + 2,
+                base + 4,
+                base + 8,
+                (base + serial) // 2,
+                serial,
+            }
+        )
+        budgets = [cs for cs in ladder if cs >= base]
+
+    class _PointList(list):
+        results: dict
+
+    points = _PointList()
+    points.results = {}
+    for cs in budgets:
+        try:
+            result = MFSAScheduler(
+                dfg, timing, library, cs=cs, style=style, weights=weights
+            ).run()
+        except InfeasibleScheduleError:
+            continue
+        cost = result.cost
+        point = DesignPoint(
+            cs=cs,
+            total_area=cost.total,
+            alu_area=cost.alu,
+            register_count=result.datapath.register_count(),
+            mux_inputs=result.datapath.mux_inputs(),
+            alu_labels=tuple(sorted(result.alu_labels())),
+        )
+        points.append(point)
+        if keep_results:
+            points.results[cs] = result
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by latency."""
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    # deduplicate identical (cs, area) pairs deterministically
+    seen = set()
+    unique = []
+    for point in sorted(front, key=lambda p: (p.cs, p.total_area)):
+        key = (point.cs, point.total_area)
+        if key not in seen:
+            seen.add(key)
+            unique.append(point)
+    return unique
+
+
+def knee_point(front: Sequence[DesignPoint]) -> Optional[DesignPoint]:
+    """The front's knee: maximum distance from the endpoints' chord.
+
+    Returns the single point balancing latency against area; ``None`` for
+    an empty front, the sole point for singleton fronts.
+    """
+    if not front:
+        return None
+    ordered = sorted(front, key=lambda p: p.cs)
+    if len(ordered) <= 2:
+        return ordered[0]
+    first, last = ordered[0], ordered[-1]
+    span_cs = last.cs - first.cs or 1
+    span_area = first.total_area - last.total_area or 1.0
+
+    def distance(point: DesignPoint) -> float:
+        # normalised distance from the chord between the endpoints
+        u = (point.cs - first.cs) / span_cs
+        v = (first.total_area - point.total_area) / span_area
+        return v - u
+
+    return max(ordered, key=distance)
+
+
+def render_design_space(points: Sequence[DesignPoint]) -> str:
+    """Text table of a sweep."""
+    lines = [
+        f"{'T':>5} {'area':>10} {'ALU area':>10} {'REG':>5} {'MUXin':>7}  ALUs",
+        "-" * 70,
+    ]
+    front = set(id(p) for p in pareto_front(points))
+    for point in sorted(points, key=lambda p: p.cs):
+        marker = "*" if id(point) in front else " "
+        lines.append(
+            f"{point.cs:>5} {point.total_area:>10.0f} {point.alu_area:>10.0f} "
+            f"{point.register_count:>5} {point.mux_inputs:>7} {marker} "
+            f"{'; '.join(point.alu_labels)}"
+        )
+    lines.append("(* = Pareto-optimal)")
+    return "\n".join(lines)

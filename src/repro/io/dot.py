@@ -1,0 +1,74 @@
+"""Graphviz (DOT) export of DFGs and schedules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfg.graph import DFG
+from repro.dfg.ops import OP_SYMBOLS
+from repro.schedule.types import Schedule
+
+
+def _node_label(dfg: DFG, name: str) -> str:
+    node = dfg.node(name)
+    symbol = OP_SYMBOLS.get(node.kind, node.kind)
+    label = f"{name}\\n{symbol}"
+    if node.branch:
+        arms = ",".join(
+            f"{cond}:{'T' if arm else 'F'}" for cond, arm in node.branch
+        )
+        label += f"\\n[{arms}]"
+    return label
+
+
+def dfg_to_dot(dfg: DFG, name: Optional[str] = None) -> str:
+    """Render a DFG as a DOT digraph (inputs as boxes, ops as circles)."""
+    lines = [f'digraph "{name or dfg.name}" {{', "  rankdir=TB;"]
+    for input_name in dfg.inputs:
+        lines.append(f'  "in:{input_name}" [shape=box, label="{input_name}"];')
+    for node in dfg:
+        lines.append(f'  "{node.name}" [shape=circle, label="{_node_label(dfg, node.name)}"];')
+    for node in dfg:
+        for port in node.operands:
+            if port.is_node:
+                lines.append(f'  "{port.name}" -> "{node.name}";')
+            elif port.is_input:
+                lines.append(f'  "in:{port.name}" -> "{node.name}";')
+            else:
+                const = f"const:{port.value}"
+                lines.append(
+                    f'  "{const}" [shape=plaintext, label="{port.value}"];'
+                )
+                lines.append(f'  "{const}" -> "{node.name}";')
+    for out_name, port in dfg.outputs.items():
+        lines.append(f'  "out:{out_name}" [shape=doublecircle, label="{out_name}"];')
+        if port.is_node:
+            source = f'"{port.name}"'
+        elif port.is_input:
+            source = f'"in:{port.name}"'
+        else:
+            source = f'"const:{port.value}"'
+        lines.append(f'  {source} -> "out:{out_name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule: Schedule) -> str:
+    """DOT rendering with operations ranked by their control step."""
+    dfg = schedule.dfg
+    lines = [f'digraph "{dfg.name}_schedule" {{', "  rankdir=TB;"]
+    by_step = {}
+    for name in dfg.node_names():
+        by_step.setdefault(schedule.start(name), []).append(name)
+    for step in sorted(by_step):
+        members = " ".join(f'"{name}"' for name in by_step[step])
+        lines.append(f"  {{ rank=same; {members} }}")
+        for name in by_step[step]:
+            lines.append(
+                f'  "{name}" [label="{_node_label(dfg, name)}\\ncs{step}"];'
+            )
+    for node in dfg:
+        for pred in node.predecessor_names():
+            lines.append(f'  "{pred}" -> "{node.name}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Figure-2-style rendering: the PF/RF/FF/MF frames of one operation.
+
+The paper's Figure 2(b) shades, for a typical operation ``r`` with two
+already-placed predecessors, the primary frame, redundant frame,
+forbidden frame and the resulting move frame.  :func:`render_frames`
+regenerates that map from a real :class:`~repro.core.frames.FrameSet` and
+the live grid:
+
+====  =================================================
+mark  meaning
+====  =================================================
+``.`` outside the primary frame
+``R`` redundant frame (unopened FU instances)
+``F`` forbidden frame (dependence violations)
+``X`` occupied by another operation
+``M`` move frame (placeable)
+``*`` the position the Liapunov function selected
+``K`` an already-placed predecessor of the operation
+====  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.frames import FrameSet
+from repro.core.grid import GridPosition, PlacementGrid
+
+
+def render_frames(
+    frame: FrameSet,
+    grid: PlacementGrid,
+    chosen: Optional[GridPosition] = None,
+    predecessors: Mapping[str, GridPosition] = (),
+) -> str:
+    """ASCII map of the four frames of one operation (Figure 2(b))."""
+    table = frame.table
+    columns = grid.columns(table)
+    move_cells = {(p.x, p.y) for p in frame.mf}
+    predecessor_cells: Dict[tuple, str] = {}
+    if predecessors:
+        for index, (name, position) in enumerate(sorted(predecessors.items()), 1):
+            if position.table == table:
+                predecessor_cells[(position.x, position.y)] = "K"
+
+    lines = [
+        f"Figure 2 — frames of operation {frame.node!r} in table {table!r}",
+        f"PF rows {frame.pf_rows}, cols {frame.pf_cols}; "
+        f"RF cols {frame.rf_cols}; FF rows <= {frame.ff_rows_before} "
+        f"or >= {frame.ff_rows_after}"
+        + (f"; chain rows {frame.chain_rows}" if frame.chain_rows else ""),
+        "      " + "".join(f"x={x:<3}" for x in range(1, columns + 1)),
+    ]
+    lo_y, hi_y = frame.pf_rows
+    for step in range(1, grid.cs + 1):
+        cells = []
+        for x in range(1, columns + 1):
+            position = GridPosition(table, x, step)
+            if (x, step) in predecessor_cells:
+                mark = "K"
+            elif chosen is not None and (chosen.x, chosen.y) == (x, step):
+                mark = "*"
+            elif not lo_y <= step <= hi_y:
+                mark = "."
+            elif (x, step) in move_cells:
+                mark = "M"
+            elif frame.in_rf(position):
+                mark = "R"
+            elif frame.in_ff(position):
+                mark = "F"
+            elif grid.occupants(table, x, step):
+                mark = "X"
+            else:
+                mark = "?"
+            cells.append(f"  {mark}  "[:5])
+        lines.append(f"y={step:>3} " + "".join(cells))
+    lines.append(
+        "legend: .=outside PF  R=redundant  F=forbidden  X=occupied  "
+        "M=move frame  *=selected  K=placed predecessor"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Figure-1-style rendering: the placement table and a Liapunov move.
+
+The paper's Figure 1 shows an operation's *present* position ``O_i^p`` and
+*next* position ``O_i^n`` in the 2-D placement table, the move decreasing
+the Liapunov energy.  :func:`render_move` regenerates that picture from a
+real :class:`~repro.core.stability.TrajectoryEvent`: the highest-energy
+alternative the algorithm evaluated plays the "present" role and the
+chosen position the "next" role, with ΔX/ΔY and ΔV annotated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.grid import GridPosition, PlacementGrid
+from repro.core.stability import TrajectoryEvent
+
+
+def render_grid(
+    grid: PlacementGrid,
+    table: str,
+    mark: Optional[GridPosition] = None,
+    mark_char: str = "O",
+) -> str:
+    """ASCII rendering of one placement table (X = FU index, Y = step)."""
+    columns = grid.columns(table)
+    width = 3
+    lines = [f"placement table {table!r} ({columns} units x {grid.cs} steps)"]
+    header = "      " + "".join(f"x={x:<{width}}" for x in range(1, columns + 1))
+    lines.append(header)
+    for step in range(1, grid.cs + 1):
+        cells: List[str] = []
+        for x in range(1, columns + 1):
+            occupants = grid.occupants(table, x, step)
+            if mark is not None and mark.x == x and mark.y == step:
+                cell = mark_char
+            elif occupants:
+                cell = "X"
+            else:
+                cell = "."
+            cells.append(f"  {cell}  "[:width + 2])
+        lines.append(f"y={step:>3} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_move(event: TrajectoryEvent, grid: PlacementGrid) -> str:
+    """Figure-1 regeneration: present → next position of one operation."""
+    chosen = event.position
+    lines = [f"Figure 1 — move of operation {event.node!r} in table {chosen.table!r}"]
+    present = None
+    if event.alternatives:
+        present = max(event.alternatives, key=lambda item: item[1])
+    table_lines = render_grid(grid, chosen.table, mark=chosen, mark_char="N")
+    if present is not None and present[0] != chosen:
+        # Overlay the "present" (highest-energy) position with P.
+        rendered = table_lines.splitlines()
+        row_index = 1 + present[0].y  # header + offset
+        row = list(rendered[row_index])
+        column_offset = 6 + (present[0].x - 1) * 5 + 2
+        if column_offset < len(row):
+            row[column_offset] = "P"
+        rendered[row_index] = "".join(row)
+        table_lines = "\n".join(rendered)
+    lines.append(table_lines)
+    lines.append(f"next position O^n = (x={chosen.x}, y={chosen.y}), V = {event.energy:.3f}")
+    if present is not None:
+        pos, energy = present
+        lines.append(
+            f"present (worst evaluated) O^p = (x={pos.x}, y={pos.y}), V = {energy:.3f}"
+        )
+        lines.append(
+            f"move: dX = {chosen.x - pos.x}, dY = {chosen.y - pos.y}, "
+            f"dV = {event.energy - energy:.3f} (must be <= 0)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Dependency-free SVG rendering of schedules and placement grids.
+
+Two views:
+
+* :func:`schedule_to_svg` — a Gantt chart: one row per FU instance (from
+  the MFS placement or an explicit binding), one column per control step,
+  operation boxes labelled and coloured by kind;
+* :func:`frames_to_svg` — Figure 2 as a proper vector image: PF/RF/FF/MF
+  cells shaded, placed predecessors marked.
+
+Pure string generation; the files open in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Mapping, Optional, Tuple
+
+from repro.core.frames import FrameSet
+from repro.core.grid import GridPosition, PlacementGrid
+from repro.dfg.ops import OP_SYMBOLS
+from repro.schedule.types import Schedule
+
+CELL_W = 72
+CELL_H = 30
+LABEL_W = 130
+HEADER_H = 34
+
+#: Colour per operation kind (hand-picked, colour-blind-reasonable).
+KIND_COLOURS: Mapping[str, str] = {
+    "mul": "#c6dbef",
+    "div": "#9ecae1",
+    "add": "#c7e9c0",
+    "sub": "#a1d99b",
+    "lt": "#fdd0a2",
+    "gt": "#fdae6b",
+    "eq": "#fd8d3c",
+    "and": "#dadaeb",
+    "or": "#bcbddc",
+    "xor": "#9e9ac8",
+}
+DEFAULT_COLOUR = "#eeeeee"
+
+
+def _svg_header(width: int, height: int, title: str) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="12">',
+        f"<title>{html.escape(title)}</title>",
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def _box(x, y, w, h, fill, stroke="#555", extra="") -> str:
+    return (
+        f'<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="{fill}" '
+        f'stroke="{stroke}" {extra}/>'
+    )
+
+
+def _text(x, y, content, anchor="middle", size=12) -> str:
+    return (
+        f'<text x="{x}" y="{y}" text-anchor="{anchor}" '
+        f'font-size="{size}">{html.escape(str(content))}</text>'
+    )
+
+
+def schedule_to_svg(
+    schedule: Schedule,
+    binding: Optional[Mapping[str, Tuple[str, int]]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Gantt chart of a schedule; rows are FU instances.
+
+    ``binding`` defaults to a greedy packing (the same one the library
+    uses to build datapaths from bare schedules).
+    """
+    if binding is None:
+        from repro.allocation.binding import bind_functional_units
+
+        binding = bind_functional_units(schedule)
+
+    rows: List[Tuple[str, int]] = sorted(set(binding.values()))
+    row_index = {key: i for i, key in enumerate(rows)}
+    width = LABEL_W + schedule.cs * CELL_W + 10
+    height = HEADER_H + len(rows) * CELL_H + 10
+
+    parts = _svg_header(
+        width, height, title or f"schedule of {schedule.dfg.name}"
+    )
+    for step in range(1, schedule.cs + 1):
+        x = LABEL_W + (step - 1) * CELL_W
+        parts.append(_text(x + CELL_W / 2, HEADER_H - 12, f"cs{step}"))
+        parts.append(
+            f'<line x1="{x}" y1="{HEADER_H}" x2="{x}" '
+            f'y2="{height - 10}" stroke="#ddd"/>'
+        )
+    for key, index in row_index.items():
+        y = HEADER_H + index * CELL_H
+        parts.append(
+            _text(6, y + CELL_H * 0.65, f"{key[0]}#{key[1]}", anchor="start")
+        )
+    for name, key in sorted(binding.items()):
+        node = schedule.dfg.node(name)
+        start = schedule.start(name)
+        latency = schedule.timing.latency(node.kind)
+        span = 1 if node.kind in schedule.pipelined_kinds else latency
+        x = LABEL_W + (start - 1) * CELL_W
+        y = HEADER_H + row_index[key] * CELL_H + 2
+        colour = KIND_COLOURS.get(node.kind, DEFAULT_COLOUR)
+        parts.append(_box(x + 1, y, span * CELL_W - 2, CELL_H - 4, colour))
+        symbol = OP_SYMBOLS.get(node.kind, "?")
+        parts.append(
+            _text(
+                x + span * CELL_W / 2,
+                y + CELL_H * 0.6,
+                f"{name} ({symbol})",
+            )
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+FRAME_COLOURS = {
+    "outside": "#ffffff",
+    "rf": "#f2e5bf",
+    "ff": "#f4c7c3",
+    "occupied": "#d9d9d9",
+    "mf": "#c7e9c0",
+    "chosen": "#74c476",
+    "pred": "#9ecae1",
+}
+
+
+def frames_to_svg(
+    frame: FrameSet,
+    grid: PlacementGrid,
+    chosen: Optional[GridPosition] = None,
+    predecessors: Mapping[str, GridPosition] = {},
+) -> str:
+    """Figure 2 as an SVG frame map."""
+    columns = grid.columns(frame.table)
+    width = LABEL_W + columns * CELL_W + 10
+    height = HEADER_H + grid.cs * CELL_H + 58
+
+    parts = _svg_header(
+        width, height, f"frames of {frame.node} in {frame.table}"
+    )
+    move_cells = {(p.x, p.y) for p in frame.mf}
+    pred_cells = {
+        (pos.x, pos.y)
+        for pos in predecessors.values()
+        if pos.table == frame.table
+    }
+    lo_y, hi_y = frame.pf_rows
+    for x_index in range(1, columns + 1):
+        parts.append(
+            _text(
+                LABEL_W + (x_index - 1) * CELL_W + CELL_W / 2,
+                HEADER_H - 12,
+                f"x={x_index}",
+            )
+        )
+    for step in range(1, grid.cs + 1):
+        parts.append(
+            _text(6, HEADER_H + (step - 1) * CELL_H + CELL_H * 0.65,
+                  f"y={step}", anchor="start")
+        )
+        for x_index in range(1, columns + 1):
+            position = GridPosition(frame.table, x_index, step)
+            if (x_index, step) in pred_cells:
+                kind = "pred"
+            elif chosen is not None and (chosen.x, chosen.y) == (
+                x_index,
+                step,
+            ):
+                kind = "chosen"
+            elif not lo_y <= step <= hi_y:
+                kind = "outside"
+            elif (x_index, step) in move_cells:
+                kind = "mf"
+            elif frame.in_rf(position):
+                kind = "rf"
+            elif frame.in_ff(position):
+                kind = "ff"
+            elif grid.occupants(frame.table, x_index, step):
+                kind = "occupied"
+            else:
+                kind = "outside"
+            parts.append(
+                _box(
+                    LABEL_W + (x_index - 1) * CELL_W,
+                    HEADER_H + (step - 1) * CELL_H,
+                    CELL_W,
+                    CELL_H,
+                    FRAME_COLOURS[kind],
+                    stroke="#999",
+                )
+            )
+    legend = [
+        ("move frame", "mf"),
+        ("selected", "chosen"),
+        ("redundant", "rf"),
+        ("forbidden", "ff"),
+        ("occupied", "occupied"),
+        ("predecessor", "pred"),
+    ]
+    y = HEADER_H + grid.cs * CELL_H + 18
+    x = 10
+    for label, kind in legend:
+        parts.append(_box(x, y, 14, 14, FRAME_COLOURS[kind], stroke="#999"))
+        parts.append(_text(x + 20, y + 11, label, anchor="start", size=11))
+        x += 20 + 8 * len(label) + 24
+    parts.append("</svg>")
+    return "\n".join(parts)

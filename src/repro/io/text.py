@@ -1,0 +1,57 @@
+"""Plain-text tables for schedules and datapaths."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dfg.ops import OP_SYMBOLS
+from repro.schedule.types import Schedule
+from repro.allocation.datapath import Datapath
+
+
+def render_schedule(schedule: Schedule) -> str:
+    """One line per control step listing the active operations."""
+    dfg, timing = schedule.dfg, schedule.timing
+    lines = [
+        f"schedule of {dfg.name!r}: {schedule.cs} steps, "
+        f"makespan {schedule.makespan()}, FUs {schedule.fu_usage()}"
+    ]
+    for step in range(1, schedule.cs + 1):
+        active: List[str] = []
+        for name in dfg.node_names():
+            start = schedule.start(name)
+            kind = dfg.node(name).kind
+            latency = timing.latency(kind)
+            if start <= step < start + latency:
+                symbol = (
+                    timing.ops.spec(kind).symbol
+                    if kind in timing.ops
+                    else OP_SYMBOLS.get(kind, "?")
+                )
+                stage = f"/{step - start + 1}" if latency > 1 else ""
+                active.append(f"{name}({symbol}){stage}")
+        lines.append(f"  cs{step:>3}: {', '.join(active) if active else '-'}")
+    return "\n".join(lines)
+
+
+def render_datapath(datapath: Datapath) -> str:
+    """Human-readable datapath summary (the Table-2 row, expanded)."""
+    cost = datapath.cost_breakdown()
+    lines = [
+        f"datapath of {datapath.schedule.dfg.name!r} "
+        f"(library {datapath.library.name!r})",
+        f"  cost: {cost.total:.0f} um^2 "
+        f"(ALU {cost.alu:.0f}, REG {cost.registers:.0f}, MUX {cost.mux:.0f})",
+        f"  registers: {datapath.register_count()}, "
+        f"muxes: {datapath.mux_count()} with {datapath.mux_inputs()} inputs",
+    ]
+    for key, instance in sorted(datapath.instances.items()):
+        ops = ", ".join(instance.ops)
+        lines.append(
+            f"  {instance.label():<10} area {instance.cell.area:>8.0f}  "
+            f"L1={list(instance.mux.l1)} L2={list(instance.mux.l2)}  ops: {ops}"
+        )
+    for register in range(datapath.registers.count):
+        values = ", ".join(datapath.registers.values_in(register))
+        lines.append(f"  r{register}: {values}")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Cell-library substrate: ALU / register / multiplexer cost models.
+
+The paper costs RTL structures in µm² against the NCR ASIC data book
+(ref. [21]), which is proprietary; :mod:`repro.library.ncr` provides a
+synthetic library of the same shape (see DESIGN.md, substitutions).
+"""
+
+from repro.library.cells import ALUCell, CellLibrary, MuxCostTable
+from repro.library.ncr import ncr_like_library, simple_fu_library
+
+__all__ = [
+    "ALUCell",
+    "CellLibrary",
+    "MuxCostTable",
+    "ncr_like_library",
+    "simple_fu_library",
+]

@@ -1,0 +1,214 @@
+"""Synthetic stand-in for the NCR ASIC data book (paper ref. [21]).
+
+The paper costs its Table-2 RTL structures in µm² from a 1989 NCR ASIC
+library we cannot obtain.  This module builds a library with the same
+*shape*: a multiplier costs an order of magnitude more than an adder,
+multifunction ALUs cost the dominant function plus a fraction of each
+additional one, multiplexer cost grows nonlinearly with input count, and a
+register sits between a mux and an adder.  The MFSA trade-offs (merge
+operations into one ALU vs pay mux/register overhead) only depend on these
+ratios, so Table-2 *shapes* are preserved while absolute µm² differ —
+recorded as a substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.dfg.ops import OpKind
+from repro.library.cells import ALUCell, CellLibrary, MuxCostTable
+
+#: Base area (µm²) of a single-function unit per operation kind.
+BASE_AREAS: Mapping[str, float] = {
+    OpKind.ADD: 2800.0,
+    OpKind.SUB: 2950.0,
+    OpKind.MUL: 16500.0,
+    OpKind.DIV: 18500.0,
+    OpKind.EQ: 1500.0,
+    OpKind.LT: 1800.0,
+    OpKind.GT: 1800.0,
+    OpKind.AND: 900.0,
+    OpKind.OR: 900.0,
+    OpKind.XOR: 1100.0,
+    OpKind.NOT: 600.0,
+    OpKind.SHL: 2100.0,
+    OpKind.SHR: 2100.0,
+    OpKind.NEG: 1400.0,
+    OpKind.MIN: 2600.0,
+    OpKind.MAX: 2600.0,
+    OpKind.MOVE: 400.0,
+}
+
+#: Fraction of a secondary function's base area added when merged into a
+#: multifunction ALU (merging shares the datapath core, so it is cheap —
+#: this discount is what makes MFSA's ALU merging worthwhile).
+MERGE_FRACTION = 0.35
+
+#: Fixed decode/glue overhead per extra merged function.
+MERGE_GLUE = 180.0
+
+
+def alu_area(kinds: Iterable[str]) -> float:
+    """Synthetic area of an ALU implementing ``kinds``."""
+    areas = sorted((BASE_AREAS[str(k)] for k in kinds), reverse=True)
+    if not areas:
+        raise ValueError("an ALU must implement at least one kind")
+    total = areas[0]
+    for secondary in areas[1:]:
+        total += MERGE_FRACTION * secondary + MERGE_GLUE
+    return round(total, 1)
+
+
+def make_alu(kinds: Sequence[str], name: Optional[str] = None) -> ALUCell:
+    """Build a synthetic ALU cell for an arbitrary kind combination."""
+    kind_strs = tuple(str(k) for k in kinds)
+    if name is None:
+        name = "alu_" + "_".join(sorted(kind_strs))
+    return ALUCell(name=name, kinds=frozenset(kind_strs), area=alu_area(kind_strs))
+
+
+#: Nonlinear mux-cost table (µm²): marginal input cost grows with width,
+#: mimicking routing congestion in the data book's mux family.
+_MUX_TABLE: Mapping[int, float] = {
+    2: 700.0,
+    3: 1080.0,
+    4: 1480.0,
+    5: 1940.0,
+    6: 2420.0,
+    7: 2960.0,
+    8: 3520.0,
+    9: 4140.0,
+    10: 4780.0,
+    11: 5480.0,
+    12: 6200.0,
+}
+
+#: Register (16-bit, load-enable) area in µm².
+REGISTER_AREA = 1550.0
+
+#: Curated multifunction combinations available in the default library —
+#: wide enough to cover every combination Table 2 reports.
+_DEFAULT_COMBOS: Tuple[Tuple[str, ...], ...] = (
+    # arithmetic pairs/triples
+    (OpKind.ADD, OpKind.SUB),
+    (OpKind.ADD, OpKind.LT),
+    (OpKind.ADD, OpKind.GT),
+    (OpKind.SUB, OpKind.LT),
+    (OpKind.SUB, OpKind.GT),
+    (OpKind.ADD, OpKind.SUB, OpKind.LT),
+    (OpKind.ADD, OpKind.SUB, OpKind.GT),
+    (OpKind.ADD, OpKind.SUB, OpKind.GT, OpKind.NOT),
+    (OpKind.ADD, OpKind.SUB, OpKind.LT, OpKind.GT),
+    # logic clusters
+    (OpKind.AND, OpKind.OR),
+    (OpKind.AND, OpKind.EQ),
+    (OpKind.OR, OpKind.EQ),
+    (OpKind.AND, OpKind.OR, OpKind.EQ),
+    (OpKind.AND, OpKind.OR, OpKind.XOR),
+    # mixed arithmetic/logic
+    (OpKind.ADD, OpKind.EQ),
+    (OpKind.ADD, OpKind.AND),
+    (OpKind.ADD, OpKind.OR),
+    (OpKind.SUB, OpKind.AND),
+    (OpKind.AND, OpKind.ADD, OpKind.EQ),
+    (OpKind.ADD, OpKind.DIV, OpKind.GT, OpKind.NOT),
+    (OpKind.GT, OpKind.LT),
+    (OpKind.EQ, OpKind.LT),
+    # multiplier clusters (expensive; merging into * is rarely profitable,
+    # which the library must be able to express for MFSA to discover it)
+    (OpKind.MUL, OpKind.ADD),
+    (OpKind.MUL, OpKind.ADD, OpKind.OR),
+    (OpKind.MUL, OpKind.SUB),
+    (OpKind.MUL, OpKind.ADD, OpKind.SUB),
+)
+
+
+def ncr_like_library(
+    extra_combos: Iterable[Sequence[str]] = (),
+    name: str = "ncr-like-1989",
+) -> CellLibrary:
+    """The default synthetic library: all singles + curated combos.
+
+    ``extra_combos`` adds project-specific multifunction cells.
+    """
+    cells = [make_alu((kind,)) for kind in OpKind]
+    seen = {cell.kinds for cell in cells}
+    for combo in tuple(_DEFAULT_COMBOS) + tuple(tuple(c) for c in extra_combos):
+        cell = make_alu(combo)
+        if cell.kinds not in seen:
+            seen.add(cell.kinds)
+            cells.append(cell)
+    return CellLibrary(
+        name=name,
+        alus=cells,
+        register_area=REGISTER_AREA,
+        mux_costs=MuxCostTable(_MUX_TABLE),
+    )
+
+
+#: The curated "datapath ALU family" used for Table-2 runs.  Like the NCR
+#: data book, it ships multifunction ALUs as the building blocks: there is
+#: no standalone subtractor/comparator/logic gate, so MFSA must pick (and
+#: may then share) multifunction cells — which is where its ALU-merging
+#: pay-off shows.
+_DATAPATH_FAMILY: Tuple[Tuple[str, ...], ...] = (
+    (OpKind.MUL,),
+    (OpKind.MUL, OpKind.ADD),
+    (OpKind.MUL, OpKind.ADD, OpKind.OR),
+    (OpKind.ADD,),
+    (OpKind.ADD, OpKind.SUB),
+    (OpKind.ADD, OpKind.SUB, OpKind.LT),
+    (OpKind.ADD, OpKind.SUB, OpKind.GT),
+    (OpKind.ADD, OpKind.SUB, OpKind.LT, OpKind.GT),
+    (OpKind.AND, OpKind.OR),
+    (OpKind.AND, OpKind.EQ),
+    (OpKind.AND, OpKind.OR, OpKind.EQ),
+    (OpKind.EQ, OpKind.LT),
+    (OpKind.LT, OpKind.GT),
+)
+
+
+def datapath_library(name: str = "ncr-like-datapath") -> CellLibrary:
+    """Restricted multifunction-ALU family for MFSA / Table-2 runs."""
+    cells = []
+    seen = set()
+    for combo in _DATAPATH_FAMILY:
+        cell = make_alu(combo)
+        if cell.kinds not in seen:
+            seen.add(cell.kinds)
+            cells.append(cell)
+    return CellLibrary(
+        name=name,
+        alus=cells,
+        register_area=REGISTER_AREA,
+        mux_costs=MuxCostTable(_MUX_TABLE),
+    )
+
+
+def simple_fu_library(kinds: Iterable[str], name: str = "single-function") -> CellLibrary:
+    """Single-function-units-only library (the MFS assumption, §2.3)."""
+    cells = [make_alu((str(kind),)) for kind in dict.fromkeys(str(k) for k in kinds)]
+    return CellLibrary(
+        name=name,
+        alus=cells,
+        register_area=REGISTER_AREA,
+        mux_costs=MuxCostTable(_MUX_TABLE),
+    )
+
+
+def full_pairs_library(
+    kinds: Sequence[str], name: str = "all-pairs"
+) -> CellLibrary:
+    """Library with every single and every pair of ``kinds`` — used by the
+    design-space-exploration example and the ablation benchmarks."""
+    kind_strs = tuple(dict.fromkeys(str(k) for k in kinds))
+    cells = [make_alu((k,)) for k in kind_strs]
+    for a, b in combinations(kind_strs, 2):
+        cells.append(make_alu((a, b)))
+    return CellLibrary(
+        name=name,
+        alus=cells,
+        register_area=REGISTER_AREA,
+        mux_costs=MuxCostTable(_MUX_TABLE),
+    )

@@ -1,0 +1,31 @@
+"""RTL back-end: netlist construction, FSM control path, Verilog emission.
+
+The paper's flow ends in "an RTL structure" plus a control path (§1);
+this package materialises both from a :class:`~repro.allocation.datapath.
+Datapath`:
+
+* :mod:`repro.rtl.netlist` — structural netlist (ALUs, registers, muxes,
+  ports, nets);
+* :mod:`repro.rtl.controller` — one-state-per-control-step FSM with mux
+  select and register load-enable tables;
+* :mod:`repro.rtl.verilog` — structural Verilog emission;
+* :mod:`repro.rtl.cost` — area roll-up including a controller estimate.
+"""
+
+from repro.rtl.netlist import Netlist, build_netlist
+from repro.rtl.controller import Controller, build_controller
+from repro.rtl.verilog import emit_verilog
+from repro.rtl.structural import emit_structural_verilog
+from repro.rtl.testbench import emit_testbench
+from repro.rtl.cost import total_area
+
+__all__ = [
+    "Netlist",
+    "build_netlist",
+    "Controller",
+    "build_controller",
+    "emit_verilog",
+    "emit_structural_verilog",
+    "emit_testbench",
+    "total_area",
+]

@@ -1,0 +1,151 @@
+"""Control-path design: the one-hot / counter FSM that sequences a
+scheduled datapath (the paper's "Control path design" step, §1).
+
+One state per control step.  Per state the controller provides
+
+* the **select code** of every input multiplexer (which mux data input
+  feeds the ALU port this step), and
+* the **load enables** of the registers written at this step's end.
+
+The tables are derived purely from the schedule, binding and mux
+assignments — which also cross-checks them: two operations demanding
+different selects from the same mux in the same state is a binding bug
+and raises :class:`RTLError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import RTLError
+from repro.allocation.datapath import Datapath
+
+
+@dataclass
+class ControlState:
+    """All control signals of one FSM state (one control step)."""
+
+    step: int
+    mux_selects: Dict[Tuple[str, int, int], int] = field(default_factory=dict)
+    register_loads: List[int] = field(default_factory=list)
+    active_ops: List[str] = field(default_factory=list)
+    alu_functions: Dict[Tuple[str, int], str] = field(default_factory=dict)
+
+
+@dataclass
+class Controller:
+    """The full FSM: ``states[k]`` drives control step ``k+1``."""
+
+    states: List[ControlState]
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def state(self, step: int) -> ControlState:
+        """The state driving control step ``step`` (1-based)."""
+        return self.states[step - 1]
+
+    def control_bits(self) -> int:
+        """Width of the control word (mux select bits + load enables)."""
+        mux_keys = set()
+        select_bits = 0
+        registers = set()
+        for state in self.states:
+            for key in state.mux_selects:
+                mux_keys.add(key)
+            registers.update(state.register_loads)
+        for key in mux_keys:
+            widths = [
+                state.mux_selects[key]
+                for state in self.states
+                if key in state.mux_selects
+            ]
+            span = max(widths) + 1
+            select_bits += max(1, (span - 1).bit_length())
+        return select_bits + len(registers)
+
+
+def build_controller(datapath: Datapath) -> Controller:
+    """Derive the FSM tables from a datapath."""
+    schedule = datapath.schedule
+    dfg, timing = schedule.dfg, schedule.timing
+    states = [ControlState(step=step) for step in range(1, schedule.cs + 1)]
+
+    # A non-pipelined multi-cycle operation needs its function and mux
+    # selects held stable for its whole duration, so control signals are
+    # asserted over start..end, not just at the start state.
+    for name in dfg.node_names():
+        node = dfg.node(name)
+        start = schedule.start(name)
+        real_end = schedule.end(name)
+        pipelined = node.kind in schedule.pipelined_kinds
+        # Pipelined units latch operands into stage registers at the start
+        # state; non-pipelined multi-cycle units need control held to the
+        # real end.
+        end = start if pipelined else real_end
+        states[start - 1].active_ops.append(name)
+
+        key = datapath.binding[name]
+        instance = datapath.instances[key]
+        for step in range(start, end + 1):
+            state = states[step - 1]
+            previous_function = state.alu_functions.get(key)
+            if previous_function is not None and previous_function != node.kind:
+                if not all(
+                    dfg.mutually_exclusive(name, other)
+                    for other in state.active_ops
+                    if other != name and datapath.binding[other] == key
+                ):
+                    raise RTLError(
+                        f"ALU {instance.label()} asked to perform both "
+                        f"{previous_function!r} and {node.kind!r} in "
+                        f"step {step}"
+                    )
+            state.alu_functions[key] = node.kind
+
+            signals = node.operand_names()
+            for position, signal in enumerate(signals):
+                if len(signals) == 1:
+                    port = 1
+                    inputs = instance.mux.l1
+                else:
+                    port = instance.mux.port_of(
+                        name, textual_left=(position == 0)
+                    )
+                    inputs = instance.mux.l1 if port == 1 else instance.mux.l2
+                if len(inputs) < 2:
+                    continue  # single-source port: no mux, no select
+                if signal not in inputs:
+                    raise RTLError(
+                        f"signal {signal!r} of {name!r} is not wired to "
+                        f"port {port} of {instance.label()}"
+                    )
+                select = inputs.index(signal)
+                mux_key = (key[0], key[1], port)
+                previous = state.mux_selects.get(mux_key)
+                if previous is not None and previous != select:
+                    others = [
+                        other
+                        for other in state.active_ops
+                        if other != name and datapath.binding[other] == key
+                    ]
+                    if not all(
+                        dfg.mutually_exclusive(name, o) for o in others
+                    ):
+                        raise RTLError(
+                            f"mux {mux_key} needs selects {previous} and "
+                            f"{select} in step {step}"
+                        )
+                state.mux_selects[mux_key] = select
+
+        signal = f"op:{name}"
+        life = datapath.lifetimes.get(signal)
+        if life is not None and life.needs_register:
+            register = datapath.registers.assignment[signal]
+            end_state = states[real_end - 1]
+            if register not in end_state.register_loads:
+                end_state.register_loads.append(register)
+
+    return Controller(states=states)

@@ -1,0 +1,58 @@
+"""Area roll-up including an optional control-path estimate.
+
+Table 2 costs the datapath only; :func:`total_area` optionally adds a
+controller estimate (state register + one decoded control word per state)
+so the design-space-exploration example can compare complete designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocation.datapath import Datapath
+from repro.rtl.controller import build_controller
+
+#: Synthetic per-bit costs (µm²), consistent with the NCR-like library.
+FLIP_FLOP_AREA = 95.0
+CONTROL_WORD_BIT_AREA = 60.0
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Datapath + controller area breakdown."""
+
+    alu: float
+    registers: float
+    mux: float
+    controller: float
+
+    @property
+    def datapath(self) -> float:
+        return self.alu + self.registers + self.mux
+
+    @property
+    def total(self) -> float:
+        return self.datapath + self.controller
+
+
+def controller_area(datapath: Datapath) -> float:
+    """Estimate of the FSM area: state register + decoded control words."""
+    controller = build_controller(datapath)
+    n_states = max(controller.n_states, 1)
+    state_bits = max(1, (n_states - 1).bit_length())
+    control_bits = controller.control_bits()
+    return (
+        state_bits * FLIP_FLOP_AREA
+        + n_states * control_bits * CONTROL_WORD_BIT_AREA
+    )
+
+
+def total_area(datapath: Datapath, include_controller: bool = False) -> AreaReport:
+    """Full area report of a design."""
+    breakdown = datapath.cost_breakdown()
+    return AreaReport(
+        alu=breakdown.alu,
+        registers=breakdown.registers,
+        mux=breakdown.mux,
+        controller=controller_area(datapath) if include_controller else 0.0,
+    )

@@ -1,0 +1,223 @@
+"""Structural netlist of an allocated datapath.
+
+Components are ALU instances, registers, input multiplexers, primary I/O
+ports and constant drivers; nets connect one driver pin to any number of
+sink pins.  Signals that never need storage (chained, §5.4) drive their
+consumers straight from the producing ALU's output; stored signals drive
+them from their left-edge register (the producing ALU additionally drives
+the register's data input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import RTLError
+from repro.allocation.datapath import Datapath
+
+
+@dataclass(frozen=True)
+class Pin:
+    """One connection point: ``(component, port)``."""
+
+    component: str
+    port: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.component}.{self.port}"
+
+
+@dataclass
+class NetlistComponent:
+    """One hardware block of the netlist."""
+
+    name: str
+    kind: str  # "alu" | "reg" | "mux" | "input" | "output" | "const"
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Net:
+    """One driver pin fanned out to sink pins."""
+
+    name: str
+    driver: Pin
+    sinks: List[Pin] = field(default_factory=list)
+
+
+@dataclass
+class Netlist:
+    """Component + net container with integrity checking."""
+
+    name: str
+    components: Dict[str, NetlistComponent] = field(default_factory=dict)
+    nets: Dict[str, Net] = field(default_factory=dict)
+
+    def add_component(self, component: NetlistComponent) -> None:
+        if component.name in self.components:
+            raise RTLError(f"duplicate component {component.name!r}")
+        self.components[component.name] = component
+
+    def add_net(self, net: Net) -> None:
+        if net.name in self.nets:
+            raise RTLError(f"duplicate net {net.name!r}")
+        self.nets[net.name] = net
+
+    def connect(self, net_name: str, sink: Pin) -> None:
+        try:
+            self.nets[net_name].sinks.append(sink)
+        except KeyError:
+            raise RTLError(f"no net named {net_name!r}") from None
+
+    def validate(self) -> None:
+        """Every pin must reference an existing component."""
+        for net in self.nets.values():
+            for pin in [net.driver, *net.sinks]:
+                if pin.component not in self.components:
+                    raise RTLError(
+                        f"net {net.name!r} references unknown component "
+                        f"{pin.component!r}"
+                    )
+
+    def count(self, kind: str) -> int:
+        """Number of components of ``kind``."""
+        return sum(1 for c in self.components.values() if c.kind == kind)
+
+
+def _sanitize(name: str) -> str:
+    return (
+        name.replace(":", "_")
+        .replace("#", "k")
+        .replace("-", "m")
+        .replace(".", "_")
+    )
+
+
+def _alu_name(key: Tuple[str, int]) -> str:
+    return _sanitize(f"alu_{key[0]}_{key[1]}")
+
+
+def build_netlist(datapath: Datapath) -> Netlist:
+    """Materialise the structural netlist of ``datapath``."""
+    netlist = Netlist(name=datapath.schedule.dfg.name)
+    dfg = datapath.schedule.dfg
+
+    for input_name in dfg.inputs:
+        netlist.add_component(
+            NetlistComponent(name=f"in_{_sanitize(input_name)}", kind="input")
+        )
+    for key, instance in sorted(datapath.instances.items()):
+        netlist.add_component(
+            NetlistComponent(
+                name=_alu_name(key),
+                kind="alu",
+                params={
+                    "cell": instance.cell.name,
+                    "kinds": sorted(instance.cell.kinds),
+                    "ops": list(instance.ops),
+                },
+            )
+        )
+    for register in range(datapath.registers.count):
+        netlist.add_component(
+            NetlistComponent(
+                name=f"r{register}",
+                kind="reg",
+                params={"values": list(datapath.registers.values_in(register))},
+            )
+        )
+
+    # Signal nets: driver is the producing resource.
+    def signal_net_name(signal: str) -> str:
+        return f"n_{_sanitize(signal)}"
+
+    def ensure_signal_net(signal: str) -> str:
+        net_name = signal_net_name(signal)
+        if net_name in netlist.nets:
+            return net_name
+        if signal.startswith("in:"):
+            driver = Pin(f"in_{_sanitize(signal[3:])}", "q")
+        elif signal.startswith("#"):
+            const_name = f"const_{_sanitize(signal[1:])}"
+            if const_name not in netlist.components:
+                netlist.add_component(
+                    NetlistComponent(
+                        name=const_name,
+                        kind="const",
+                        params={"value": int(signal[1:])},
+                    )
+                )
+            driver = Pin(const_name, "q")
+        else:
+            producer = signal[3:]
+            life = datapath.lifetimes.get(signal)
+            if life is not None and life.needs_register:
+                register = datapath.registers.assignment[signal]
+                driver = Pin(f"r{register}", "q")
+            else:
+                driver = Pin(_alu_name(datapath.binding[producer]), "out")
+        netlist.add_net(Net(name=net_name, driver=driver))
+        return net_name
+
+    # Register data inputs: producing ALU output -> register.d
+    for signal, register in datapath.registers.assignment.items():
+        if not signal.startswith("op:"):
+            continue  # input-holding registers load from their port
+        producer = signal[3:]
+        raw = f"raw_{_sanitize(signal)}"
+        netlist.add_net(
+            Net(
+                name=raw,
+                driver=Pin(_alu_name(datapath.binding[producer]), "out"),
+                sinks=[Pin(f"r{register}", "d")],
+            )
+        )
+    for signal, register in datapath.registers.assignment.items():
+        if signal.startswith("in:"):
+            netlist.add_net(
+                Net(
+                    name=f"raw_{_sanitize(signal)}",
+                    driver=Pin(f"in_{_sanitize(signal[3:])}", "q"),
+                    sinks=[Pin(f"r{register}", "d")],
+                )
+            )
+
+    # ALU input ports: direct or through a mux component.
+    for key, instance in sorted(datapath.instances.items()):
+        alu = _alu_name(key)
+        for port_index, signals in ((1, instance.mux.l1), (2, instance.mux.l2)):
+            if not signals:
+                continue
+            if len(signals) == 1:
+                net_name = ensure_signal_net(signals[0])
+                netlist.connect(net_name, Pin(alu, f"in{port_index}"))
+                continue
+            mux_name = f"mux_{alu}_p{port_index}"
+            netlist.add_component(
+                NetlistComponent(
+                    name=mux_name,
+                    kind="mux",
+                    params={"inputs": list(signals)},
+                )
+            )
+            for data_index, signal in enumerate(signals):
+                net_name = ensure_signal_net(signal)
+                netlist.connect(net_name, Pin(mux_name, f"d{data_index}"))
+            netlist.add_net(
+                Net(
+                    name=f"n_{mux_name}",
+                    driver=Pin(mux_name, "q"),
+                    sinks=[Pin(alu, f"in{port_index}")],
+                )
+            )
+
+    # Primary outputs.
+    for out_name, port in dfg.outputs.items():
+        component = f"out_{_sanitize(out_name)}"
+        netlist.add_component(NetlistComponent(name=component, kind="output"))
+        net_name = ensure_signal_net(port.signal_name())
+        netlist.connect(net_name, Pin(component, "d"))
+
+    netlist.validate()
+    return netlist

@@ -1,0 +1,122 @@
+"""Self-checking Verilog testbench generation.
+
+Given a datapath and a set of stimulus vectors, simulates each vector
+with the reference-checked executor and emits a testbench that
+
+* drives the design's ports,
+* pulses ``rst``, runs the FSM for one full iteration (``cs`` cycles),
+* compares every primary output against the simulated expectation and
+  reports PASS/FAIL.
+
+Together with :func:`repro.rtl.structural.emit_structural_verilog` this
+gives a complete, externally verifiable RTL drop: any event-driven
+Verilog simulator can replay the library's own cycle-accurate results.
+
+Caveat: the reference executor computes on unbounded Python integers
+while the emitted hardware wraps at ``width`` bits; expectations are
+two's-complement-wrapped, but choose stimulus that keeps *intermediate*
+values inside the signed range if comparisons feed the outputs (the
+standard fixed-point assumption of the era's HLS benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.allocation.datapath import Datapath
+from repro.rtl.netlist import _sanitize
+from repro.sim.executor import execute_datapath
+
+
+def emit_testbench(
+    datapath: Datapath,
+    vectors: Sequence[Mapping[str, int]],
+    module_name: str = "datapath_rtl",
+    testbench_name: str = "tb",
+    width: int = 16,
+) -> str:
+    """Emit a self-checking testbench for ``module_name``.
+
+    Expected outputs come from :func:`execute_datapath` (which is itself
+    verified against the reference evaluator in the test suite).
+    """
+    schedule = datapath.schedule
+    dfg = schedule.dfg
+    inputs = [_sanitize(name) for name in dfg.inputs]
+    outputs = [_sanitize(name) for name in dfg.outputs]
+
+    expected: List[Dict[str, int]] = []
+    for vector in vectors:
+        trace = execute_datapath(datapath, vector)
+        expected.append(dict(trace.outputs))
+
+    lines: List[str] = []
+    lines.append("`timescale 1ns/1ps")
+    lines.append(f"module {testbench_name};")
+    lines.append("    reg clk = 0;")
+    lines.append("    reg rst = 1;")
+    for name in inputs:
+        lines.append(f"    reg  signed [{width - 1}:0] {name};")
+    for name in outputs:
+        lines.append(f"    wire signed [{width - 1}:0] out_{name};")
+    lines.append("    integer errors = 0;")
+    lines.append("")
+    ports = ["        .clk(clk)", "        .rst(rst)"]
+    ports += [f"        .{name}({name})" for name in inputs]
+    ports += [f"        .out_{name}(out_{name})" for name in outputs]
+    lines.append(f"    {module_name} dut (")
+    lines.append(",\n".join(ports))
+    lines.append("    );")
+    lines.append("")
+    lines.append("    always #5 clk = ~clk;")
+    lines.append("")
+    lines.append("    task check;")
+    lines.append(f"        input signed [{width - 1}:0] got;")
+    lines.append(f"        input signed [{width - 1}:0] want;")
+    lines.append("        input [127:0] label;")
+    lines.append("        begin")
+    lines.append("            if (got !== want) begin")
+    lines.append(
+        '                $display("FAIL %0s: got %0d want %0d", '
+        "label, got, want);"
+    )
+    lines.append("                errors = errors + 1;")
+    lines.append("            end")
+    lines.append("        end")
+    lines.append("    endtask")
+    lines.append("")
+    lines.append("    initial begin")
+    for index, (vector, expectation) in enumerate(zip(vectors, expected)):
+        lines.append(f"        // vector {index}")
+        for name in dfg.inputs:
+            value = vector[name]
+            literal = (
+                f"{width}'sd{value}" if value >= 0 else f"-{width}'sd{-value}"
+            )
+            lines.append(f"        {_sanitize(name)} = {literal};")
+        lines.append("        rst = 1; @(posedge clk); #1 rst = 0;")
+        lines.append(
+            f"        repeat ({schedule.cs}) @(posedge clk);"
+        )
+        lines.append("        #1;")
+        for out_name in dfg.outputs:
+            value = expectation[out_name]
+            lines.append(
+                f'        check(out_{_sanitize(out_name)}, '
+                f'{_signed_literal(value, width)}, "{out_name}");'
+            )
+    lines.append('        if (errors == 0) $display("PASS: all vectors");')
+    lines.append('        else $display("FAIL: %0d mismatches", errors);')
+    lines.append("        $finish;")
+    lines.append("    end")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _signed_literal(value: int, width: int) -> str:
+    """Two's-complement-wrapped signed literal of ``value``."""
+    mask = (1 << width) - 1
+    wrapped = value & mask
+    if wrapped >= 1 << (width - 1):
+        return f"-{width}'sd{(1 << width) - wrapped}"
+    return f"{width}'sd{wrapped}"

@@ -1,0 +1,176 @@
+"""Structural Verilog emission for an allocated datapath + controller.
+
+Produces a single synthesisable-style module: datapath registers, input
+multiplexers, ALU function cases and a one-state-per-step FSM.  The
+emitter is deliberately dependency-free text generation; it exists so a
+downstream user can eyeball or lint the RTL the flow implies, and so
+tests can check structural invariants (one always-block per register,
+one case arm per state, …).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.allocation.datapath import Datapath
+from repro.rtl.controller import build_controller
+from repro.rtl.netlist import _sanitize  # shared name mangling
+
+_VERILOG_OPS: Dict[str, str] = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "shl": "<<",
+    "shr": ">>",
+    "eq": "==",
+    "lt": "<",
+    "gt": ">",
+}
+
+_UNARY_OPS: Dict[str, str] = {"not": "~", "neg": "-", "move": ""}
+
+
+def _signal_wire(signal: str) -> str:
+    if signal.startswith("in:"):
+        return _sanitize(signal[3:])
+    if signal.startswith("#"):
+        value = int(signal[1:])
+        return f"16'd{value}" if value >= 0 else f"-16'd{-value}"
+    return f"w_{_sanitize(signal[3:])}"
+
+
+def emit_verilog(
+    datapath: Datapath,
+    module_name: str = "datapath",
+    width: int = 16,
+) -> str:
+    """Emit the design as structural Verilog text."""
+    schedule = datapath.schedule
+    dfg = schedule.dfg
+    controller = build_controller(datapath)
+
+    lines: List[str] = []
+    inputs = [_sanitize(name) for name in dfg.inputs]
+    outputs = [_sanitize(name) for name in dfg.outputs]
+    ports = ["clk", "rst"] + inputs + [f"out_{o}" for o in outputs]
+    lines.append(f"module {module_name} (")
+    lines.append("    input  wire clk,")
+    lines.append("    input  wire rst,")
+    for name in inputs:
+        lines.append(f"    input  wire signed [{width - 1}:0] {name},")
+    for index, name in enumerate(outputs):
+        comma = "," if index < len(outputs) - 1 else ""
+        lines.append(f"    output wire signed [{width - 1}:0] out_{name}{comma}")
+    lines.append(");")
+    lines.append("")
+
+    n_states = max(controller.n_states, 1)
+    state_bits = max(1, (n_states - 1).bit_length())
+    lines.append(f"    // FSM: one state per control step (1..{n_states})")
+    lines.append(f"    reg [{state_bits - 1}:0] state;")
+    lines.append("    always @(posedge clk) begin")
+    lines.append("        if (rst) state <= 0;")
+    lines.append(
+        f"        else state <= (state == {n_states - 1}) ? 0 : state + 1;"
+    )
+    lines.append("    end")
+    lines.append("")
+
+    lines.append("    // Left-edge-allocated registers")
+    for register in range(datapath.registers.count):
+        lines.append(f"    reg signed [{width - 1}:0] r{register};")
+    lines.append("")
+
+    lines.append("    // Operation result wires (one per DFG value)")
+    for name in dfg.node_names():
+        lines.append(f"    wire signed [{width - 1}:0] w_{_sanitize(name)};")
+    lines.append("")
+
+    lines.append("    // ALU instances (function selected per schedule)")
+    for name in dfg.node_names():
+        node = dfg.node(name)
+        instance = datapath.instance_of(name)
+        operand_wires = []
+        for position, port in enumerate(node.operands):
+            signal = port.signal_name()
+            source = _read_expression(datapath, name, signal)
+            operand_wires.append(source)
+        expression = _operation_expression(node.kind, operand_wires)
+        lines.append(
+            f"    assign w_{_sanitize(name)} = {expression}; "
+            f"// {node.kind} on {instance.label()} @cs{schedule.start(name)}"
+        )
+    lines.append("")
+
+    lines.append("    // Register file updates (load enables per state)")
+    writes: Dict[int, List[Tuple[int, str]]] = {}
+    for signal, register in datapath.registers.assignment.items():
+        life = datapath.lifetimes[signal]
+        writes.setdefault(register, []).append((life.birth, signal))
+    for register in range(datapath.registers.count):
+        lines.append("    always @(posedge clk) begin")
+        for birth, signal in sorted(writes.get(register, [])):
+            if signal.startswith("in:"):
+                source = _sanitize(signal[3:])
+                condition = "state == 0"
+            else:
+                source = f"w_{_sanitize(signal[3:])}"
+                condition = f"state == {birth - 1}"
+            lines.append(
+                f"        if ({condition}) r{register} <= {source};"
+            )
+        lines.append("    end")
+    lines.append("")
+
+    lines.append("    // Primary outputs")
+    for out_name, port in dfg.outputs.items():
+        signal = port.signal_name()
+        lines.append(
+            f"    assign out_{_sanitize(out_name)} = "
+            f"{_read_expression(datapath, None, signal, at_output=True)};"
+        )
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _read_expression(
+    datapath: Datapath,
+    consumer: str,
+    signal: str,
+    at_output: bool = False,
+) -> str:
+    """Where a consumer reads ``signal`` from: register or direct wire."""
+    if signal.startswith("in:") or signal.startswith("#"):
+        registered = datapath.registers.assignment.get(signal)
+        if registered is not None and at_output:
+            return f"r{registered}"
+        return _signal_wire(signal)
+    life = datapath.lifetimes.get(signal)
+    if life is None or not life.needs_register:
+        return _signal_wire(signal)
+    if consumer is not None:
+        consumer_start = datapath.schedule.start(consumer)
+        if consumer_start == life.birth:
+            return _signal_wire(signal)  # chained: combinational bypass
+    register = datapath.registers.assignment[signal]
+    return f"r{register}"
+
+
+def _operation_expression(kind: str, operands: List[str]) -> str:
+    if kind in _UNARY_OPS:
+        return f"{_UNARY_OPS[kind]}{operands[0]}"
+    if kind in _VERILOG_OPS:
+        op = _VERILOG_OPS[kind]
+        if kind in ("eq", "lt", "gt"):
+            return f"{{15'b0, ({operands[0]} {op} {operands[1]})}}"
+        return f"{operands[0]} {op} {operands[1]}"
+    if kind == "min":
+        return f"(({operands[0]} < {operands[1]}) ? {operands[0]} : {operands[1]})"
+    if kind == "max":
+        return f"(({operands[0]} > {operands[1]}) ? {operands[0]} : {operands[1]})"
+    return f"/* {kind} */ {operands[0]}"

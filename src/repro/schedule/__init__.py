@@ -1,0 +1,40 @@
+"""Schedule representation and baseline scheduling algorithms.
+
+The package hosts the *substrate* schedulers the paper compares against or
+builds upon:
+
+* :mod:`repro.schedule.types` — the :class:`~repro.schedule.types.Schedule`
+  value object and its validator;
+* :mod:`repro.schedule.asap_alap` — trivial ASAP/ALAP schedulers;
+* :mod:`repro.schedule.list_scheduler` — resource- and time-constrained
+  list scheduling (the classic baseline, paper ref. [4]);
+* :mod:`repro.schedule.force_directed` — force-directed scheduling
+  (HAL, paper ref. [6]);
+* :mod:`repro.schedule.exact` — branch-and-bound optimal scheduler for
+  small graphs (stand-in for the ILP formulations, paper refs. [9-11]).
+"""
+
+from repro.schedule.types import Schedule
+from repro.schedule.asap_alap import schedule_asap, schedule_alap
+from repro.schedule.list_scheduler import (
+    list_schedule_resource_constrained,
+    list_schedule_time_constrained,
+)
+from repro.schedule.force_directed import force_directed_schedule
+from repro.schedule.exact import exact_schedule
+from repro.schedule.annealing import annealing_schedule
+from repro.schedule.compare import ScheduleDiff, diff_schedules, render_diff
+
+__all__ = [
+    "Schedule",
+    "schedule_asap",
+    "schedule_alap",
+    "list_schedule_resource_constrained",
+    "list_schedule_time_constrained",
+    "force_directed_schedule",
+    "exact_schedule",
+    "annealing_schedule",
+    "ScheduleDiff",
+    "diff_schedules",
+    "render_diff",
+]

@@ -1,0 +1,103 @@
+"""Simulated-annealing scheduler — the probabilistic baseline (paper
+ref. [8], Devadas & Newton).
+
+The paper positions MFS/MFSA *against* annealing: "we use the Liapunov
+(energy) function as the guiding mechanism … while avoiding the
+probabilistic exploration and tuning problems in some energy-based
+approaches such as annealing".  This module provides that comparison
+point: a classic SA over time-constrained schedules whose energy is the
+weighted FU count, so the benchmarks can measure both the quality gap
+(small) and the runtime gap (large) the paper claims.
+
+Deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Mapping, Optional
+
+from repro.dfg.analysis import (
+    TimingModel,
+    alap_schedule,
+    asap_schedule,
+    type_concurrency,
+)
+from repro.dfg.graph import DFG
+from repro.schedule.types import Schedule
+
+
+def _energy(
+    dfg: DFG,
+    timing: TimingModel,
+    starts: Mapping[str, int],
+    weights: Mapping[str, float],
+) -> float:
+    usage = type_concurrency(dfg, starts, timing)
+    return sum(weights.get(kind, 1.0) * count for kind, count in usage.items())
+
+
+def annealing_schedule(
+    dfg: DFG,
+    timing: TimingModel,
+    cs: int,
+    weights: Optional[Mapping[str, float]] = None,
+    seed: int = 0,
+    initial_temperature: float = 4.0,
+    cooling: float = 0.95,
+    moves_per_temperature: int = 60,
+    final_temperature: float = 0.05,
+) -> Schedule:
+    """Time-constrained schedule via simulated annealing.
+
+    The move set shifts one operation to a random feasible step within its
+    dynamic window (placed predecessors/successors respected), accepting
+    uphill moves with the Metropolis criterion.
+    """
+    asap = asap_schedule(dfg, timing)
+    alap = alap_schedule(dfg, timing, cs)  # raises if infeasible
+    weights = dict(weights or {})
+    rng = random.Random(seed)
+
+    starts: Dict[str, int] = dict(asap)
+    names = list(dfg.node_names())
+    latency = {name: timing.latency(dfg.node(name).kind) for name in names}
+
+    def window(name: str) -> range:
+        lo = asap[name]
+        hi = alap[name]
+        for pred in dfg.predecessors(name):
+            lo = max(lo, starts[pred] + latency[pred])
+        for succ in dfg.successors(name):
+            hi = min(hi, starts[succ] - latency[name])
+        return range(lo, hi + 1)
+
+    energy = _energy(dfg, timing, starts, weights)
+    best_energy = energy
+    best_starts = dict(starts)
+
+    temperature = initial_temperature
+    while temperature > final_temperature:
+        for _move in range(moves_per_temperature):
+            name = rng.choice(names)
+            feasible = window(name)
+            if len(feasible) <= 1:
+                continue
+            old_step = starts[name]
+            new_step = rng.choice([s for s in feasible if s != old_step])
+            starts[name] = new_step
+            new_energy = _energy(dfg, timing, starts, weights)
+            delta = new_energy - energy
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                energy = new_energy
+                if energy < best_energy:
+                    best_energy = energy
+                    best_starts = dict(starts)
+            else:
+                starts[name] = old_step
+        temperature *= cooling
+
+    schedule = Schedule(dfg=dfg, timing=timing, cs=cs, starts=best_starts)
+    schedule.validate()
+    return schedule

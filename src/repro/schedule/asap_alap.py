@@ -1,0 +1,43 @@
+"""Trivial ASAP and ALAP schedulers wrapped as :class:`Schedule` producers.
+
+These are both analysis ingredients of MFS (Step 1) and the simplest
+baselines (the FACET system of paper ref. [2] used an ASAP schedule).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfg.analysis import (
+    TimingModel,
+    alap_schedule,
+    asap_schedule,
+    critical_path_length,
+)
+from repro.dfg.graph import DFG
+from repro.schedule.types import Schedule
+
+
+def schedule_asap(
+    dfg: DFG, timing: TimingModel, cs: Optional[int] = None
+) -> Schedule:
+    """As-soon-as-possible schedule.
+
+    ``cs`` defaults to the critical-path length (the tightest budget the
+    schedule fits in).
+    """
+    starts = asap_schedule(dfg, timing)
+    if cs is None:
+        cs = critical_path_length(dfg, timing)
+    return Schedule(dfg=dfg, timing=timing, cs=max(cs, 1), starts=starts)
+
+
+def schedule_alap(dfg: DFG, timing: TimingModel, cs: Optional[int] = None) -> Schedule:
+    """As-late-as-possible schedule within ``cs`` steps.
+
+    ``cs`` defaults to the critical-path length.
+    """
+    if cs is None:
+        cs = critical_path_length(dfg, timing)
+    starts = alap_schedule(dfg, timing, cs)
+    return Schedule(dfg=dfg, timing=timing, cs=max(cs, 1), starts=starts)

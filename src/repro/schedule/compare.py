@@ -1,0 +1,108 @@
+"""Schedule comparison and diffing.
+
+Ablation studies and design-space exploration constantly ask "what did
+this knob actually change?".  :func:`diff_schedules` answers precisely:
+which operations moved (and by how much), how the per-kind FU demand
+shifted, and how the makespans compare — for any two schedules over the
+same DFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ScheduleError
+from repro.schedule.types import Schedule
+
+
+@dataclass(frozen=True)
+class OpMove:
+    """One operation whose start step differs between two schedules."""
+
+    op: str
+    kind: str
+    before: int
+    after: int
+
+    @property
+    def delta(self) -> int:
+        return self.after - self.before
+
+
+@dataclass
+class ScheduleDiff:
+    """Structured difference between two schedules of the same DFG."""
+
+    moves: List[OpMove]
+    fu_before: Dict[str, int]
+    fu_after: Dict[str, int]
+    makespan_before: int
+    makespan_after: int
+
+    @property
+    def identical(self) -> bool:
+        return not self.moves
+
+    def fu_delta(self) -> Dict[str, int]:
+        """Per-kind unit-count change (after − before; 0 entries dropped)."""
+        kinds = set(self.fu_before) | set(self.fu_after)
+        return {
+            kind: self.fu_after.get(kind, 0) - self.fu_before.get(kind, 0)
+            for kind in sorted(kinds)
+            if self.fu_after.get(kind, 0) != self.fu_before.get(kind, 0)
+        }
+
+    def total_displacement(self) -> int:
+        """Sum of absolute start-step changes (schedule distance metric)."""
+        return sum(abs(move.delta) for move in self.moves)
+
+
+def diff_schedules(before: Schedule, after: Schedule) -> ScheduleDiff:
+    """Diff two schedules of the same DFG.
+
+    Raises :class:`ScheduleError` if the schedules cover different
+    operation sets (they must come from the same graph).
+    """
+    if set(before.starts) != set(after.starts):
+        raise ScheduleError(
+            "cannot diff schedules over different operation sets"
+        )
+    moves = [
+        OpMove(
+            op=name,
+            kind=before.dfg.node(name).kind,
+            before=before.start(name),
+            after=after.start(name),
+        )
+        for name in sorted(before.starts)
+        if before.start(name) != after.start(name)
+    ]
+    return ScheduleDiff(
+        moves=moves,
+        fu_before=before.fu_usage(),
+        fu_after=after.fu_usage(),
+        makespan_before=before.makespan(),
+        makespan_after=after.makespan(),
+    )
+
+
+def render_diff(diff: ScheduleDiff) -> str:
+    """Human-readable rendering of a schedule diff."""
+    if diff.identical:
+        return "schedules are identical"
+    lines = [
+        f"{len(diff.moves)} operations moved "
+        f"(total displacement {diff.total_displacement()} steps); "
+        f"makespan {diff.makespan_before} -> {diff.makespan_after}"
+    ]
+    for move in diff.moves:
+        lines.append(
+            f"  {move.op} ({move.kind}): cs{move.before} -> cs{move.after} "
+            f"({move.delta:+d})"
+        )
+    delta = diff.fu_delta()
+    if delta:
+        changes = ", ".join(f"{k}: {v:+d}" for k, v in delta.items())
+        lines.append(f"  FU demand change: {changes}")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Exact (branch-and-bound) time-constrained scheduler.
+
+Stand-in for the ILP formulations the paper cites ([9-11]): it finds, for a
+given step budget ``cs``, a schedule minimising the weighted FU count
+
+    Σ_kind  weight(kind) · units(kind)
+
+by exhaustive search with pruning.  Intended for small graphs (tens of
+operations); the benchmark harness uses it to certify that MFS results are
+optimal or near-optimal on the paper's examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import InfeasibleScheduleError
+from repro.dfg.analysis import TimingModel, alap_schedule, asap_schedule
+from repro.dfg.graph import DFG
+from repro.schedule.types import Schedule
+
+
+def exact_schedule(
+    dfg: DFG,
+    timing: TimingModel,
+    cs: int,
+    weights: Optional[Mapping[str, float]] = None,
+    node_limit: int = 2_000_000,
+) -> Schedule:
+    """Minimum-weighted-FU schedule in ``cs`` steps via branch and bound.
+
+    ``weights`` defaults to 1 per kind (minimise total FU count).
+    ``node_limit`` bounds the search-tree size; the best solution found so
+    far is returned if the limit is hit (the search is seeded with ASAP, so
+    a valid schedule always exists).
+    """
+    asap = asap_schedule(dfg, timing)
+    alap = alap_schedule(dfg, timing, cs)  # raises if infeasible
+    order = dfg.topological_order()
+    kind_of = {name: dfg.node(name).kind for name in order}
+    latency_of = {name: timing.latency(kind_of[name]) for name in order}
+    weight_of = dict(weights) if weights else {}
+    for kind in dfg.kinds_used():
+        weight_of.setdefault(kind, 1.0)
+
+    # Remaining-work lower bound: after position i, kind j still has
+    # remaining_ops[i][j] operations to place, needing >= ceil(n/cs) units.
+    remaining: Dict[int, Dict[str, int]] = {len(order): {}}
+    for i in range(len(order) - 1, -1, -1):
+        counts = dict(remaining[i + 1])
+        counts[kind_of[order[i]]] = counts.get(kind_of[order[i]], 0) + 1
+        remaining[i] = counts
+
+    usage: Dict[Tuple[str, int], int] = {}
+    units: Dict[str, int] = {kind: 0 for kind in dfg.kinds_used()}
+    starts: Dict[str, int] = {}
+    best_cost = float("inf")
+    best_starts: Optional[Dict[str, int]] = None
+    visited = 0
+
+    def objective(current_units: Mapping[str, int]) -> float:
+        return sum(weight_of[k] * u for k, u in current_units.items())
+
+    def lower_bound(index: int) -> float:
+        bound = 0.0
+        for kind, count in remaining[index].items():
+            need = max(units[kind], -(-count // cs))
+            bound += weight_of[kind] * need
+        for kind, used in units.items():
+            if kind not in remaining[index]:
+                bound += weight_of[kind] * used
+        return bound
+
+    def dfs(index: int) -> None:
+        nonlocal best_cost, best_starts, visited
+        visited += 1
+        if visited > node_limit:
+            return
+        if index == len(order):
+            cost = objective(units)
+            if cost < best_cost:
+                best_cost = cost
+                best_starts = dict(starts)
+            return
+        if lower_bound(index) >= best_cost:
+            return
+        name = order[index]
+        latency = latency_of[name]
+        earliest = asap[name]
+        for pred in dfg.predecessors(name):
+            earliest = max(earliest, starts[pred] + latency_of[pred])
+        for step in range(earliest, alap[name] + 1):
+            span = range(step, step + latency)
+            touched = []
+            for s in span:
+                key = (kind_of[name], s)
+                usage[key] = usage.get(key, 0) + 1
+                touched.append(key)
+            old_units = units[kind_of[name]]
+            units[kind_of[name]] = max(
+                old_units, max(usage[key] for key in touched)
+            )
+            starts[name] = step
+            dfs(index + 1)
+            del starts[name]
+            units[kind_of[name]] = old_units
+            for key in touched:
+                usage[key] -= 1
+        return
+
+    dfs(0)
+    if best_starts is None:
+        raise InfeasibleScheduleError(
+            f"exact scheduler found no schedule for {dfg.name!r} in {cs} steps"
+        )
+    return Schedule(dfg=dfg, timing=timing, cs=cs, starts=best_starts)

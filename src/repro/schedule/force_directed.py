@@ -1,0 +1,140 @@
+"""Force-directed scheduling (FDS) — the HAL baseline (paper ref. [6]).
+
+Paulin & Knight's algorithm balances the *distribution graphs* of each
+operation kind: every unfixed operation contributes a uniform probability
+over its time frame; fixing an operation to the step with the least total
+"force" levels concurrency across steps, which minimises the FU count under
+a time constraint.
+
+This implementation follows the original formulation:
+
+* probabilities spread over ``[ASAP, ALAP]`` start steps, multi-cycle
+  operations smearing over their active steps;
+* self force plus predecessor/successor implicit forces (one level deep,
+  as in the original paper);
+* frames shrink transitively after every fixing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import InfeasibleScheduleError
+from repro.dfg.analysis import TimingModel, alap_schedule, asap_schedule
+from repro.dfg.graph import DFG
+from repro.schedule.types import Schedule
+
+
+def _distribution(
+    dfg: DFG,
+    timing: TimingModel,
+    frames: Mapping[str, Tuple[int, int]],
+    cs: int,
+) -> Dict[str, List[float]]:
+    """Distribution graph per kind: DG[kind][t-1] for t in 1..cs."""
+    dg: Dict[str, List[float]] = {}
+    for node in dfg:
+        lo, hi = frames[node.name]
+        latency = timing.latency(node.kind)
+        weight = 1.0 / (hi - lo + 1)
+        row = dg.setdefault(node.kind, [0.0] * cs)
+        for start in range(lo, hi + 1):
+            for step in range(start, start + latency):
+                row[step - 1] += weight
+    return dg
+
+
+def _probabilities(
+    lo: int, hi: int, latency: int, cs: int
+) -> List[float]:
+    """Active-step probability vector of one operation."""
+    row = [0.0] * cs
+    weight = 1.0 / (hi - lo + 1)
+    for start in range(lo, hi + 1):
+        for step in range(start, start + latency):
+            row[step - 1] += weight
+    return row
+
+
+def _force(
+    dg_row: List[float], before: List[float], after: List[float]
+) -> float:
+    """Force of changing one operation's probability vector."""
+    return sum(
+        dg_row[i] * (after[i] - before[i]) for i in range(len(dg_row))
+    )
+
+
+def force_directed_schedule(
+    dfg: DFG, timing: TimingModel, cs: int
+) -> Schedule:
+    """Time-constrained force-directed schedule in ``cs`` steps."""
+    asap = asap_schedule(dfg, timing)
+    alap = alap_schedule(dfg, timing, cs)
+    frames: Dict[str, Tuple[int, int]] = {
+        name: (asap[name], alap[name]) for name in asap
+    }
+    unfixed = set(dfg.node_names())
+    order_index = {name: i for i, name in enumerate(dfg.node_names())}
+
+    def shrink(name: str, lo: int, hi: int) -> None:
+        """Narrow a frame and propagate the tightening transitively."""
+        old_lo, old_hi = frames[name]
+        new_lo, new_hi = max(old_lo, lo), min(old_hi, hi)
+        if new_lo > new_hi:
+            raise InfeasibleScheduleError(
+                f"FDS frame of {name!r} became empty ({new_lo} > {new_hi})"
+            )
+        if (new_lo, new_hi) == (old_lo, old_hi):
+            return
+        frames[name] = (new_lo, new_hi)
+        latency = timing.latency(dfg.node(name).kind)
+        for succ in dfg.successors(name):
+            shrink(succ, new_lo + latency, cs)
+        for pred in dfg.predecessors(name):
+            pred_latency = timing.latency(dfg.node(pred).kind)
+            shrink(pred, 1, new_hi - pred_latency)
+
+    while unfixed:
+        dg = _distribution(dfg, timing, frames, cs)
+        best: Tuple[float, int, str, int] = (float("inf"), 0, "", 0)
+        for name in sorted(unfixed, key=lambda n: order_index[n]):
+            node = dfg.node(name)
+            lo, hi = frames[name]
+            latency = timing.latency(node.kind)
+            before = _probabilities(lo, hi, latency, cs)
+            for step in range(lo, hi + 1):
+                after = _probabilities(step, step, latency, cs)
+                total = _force(dg[node.kind], before, after)
+                # Implicit forces: one-level predecessor/successor frame cuts.
+                for succ in dfg.successors(name):
+                    s_lo, s_hi = frames[succ]
+                    n_lo = max(s_lo, step + latency)
+                    if (n_lo, s_hi) != (s_lo, s_hi) and n_lo <= s_hi:
+                        s_node = dfg.node(succ)
+                        s_lat = timing.latency(s_node.kind)
+                        total += _force(
+                            dg[s_node.kind],
+                            _probabilities(s_lo, s_hi, s_lat, cs),
+                            _probabilities(n_lo, s_hi, s_lat, cs),
+                        )
+                for pred in dfg.predecessors(name):
+                    p_lo, p_hi = frames[pred]
+                    p_node = dfg.node(pred)
+                    p_lat = timing.latency(p_node.kind)
+                    n_hi = min(p_hi, step - p_lat)
+                    if (p_lo, n_hi) != (p_lo, p_hi) and p_lo <= n_hi:
+                        total += _force(
+                            dg[p_node.kind],
+                            _probabilities(p_lo, p_hi, p_lat, cs),
+                            _probabilities(p_lo, n_hi, p_lat, cs),
+                        )
+                key = (total, order_index[name], name, step)
+                if key < best:
+                    best = key
+        _total, _idx, chosen, step = best
+        shrink(chosen, step, step)
+        unfixed.discard(chosen)
+
+    starts = {name: frames[name][0] for name in frames}
+    return Schedule(dfg=dfg, timing=timing, cs=cs, starts=starts)

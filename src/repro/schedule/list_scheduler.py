@@ -1,0 +1,182 @@
+"""Classic list scheduling — the baseline class of paper ref. [4] (Slicer).
+
+Two entry points:
+
+* :func:`list_schedule_resource_constrained` — given per-kind FU bounds,
+  produce the shortest schedule the priority list yields;
+* :func:`list_schedule_time_constrained` — given a step budget ``cs``,
+  find small per-kind bounds under which the resource-constrained pass
+  fits, mirroring how list schedulers are used for the Table-1 metric.
+
+Priorities follow the common "distance to sink" rule: operations on longer
+remaining paths go first.  Multi-cycle operations occupy their unit for
+their full latency; mutually exclusive operations (§5.1) may share a unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import InfeasibleScheduleError
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.graph import DFG
+from repro.schedule.types import Schedule
+
+
+def _path_lengths_to_sink(dfg: DFG, timing: TimingModel) -> Dict[str, int]:
+    """Longest latency-weighted path from each node to any sink."""
+    lengths: Dict[str, int] = {}
+    for name in reversed(dfg.topological_order()):
+        latency = timing.latency(dfg.node(name).kind)
+        succ_best = max(
+            (lengths[s] for s in dfg.successors(name)), default=0
+        )
+        lengths[name] = latency + succ_best
+    return lengths
+
+
+class _UsageTable:
+    """Per-(kind, step) occupancy with mutual-exclusion-aware slot packing."""
+
+    def __init__(self, dfg: DFG) -> None:
+        self._dfg = dfg
+        self._occupants: Dict[Tuple[str, int], List[str]] = {}
+
+    def units_needed(self, kind: str, step: int, extra: Optional[str] = None) -> int:
+        """Units of ``kind`` needed at ``step`` (optionally with ``extra`` added)."""
+        members = list(self._occupants.get((kind, step), []))
+        if extra is not None:
+            members.append(extra)
+        units: List[List[str]] = []
+        for member in members:
+            for unit in units:
+                if all(self._dfg.mutually_exclusive(member, other) for other in unit):
+                    unit.append(member)
+                    break
+            else:
+                units.append([member])
+        return len(units)
+
+    def occupy(self, kind: str, step: int, name: str) -> None:
+        self._occupants.setdefault((kind, step), []).append(name)
+
+
+def _list_schedule(
+    dfg: DFG,
+    timing: TimingModel,
+    bounds: Mapping[str, int],
+    max_steps: int,
+) -> Tuple[Schedule, Dict[str, int]]:
+    """Core list-scheduling pass.
+
+    Returns the schedule plus per-kind *deferral counts*: how often a
+    ready operation had to wait because its kind's bound was exhausted —
+    the signal the time-constrained wrapper uses to pick which bound to
+    raise.
+    """
+    priority = _path_lengths_to_sink(dfg, timing)
+    order_index = {name: i for i, name in enumerate(dfg.node_names())}
+
+    unscheduled = set(dfg.node_names())
+    starts: Dict[str, int] = {}
+    usage = _UsageTable(dfg)
+    deferred: Dict[str, int] = {}
+    step = 1
+    while unscheduled:
+        if step > max_steps:
+            raise InfeasibleScheduleError(
+                f"list scheduler exceeded {max_steps} steps on {dfg.name!r}"
+            )
+        ready = [
+            name
+            for name in unscheduled
+            if all(
+                pred in starts
+                and starts[pred] + timing.latency(dfg.node(pred).kind) <= step
+                for pred in dfg.predecessors(name)
+            )
+        ]
+        ready.sort(key=lambda n: (-priority[n], order_index[n]))
+        for name in ready:
+            kind = dfg.node(name).kind
+            latency = timing.latency(kind)
+            limit = bounds.get(kind)
+            span = range(step, step + latency)
+            if limit is not None and any(
+                usage.units_needed(kind, s, extra=name) > limit for s in span
+            ):
+                deferred[kind] = deferred.get(kind, 0) + 1
+                continue
+            starts[name] = step
+            for s in span:
+                usage.occupy(kind, s, name)
+            unscheduled.discard(name)
+        step += 1
+
+    makespan = max(
+        starts[n] + timing.latency(dfg.node(n).kind) - 1 for n in starts
+    ) if starts else 0
+    schedule = Schedule(
+        dfg=dfg, timing=timing, cs=max(makespan, 1), starts=starts
+    )
+    return schedule, deferred
+
+
+def list_schedule_resource_constrained(
+    dfg: DFG,
+    timing: TimingModel,
+    bounds: Mapping[str, int],
+    max_steps: Optional[int] = None,
+) -> Schedule:
+    """List schedule under per-kind FU ``bounds``.
+
+    Kinds missing from ``bounds`` are unconstrained.  Raises
+    :class:`InfeasibleScheduleError` if ``max_steps`` is exceeded.
+    """
+    if max_steps is None:
+        max_steps = max(critical_path_length(dfg, timing), 1) + len(dfg)
+    schedule, _deferred = _list_schedule(dfg, timing, bounds, max_steps)
+    return schedule
+
+
+def list_schedule_time_constrained(
+    dfg: DFG,
+    timing: TimingModel,
+    cs: int,
+    max_rounds: int = 200,
+) -> Schedule:
+    """Find small per-kind bounds under which a list schedule fits ``cs`` steps.
+
+    Starts from the distribution lower bound ``⌈N_j / cs⌉`` and repeatedly
+    increments the bound of the kind that blocked the longest-priority
+    unscheduled work, until the schedule fits.
+    """
+    if critical_path_length(dfg, timing) > cs:
+        raise InfeasibleScheduleError(
+            f"critical path of {dfg.name!r} exceeds {cs} steps"
+        )
+    counts = dfg.count_by_kind()
+    bounds: Dict[str, int] = {
+        kind: max(1, -(-count // cs)) for kind, count in counts.items()
+    }
+    for _round in range(max_rounds):
+        schedule, deferred = _list_schedule(
+            dfg, timing, bounds, max_steps=cs + len(dfg)
+        )
+        if schedule.makespan() <= cs:
+            return Schedule(
+                dfg=dfg, timing=timing, cs=cs, starts=schedule.starts
+            )
+        if not deferred:
+            # Nothing was resource-blocked, yet the budget is exceeded —
+            # impossible when the critical path fits (checked above).
+            raise InfeasibleScheduleError(
+                f"list scheduler cannot fit {dfg.name!r} in {cs} steps"
+            )
+        # Raise the bound that blocked the most ready operations.
+        bump = max(sorted(deferred), key=deferred.__getitem__)
+        bounds[bump] += 1
+    raise InfeasibleScheduleError(
+        f"time-constrained list scheduling failed on {dfg.name!r} after "
+        f"{max_rounds} bound adjustments"
+    )

@@ -1,0 +1,189 @@
+"""The :class:`Schedule` value object and its validator.
+
+A schedule maps every DFG node to a start control step.  Validation checks
+the full set of invariants the paper's algorithms must maintain:
+
+* every node is scheduled exactly once, within ``[1, cs]``;
+* multi-cycle nodes fit entirely within the time budget;
+* data dependences hold, including the chaining rule (§5.4): a dependent
+  pair may share a step only when chaining is enabled and the accumulated
+  combinational delay of the within-step chain fits the clock period;
+* optional per-kind resource bounds hold (with mutual exclusion, §5.1, and
+  functional-pipelining folding, §5.5.2, taken into account).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ScheduleError
+from repro.dfg.analysis import (
+    TimingModel,
+    schedule_makespan,
+    type_concurrency,
+)
+from repro.dfg.graph import DFG
+
+
+@dataclass
+class Schedule:
+    """A start-step assignment for every operation of a DFG.
+
+    Attributes
+    ----------
+    dfg:
+        The scheduled graph.
+    timing:
+        Latency/delay model the schedule was built under.
+    cs:
+        Number of control steps available (the time constraint).
+    starts:
+        Node name → 1-based start step.
+    latency_l:
+        Functional-pipelining initiation interval ``L`` (``None`` when the
+        schedule is not functionally pipelined).
+    pipelined_kinds:
+        Kinds executed on structurally pipelined FUs (a new operation may
+        enter such a unit every step even though latency > 1, §5.5.1).
+    """
+
+    dfg: DFG
+    timing: TimingModel
+    cs: int
+    starts: Dict[str, int]
+    latency_l: Optional[int] = None
+    pipelined_kinds: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        self.starts = dict(self.starts)
+        self.pipelined_kinds = frozenset(self.pipelined_kinds)
+
+    # ------------------------------------------------------------------
+    def start(self, name: str) -> int:
+        """Start step of node ``name``."""
+        return self.starts[name]
+
+    def end(self, name: str) -> int:
+        """Last occupied step of node ``name``."""
+        return self.starts[name] + self.timing.latency(self.dfg.node(name).kind) - 1
+
+    def makespan(self) -> int:
+        """Last occupied control step overall."""
+        return schedule_makespan(self.dfg, self.starts, self.timing)
+
+    def fu_usage(self) -> Dict[str, int]:
+        """FUs of each kind this schedule needs (§ Table 1 metric)."""
+        return type_concurrency(
+            self.dfg,
+            self.starts,
+            self.timing,
+            self.latency_l,
+            self.pipelined_kinds,
+        )
+
+    def steps_of(self, step: int) -> Dict[str, str]:
+        """Nodes active at ``step`` → their kind (for rendering)."""
+        active: Dict[str, str] = {}
+        for name, start in self.starts.items():
+            node = self.dfg.node(name)
+            if start <= step <= start + self.timing.latency(node.kind) - 1:
+                active[name] = node.kind
+        return active
+
+    # ------------------------------------------------------------------
+    def validate(self, resource_bounds: Optional[Mapping[str, int]] = None) -> None:
+        """Check every schedule invariant; raise :class:`ScheduleError` if any fails."""
+        self._check_coverage()
+        self._check_bounds()
+        self._check_precedence()
+        if self.timing.chaining:
+            self._check_chain_delays()
+        if resource_bounds is not None:
+            self._check_resources(resource_bounds)
+
+    def _check_coverage(self) -> None:
+        scheduled = set(self.starts)
+        nodes = set(self.dfg.node_names())
+        missing = nodes - scheduled
+        if missing:
+            raise ScheduleError(f"unscheduled nodes: {sorted(missing)}")
+        extra = scheduled - nodes
+        if extra:
+            raise ScheduleError(f"schedule mentions unknown nodes: {sorted(extra)}")
+
+    def _check_bounds(self) -> None:
+        for name, start in self.starts.items():
+            latency = self.timing.latency(self.dfg.node(name).kind)
+            if start < 1:
+                raise ScheduleError(f"node {name!r} starts before step 1 ({start})")
+            if start + latency - 1 > self.cs:
+                raise ScheduleError(
+                    f"node {name!r} (latency {latency}) starting at {start} "
+                    f"exceeds the {self.cs}-step budget"
+                )
+
+    def _check_precedence(self) -> None:
+        for node in self.dfg:
+            start = self.starts[node.name]
+            for pred in node.predecessor_names():
+                pred_end = self.end(pred)
+                if start > pred_end:
+                    continue
+                chainable = (
+                    self.timing.chaining
+                    and start == pred_end
+                    and self.timing.latency(node.kind) == 1
+                    and self.timing.latency(self.dfg.node(pred).kind) == 1
+                )
+                if not chainable:
+                    raise ScheduleError(
+                        f"node {node.name!r} at step {start} does not follow "
+                        f"its predecessor {pred!r} finishing at step {pred_end}"
+                    )
+
+    def _check_chain_delays(self) -> None:
+        period = self.timing.clock_period_ns
+        offsets: Dict[str, float] = {}
+        for name in self.dfg.topological_order():
+            node = self.dfg.node(name)
+            if self.timing.latency(node.kind) != 1:
+                continue
+            start = self.starts[name]
+            incoming = 0.0
+            for pred in node.predecessor_names():
+                if self.end(pred) == start and pred in offsets:
+                    incoming = max(incoming, offsets[pred])
+            offsets[name] = incoming + self.timing.delay_ns(node.kind)
+            if offsets[name] > period + 1e-9:
+                raise ScheduleError(
+                    f"chained path through {name!r} at step {start} takes "
+                    f"{offsets[name]:.1f} ns, longer than the {period} ns clock"
+                )
+
+    def _check_resources(self, bounds: Mapping[str, int]) -> None:
+        usage = self.fu_usage()
+        for kind, used in usage.items():
+            limit = bounds.get(kind)
+            if limit is not None and used > limit:
+                raise ScheduleError(
+                    f"kind {kind!r} uses {used} units, bound is {limit}"
+                )
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "Schedule":
+        """Independent copy of the schedule."""
+        return Schedule(
+            dfg=self.dfg,
+            timing=self.timing,
+            cs=self.cs,
+            starts=dict(self.starts),
+            latency_l=self.latency_l,
+            pipelined_kinds=self.pipelined_kinds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Schedule({self.dfg.name!r}, cs={self.cs}, "
+            f"makespan={self.makespan()}, fu={self.fu_usage()})"
+        )

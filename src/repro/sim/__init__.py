@@ -1,0 +1,28 @@
+"""Simulation substrate.
+
+* :mod:`repro.sim.evaluator` — reference (untimed) evaluation of a DFG on
+  concrete integer inputs;
+* :mod:`repro.sim.executor` — cycle-accurate simulation of a scheduled and
+  allocated datapath, used as the functional-equivalence oracle: for any
+  valid schedule + binding, the executor must produce exactly the
+  evaluator's outputs.
+"""
+
+from repro.sim.evaluator import evaluate_dfg
+from repro.sim.executor import (
+    ExecutionTrace,
+    execute_datapath,
+    execute_schedule,
+    verify_equivalence,
+)
+from repro.sim.vcd import trace_to_vcd, write_vcd
+
+__all__ = [
+    "evaluate_dfg",
+    "execute_datapath",
+    "execute_schedule",
+    "verify_equivalence",
+    "ExecutionTrace",
+    "trace_to_vcd",
+    "write_vcd",
+]

@@ -1,0 +1,53 @@
+"""Reference (untimed) DFG evaluation.
+
+Evaluates every node in topological order with the pure-Python evaluators
+registered in the operation set.  Branch-tagged nodes (§5.1) are still
+evaluated — mutual exclusion is a *resource* property; data-flow semantics
+of the merged conditional graph follow the selected arm only through the
+values the user wires (this matches how 1990s HLS treated speculated
+conditional bodies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import SimulationError
+from repro.dfg.graph import DFG, Port
+from repro.dfg.ops import OperationSet
+
+
+def evaluate_dfg(
+    dfg: DFG,
+    ops: OperationSet,
+    inputs: Mapping[str, int],
+) -> Dict[str, int]:
+    """Evaluate ``dfg`` on concrete integer ``inputs``.
+
+    Returns a dict with one entry per primary output plus one per node
+    (keyed ``op:<name>`` for nodes, plain output names for outputs).
+    Raises :class:`SimulationError` for missing inputs.
+    """
+    for name in dfg.inputs:
+        if name not in inputs:
+            raise SimulationError(f"missing value for primary input {name!r}")
+
+    values: Dict[str, int] = {}
+
+    def read(port: Port) -> int:
+        if port.is_const:
+            return port.value
+        if port.is_input:
+            return inputs[port.name]
+        return values[f"op:{port.name}"]
+
+    for name in dfg.topological_order():
+        node = dfg.node(name)
+        spec = ops.spec(node.kind)
+        operands = [read(port) for port in node.operands]
+        values[f"op:{name}"] = spec.evaluate(*operands)
+
+    results = dict(values)
+    for out_name, port in dfg.outputs.items():
+        results[out_name] = read(port)
+    return results

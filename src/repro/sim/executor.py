@@ -1,0 +1,292 @@
+"""Cycle-accurate execution of scheduled / allocated designs.
+
+Two entry points:
+
+* :func:`execute_schedule` — runs a bare :class:`Schedule` step by step,
+  checking that every operand value exists before it is read (a timing
+  oracle for MFS results);
+* :func:`execute_datapath` — runs a full :class:`Datapath` (MFSA result):
+  operations execute on their bound ALU instance, operands travel through
+  the instance's optimised multiplexer ports, and intermediate values live
+  in their left-edge-allocated registers.  The simulator *verifies the
+  hardware* as it goes: reading a stale or clobbered register, routing a
+  signal through a mux port that does not carry it, or running an
+  operation on an incapable ALU all raise :class:`SimulationError`.
+
+For any valid schedule + binding the outputs must equal
+:func:`repro.sim.evaluator.evaluate_dfg` — the library's end-to-end
+functional-equivalence oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.dfg.graph import DFG, Port
+from repro.allocation.datapath import Datapath
+from repro.schedule.types import Schedule
+from repro.sim.evaluator import evaluate_dfg
+
+
+@dataclass
+class StepEvent:
+    """One operation completing during the simulation."""
+
+    step: int
+    op: str
+    kind: str
+    instance: Optional[Tuple[str, int]]
+    operands: Tuple[int, ...]
+    result: int
+
+
+@dataclass
+class ExecutionTrace:
+    """Full record of a simulation run."""
+
+    outputs: Dict[str, int]
+    events: List[StepEvent] = field(default_factory=list)
+    register_writes: List[Tuple[int, int, str, int]] = field(default_factory=list)
+
+    def result(self, name: str) -> int:
+        """Value of primary output ``name``."""
+        return self.outputs[name]
+
+
+def _operand_values(
+    dfg: DFG,
+    name: str,
+    inputs: Mapping[str, int],
+    produced: Mapping[str, int],
+    available_at: Mapping[str, int],
+    read_step: int,
+) -> Tuple[int, ...]:
+    node = dfg.node(name)
+    values = []
+    for port in node.operands:
+        if port.is_const:
+            values.append(port.value)
+        elif port.is_input:
+            values.append(inputs[port.name])
+        else:
+            if port.name not in produced:
+                raise SimulationError(
+                    f"{name!r} at step {read_step} reads {port.name!r} "
+                    f"before it is produced"
+                )
+            if available_at[port.name] > read_step:
+                raise SimulationError(
+                    f"{name!r} at step {read_step} reads {port.name!r}, "
+                    f"which is only ready after step {available_at[port.name]}"
+                )
+            values.append(produced[port.name])
+    return tuple(values)
+
+
+def execute_schedule(
+    schedule: Schedule, inputs: Mapping[str, int]
+) -> ExecutionTrace:
+    """Simulate a bare schedule (no binding) step by step.
+
+    A value produced by a node finishing at step ``e`` becomes readable at
+    step ``e + 1`` — or at ``e`` itself when chaining is enabled (§5.4),
+    since the schedule validator has already certified the chain delays.
+    """
+    dfg, timing = schedule.dfg, schedule.timing
+    ops = timing.ops
+    produced: Dict[str, int] = {}
+    available_at: Dict[str, int] = {}
+    events: List[StepEvent] = []
+
+    topo_rank = {name: i for i, name in enumerate(dfg.topological_order())}
+    by_start: Dict[int, List[str]] = {}
+    for name in dfg.node_names():
+        by_start.setdefault(schedule.start(name), []).append(name)
+
+    for step in range(1, schedule.cs + 1):
+        # Within a step, chained operations must evaluate in dependency order.
+        for name in sorted(by_start.get(step, []), key=topo_rank.__getitem__):
+            node = dfg.node(name)
+            operands = _operand_values(
+                dfg, name, inputs, produced, available_at, step
+            )
+            result = ops.spec(node.kind).evaluate(*operands)
+            end = schedule.end(name)
+            produced[name] = result
+            available_at[name] = end if timing.chaining else end + 1
+            events.append(
+                StepEvent(
+                    step=step,
+                    op=name,
+                    kind=node.kind,
+                    instance=None,
+                    operands=operands,
+                    result=result,
+                )
+            )
+
+    outputs: Dict[str, int] = {}
+    for out_name, port in dfg.outputs.items():
+        if port.is_const:
+            outputs[out_name] = port.value
+        elif port.is_input:
+            outputs[out_name] = inputs[port.name]
+        else:
+            outputs[out_name] = produced[port.name]
+    return ExecutionTrace(outputs=outputs, events=events)
+
+
+def execute_datapath(
+    datapath: Datapath, inputs: Mapping[str, int]
+) -> ExecutionTrace:
+    """Cycle-accurate simulation of an allocated datapath.
+
+    Models the three structural resources MFSA allocates and verifies each
+    against the data actually flowing:
+
+    * **ALUs** — every operation must run on an instance whose cell
+      implements its kind;
+    * **multiplexers** — each operand's signal must appear on the mux port
+      the input-list optimiser routed it to;
+    * **registers** — values are written at birth and read at consumption;
+      reading a register that meanwhile holds a different value means the
+      left-edge allocation was wrong and raises.
+    """
+    schedule = datapath.schedule
+    dfg, timing = schedule.dfg, schedule.timing
+    ops = timing.ops
+
+    produced: Dict[str, int] = {}
+    available_at: Dict[str, int] = {}
+    register_file: Dict[int, Tuple[str, int]] = {}
+    events: List[StepEvent] = []
+    register_writes: List[Tuple[int, int, str, int]] = []
+    # Register writes land at the producer's end step and become visible
+    # the following step; queueing them keeps a value readable through the
+    # step in which its register is handed over to a successor value.
+    pending_writes: Dict[int, List[Tuple[int, str, int]]] = {}
+
+    def apply_writes_before(step: int) -> None:
+        for end in sorted(list(pending_writes)):
+            if end < step:
+                for register, signal, value in pending_writes.pop(end):
+                    register_file[register] = (signal, value)
+                    register_writes.append((end, register, signal, value))
+
+    topo_rank = {name: i for i, name in enumerate(dfg.topological_order())}
+    by_start: Dict[int, List[str]] = {}
+    for name in dfg.node_names():
+        by_start.setdefault(schedule.start(name), []).append(name)
+
+    def read_value(port: Port, consumer: str, step: int) -> int:
+        if port.is_const:
+            return port.value
+        if port.is_input:
+            return inputs[port.name]
+        producer = port.name
+        if producer not in produced:
+            raise SimulationError(
+                f"{consumer!r} at step {step} reads {producer!r} before "
+                f"it is produced"
+            )
+        if available_at[producer] > step:
+            raise SimulationError(
+                f"{consumer!r} at step {step} reads {producer!r}, ready "
+                f"only after step {available_at[producer]}"
+            )
+        signal = f"op:{producer}"
+        life = datapath.lifetimes.get(signal)
+        if life is not None and life.needs_register and step > life.birth:
+            register = datapath.registers.assignment[signal]
+            holder, value = register_file.get(register, (None, None))
+            if holder != signal:
+                raise SimulationError(
+                    f"register r{register} holds {holder!r} at step {step}, "
+                    f"but {consumer!r} expects {signal!r}"
+                )
+            return value
+        return produced[producer]
+
+    def check_mux_routing(name: str) -> None:
+        node = dfg.node(name)
+        instance = datapath.instance_of(name)
+        if not instance.cell.can_execute(node.kind):
+            raise SimulationError(
+                f"{name!r} ({node.kind}) runs on incapable ALU "
+                f"{instance.label()}"
+            )
+        signals = node.operand_names()
+        for position, signal in enumerate(signals):
+            if len(signals) == 1:
+                port_lists = (instance.mux.l1,)
+            else:
+                port = instance.mux.port_of(name, textual_left=(position == 0))
+                port_lists = (instance.mux.l1 if port == 1 else instance.mux.l2,)
+            if all(signal not in port_list for port_list in port_lists):
+                raise SimulationError(
+                    f"signal {signal!r} of {name!r} is not wired to its mux "
+                    f"port on {instance.label()}"
+                )
+
+    for step in range(1, schedule.cs + 1):
+        apply_writes_before(step)
+        for name in sorted(by_start.get(step, []), key=topo_rank.__getitem__):
+            node = dfg.node(name)
+            check_mux_routing(name)
+            operands = tuple(
+                read_value(port, name, step) for port in node.operands
+            )
+            result = ops.spec(node.kind).evaluate(*operands)
+            end = schedule.end(name)
+            produced[name] = result
+            available_at[name] = end if timing.chaining else end + 1
+            events.append(
+                StepEvent(
+                    step=step,
+                    op=name,
+                    kind=node.kind,
+                    instance=datapath.binding[name],
+                    operands=operands,
+                    result=result,
+                )
+            )
+            signal = f"op:{name}"
+            life = datapath.lifetimes.get(signal)
+            if life is not None and life.needs_register:
+                register = datapath.registers.assignment[signal]
+                pending_writes.setdefault(end, []).append(
+                    (register, signal, result)
+                )
+
+    apply_writes_before(schedule.cs + 2)
+    outputs: Dict[str, int] = {}
+    for out_name, port in dfg.outputs.items():
+        if port.is_const:
+            outputs[out_name] = port.value
+        elif port.is_input:
+            outputs[out_name] = inputs[port.name]
+        else:
+            outputs[out_name] = read_value(port, f"output:{out_name}", schedule.cs + 1)
+    return ExecutionTrace(
+        outputs=outputs, events=events, register_writes=register_writes
+    )
+
+
+def verify_equivalence(
+    datapath: Datapath, inputs: Mapping[str, int]
+) -> ExecutionTrace:
+    """Run the datapath and assert its outputs match the reference
+    evaluator; returns the trace on success."""
+    trace = execute_datapath(datapath, inputs)
+    reference = evaluate_dfg(
+        datapath.schedule.dfg, datapath.schedule.timing.ops, inputs
+    )
+    for out_name in datapath.schedule.dfg.outputs:
+        if trace.outputs[out_name] != reference[out_name]:
+            raise SimulationError(
+                f"output {out_name!r}: datapath produced "
+                f"{trace.outputs[out_name]}, reference says {reference[out_name]}"
+            )
+    return trace

@@ -1,0 +1,226 @@
+"""RTL-level simulation driven purely by the control path.
+
+:func:`execute_controller` runs a datapath the way the *hardware* would:
+it looks only at the FSM tables (``alu_functions``, ``mux_selects``,
+``register_loads``), the mux input lists and the register file — never at
+the DFG's operand wiring.  If its outputs match the reference evaluator,
+the control path (and therefore the structural Verilog derived from the
+same tables) is semantically correct end to end.
+
+The DFG is consulted for exactly one thing: ordering same-state
+combinational chains (chained operations across ALUs must evaluate in
+dependency order, just as signals settle in hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import SimulationError
+from repro.allocation.datapath import Datapath
+from repro.rtl.controller import build_controller
+from repro.sim.evaluator import evaluate_dfg
+from repro.sim.executor import ExecutionTrace, StepEvent
+
+_FUNCTIONS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 31),
+    "shr": lambda a, b: a >> (b & 31),
+    "eq": lambda a, b: int(a == b),
+    "lt": lambda a, b: int(a < b),
+    "gt": lambda a, b: int(a > b),
+    "neg": lambda a, b: -a,
+    "not": lambda a, b: ~a,
+    "move": lambda a, b: a,
+    "min": lambda a, b: min(a, b),
+    "max": lambda a, b: max(a, b),
+}
+
+
+def _divide(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+_FUNCTIONS["div"] = _divide
+
+
+def execute_controller(
+    datapath: Datapath, inputs: Mapping[str, int]
+) -> ExecutionTrace:
+    """Simulate using only the FSM tables + mux lists + register file."""
+    schedule = datapath.schedule
+    dfg = schedule.dfg
+    controller = build_controller(datapath)
+
+    registers: Dict[int, int] = {}
+    alu_out: Dict[Tuple[str, int], int] = {}
+    # Multi-cycle operations compute at their start state but their result
+    # is captured at their end state; keyed by (instance, end step) so a
+    # structurally pipelined unit may hold several in-flight results.
+    held_out: Dict[Tuple[Tuple[str, int], int], int] = {}
+    events: List[StepEvent] = []
+    register_writes: List[Tuple[int, int, str, int]] = []
+
+    def read_signal(signal: str, step: int) -> int:
+        if signal.startswith("#"):
+            return int(signal[1:])
+        if signal.startswith("in:"):
+            name = signal[3:]
+            registered = datapath.registers.assignment.get(signal)
+            if registered is None or step == 1:
+                return inputs[name]
+            return registers[registered]
+        life = datapath.lifetimes[signal]
+        if not life.needs_register or step == life.birth:
+            # combinational: the producing ALU's current output
+            producer = signal[3:]
+            key = datapath.binding[producer]
+            if key not in alu_out:
+                raise SimulationError(
+                    f"combinational read of {signal!r} before its ALU "
+                    f"settled at step {step}"
+                )
+            return alu_out[key]
+        register = datapath.registers.assignment[signal]
+        if register not in registers:
+            raise SimulationError(
+                f"register r{register} read before first load (step {step})"
+            )
+        return registers[register]
+
+    topo_rank = {name: i for i, name in enumerate(dfg.topological_order())}
+
+    for step in range(1, schedule.cs + 1):
+        state = controller.state(step)
+        alu_out = {}
+        # Instances whose function is merely *held* for an in-flight
+        # multi-cycle operation recompute the same value (operands are
+        # register-stable by the lifetime rule); only instances starting
+        # an operation this step need evaluating, in combinational
+        # settling order (chained chains resolve dependency-first).
+        def starters(key) -> list:
+            return [
+                op
+                for op in datapath.instances[key].ops
+                if schedule.start(op) == step
+            ]
+
+        active = sorted(
+            (
+                (key, kind)
+                for key, kind in state.alu_functions.items()
+                if starters(key)
+            ),
+            key=lambda item: min(topo_rank[op] for op in starters(item[0])),
+        )
+        for key, kind in active:
+            instance = datapath.instances[key]
+            operands: List[int] = []
+            for port, signals in ((1, instance.mux.l1), (2, instance.mux.l2)):
+                if not signals:
+                    continue
+                if len(signals) == 1:
+                    signal = signals[0]
+                else:
+                    select = state.mux_selects.get((key[0], key[1], port))
+                    if select is None:
+                        raise SimulationError(
+                            f"mux ({key}, port {port}) has no select in "
+                            f"state {step}"
+                        )
+                    signal = signals[select]
+                operands.append(read_signal(signal, step))
+            a = operands[0]
+            b = operands[1] if len(operands) > 1 else 0
+            alu_out[key] = _FUNCTIONS[kind](a, b)
+            ops_here = [
+                op
+                for op in instance.ops
+                if schedule.start(op) == step
+            ]
+            if ops_here:
+                held_out[(key, schedule.end(ops_here[0]))] = alu_out[key]
+            events.append(
+                StepEvent(
+                    step=step,
+                    op=ops_here[0] if ops_here else "?",
+                    kind=kind,
+                    instance=key,
+                    operands=tuple(operands),
+                    result=alu_out[key],
+                )
+            )
+        # end of state: register loads
+        if step == 1:
+            for signal, register in datapath.registers.assignment.items():
+                if signal.startswith("in:"):
+                    registers[register] = inputs[signal[3:]]
+                    register_writes.append((0, register, signal, registers[register]))
+        for register in state.register_loads:
+            signal = _value_loaded(datapath, register, step)
+            producer = signal[3:]
+            key = datapath.binding[producer]
+            held = held_out.get((key, step))
+            if held is None:
+                raise SimulationError(
+                    f"ALU {key} holds no value for r{register} at step {step}"
+                )
+            registers[register] = held
+            register_writes.append(
+                (step, register, signal, registers[register])
+            )
+
+    outputs: Dict[str, int] = {}
+    for out_name, port in dfg.outputs.items():
+        if port.is_const:
+            outputs[out_name] = port.value
+        elif port.is_input:
+            outputs[out_name] = inputs[port.name]
+        else:
+            signal = port.signal_name()
+            register = datapath.registers.assignment.get(signal)
+            if register is None:
+                raise SimulationError(
+                    f"output {out_name!r} has no register to persist in"
+                )
+            outputs[out_name] = registers[register]
+    return ExecutionTrace(
+        outputs=outputs, events=events, register_writes=register_writes
+    )
+
+
+def _value_loaded(datapath: Datapath, register: int, step: int) -> str:
+    """Which signal loads into ``register`` at the end of ``step``."""
+    for signal, assigned in datapath.registers.assignment.items():
+        if assigned != register or not signal.startswith("op:"):
+            continue
+        if datapath.lifetimes[signal].birth == step:
+            return signal
+    raise SimulationError(
+        f"no value is born into r{register} at step {step}"
+    )
+
+
+def verify_controller_equivalence(
+    datapath: Datapath, inputs: Mapping[str, int]
+) -> ExecutionTrace:
+    """Run the control-path simulation and check against the evaluator."""
+    trace = execute_controller(datapath, inputs)
+    reference = evaluate_dfg(
+        datapath.schedule.dfg, datapath.schedule.timing.ops, inputs
+    )
+    for out_name in datapath.schedule.dfg.outputs:
+        if trace.outputs[out_name] != reference[out_name]:
+            raise SimulationError(
+                f"output {out_name!r}: controller-driven simulation gives "
+                f"{trace.outputs[out_name]}, reference {reference[out_name]}"
+            )
+    return trace

@@ -1,0 +1,101 @@
+"""VCD (Value Change Dump) export of datapath simulations.
+
+Turns an :class:`~repro.sim.executor.ExecutionTrace` into an IEEE-1364
+VCD waveform readable by GTKWave & friends: one signal per register, per
+operation result and per primary output, sampled at control-step
+granularity (one timestep per control step).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.allocation.datapath import Datapath
+from repro.sim.executor import ExecutionTrace
+
+
+def _identifier_codes(names: List[str]) -> Dict[str, str]:
+    """Compact VCD identifier codes (printable ASCII 33..126)."""
+    codes: Dict[str, str] = {}
+    for index, name in enumerate(names):
+        code = ""
+        value = index
+        while True:
+            code += chr(33 + value % 94)
+            value //= 94
+            if value == 0:
+                break
+        codes[name] = code
+    return codes
+
+
+def _binary(value: int, width: int) -> str:
+    mask = (1 << width) - 1
+    return format(value & mask, f"0{width}b")
+
+
+def trace_to_vcd(
+    datapath: Datapath,
+    trace: ExecutionTrace,
+    width: int = 16,
+    timescale: str = "1 ns",
+    module: str = "datapath",
+) -> str:
+    """Render one simulation run as VCD text."""
+    schedule = datapath.schedule
+    registers = [f"r{i}" for i in range(datapath.registers.count)]
+    wires = [f"w_{event.op}" for event in trace.events]
+    outputs = [f"out_{name}" for name in schedule.dfg.outputs]
+    state = ["state"]
+    names = state + registers + sorted(set(wires)) + outputs
+    codes = _identifier_codes(names)
+
+    lines = [
+        "$date reproduced-run $end",
+        "$version repro MFSA datapath simulator $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module} $end",
+    ]
+    for name in names:
+        signal_width = width if name != "state" else 8
+        lines.append(f"$var wire {signal_width} {codes[name]} {name} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    # Events by step: operation results at their start step, register
+    # values visible from the step after their write.
+    results_by_step: Dict[int, List] = {}
+    for event in trace.events:
+        results_by_step.setdefault(event.step, []).append(event)
+    writes_by_visible_step: Dict[int, List] = {}
+    for end, register, _signal, value in trace.register_writes:
+        writes_by_visible_step.setdefault(end + 1, []).append((register, value))
+
+    lines.append("#0")
+    lines.append(f"b{_binary(0, 8)} {codes['state']}")
+    for step in range(1, schedule.cs + 2):
+        lines.append(f"#{step}")
+        lines.append(f"b{_binary(step, 8)} {codes['state']}")
+        for register, value in writes_by_visible_step.get(step, []):
+            lines.append(f"b{_binary(value, width)} {codes[f'r{register}']}")
+        for event in results_by_step.get(step, []):
+            lines.append(
+                f"b{_binary(event.result, width)} {codes[f'w_{event.op}']}"
+            )
+        if step == schedule.cs + 1:
+            for out_name, value in trace.outputs.items():
+                lines.append(
+                    f"b{_binary(value, width)} {codes[f'out_{out_name}']}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_vcd(
+    path: str,
+    datapath: Datapath,
+    trace: ExecutionTrace,
+    **kwargs,
+) -> None:
+    """Write :func:`trace_to_vcd` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(trace_to_vcd(datapath, trace, **kwargs))

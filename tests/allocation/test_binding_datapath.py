@@ -1,0 +1,145 @@
+"""Tests for FU binding, the Datapath container and interconnect stats."""
+
+import pytest
+
+from repro.allocation.binding import bind_functional_units
+from repro.allocation.datapath import Datapath
+from repro.allocation.interconnect import (
+    sharing_ratio,
+    transfer_counts,
+    wire_count,
+    wires,
+)
+from repro.core.mfs import mfs_schedule
+from repro.core.mfsa import mfsa_synthesize
+from repro.dfg.analysis import critical_path_length
+from repro.dfg.generators import random_dfg
+from repro.errors import AllocationError
+from repro.library.ncr import simple_fu_library
+from repro.schedule.list_scheduler import list_schedule_time_constrained
+from repro.bench.suites import hal_diffeq
+
+
+class TestBinding:
+    def test_instances_match_fu_usage(self, timing):
+        g = hal_diffeq()
+        schedule = list_schedule_time_constrained(g, timing, cs=6)
+        binding = bind_functional_units(schedule)
+        usage = schedule.fu_usage()
+        per_kind = {}
+        for name, (kind, index) in binding.items():
+            per_kind.setdefault(kind, set()).add(index)
+        for kind, instances in per_kind.items():
+            assert len(instances) == usage[kind]
+
+    def test_no_temporal_overlap_on_one_instance(self, timing_mul2):
+        g = hal_diffeq()
+        schedule = list_schedule_time_constrained(g, timing_mul2, cs=8)
+        binding = bind_functional_units(schedule)
+        occupancy = {}
+        for name, key in binding.items():
+            for step in range(schedule.start(name), schedule.end(name) + 1):
+                slot = (key, step)
+                assert slot not in occupancy
+                occupancy[slot] = name
+
+    def test_every_node_bound(self, timing):
+        for seed in range(5):
+            g = random_dfg(seed=seed, n_ops=25)
+            cs = critical_path_length(g, timing) + 2
+            schedule = list_schedule_time_constrained(g, timing, cs)
+            binding = bind_functional_units(schedule)
+            assert set(binding) == set(g.node_names())
+
+
+class TestDatapath:
+    def make(self, timing):
+        g = hal_diffeq()
+        schedule = mfs_schedule(g, timing, cs=6).schedule
+        binding = {
+            name: (f"alu_{kind}", index)
+            for name, (kind, index) in bind_functional_units(schedule).items()
+        }
+        library = simple_fu_library(["add", "sub", "mul", "lt"])
+        return Datapath(schedule, library, binding)
+
+    def test_builds_from_mfs_plus_binding(self, timing):
+        datapath = self.make(timing)
+        assert datapath.register_count() > 0
+        assert datapath.cost_breakdown().total > 0
+
+    def test_unbound_node_rejected(self, timing):
+        g = hal_diffeq()
+        schedule = mfs_schedule(g, timing, cs=6).schedule
+        library = simple_fu_library(["add", "sub", "mul", "lt"])
+        with pytest.raises(AllocationError):
+            Datapath(schedule, library, {"m1": ("alu_mul", 1)})
+
+    def test_incapable_cell_rejected(self, timing):
+        g = hal_diffeq()
+        schedule = mfs_schedule(g, timing, cs=6).schedule
+        library = simple_fu_library(["add", "sub", "mul", "lt"])
+        binding = {
+            name: ("alu_add", 1) for name in g.node_names()
+        }
+        with pytest.raises(AllocationError, match="incapable"):
+            Datapath(schedule, library, binding)
+
+    def test_bad_instance_index_rejected(self, timing):
+        g = hal_diffeq()
+        schedule = mfs_schedule(g, timing, cs=6).schedule
+        library = simple_fu_library(["add", "sub", "mul", "lt"])
+        binding = bind_functional_units(schedule)
+        bad = {
+            name: (f"alu_{kind}", 0) for name, (kind, _i) in binding.items()
+        }
+        with pytest.raises(AllocationError, match=">= 1"):
+            Datapath(schedule, library, bad)
+
+    def test_mux_counts_consistent(self, timing):
+        datapath = self.make(timing)
+        # every counted mux has >= 2 inputs, so inputs >= 2 * muxes
+        assert datapath.mux_inputs() >= 2 * datapath.mux_count()
+
+    def test_cost_breakdown_sums(self, timing):
+        datapath = self.make(timing)
+        breakdown = datapath.cost_breakdown()
+        assert breakdown.total == pytest.approx(
+            breakdown.alu + breakdown.registers + breakdown.mux
+        )
+
+    def test_register_count_matches_left_edge(self, timing):
+        from repro.allocation.registers import max_simultaneously_live
+
+        datapath = self.make(timing)
+        assert datapath.register_count() == max_simultaneously_live(
+            datapath.lifetimes.values()
+        )
+
+
+class TestInterconnect:
+    def make(self, timing, alu_family):
+        return mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6).datapath
+
+    def test_wires_cover_all_mux_inputs(self, timing, alu_family):
+        datapath = self.make(timing, alu_family)
+        total_inputs = sum(
+            len(inst.mux.l1) + len(inst.mux.l2)
+            for inst in datapath.instances.values()
+        )
+        assert wire_count(datapath) == total_inputs
+
+    def test_transfers_at_least_one_per_operand(self, timing, alu_family):
+        datapath = self.make(timing, alu_family)
+        counts = transfer_counts(datapath)
+        dfg = datapath.schedule.dfg
+        operand_count = sum(len(node.operands) for node in dfg)
+        assert sum(counts.values()) == operand_count
+
+    def test_sharing_ratio_at_least_one(self, timing, alu_family):
+        datapath = self.make(timing, alu_family)
+        assert sharing_ratio(datapath) >= 1.0
+
+    def test_wires_deterministic(self, timing, alu_family):
+        datapath = self.make(timing, alu_family)
+        assert wires(datapath) == wires(datapath)

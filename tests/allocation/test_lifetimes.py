@@ -1,0 +1,83 @@
+"""Tests for value-lifetime analysis."""
+
+from repro.allocation.lifetimes import Lifetime, value_lifetimes
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind
+from repro.schedule.types import Schedule
+
+
+class TestLifetime:
+    def test_needs_register(self):
+        assert Lifetime("v", 1, 3).needs_register
+        assert not Lifetime("v", 2, 2).needs_register
+
+    def test_overlap_semantics(self):
+        a = Lifetime("a", 1, 3)
+        assert a.overlaps(Lifetime("b", 2, 4))
+        assert not a.overlaps(Lifetime("b", 3, 5))  # back-to-back shares
+        assert not a.overlaps(Lifetime("b", 4, 6))
+        assert a.overlaps(Lifetime("b", 0, 2))
+
+    def test_degenerate_lifetime_never_overlaps(self):
+        empty = Lifetime("e", 2, 2)
+        assert not empty.overlaps(Lifetime("b", 1, 5))
+
+
+class TestValueLifetimes:
+    def build(self, timing):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        m = b.op(OpKind.MUL, x, y, name="m")
+        a = b.op(OpKind.ADD, m, x, name="a")
+        late = b.op(OpKind.SUB, m, y, name="late")
+        b.output("o", a)
+        b.output("p", late)
+        g = b.build()
+        starts = {"m": 1, "a": 2, "late": 4}
+        return Schedule(dfg=g, timing=timing, cs=4, starts=starts)
+
+    def test_birth_is_producer_end(self, timing):
+        lifetimes = value_lifetimes(self.build(timing))
+        assert lifetimes["op:m"].birth == 1
+
+    def test_death_is_last_consumer(self, timing):
+        lifetimes = value_lifetimes(self.build(timing))
+        assert lifetimes["op:m"].death == 4  # read by 'late' at step 4
+
+    def test_outputs_live_past_final_step(self, timing):
+        lifetimes = value_lifetimes(self.build(timing))
+        assert lifetimes["op:a"].death == 5  # cs + 1
+        assert lifetimes["op:late"].death == 5
+
+    def test_unused_value_dies_at_birth(self, timing):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.op(OpKind.ADD, x, 1, name="dead")
+        g = b.build()
+        schedule = Schedule(dfg=g, timing=timing, cs=1, starts={"dead": 1})
+        lifetimes = value_lifetimes(schedule)
+        assert not lifetimes["op:dead"].needs_register
+
+    def test_inputs_excluded_by_default(self, timing):
+        lifetimes = value_lifetimes(self.build(timing))
+        assert "in:x" not in lifetimes
+
+    def test_inputs_included_on_request(self, timing):
+        lifetimes = value_lifetimes(self.build(timing), count_inputs=True)
+        assert lifetimes["in:x"].birth == 0
+        assert lifetimes["in:x"].death == 2  # last read by 'a'
+        assert lifetimes["in:y"].death == 4  # last read by 'late'
+
+    def test_multicycle_birth(self, timing_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        m = b.op(OpKind.MUL, x, x, name="m")
+        a = b.op(OpKind.ADD, m, x, name="a")
+        b.output("o", a)
+        g = b.build()
+        schedule = Schedule(
+            dfg=g, timing=timing_mul2, cs=4, starts={"m": 1, "a": 4}
+        )
+        lifetimes = value_lifetimes(schedule)
+        assert lifetimes["op:m"].birth == 2  # end of the 2-cycle multiply
+        assert lifetimes["op:m"].death == 4

@@ -1,0 +1,147 @@
+"""Tests for the multiplexer input-list optimiser (§5.6)."""
+
+from repro.allocation.mux import MuxAssignment, MuxOperand, optimize_mux_inputs
+
+
+def operand(op, left, right, commutative=True):
+    return MuxOperand(op=op, left=left, right=right, commutative=commutative)
+
+
+class TestNonCommutative:
+    def test_sides_fixed(self):
+        assignment = optimize_mux_inputs(
+            [operand("s", "a", "b", commutative=False)]
+        )
+        assert assignment.l1 == ("a",)
+        assert assignment.l2 == ("b",)
+        assert assignment.port_of("s", textual_left=True) == 1
+
+    def test_shared_signals_merge(self):
+        assignment = optimize_mux_inputs(
+            [
+                operand("s1", "a", "b", commutative=False),
+                operand("s2", "a", "c", commutative=False),
+            ]
+        )
+        assert assignment.l1 == ("a",)
+        assert set(assignment.l2) == {"b", "c"}
+        assert assignment.total_inputs == 3
+
+
+class TestCommutative:
+    def test_flip_saves_an_input(self):
+        # s1 pins a->L1, b->L2; the commutative s2 (b, a) should flip.
+        assignment = optimize_mux_inputs(
+            [
+                operand("s1", "a", "b", commutative=False),
+                operand("s2", "b", "a", commutative=True),
+            ]
+        )
+        assert assignment.total_inputs == 2
+        assert assignment.swapped["s2"] is True
+        assert assignment.port_of("s2", textual_left=True) == 2
+
+    def test_unswapped_preferred_on_tie(self):
+        assignment = optimize_mux_inputs([operand("s", "a", "b")])
+        assert assignment.swapped["s"] is False
+
+    def test_three_way_sharing(self):
+        assignment = optimize_mux_inputs(
+            [
+                operand("o1", "a", "b"),
+                operand("o2", "b", "a"),
+                operand("o3", "a", "b"),
+            ]
+        )
+        assert assignment.total_inputs == 2
+
+    def test_improvement_sweep_beats_greedy(self):
+        # Greedy order can trap the first op on the wrong side; the
+        # fixpoint sweep must recover the optimum of 4.
+        operands = [
+            operand("o1", "a", "b"),
+            operand("o2", "c", "d", commutative=False),
+            operand("o3", "b", "c"),
+            operand("o4", "d", "a"),
+        ]
+        assignment = optimize_mux_inputs(operands)
+        assert assignment.total_inputs <= 5
+
+    def test_same_signal_both_sides(self):
+        assignment = optimize_mux_inputs([operand("sq", "x", "x")])
+        assert assignment.l1 == ("x",)
+        assert assignment.l2 == ("x",)
+
+
+class TestUnary:
+    def test_unary_goes_to_port1(self):
+        assignment = optimize_mux_inputs(
+            [MuxOperand(op="n", left="a", right=None, commutative=False)]
+        )
+        assert assignment.l1 == ("a",)
+        assert assignment.l2 == ()
+
+    def test_commutative_unary_treated_as_fixed(self):
+        assignment = optimize_mux_inputs(
+            [MuxOperand(op="n", left="a", right=None, commutative=True)]
+        )
+        assert assignment.l1 == ("a",)
+
+
+class TestInvariants:
+    def test_every_operand_reachable(self):
+        import random
+
+        rng = random.Random(3)
+        signals = [f"s{i}" for i in range(6)]
+        for _trial in range(25):
+            operands = []
+            for index in range(8):
+                operands.append(
+                    operand(
+                        f"o{index}",
+                        rng.choice(signals),
+                        rng.choice(signals),
+                        commutative=rng.random() < 0.5,
+                    )
+                )
+            assignment = optimize_mux_inputs(operands)
+            for item in operands:
+                left_port = assignment.port_of(item.op, textual_left=True)
+                right_port = assignment.port_of(item.op, textual_left=False)
+                l_list = assignment.l1 if left_port == 1 else assignment.l2
+                r_list = assignment.l1 if right_port == 1 else assignment.l2
+                assert item.left in l_list
+                assert item.right in r_list
+
+    def test_never_worse_than_naive(self):
+        import random
+
+        rng = random.Random(11)
+        signals = [f"s{i}" for i in range(5)]
+        for _trial in range(25):
+            operands = [
+                operand(
+                    f"o{index}",
+                    rng.choice(signals),
+                    rng.choice(signals),
+                    commutative=rng.random() < 0.7,
+                )
+                for index in range(7)
+            ]
+            assignment = optimize_mux_inputs(operands)
+            naive_l1 = {item.left for item in operands}
+            naive_l2 = {item.right for item in operands}
+            assert assignment.total_inputs <= len(naive_l1) + len(naive_l2)
+
+    def test_deterministic(self):
+        operands = [
+            operand("o1", "a", "b"),
+            operand("o2", "b", "c"),
+            operand("o3", "c", "a"),
+        ]
+        first = optimize_mux_inputs(operands)
+        second = optimize_mux_inputs(list(operands))
+        assert first.l1 == second.l1
+        assert first.l2 == second.l2
+        assert first.swapped == second.swapped

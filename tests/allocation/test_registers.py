@@ -1,0 +1,106 @@
+"""Tests for left-edge register allocation (§5.8)."""
+
+from repro.allocation.lifetimes import Lifetime
+from repro.allocation.registers import (
+    IncrementalRegisterEstimator,
+    RegisterAllocation,
+    left_edge_allocate,
+    max_simultaneously_live,
+)
+
+
+def life(name, birth, death):
+    return Lifetime(name, birth, death)
+
+
+class TestLeftEdge:
+    def test_disjoint_lifetimes_share_one_register(self):
+        allocation = left_edge_allocate(
+            [life("a", 1, 2), life("b", 2, 3), life("c", 3, 4)]
+        )
+        assert allocation.count == 1
+        assert allocation.values_in(0) == ("a", "b", "c")
+
+    def test_overlapping_lifetimes_get_distinct_registers(self):
+        allocation = left_edge_allocate([life("a", 1, 3), life("b", 2, 4)])
+        assert allocation.count == 2
+        assert allocation.register_of("a") != allocation.register_of("b")
+
+    def test_meets_peak_liveness_bound(self):
+        lifetimes = [
+            life("a", 1, 5),
+            life("b", 2, 3),
+            life("c", 3, 6),
+            life("d", 4, 5),
+            life("e", 5, 7),
+        ]
+        allocation = left_edge_allocate(lifetimes)
+        assert allocation.count == max_simultaneously_live(lifetimes)
+
+    def test_degenerate_lifetimes_skipped(self):
+        allocation = left_edge_allocate([life("a", 2, 2), life("b", 1, 3)])
+        assert allocation.count == 1
+        assert "a" not in allocation.assignment
+
+    def test_empty_input(self):
+        allocation = left_edge_allocate([])
+        assert allocation.count == 0
+        assert allocation.assignment == {}
+
+    def test_deterministic_assignment(self):
+        lifetimes = [life("b", 1, 3), life("a", 1, 3), life("c", 3, 5)]
+        first = left_edge_allocate(lifetimes)
+        second = left_edge_allocate(list(lifetimes))
+        assert first.assignment == second.assignment
+
+    def test_random_allocations_are_conflict_free(self):
+        import random
+
+        rng = random.Random(7)
+        for _trial in range(20):
+            lifetimes = []
+            for index in range(30):
+                birth = rng.randint(0, 15)
+                death = birth + rng.randint(0, 6)
+                lifetimes.append(life(f"v{index}", birth, death))
+            allocation = left_edge_allocate(lifetimes)
+            assert allocation.count == max_simultaneously_live(lifetimes)
+            for track in allocation.tracks:
+                for i, first in enumerate(track):
+                    for second in track[i + 1:]:
+                        assert not first.overlaps(second)
+
+
+class TestIncrementalEstimator:
+    def test_cost_matches_commit(self):
+        estimator = IncrementalRegisterEstimator()
+        batch = [life("a", 1, 3), life("b", 2, 4)]
+        assert estimator.cost_of(batch) == 2
+        estimator.commit(batch)
+        assert estimator.count == 2
+
+    def test_cost_of_does_not_mutate(self):
+        estimator = IncrementalRegisterEstimator()
+        estimator.cost_of([life("a", 1, 3)])
+        assert estimator.count == 0
+
+    def test_reuses_free_tracks(self):
+        estimator = IncrementalRegisterEstimator()
+        estimator.commit([life("a", 1, 2)])
+        assert estimator.cost_of([life("b", 2, 4)]) == 0
+        estimator.commit([life("b", 2, 4)])
+        assert estimator.count == 1
+
+    def test_known_values_free(self):
+        estimator = IncrementalRegisterEstimator()
+        estimator.commit([life("a", 1, 3)])
+        assert estimator.cost_of([life("a", 1, 3)]) == 0
+
+    def test_degenerate_lifetimes_free(self):
+        estimator = IncrementalRegisterEstimator()
+        assert estimator.cost_of([life("a", 2, 2)]) == 0
+
+    def test_batch_internal_packing(self):
+        estimator = IncrementalRegisterEstimator()
+        batch = [life("a", 1, 2), life("b", 2, 3)]  # can share one track
+        assert estimator.cost_of(batch) == 1

@@ -1,0 +1,49 @@
+"""The sample .beh designs stay parseable and synthesisable via the CLI."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.dfg.parser import parse_behavior
+
+DESIGNS = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples" / "designs").glob(
+        "*.beh"
+    )
+)
+
+
+@pytest.mark.parametrize("path", DESIGNS, ids=lambda p: p.stem)
+class TestDesignFiles:
+    def test_parses(self, path, ops):
+        dfg = parse_behavior(path.read_text(), name=path.stem)
+        dfg.validate(ops)
+        assert dfg.outputs
+
+    def test_cli_schedule(self, path, capsys):
+        assert main(["schedule", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["makespan"] >= 1
+
+    def test_cli_synth(self, path, capsys, tmp_path):
+        verilog = tmp_path / "out.v"
+        assert (
+            main(
+                [
+                    "synth",
+                    str(path),
+                    "--structural",
+                    "--verilog",
+                    str(verilog),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert "endmodule" in verilog.read_text()
+
+
+def test_design_directory_not_empty():
+    assert len(DESIGNS) >= 3

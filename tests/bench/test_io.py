@@ -1,0 +1,65 @@
+"""Tests for DOT export and text renderings."""
+
+from repro.core.mfs import mfs_schedule
+from repro.core.mfsa import mfsa_synthesize
+from repro.io.dot import dfg_to_dot, schedule_to_dot
+from repro.io.gridviz import render_grid
+from repro.io.text import render_datapath, render_schedule
+from repro.bench.suites import hal_diffeq
+
+
+class TestDot:
+    def test_dfg_dot_structure(self):
+        text = dfg_to_dot(hal_diffeq())
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+        assert '"m1" -> "m4"' in text
+        assert '"in:x"' in text
+
+    def test_dfg_dot_outputs(self):
+        text = dfg_to_dot(hal_diffeq())
+        assert '"out:u1"' in text
+
+    def test_dfg_dot_constants(self):
+        text = dfg_to_dot(hal_diffeq())
+        assert '"const:3"' in text
+
+    def test_branch_labels(self):
+        from repro.bench.suites import conditional_example
+
+        text = dfg_to_dot(conditional_example())
+        assert "c0:T" in text
+        assert "c0:F" in text
+
+    def test_schedule_dot_ranks(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=5)
+        text = schedule_to_dot(result.schedule)
+        assert "rank=same" in text
+        assert "cs1" in text
+
+
+class TestTextRenderings:
+    def test_schedule_table(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=5)
+        text = render_schedule(result.schedule)
+        assert "cs  1" in text
+        assert "cs  5" in text
+        assert "makespan" in text
+
+    def test_multicycle_stage_annotation(self, timing_mul2):
+        result = mfs_schedule(hal_diffeq(), timing_mul2, cs=7)
+        text = render_schedule(result.schedule)
+        assert "/2" in text  # second stage of a 2-cycle multiply
+
+    def test_datapath_summary(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        text = render_datapath(result.datapath)
+        assert "cost" in text
+        assert "registers" in text
+        assert "r0:" in text
+
+    def test_grid_rendering(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=5)
+        text = render_grid(result.grid, "mul")
+        assert "placement table" in text
+        assert "X" in text

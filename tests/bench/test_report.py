@@ -1,0 +1,46 @@
+"""Tests for the one-shot reproduction-report generator."""
+
+import pytest
+
+from repro.bench.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(include_runtimes=False)
+
+
+class TestReport:
+    def test_contains_all_sections(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Table 1",
+            "## Table 2",
+            "## Figure 1",
+            "## Figure 2",
+            "## Scheduler quality",
+        ):
+            assert heading in report_text
+
+    def test_match_summary_present(self, report_text):
+        assert "matched exactly" in report_text
+        # all 7 parseable cells match
+        assert "**7/7**" in report_text
+
+    def test_no_paper_mismatch_markers(self, report_text):
+        assert " NO " not in report_text
+
+    def test_write_report(self, tmp_path):
+        target = tmp_path / "report.md"
+        write_report(str(target), include_runtimes=False)
+        assert target.read_text().startswith("# Reproduction report")
+
+    def test_runtime_section_optional(self, report_text):
+        assert "## Runtimes" not in report_text
+
+    def test_cli_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--no-runtimes"]) == 0
+        out = capsys.readouterr().out
+        assert "## Table 2" in out

@@ -1,0 +1,117 @@
+"""Tests pinning the structural properties of the six design examples."""
+
+import pytest
+
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.ops import standard_operation_set
+from repro.bench.suites import (
+    EXAMPLES,
+    ar_lattice,
+    chained_addsub,
+    conditional_example,
+    ewf,
+    facet_like,
+    fir16,
+    hal_diffeq,
+    iir_bandpass,
+)
+
+
+class TestOpMixes:
+    def test_facet_signature(self):
+        counts = facet_like().count_by_kind()
+        assert counts == {
+            "mul": 1, "sub": 1, "add": 2, "eq": 1, "and": 1, "or": 1
+        }
+
+    def test_chained_signature(self):
+        counts = chained_addsub().count_by_kind()
+        assert counts == {"add": 4, "sub": 4}
+
+    def test_hal_signature(self):
+        counts = hal_diffeq().count_by_kind()
+        assert counts == {"mul": 6, "add": 2, "sub": 2, "lt": 1}
+
+    def test_iir_signature(self):
+        counts = iir_bandpass().count_by_kind()
+        assert counts["mul"] == 8
+        assert counts["add"] + counts["sub"] == 15
+
+    def test_ar_signature(self):
+        counts = ar_lattice().count_by_kind()
+        assert counts == {"mul": 16, "add": 12}
+
+    def test_ewf_signature(self):
+        counts = ewf().count_by_kind()
+        assert counts == {"add": 26, "mul": 8}
+        assert len(ewf()) == 34
+
+    def test_fir_signature(self):
+        counts = fir16().count_by_kind()
+        assert counts == {"mul": 16, "add": 15}
+
+
+class TestCriticalPaths:
+    def cases(self):
+        ops1 = standard_operation_set(1)
+        ops2 = standard_operation_set(2)
+        return TimingModel(ops=ops1), TimingModel(ops=ops2)
+
+    def test_facet_cp(self):
+        t1, _t2 = self.cases()
+        assert critical_path_length(facet_like(), t1) == 4
+
+    def test_hal_cp(self):
+        t1, _t2 = self.cases()
+        assert critical_path_length(hal_diffeq(), t1) == 4
+
+    def test_chained_cp_with_clock(self):
+        ops = standard_operation_set(1)
+        chained = TimingModel(ops=ops, clock_period_ns=20.0)
+        assert critical_path_length(chained_addsub(), chained) == 4
+
+    def test_iir_cp(self):
+        t1, _t2 = self.cases()
+        assert critical_path_length(iir_bandpass(), t1) == 8
+
+    def test_ar_cp_two_cycle(self):
+        _t1, t2 = self.cases()
+        assert critical_path_length(ar_lattice(), t2) == 9
+
+    def test_ewf_cp_both_latencies(self):
+        t1, t2 = self.cases()
+        assert critical_path_length(ewf(), t1) == 14
+        assert critical_path_length(ewf(), t2) == 17
+
+    def test_conditional_example_has_exclusive_ops(self):
+        g = conditional_example()
+        assert g.mutually_exclusive("then_mul", "else_mul")
+
+
+class TestRegistry:
+    def test_six_examples(self):
+        assert len(EXAMPLES) == 6
+        assert sorted(spec.number for spec in EXAMPLES.values()) == [
+            1, 2, 3, 4, 5, 6
+        ]
+
+    def test_every_example_validates(self, ops):
+        for spec in EXAMPLES.values():
+            spec.build().validate(ops)
+
+    def test_factories_return_fresh_graphs(self):
+        spec = EXAMPLES["ex1"]
+        assert spec.build() is not spec.build()
+
+    def test_every_example_has_table1_cases(self):
+        for spec in EXAMPLES.values():
+            assert spec.table1_cases
+            for case in spec.table1_cases:
+                assert case.cs >= 1
+
+    def test_cases_are_feasible(self):
+        for spec in EXAMPLES.values():
+            for case in spec.table1_cases:
+                ops = standard_operation_set(case.mul_latency)
+                timing = TimingModel(ops=ops, clock_period_ns=case.clock_ns)
+                assert critical_path_length(spec.build(), timing) <= case.cs

@@ -1,0 +1,85 @@
+"""Tests for the SVG renderers."""
+
+import pytest
+
+from repro.core.mfs import MFSScheduler
+from repro.io.svg import frames_to_svg, schedule_to_svg
+from repro.bench.suites import hal_diffeq
+
+
+@pytest.fixture
+def mfs_result(timing):
+    return MFSScheduler(
+        hal_diffeq(), timing, cs=5, mode="time", record_frames=True
+    ).run()
+
+
+class TestScheduleSVG:
+    def test_well_formed(self, mfs_result):
+        text = schedule_to_svg(mfs_result.schedule)
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert text.count("<rect") >= len(hal_diffeq())
+
+    def test_one_box_per_operation(self, mfs_result):
+        text = schedule_to_svg(mfs_result.schedule)
+        for name in hal_diffeq().node_names():
+            assert f"{name} (" in text
+
+    def test_headers_cover_all_steps(self, mfs_result):
+        text = schedule_to_svg(mfs_result.schedule)
+        for step in range(1, mfs_result.schedule.cs + 1):
+            assert f"cs{step}" in text
+
+    def test_explicit_binding_accepted(self, mfs_result):
+        binding = {
+            name: (pos.table, pos.x)
+            for name, pos in mfs_result.placements.items()
+        }
+        text = schedule_to_svg(mfs_result.schedule, binding=binding)
+        assert "mul#1" in text
+
+    def test_escaping(self, mfs_result):
+        text = schedule_to_svg(mfs_result.schedule, title="a < b & c")
+        assert "a &lt; b &amp; c" in text
+
+
+class TestFramesSVG:
+    def test_well_formed(self, mfs_result):
+        name, frame = next(iter(mfs_result.frames_log.items()))
+        text = frames_to_svg(
+            frame,
+            mfs_result.grid,
+            chosen=mfs_result.placements[name],
+        )
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert "legend" not in text  # legend is drawn, not labelled as such
+        assert "move frame" in text
+
+    def test_predecessors_marked(self, mfs_result):
+        dfg = mfs_result.schedule.dfg
+        target = next(
+            name
+            for name in mfs_result.frames_log
+            if dfg.predecessors(name)
+        )
+        predecessors = {
+            p: mfs_result.placements[p]
+            for p in dfg.predecessors(target)
+            if p in mfs_result.placements
+        }
+        text = frames_to_svg(
+            mfs_result.frames_log[target],
+            mfs_result.grid,
+            predecessors=predecessors,
+        )
+        assert "predecessor" in text
+
+    def test_cell_count(self, mfs_result):
+        name, frame = next(iter(mfs_result.frames_log.items()))
+        text = frames_to_svg(frame, mfs_result.grid)
+        columns = mfs_result.grid.columns(frame.table)
+        expected_cells = columns * mfs_result.grid.cs
+        # grid cells + background + legend swatches
+        assert text.count("<rect") >= expected_cells

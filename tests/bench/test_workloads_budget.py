@@ -1,0 +1,124 @@
+"""Tests for the extra DSP workloads and the MFSA area-budget mode."""
+
+import pytest
+
+from repro.core.mfsa import MFSAScheduler, mfsa_synthesize
+from repro.dfg.analysis import critical_path_length
+from repro.errors import InfeasibleScheduleError
+from repro.sim.executor import verify_equivalence
+from repro.bench.workloads import biquad, dct8, fft8
+
+
+class TestWorkloads:
+    def test_dct8_structure(self, ops, timing):
+        g = dct8()
+        g.validate(ops)
+        counts = g.count_by_kind()
+        assert counts["mul"] == 10
+        assert counts["add"] + counts["sub"] == 24
+        assert critical_path_length(g, timing) <= 6
+
+    def test_fft8_structure(self, ops, timing):
+        g = fft8()
+        g.validate(ops)
+        counts = g.count_by_kind()
+        assert counts["mul"] % 4 == 0  # four real multiplies per twiddle
+        assert len(g.outputs) == 16
+
+    def test_biquad_structure(self, ops):
+        g = biquad()
+        g.validate(ops)
+        assert g.count_by_kind() == {"mul": 4, "add": 2, "sub": 2}
+
+    @pytest.mark.parametrize("factory", [dct8, fft8, biquad])
+    def test_workloads_schedule_and_synthesize(
+        self, factory, timing, alu_family
+    ):
+        g = factory()
+        cs = critical_path_length(g, timing) + 2
+        result = mfsa_synthesize(g, timing, alu_family, cs=cs)
+        result.schedule.validate()
+        inputs = {name: (i % 7) - 3 for i, name in enumerate(g.inputs)}
+        verify_equivalence(result.datapath, inputs)
+
+
+class TestAreaBudget:
+    """The area budget certifies a ceiling on ALU spend.
+
+    The reuse-first policy already opens the fewest instances the greedy
+    can, so the contract is: a budget at/above that appetite succeeds and
+    is certified; a budget below it raises instead of silently
+    overspending (documented limitation — the paper itself has no
+    cost-constrained mode).
+    """
+
+    def test_budget_at_appetite_succeeds_and_caps(self, timing, alu_family):
+        g = dct8()
+        cs = critical_path_length(g, timing) + 12
+        unbounded = mfsa_synthesize(g, timing, alu_family, cs=cs)
+        capped = MFSAScheduler(
+            g, timing, alu_family, cs=cs, area_budget=unbounded.cost.alu
+        ).run()
+        assert capped.cost.alu <= unbounded.cost.alu
+        capped.schedule.validate()
+
+    def test_budget_above_appetite_does_not_change_result(
+        self, timing, alu_family
+    ):
+        g = biquad()
+        cs = critical_path_length(g, timing) + 4
+        unbounded = mfsa_synthesize(g, timing, alu_family, cs=cs)
+        roomy = MFSAScheduler(
+            g, timing, alu_family, cs=cs,
+            area_budget=unbounded.cost.alu * 10,
+        ).run()
+        assert roomy.cost.alu == pytest.approx(unbounded.cost.alu)
+
+    def test_budget_below_appetite_raises(self, timing, alu_family):
+        g = dct8()
+        cs = critical_path_length(g, timing) + 12
+        unbounded = mfsa_synthesize(g, timing, alu_family, cs=cs)
+        with pytest.raises(InfeasibleScheduleError):
+            MFSAScheduler(
+                g, timing, alu_family, cs=cs,
+                area_budget=unbounded.cost.alu * 0.8,
+            ).run()
+
+    def test_budget_result_still_equivalent(self, timing, alu_family):
+        g = biquad()
+        cs = critical_path_length(g, timing) + 4
+        unbounded = mfsa_synthesize(g, timing, alu_family, cs=cs)
+        capped = MFSAScheduler(
+            g, timing, alu_family, cs=cs, area_budget=unbounded.cost.alu
+        ).run()
+        inputs = {name: i + 1 for i, name in enumerate(g.inputs)}
+        verify_equivalence(capped.datapath, inputs)
+
+    def test_impossible_budget_raises(self, timing, alu_family):
+        g = biquad()
+        cs = critical_path_length(g, timing) + 2
+        with pytest.raises(InfeasibleScheduleError):
+            MFSAScheduler(
+                g, timing, alu_family, cs=cs, area_budget=1000.0
+            ).run()
+
+    def test_nonpositive_budget_rejected(self, timing, alu_family):
+        with pytest.raises(ValueError):
+            MFSAScheduler(
+                biquad(), timing, alu_family, cs=8, area_budget=0.0
+            )
+
+    def test_more_slack_lowers_the_appetite(self, timing, alu_family):
+        # The way to spend less area is a looser time constraint: the
+        # reuse-first policy then serializes onto fewer instances, and the
+        # budget can certify the smaller ceiling.
+        g = dct8()
+        tight_cs = critical_path_length(g, timing) + 2
+        loose_cs = critical_path_length(g, timing) + 24
+        tight = mfsa_synthesize(g, timing, alu_family, cs=tight_cs)
+        loose = mfsa_synthesize(g, timing, alu_family, cs=loose_cs)
+        assert loose.cost.alu < tight.cost.alu
+        certified = MFSAScheduler(
+            g, timing, alu_family, cs=loose_cs, area_budget=loose.cost.alu
+        ).run()
+        assert certified.cost.alu <= loose.cost.alu

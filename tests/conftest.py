@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.analysis import TimingModel
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind, standard_operation_set
+from repro.library.ncr import datapath_library, ncr_like_library
+
+
+@pytest.fixture
+def ops():
+    """Standard 1-cycle operation set."""
+    return standard_operation_set()
+
+
+@pytest.fixture
+def ops_mul2():
+    """Operation set with a 2-cycle multiplier."""
+    return standard_operation_set(mul_latency=2)
+
+
+@pytest.fixture
+def timing(ops):
+    """Plain timing model (no chaining)."""
+    return TimingModel(ops=ops)
+
+
+@pytest.fixture
+def timing_mul2(ops_mul2):
+    """2-cycle-multiplier timing model."""
+    return TimingModel(ops=ops_mul2)
+
+
+@pytest.fixture
+def timing_chained(ops):
+    """Chaining-enabled timing model with a 20 ns clock."""
+    return TimingModel(ops=ops, clock_period_ns=20.0)
+
+
+@pytest.fixture
+def library():
+    """The full NCR-like cell library."""
+    return ncr_like_library()
+
+
+@pytest.fixture
+def alu_family():
+    """The curated multifunction datapath family (Table-2 library)."""
+    return datapath_library()
+
+
+@pytest.fixture
+def diamond_dfg():
+    """Small diamond: two parallel multiplies feeding an add, then a sub."""
+    b = DFGBuilder("diamond")
+    a, c, d, e = b.inputs("a", "c", "d", "e")
+    m1 = b.op(OpKind.MUL, a, c, name="m1")
+    m2 = b.op(OpKind.MUL, d, e, name="m2")
+    s = b.op(OpKind.ADD, m1, m2, name="s")
+    t = b.op(OpKind.SUB, s, a, name="t")
+    b.output("y", t)
+    return b.build()
+
+
+@pytest.fixture
+def chain_dfg():
+    """Four-operation dependent chain (adds)."""
+    b = DFGBuilder("chain")
+    x = b.input("x")
+    acc = x
+    for index in range(4):
+        acc = b.op(OpKind.ADD, acc, index + 1, name=f"a{index}")
+    b.output("y", acc)
+    return b.build()

@@ -1,0 +1,187 @@
+"""Tests for PF/RF/FF/MF frame computation."""
+
+import pytest
+
+from repro.core.frames import compute_frames
+from repro.core.grid import GridPosition, PlacementGrid
+from repro.dfg.analysis import TimingModel, alap_schedule, asap_schedule
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind, standard_operation_set
+
+
+def chain3():
+    b = DFGBuilder()
+    x = b.input("x")
+    a = b.op(OpKind.ADD, x, 1, name="a")
+    c = b.op(OpKind.ADD, a, 2, name="c")
+    d = b.op(OpKind.ADD, c, 3, name="d")
+    b.output("o", d)
+    return b.build()
+
+
+def frames_for(dfg, timing, node, cs, current, placed, grid=None, **kw):
+    asap = asap_schedule(dfg, timing)
+    alap = alap_schedule(dfg, timing, cs)
+    grid = grid or PlacementGrid(dfg, cs, {"add": 3})
+    return compute_frames(
+        dfg,
+        timing,
+        grid,
+        node,
+        table="add",
+        asap=asap,
+        alap=alap,
+        current=current,
+        placed_starts=placed,
+        **kw,
+    )
+
+
+class TestPrimaryFrame:
+    def test_pf_spans_asap_to_alap(self, timing):
+        g = chain3()
+        frame = frames_for(g, timing, "c", cs=5, current=3, placed={})
+        assert frame.pf_rows == (2, 4)
+        assert frame.pf_cols == (1, 3)
+
+    def test_pf_positions_enumeration(self, timing):
+        g = chain3()
+        frame = frames_for(g, timing, "c", cs=5, current=3, placed={})
+        assert len(frame.pf_positions()) == 3 * 3  # 3 rows x 3 cols
+
+
+class TestRedundantFrame:
+    def test_rf_excludes_unopened_columns(self, timing):
+        g = chain3()
+        frame = frames_for(g, timing, "c", cs=5, current=1, placed={})
+        assert frame.rf_cols == (2, 3)
+        assert all(p.x == 1 for p in frame.mf)
+
+    def test_rf_none_when_all_open(self, timing):
+        g = chain3()
+        frame = frames_for(g, timing, "c", cs=5, current=3, placed={})
+        assert frame.rf_cols is None
+
+    def test_in_rf_query(self, timing):
+        g = chain3()
+        frame = frames_for(g, timing, "c", cs=5, current=1, placed={})
+        assert frame.in_rf(GridPosition("add", 2, 3))
+        assert not frame.in_rf(GridPosition("add", 1, 3))
+
+
+class TestForbiddenFrame:
+    def test_rows_at_or_before_placed_pred_forbidden(self, timing):
+        g = chain3()
+        frame = frames_for(g, timing, "c", cs=5, current=3, placed={"a": 2})
+        assert frame.ff_rows_before == 2
+        assert all(p.y >= 3 for p in frame.mf)
+
+    def test_placed_successor_bounds_above(self, timing):
+        g = chain3()
+        frame = frames_for(g, timing, "c", cs=5, current=3, placed={"d": 4})
+        assert frame.ff_rows_after == 4
+        assert all(p.y <= 3 for p in frame.mf)
+
+    def test_unplaced_neighbors_ignored(self, timing):
+        g = chain3()
+        frame = frames_for(g, timing, "c", cs=5, current=3, placed={})
+        assert frame.ff_rows_before == 0
+        rows = {p.y for p in frame.mf}
+        assert rows == {2, 3, 4}
+
+    def test_multicycle_pred_end_respected(self, timing_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        m = b.op(OpKind.MUL, x, x, name="m")
+        a = b.op(OpKind.ADD, m, x, name="a")
+        b.output("o", a)
+        g = b.build()
+        grid = PlacementGrid(g, 5, {"add": 1, "mul": 1})
+        asap = asap_schedule(g, timing_mul2)
+        alap = alap_schedule(g, timing_mul2, 5)
+        frame = compute_frames(
+            g, timing_mul2, grid, "a", "add", asap, alap,
+            current=1, placed_starts={"m": 2},  # m occupies 2..3
+        )
+        assert frame.ff_rows_before == 3
+        assert all(p.y >= 4 for p in frame.mf)
+
+
+class TestChainRows:
+    def test_chaining_readmits_pred_row(self, timing_chained):
+        g = chain3()
+        frame = frames_for(
+            g,
+            timing_chained,
+            "c",
+            cs=3,
+            current=3,
+            placed={"a": 1},
+            chain_offsets={"a": 10.0},
+        )
+        assert 1 in frame.chain_rows
+        assert any(p.y == 1 for p in frame.mf)
+
+    def test_full_clock_blocks_chaining(self, ops):
+        chained = TimingModel(ops=ops, clock_period_ns=10.0)  # one add max
+        g = chain3()
+        frame = frames_for(
+            g,
+            chained,
+            "c",
+            cs=3,
+            current=3,
+            placed={"a": 1},
+            chain_offsets={"a": 10.0},
+        )
+        assert frame.chain_rows == ()
+
+    def test_no_chaining_without_clock(self, timing):
+        g = chain3()
+        frame = frames_for(
+            g, timing, "c", cs=5, current=3, placed={"a": 1},
+            chain_offsets={"a": 10.0},
+        )
+        assert frame.chain_rows == ()
+
+
+class TestMoveFrame:
+    def test_mf_is_pf_minus_rf_ff_occupied(self, timing):
+        g = chain3()
+        grid = PlacementGrid(g, 5, {"add": 3})
+        grid.place("a", GridPosition("add", 1, 2), 1)
+        frame = frames_for(
+            g, timing, "c", cs=5, current=2, placed={"a": 2}, grid=grid
+        )
+        # rows 3..4, columns 1..2, minus nothing occupied there
+        assert {(p.x, p.y) for p in frame.mf} == {
+            (1, 3), (2, 3), (1, 4), (2, 4)
+        }
+
+    def test_occupied_cells_excluded(self, timing):
+        g = chain3()
+        grid = PlacementGrid(g, 5, {"add": 1})
+        grid.place("a", GridPosition("add", 1, 3), 1)
+        frame = frames_for(
+            g, timing, "c", cs=5, current=1, placed={"a": 3}, grid=grid
+        )
+        assert {(p.x, p.y) for p in frame.mf} == {(1, 4)}
+
+    def test_excluded_instances(self, timing):
+        g = chain3()
+        frame = frames_for(
+            g, timing, "c", cs=5, current=3, placed={},
+            excluded_instances=(1, 2),
+        )
+        assert all(p.x == 3 for p in frame.mf)
+
+    def test_empty_frame_flag(self, timing):
+        g = chain3()
+        grid = PlacementGrid(g, 3, {"add": 1})
+        frame = frames_for(
+            g, timing, "c", cs=3, current=1, placed={"a": 2}, grid=grid
+        )
+        # a placed at step 2 forbids rows <= 2, but ALAP(c) = 2 at cs=3,
+        # so the primary frame is exactly the forbidden row: MF is empty
+        # and the scheduler must locally reschedule.
+        assert frame.empty

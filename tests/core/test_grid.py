@@ -1,0 +1,132 @@
+"""Tests for the placement grid."""
+
+import pytest
+
+from repro.core.grid import GridPosition, PlacementGrid
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind
+from repro.errors import ScheduleError
+
+
+def exclusive_pair_dfg():
+    b = DFGBuilder()
+    x = b.input("x")
+    b.then_branch("c")
+    b.op(OpKind.ADD, x, 1, name="t")
+    b.else_branch("c")
+    b.op(OpKind.ADD, x, 2, name="e")
+    b.end_branch("c")
+    b.op(OpKind.ADD, x, 3, name="u")
+    return b.build()
+
+
+@pytest.fixture
+def grid():
+    return PlacementGrid(exclusive_pair_dfg(), cs=4, columns={"add": 2})
+
+
+class TestGeometry:
+    def test_columns(self, grid):
+        assert grid.columns("add") == 2
+        assert grid.columns("mul") == 0
+
+    def test_widen(self, grid):
+        grid.widen("add", 5)
+        assert grid.columns("add") == 5
+        grid.widen("add", 3)  # never shrinks
+        assert grid.columns("add") == 5
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ScheduleError):
+            PlacementGrid(exclusive_pair_dfg(), cs=0, columns={})
+
+    def test_fold_without_latency(self, grid):
+        assert grid.fold(3) == 3
+
+    def test_fold_with_latency(self):
+        grid = PlacementGrid(
+            exclusive_pair_dfg(), cs=6, columns={"add": 1}, latency_l=2
+        )
+        assert grid.fold(1) == 1
+        assert grid.fold(3) == 1
+        assert grid.fold(4) == 2
+
+
+class TestOccupancy:
+    def test_place_and_query(self, grid):
+        position = GridPosition("add", 1, 2)
+        grid.place("u", position, latency=1)
+        assert grid.position_of("u") == position
+        assert grid.occupants("add", 1, 2) == ("u",)
+        assert not grid.is_free("t", "add", 1, 2, 1)
+
+    def test_out_of_range_not_free(self, grid):
+        assert not grid.is_free("u", "add", 3, 1, 1)
+        assert not grid.is_free("u", "add", 1, 5, 1)
+        assert not grid.is_free("u", "add", 1, 4, 2)  # spills past cs
+
+    def test_double_place_rejected(self, grid):
+        grid.place("u", GridPosition("add", 1, 1), 1)
+        with pytest.raises(ScheduleError):
+            grid.place("u", GridPosition("add", 2, 1), 1)
+
+    def test_occupied_cell_rejected(self, grid):
+        grid.place("u", GridPosition("add", 1, 1), 1)
+        with pytest.raises(ScheduleError):
+            grid.place("t", GridPosition("add", 1, 1), 1)
+
+    def test_remove(self, grid):
+        grid.place("u", GridPosition("add", 1, 1), 1)
+        grid.remove("u")
+        assert grid.position_of("u") is None
+        assert grid.is_free("t", "add", 1, 1, 1)
+
+    def test_multicycle_occupancy(self, grid):
+        grid.place("u", GridPosition("add", 1, 2), latency=2)
+        assert not grid.is_free("t", "add", 1, 2, 1)
+        assert not grid.is_free("t", "add", 1, 3, 1)
+        assert grid.is_free("t", "add", 1, 4, 1)
+
+    def test_mutually_exclusive_ops_share_cell(self, grid):
+        grid.place("t", GridPosition("add", 1, 1), 1)
+        assert grid.is_free("e", "add", 1, 1, 1)  # exclusive with t
+        grid.place("e", GridPosition("add", 1, 1), 1)
+        assert grid.occupants("add", 1, 1) == ("t", "e")
+        assert not grid.is_free("u", "add", 1, 1, 1)  # u is unconditional
+
+    def test_pipelined_table_start_only(self):
+        grid = PlacementGrid(
+            exclusive_pair_dfg(),
+            cs=4,
+            columns={"add": 1},
+            pipelined_tables=("add",),
+        )
+        grid.place("u", GridPosition("add", 1, 1), latency=3)
+        assert grid.is_free("t", "add", 1, 2, 3)  # next step is free
+
+    def test_folded_occupancy(self):
+        grid = PlacementGrid(
+            exclusive_pair_dfg(), cs=6, columns={"add": 1}, latency_l=3
+        )
+        grid.place("u", GridPosition("add", 1, 1), 1)
+        # steps 1 and 4 fold together under L=3
+        assert not grid.is_free("t", "add", 1, 4, 1)
+        assert grid.is_free("t", "add", 1, 2, 1)
+
+
+class TestStatistics:
+    def test_used_columns(self, grid):
+        assert grid.used_columns("add") == 0
+        grid.place("u", GridPosition("add", 2, 1), 1)
+        assert grid.used_columns("add") == 2
+        assert grid.used_instances("add") == {2}
+
+    def test_placements_snapshot(self, grid):
+        grid.place("u", GridPosition("add", 1, 1), 1)
+        snapshot = grid.placements()
+        assert snapshot == {"u": GridPosition("add", 1, 1)}
+
+    def test_occupancy_matrix_shape(self, grid):
+        matrix = grid.occupancy_matrix("add")
+        assert len(matrix) == 4
+        assert len(matrix[0]) == 2

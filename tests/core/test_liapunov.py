@@ -1,0 +1,113 @@
+"""Tests for the static and dynamic Liapunov functions."""
+
+import pytest
+
+from repro.core.grid import GridPosition
+from repro.core.liapunov import (
+    LiapunovWeights,
+    MFSALiapunov,
+    ResourceConstrainedLiapunov,
+    TimeConstrainedLiapunov,
+)
+
+
+def pos(x, y):
+    return GridPosition("t", x, y)
+
+
+class TestTimeConstrained:
+    def test_last_fu_of_step_beats_first_fu_of_next(self):
+        # The defining inequality of §3.1: V(max_j, t) < V(1, t+1).
+        for n in (1, 2, 5, 17):
+            v = TimeConstrainedLiapunov(n=n)
+            assert v.value(pos(n, 3)) < v.value(pos(1, 4))
+
+    def test_within_step_prefers_low_instance(self):
+        v = TimeConstrainedLiapunov(n=4)
+        assert v.value(pos(1, 2)) < v.value(pos(2, 2))
+
+    def test_best_selects_minimum(self):
+        v = TimeConstrainedLiapunov(n=4)
+        positions = [pos(2, 3), pos(1, 2), pos(4, 1)]
+        assert v.best(positions) == pos(4, 1)
+
+    def test_best_of_empty_is_none(self):
+        assert TimeConstrainedLiapunov(n=2).best([]) is None
+
+    def test_tie_breaks_deterministic(self):
+        # With n equal to column count, (n, t) vs (?, t): no exact ties by
+        # construction, but equal-value positions order by (y, x).
+        v = TimeConstrainedLiapunov(n=1)
+        a, b = pos(2, 1), pos(1, 2)  # both value 2+1=3? a: 2+1*1=3, b: 1+2=3
+        assert v.value(a) == v.value(b)
+        assert v.best([b, a]) == a  # smaller y wins
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            TimeConstrainedLiapunov(n=0)
+
+
+class TestResourceConstrained:
+    def test_existing_fu_later_beats_new_fu_now(self):
+        # §3.1: position (x, t+1) on an existing FU beats (x+1, t).
+        for cs in (2, 4, 10):
+            v = ResourceConstrainedLiapunov(cs=cs)
+            assert v.value(pos(1, cs)) < v.value(pos(2, 1))
+
+    def test_within_column_prefers_early_step(self):
+        v = ResourceConstrainedLiapunov(cs=8)
+        assert v.value(pos(1, 2)) < v.value(pos(1, 5))
+
+    def test_rejects_bad_cs(self):
+        with pytest.raises(ValueError):
+            ResourceConstrainedLiapunov(cs=0)
+
+
+class TestWeights:
+    def test_defaults_are_all_ones(self):
+        w = LiapunovWeights()
+        assert (w.time, w.alu, w.mux, w.reg) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LiapunovWeights(mux=-1.0)
+
+
+class TestMFSALiapunov:
+    def test_c_dominates_hardware(self, library):
+        v = MFSALiapunov(library)
+        # worst hardware at step y beats best hardware at step y+1
+        worst = v.value(
+            3, library.f_alu_max(), library.f_mux_max(), library.f_reg_max()
+        )
+        best_next = v.value(4, 0.0, 0.0, 0.0)
+        assert worst < best_next
+
+    def test_c_satisfies_paper_inequality(self, library):
+        v = MFSALiapunov(library)
+        spread = (
+            library.f_alu_max() + library.f_mux_max() + library.f_reg_max()
+        )
+        assert v.c_constant > spread
+
+    def test_hardware_breaks_ties_within_step(self, library):
+        v = MFSALiapunov(library)
+        cheap = v.value(3, 0.0, 100.0, 0.0)
+        pricey = v.value(3, 5000.0, 100.0, 0.0)
+        assert cheap < pricey
+
+    def test_weighted_emphasis(self, library):
+        unweighted = MFSALiapunov(library)
+        reg_heavy = MFSALiapunov(library, LiapunovWeights(reg=10.0))
+        assert reg_heavy.value(1, 0, 0, 100.0) > unweighted.value(1, 0, 0, 100.0)
+
+    def test_weights_cannot_break_time_dominance(self, library):
+        v = MFSALiapunov(library, LiapunovWeights(alu=10.0, mux=10.0, reg=10.0))
+        worst = v.value(
+            3, library.f_alu_max(), library.f_mux_max(), library.f_reg_max()
+        )
+        assert worst < v.value(4, 0.0, 0.0, 0.0)
+
+    def test_hardware_value_excludes_time(self, library):
+        v = MFSALiapunov(library)
+        assert v.hardware_value(10.0, 20.0, 30.0) == 60.0

@@ -1,0 +1,216 @@
+"""Tests for the Move Frame Scheduling algorithm (§3)."""
+
+import pytest
+
+from repro.core.mfs import MFSScheduler, mfs_schedule
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.generators import random_conditional_dfg, random_dfg
+from repro.dfg.graph import DFG
+from repro.dfg.ops import OpKind
+from repro.errors import InfeasibleScheduleError, ScheduleError
+from repro.bench.suites import chained_addsub, facet_like, hal_diffeq
+
+
+class TestTimeConstrained:
+    def test_schedule_is_valid(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=5)
+        result.schedule.validate()
+        assert result.schedule.makespan() <= 5
+
+    def test_hal_at_4_needs_two_multipliers(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=4)
+        assert result.fu_counts == {"mul": 2, "add": 1, "sub": 1, "lt": 1}
+
+    def test_hal_at_8_needs_one_multiplier(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=8)
+        assert result.fu_counts["mul"] == 1
+
+    def test_facet_matches_paper_row(self, timing):
+        at4 = mfs_schedule(facet_like(), timing, cs=4).fu_counts
+        at5 = mfs_schedule(facet_like(), timing, cs=5).fu_counts
+        assert at4 == {"mul": 1, "add": 2, "sub": 1, "eq": 1, "and": 1, "or": 1}
+        assert at5 == {"mul": 1, "add": 1, "sub": 1, "eq": 1, "and": 1, "or": 1}
+
+    def test_fu_counts_never_increase_with_budget(self, timing):
+        g = hal_diffeq()
+        totals = [
+            sum(mfs_schedule(g, timing, cs=cs).fu_counts.values())
+            for cs in (4, 5, 6, 8, 11)
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_cs_required_in_time_mode(self, timing):
+        with pytest.raises(ScheduleError):
+            MFSScheduler(hal_diffeq(), timing, mode="time")
+
+    def test_infeasible_cs_raises(self, timing):
+        with pytest.raises(InfeasibleScheduleError):
+            mfs_schedule(hal_diffeq(), timing, cs=3)
+
+    def test_empty_dfg(self, timing):
+        result = mfs_schedule(DFG("empty"), timing, cs=1)
+        assert result.schedule.starts == {}
+
+    def test_placements_are_consistent_with_schedule(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=5)
+        for name, position in result.placements.items():
+            assert result.schedule.start(name) == position.y
+            assert position.table == hal_diffeq().node(name).kind
+
+    def test_bad_mode_rejected(self, timing):
+        with pytest.raises(ValueError):
+            MFSScheduler(hal_diffeq(), timing, cs=4, mode="banana")
+
+
+class TestUserBounds:
+    def test_user_bounds_respected(self, timing):
+        result = MFSScheduler(
+            hal_diffeq(),
+            timing,
+            cs=8,
+            mode="time",
+            resource_bounds={"mul": 2, "add": 1, "sub": 1, "lt": 1},
+        ).run()
+        assert result.fu_counts["mul"] <= 2
+
+    def test_unsatisfiable_user_bounds_raise(self, timing):
+        with pytest.raises(InfeasibleScheduleError):
+            MFSScheduler(
+                hal_diffeq(),
+                timing,
+                cs=4,
+                mode="time",
+                resource_bounds={"mul": 1, "add": 1, "sub": 1, "lt": 1},
+            ).run()
+
+    def test_missing_kind_bound_rejected(self, timing):
+        with pytest.raises(ScheduleError, match="bound"):
+            MFSScheduler(
+                hal_diffeq(), timing, cs=6, mode="time",
+                resource_bounds={"mul": 2},
+            ).run()
+
+
+class TestResourceConstrained:
+    def test_respects_bounds(self, timing):
+        result = MFSScheduler(
+            hal_diffeq(),
+            timing,
+            mode="resource",
+            resource_bounds={"mul": 1, "add": 1, "sub": 1, "lt": 1},
+        ).run()
+        result.schedule.validate(
+            resource_bounds={"mul": 1, "add": 1, "sub": 1, "lt": 1}
+        )
+
+    def test_one_multiplier_stretches_time(self, timing):
+        tight = MFSScheduler(
+            hal_diffeq(),
+            timing,
+            mode="resource",
+            resource_bounds={"mul": 1, "add": 1, "sub": 1, "lt": 1},
+        ).run()
+        assert tight.schedule.makespan() >= 6  # six multiplies on one unit
+
+    def test_loose_bounds_still_avoid_new_fus(self, timing):
+        # §3.1: the resource-constrained Liapunov prefers "a position in
+        # control step t+1 performed by an existing FU instead of adding a
+        # new FU in control step t" — extra allowance stays unused.
+        loose = MFSScheduler(
+            hal_diffeq(),
+            timing,
+            mode="resource",
+            resource_bounds={"mul": 3, "add": 2, "sub": 2, "lt": 1},
+        ).run()
+        assert loose.fu_counts["mul"] == 1
+
+    def test_bounds_required(self, timing):
+        with pytest.raises(ScheduleError):
+            MFSScheduler(hal_diffeq(), timing, mode="resource")
+
+    def test_random_graphs(self, timing):
+        for seed in range(5):
+            g = random_dfg(seed=seed, n_ops=20)
+            bounds = {kind: 1 for kind in g.kinds_used()}
+            result = MFSScheduler(
+                g, timing, mode="resource", resource_bounds=bounds
+            ).run()
+            result.schedule.validate(resource_bounds=bounds)
+
+
+class TestMulticycle:
+    def test_two_cycle_multiplier_schedule_valid(self, timing_mul2):
+        result = mfs_schedule(hal_diffeq(), timing_mul2, cs=8)
+        result.schedule.validate()
+
+    def test_multiplier_held_for_two_steps(self, timing_mul2):
+        result = mfs_schedule(hal_diffeq(), timing_mul2, cs=6)
+        schedule = result.schedule
+        for name in ("m1", "m2", "m3", "m4", "m5", "m6"):
+            assert schedule.end(name) == schedule.start(name) + 1
+
+    def test_tighter_budget_needs_more_multipliers(self, timing_mul2):
+        at6 = mfs_schedule(hal_diffeq(), timing_mul2, cs=6).fu_counts["mul"]
+        at10 = mfs_schedule(hal_diffeq(), timing_mul2, cs=10).fu_counts["mul"]
+        assert at6 > at10
+
+
+class TestChaining:
+    def test_chained_example_fits_half_the_steps(self, timing_chained, timing):
+        g = chained_addsub()
+        assert critical_path_length(g, timing) == 8
+        result = mfs_schedule(g, timing_chained, cs=4)
+        result.schedule.validate()
+        assert result.fu_counts == {"add": 1, "sub": 1}
+
+    def test_chained_schedule_has_same_step_dependences(self, timing_chained):
+        result = mfs_schedule(chained_addsub(), timing_chained, cs=4)
+        schedule = result.schedule
+        dfg = result.schedule.dfg
+        same_step_pairs = [
+            (pred, node.name)
+            for node in dfg
+            for pred in node.predecessor_names()
+            if schedule.start(pred) == schedule.start(node.name)
+        ]
+        assert same_step_pairs  # chaining actually happened
+
+    def test_chaining_off_needs_full_length(self, timing):
+        with pytest.raises(InfeasibleScheduleError):
+            mfs_schedule(chained_addsub(), timing, cs=4)
+
+
+class TestMutualExclusion:
+    def test_exclusive_ops_share_units(self, timing):
+        from repro.bench.suites import conditional_example
+
+        g = conditional_example()
+        result = mfs_schedule(g, timing, cs=4)
+        result.schedule.validate()
+        assert result.fu_counts["mul"] == 1  # both arms share one multiplier
+
+    def test_random_conditionals_schedule_validly(self, timing):
+        for seed in range(5):
+            g = random_conditional_dfg(seed=seed, n_ops=20)
+            cs = critical_path_length(g, timing) + 2
+            mfs_schedule(g, timing, cs=cs).schedule.validate()
+
+
+class TestLowerBounds:
+    def test_fu_counts_meet_distribution_lower_bound(self, timing):
+        for seed in range(8):
+            g = random_dfg(seed=seed, n_ops=30)
+            cs = critical_path_length(g, timing) + 3
+            result = mfs_schedule(g, timing, cs=cs)
+            for kind, count in g.count_by_kind().items():
+                lower = -(-count // cs)
+                assert result.fu_counts.get(kind, 0) >= lower
+
+    def test_random_graphs_all_valid(self, timing):
+        for seed in range(10):
+            g = random_dfg(seed=seed, n_ops=40)
+            cs = critical_path_length(g, timing) + 2
+            result = mfs_schedule(g, timing, cs=cs)
+            result.schedule.validate()
+            assert len(result.trajectory) == len(g)

@@ -1,0 +1,103 @@
+"""MFSA with structurally pipelined functional units (§5.5.1)."""
+
+import pytest
+
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind
+from repro.sim.executor import verify_equivalence
+from repro.sim.rtl_executor import verify_controller_equivalence
+from repro.bench.suites import ewf, hal_diffeq
+
+
+def back_to_back_products():
+    b = DFGBuilder("stream")
+    x, y = b.inputs("x", "y")
+    products = [
+        b.op(OpKind.MUL, x, index + 1, name=f"m{index}") for index in range(4)
+    ]
+    total = products[0]
+    for index, product in enumerate(products[1:], start=1):
+        total = b.op(OpKind.ADD, total, product, name=f"s{index}")
+    b.output("o", total)
+    return b.build()
+
+
+class TestPipelinedMFSA:
+    def test_single_pipelined_multiplier_suffices(self, timing_mul2, alu_family):
+        result = MFSAScheduler(
+            back_to_back_products(),
+            timing_mul2,
+            alu_family,
+            cs=8,
+            pipelined_kinds=("mul",),
+        ).run()
+        mul_instances = {
+            key
+            for name, key in result.datapath.binding.items()
+            if name.startswith("m")
+        }
+        assert len(mul_instances) == 1
+
+    def test_overlapping_products_simulate_correctly(
+        self, timing_mul2, alu_family
+    ):
+        result = MFSAScheduler(
+            back_to_back_products(),
+            timing_mul2,
+            alu_family,
+            cs=8,
+            pipelined_kinds=("mul",),
+        ).run()
+        schedule = result.schedule
+        starts = sorted(
+            schedule.start(f"m{i}") for i in range(4)
+        )
+        # at least one genuinely overlapping pair on the pipelined unit
+        assert any(b - a == 1 for a, b in zip(starts, starts[1:]))
+        verify_equivalence(result.datapath, {"x": 3, "y": 5})
+
+    def test_controller_simulation_with_pipeline_overlap(
+        self, timing_mul2, alu_family
+    ):
+        result = MFSAScheduler(
+            back_to_back_products(),
+            timing_mul2,
+            alu_family,
+            cs=8,
+            pipelined_kinds=("mul",),
+        ).run()
+        verify_controller_equivalence(result.datapath, {"x": -2, "y": 7})
+
+    def test_hal_with_pipelined_multiplier(self, timing_mul2, alu_family):
+        result = MFSAScheduler(
+            hal_diffeq(),
+            timing_mul2,
+            alu_family,
+            cs=8,
+            pipelined_kinds=("mul",),
+        ).run()
+        result.schedule.validate()
+        verify_equivalence(
+            result.datapath, {"x": 2, "dx": 3, "u": 5, "y": 7, "a": 100}
+        )
+        verify_controller_equivalence(
+            result.datapath, {"x": 2, "dx": 3, "u": 5, "y": 7, "a": 100}
+        )
+
+    def test_pipelining_reduces_multiplier_instances(self, timing_mul2, alu_family):
+        plain = MFSAScheduler(
+            ewf(), timing_mul2, alu_family, cs=17
+        ).run()
+        pipelined = MFSAScheduler(
+            ewf(), timing_mul2, alu_family, cs=17, pipelined_kinds=("mul",)
+        ).run()
+
+        def muls(result):
+            return sum(
+                1
+                for key in result.datapath.instances
+                if "mul" in alu_family.cell(key[0]).kinds
+            )
+
+        assert muls(pipelined) <= muls(plain)

@@ -1,0 +1,134 @@
+"""Tests for the priority ordering rules (§3.2, §5.3)."""
+
+from repro.core.priorities import priority_order
+from repro.dfg.analysis import TimingModel, alap_schedule, asap_schedule
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind, standard_operation_set
+from repro.bench.suites import ewf, hal_diffeq
+
+
+def order_of(dfg, timing, cs):
+    asap = asap_schedule(dfg, timing)
+    alap = alap_schedule(dfg, timing, cs)
+    return priority_order(dfg, timing, asap, alap)
+
+
+class TestBasicRules:
+    def test_order_is_topological(self, timing):
+        for g in (hal_diffeq(), ewf()):
+            order = order_of(g, timing, cs=20)
+            rank = {name: i for i, name in enumerate(order)}
+            for node in g:
+                for pred in node.predecessor_names():
+                    assert rank[pred] < rank[node.name]
+
+    def test_alap_step_is_primary_key(self, timing):
+        g = hal_diffeq()
+        asap = asap_schedule(g, timing)
+        alap = alap_schedule(g, timing, 5)
+        order = priority_order(g, timing, asap, alap)
+        steps = [alap[name] for name in order]
+        # ALAP steps may only deviate from sorted order where a dependence
+        # forces it; for HAL at cs=5 they are exactly sorted.
+        assert steps == sorted(steps)
+
+    def test_lower_mobility_first_within_step(self, timing):
+        b = DFGBuilder()
+        x = b.input("x")
+        # rigid: chain of 3 -> mobility 0 at cs=3
+        r1 = b.op(OpKind.ADD, x, 1, name="r1")
+        r2 = b.op(OpKind.ADD, r1, 1, name="r2")
+        b.op(OpKind.ADD, r2, 1, name="r3")
+        # loose: single op, mobility 2, ALAP step 3 like r3
+        b.op(OpKind.ADD, x, 9, name="loose")
+        g = b.build()
+        order = order_of(g, timing, cs=3)
+        assert order.index("r3") < order.index("loose")
+
+    def test_insertion_order_breaks_full_ties(self, timing):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.op(OpKind.ADD, x, 1, name="first")
+        b.op(OpKind.ADD, x, 2, name="second")
+        g = b.build()
+        order = order_of(g, timing, cs=1)
+        assert order == ["first", "second"]
+
+    def test_lower_mobility_beats_earlier_predecessor(self, timing):
+        b = DFGBuilder()
+        x = b.input("x")
+        early = b.op(OpKind.ADD, x, 1, name="early")           # asap 1
+        late_mid = b.op(OpKind.ADD, early, 1, name="mid")      # asap 2
+        b.op(OpKind.MUL, early, x, name="child_of_early")      # asap 2, mob 2
+        b.op(OpKind.MUL, late_mid, x, name="child_of_mid")     # asap 3, mob 1
+        g = b.build()
+        order = order_of(g, timing, cs=4)
+        mults = [n for n in order if n.startswith("child")]
+        # both have ALAP step 4; the lower-mobility operation goes first
+        assert mults == ["child_of_mid", "child_of_early"]
+
+    def test_latest_predecessor_end_helper(self, timing):
+        from repro.core.priorities import _latest_predecessor_end
+        from repro.dfg.analysis import asap_schedule
+
+        b = DFGBuilder()
+        x = b.input("x")
+        p = b.op(OpKind.MUL, x, 1, name="p")
+        b.op(OpKind.ADD, p, x, name="consumer")
+        b.op(OpKind.ADD, x, x, name="orphan")
+        g = b.build()
+        asap = asap_schedule(g, timing)
+        assert _latest_predecessor_end(g, timing, asap, "consumer") == 1
+        assert _latest_predecessor_end(g, timing, asap, "orphan") == 0
+
+
+class TestMulticycleInversion:
+    def test_close_mobilities_invert(self, timing_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        # m_rigid: mobility 0 via a consumer chain; m_loose: mobility 1
+        m_rigid = b.op(OpKind.MUL, x, 1, name="m_rigid")
+        b.op(OpKind.ADD, m_rigid, 1, name="tail")
+        b.op(OpKind.MUL, x, 2, name="m_loose")
+        g = b.build()
+        asap = asap_schedule(g, timing_mul2)
+        alap = alap_schedule(g, timing_mul2, 3)
+        # mobilities: m_rigid 0, m_loose 1 -> difference 1 < latency 2
+        # but ALAP steps differ (1 vs 2) so the primary key decides; make
+        # them share the ALAP step by widening cs and checking inversion
+        alap4 = alap_schedule(g, timing_mul2, 4)
+        mob = {n: alap4[n] - asap[n] for n in asap}
+        if alap4["m_rigid"] == alap4["m_loose"]:
+            order = priority_order(g, timing_mul2, asap, alap4)
+            if abs(mob["m_rigid"] - mob["m_loose"]) < 2:
+                # inverted: the MORE mobile multi-cycle op goes first
+                assert order.index("m_loose") < order.index("m_rigid")
+
+    def test_far_mobilities_follow_normal_rule(self, timing_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        rigid = b.op(OpKind.MUL, x, 1, name="rigid")
+        chain = b.op(OpKind.ADD, rigid, 1, name="c1")
+        chain = b.op(OpKind.ADD, chain, 1, name="c2")
+        b.op(OpKind.MUL, x, 2, name="loose")
+        g = b.build()
+        asap = asap_schedule(g, timing_mul2)
+        alap = alap_schedule(g, timing_mul2, 8)
+        mob = {n: alap[n] - asap[n] for n in asap}
+        assert abs(mob["rigid"] - mob["loose"]) >= 2
+        # different ALAP steps here; just assert the order is topological
+        order = priority_order(g, timing_mul2, asap, alap)
+        assert order.index("rigid") < order.index("c1")
+
+
+class TestChainedOrder:
+    def test_same_alap_chained_pair_stays_topological(self, timing_chained):
+        b = DFGBuilder()
+        x = b.input("x")
+        a = b.op(OpKind.ADD, x, 1, name="a")
+        c = b.op(OpKind.ADD, a, 2, name="c")
+        b.output("o", c)
+        g = b.build()
+        # with chaining both fit step 1; ALAP(a) == ALAP(c) == 1 at cs=1
+        order = order_of(g, timing_chained, cs=1)
+        assert order == ["a", "c"]

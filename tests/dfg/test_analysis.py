@@ -1,0 +1,158 @@
+"""Tests for ASAP/ALAP/mobility/concurrency analyses."""
+
+import pytest
+
+from repro.dfg.analysis import (
+    TimingModel,
+    alap_schedule,
+    asap_schedule,
+    critical_path_length,
+    mobilities,
+    schedule_makespan,
+    type_concurrency,
+)
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind, standard_operation_set
+from repro.errors import InfeasibleScheduleError, ScheduleError
+from repro.bench.suites import hal_diffeq
+
+
+class TestAsapAlap:
+    def test_chain_asap(self, chain_dfg, timing):
+        asap = asap_schedule(chain_dfg, timing)
+        assert [asap[f"a{i}"] for i in range(4)] == [1, 2, 3, 4]
+
+    def test_chain_alap_at_critical_path(self, chain_dfg, timing):
+        alap = alap_schedule(chain_dfg, timing, cs=4)
+        assert alap == asap_schedule(chain_dfg, timing)
+
+    def test_chain_alap_with_slack(self, chain_dfg, timing):
+        alap = alap_schedule(chain_dfg, timing, cs=6)
+        assert [alap[f"a{i}"] for i in range(4)] == [3, 4, 5, 6]
+
+    def test_alap_infeasible_raises(self, chain_dfg, timing):
+        with pytest.raises(InfeasibleScheduleError):
+            alap_schedule(chain_dfg, timing, cs=3)
+
+    def test_diamond(self, diamond_dfg, timing):
+        asap = asap_schedule(diamond_dfg, timing)
+        assert asap == {"m1": 1, "m2": 1, "s": 2, "t": 3}
+        alap = alap_schedule(diamond_dfg, timing, cs=5)
+        assert alap == {"m1": 3, "m2": 3, "s": 4, "t": 5}
+
+    def test_multicycle_shifts_successors(self, diamond_dfg, timing_mul2):
+        asap = asap_schedule(diamond_dfg, timing_mul2)
+        assert asap == {"m1": 1, "m2": 1, "s": 3, "t": 4}
+
+    def test_multicycle_alap_start_accounts_latency(
+        self, diamond_dfg, timing_mul2
+    ):
+        alap = alap_schedule(diamond_dfg, timing_mul2, cs=4)
+        # multiplies occupy 2 steps, so they must start by step 1
+        assert alap["m1"] == 1 and alap["m2"] == 1
+
+    def test_hal_critical_path(self, timing):
+        assert critical_path_length(hal_diffeq(), timing) == 4
+
+    def test_hal_critical_path_mul2(self, timing_mul2):
+        # m1 (2 cycles) -> m4 (2 cycles) -> s1 -> s2
+        assert critical_path_length(hal_diffeq(), timing_mul2) == 6
+
+    def test_empty_graph_cp_zero(self, timing):
+        from repro.dfg.graph import DFG
+
+        assert critical_path_length(DFG("empty"), timing) == 0
+
+
+class TestChainingTiming:
+    def test_two_ops_chain_in_one_step(self, chain_dfg, timing_chained):
+        # 10 ns adds, 20 ns clock: two chained adds per step.
+        asap = asap_schedule(chain_dfg, timing_chained)
+        assert [asap[f"a{i}"] for i in range(4)] == [1, 1, 2, 2]
+
+    def test_chaining_critical_path_halves(self, chain_dfg, ops, timing_chained):
+        plain = TimingModel(ops=ops)
+        assert critical_path_length(chain_dfg, plain) == 4
+        assert critical_path_length(chain_dfg, timing_chained) == 2
+
+    def test_alap_symmetry_under_chaining(self, chain_dfg, timing_chained):
+        alap = alap_schedule(chain_dfg, timing_chained, cs=2)
+        assert [alap[f"a{i}"] for i in range(4)] == [1, 1, 2, 2]
+
+    def test_op_longer_than_clock_rejected(self, chain_dfg, ops):
+        tight = TimingModel(ops=ops, clock_period_ns=5.0)  # adds take 10 ns
+        with pytest.raises(ScheduleError):
+            asap_schedule(chain_dfg, tight)
+
+    def test_multicycle_breaks_chain(self, ops_mul2):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        m = b.op(OpKind.MUL, x, y, name="m")
+        a = b.op(OpKind.ADD, m, x, name="a")
+        b.output("o", a)
+        g = b.build()
+        chained = TimingModel(ops=ops_mul2, clock_period_ns=100.0)
+        asap = asap_schedule(g, chained)
+        # the 2-cycle multiply cannot be chained into: add starts at 3
+        assert asap == {"m": 1, "a": 3}
+
+
+class TestMobilityConcurrency:
+    def test_mobilities(self, diamond_dfg, timing):
+        asap = asap_schedule(diamond_dfg, timing)
+        alap = alap_schedule(diamond_dfg, timing, cs=5)
+        mob = mobilities(asap, alap)
+        assert mob == {"m1": 2, "m2": 2, "s": 2, "t": 2}
+
+    def test_type_concurrency_simple(self, diamond_dfg, timing):
+        schedule = asap_schedule(diamond_dfg, timing)
+        usage = type_concurrency(diamond_dfg, schedule, timing)
+        assert usage == {"mul": 2, "add": 1, "sub": 1}
+
+    def test_type_concurrency_multicycle_overlap(self, timing_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.op(OpKind.MUL, x, x, name="m1")
+        b.op(OpKind.MUL, x, x, name="m2")
+        g = b.build()
+        # m1 at 1..2, m2 at 2..3: overlap at step 2
+        usage = type_concurrency(g, {"m1": 1, "m2": 2}, timing_mul2)
+        assert usage["mul"] == 2
+
+    def test_pipelined_kind_counts_start_only(self, timing_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.op(OpKind.MUL, x, x, name="m1")
+        b.op(OpKind.MUL, x, x, name="m2")
+        g = b.build()
+        usage = type_concurrency(
+            g, {"m1": 1, "m2": 2}, timing_mul2, pipelined_kinds=frozenset({"mul"})
+        )
+        assert usage["mul"] == 1
+
+    def test_mutual_exclusion_shares_units(self, timing):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.then_branch("c")
+        b.op(OpKind.MUL, x, x, name="t")
+        b.else_branch("c")
+        b.op(OpKind.MUL, x, x, name="e")
+        b.end_branch("c")
+        g = b.build()
+        usage = type_concurrency(g, {"t": 1, "e": 1}, timing)
+        assert usage["mul"] == 1
+
+    def test_functional_pipelining_folds_steps(self, timing):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.op(OpKind.ADD, x, 1, name="a1")
+        b.op(OpKind.ADD, x, 2, name="a2")
+        g = b.build()
+        # steps 1 and 3 fold together under L=2
+        usage = type_concurrency(g, {"a1": 1, "a2": 3}, timing, latency_l=2)
+        assert usage["add"] == 2
+
+    def test_makespan(self, diamond_dfg, timing_mul2):
+        starts = asap_schedule(diamond_dfg, timing_mul2)
+        assert schedule_makespan(diamond_dfg, starts, timing_mul2) == 4
+        assert schedule_makespan(diamond_dfg, {}, timing_mul2) == 0

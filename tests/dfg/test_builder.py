@@ -1,0 +1,122 @@
+"""Tests for the fluent DFG builder."""
+
+import pytest
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind
+
+
+class TestOperators:
+    def test_arithmetic_operators_create_nodes(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        result = (x + y) * (x - y)
+        b.output("r", result)
+        g = b.build()
+        assert g.count_by_kind() == {"add": 1, "sub": 1, "mul": 1}
+
+    def test_int_operands_become_constants(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.output("r", x + 3)
+        g = b.build()
+        node = g.node(g.node_names()[0])
+        assert node.operands[1].is_const
+        assert node.operands[1].value == 3
+
+    def test_reverse_operators(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.output("r", 3 * x)
+        g = b.build()
+        node = g.node(g.node_names()[0])
+        assert node.kind == "mul"
+        assert node.operands[0].is_const
+
+    def test_logic_and_shift_operators(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("r", ((x & y) | (x ^ y)) << 2)
+        kinds = b.build().count_by_kind()
+        assert kinds == {"and": 1, "or": 1, "xor": 1, "shl": 1}
+
+    def test_comparison_methods(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("lt", x.lt(y))
+        b.output("gt", x.gt(y))
+        b.output("eq", x.eq(y))
+        kinds = b.build().count_by_kind()
+        assert kinds == {"lt": 1, "gt": 1, "eq": 1}
+
+    def test_unary_operators(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.output("n", -x)
+        b.output("i", ~x)
+        kinds = b.build().count_by_kind()
+        assert kinds == {"neg": 1, "not": 1}
+
+    def test_division(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("q", x / y)
+        assert b.build().count_by_kind() == {"div": 1}
+
+    def test_bad_operand_type_rejected(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        with pytest.raises(TypeError):
+            b.op(OpKind.ADD, x, "nope")
+
+
+class TestBranches:
+    def test_then_else_tagging(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.then_branch("c")
+        t = b.op(OpKind.ADD, x, 1, name="t")
+        b.else_branch("c")
+        e = b.op(OpKind.ADD, x, 2, name="e")
+        b.end_branch("c")
+        u = b.op(OpKind.ADD, x, 3, name="u")
+        b.output("o", u)
+        g = b.build()
+        assert g.node("t").branch == (("c", True),)
+        assert g.node("e").branch == (("c", False),)
+        assert g.node("u").branch == ()
+        assert g.mutually_exclusive("t", "e")
+
+    def test_nested_branches(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.then_branch("c1")
+        b.then_branch("c2")
+        deep = b.op(OpKind.ADD, x, 1, name="deep")
+        b.end_branch("c2")
+        b.end_branch("c1")
+        b.output("o", deep)
+        g = b.build()
+        assert g.node("deep").branch == (("c1", True), ("c2", True))
+
+
+class TestOutputs:
+    def test_outputs_keyword_helper(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.outputs(s=x + y, d=x - y)
+        g = b.build()
+        assert set(g.outputs) == {"s", "d"}
+
+    def test_output_of_input(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        dummy = b.op(OpKind.ADD, x, 0, name="d")
+        b.output("passthrough", x)
+        b.output("d", dummy)
+        g = b.build()
+        assert g.outputs["passthrough"].is_input
+
+    def test_build_validates(self):
+        b = DFGBuilder("empty")
+        assert len(b.build()) == 0

@@ -1,0 +1,79 @@
+"""Tests for the random-DFG generators."""
+
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.generators import (
+    layered_workload,
+    random_conditional_dfg,
+    random_dfg,
+)
+
+
+class TestRandomDFG:
+    def test_deterministic_for_same_seed(self):
+        a = random_dfg(seed=42, n_ops=25)
+        b = random_dfg(seed=42, n_ops=25)
+        assert a.node_names() == b.node_names()
+        assert [n.operands for n in a] == [n.operands for n in b]
+
+    def test_different_seeds_differ(self):
+        a = random_dfg(seed=1, n_ops=25)
+        b = random_dfg(seed=2, n_ops=25)
+        assert [n.operands for n in a] != [n.operands for n in b]
+
+    def test_size_parameters(self):
+        g = random_dfg(seed=7, n_ops=33, n_inputs=5)
+        assert len(g) == 33
+        assert len(g.inputs) == 5
+
+    def test_acyclic_and_valid(self, ops):
+        for seed in range(10):
+            g = random_dfg(seed=seed, n_ops=30)
+            g.validate(ops)
+
+    def test_has_outputs(self):
+        for seed in range(5):
+            assert random_dfg(seed=seed).outputs
+
+    def test_locality_controls_depth(self, timing):
+        deep = random_dfg(seed=3, n_ops=40, locality=1)
+        wide = random_dfg(seed=3, n_ops=40, locality=40)
+        assert critical_path_length(deep, timing) > critical_path_length(
+            wide, timing
+        )
+
+
+class TestConditionalGenerator:
+    def test_contains_exclusive_pairs(self):
+        g = random_conditional_dfg(seed=5, n_ops=16)
+        then_ops = [n.name for n in g if n.branch == (("c0", True),)]
+        else_ops = [n.name for n in g if n.branch == (("c0", False),)]
+        assert then_ops and else_ops
+        assert g.mutually_exclusive(then_ops[0], else_ops[0])
+
+    def test_arm_values_never_cross_arms(self):
+        for seed in range(10):
+            g = random_conditional_dfg(seed=seed, n_ops=24)
+            for node in g:
+                for pred in node.predecessor_names():
+                    pred_branch = g.node(pred).branch
+                    assert pred_branch in ((), node.branch)
+
+    def test_valid(self, ops):
+        for seed in range(5):
+            random_conditional_dfg(seed=seed).validate(ops)
+
+
+class TestLayeredWorkload:
+    def test_shape(self, timing):
+        g = layered_workload(seed=1, layers=6, width=4)
+        assert len(g) == 24
+        assert critical_path_length(g, timing) == 6
+
+    def test_outputs_are_last_layer(self):
+        g = layered_workload(seed=1, layers=3, width=2)
+        assert len(g.outputs) == 2
+
+    def test_deterministic(self):
+        a = layered_workload(seed=9, layers=4, width=3)
+        b = layered_workload(seed=9, layers=4, width=3)
+        assert [n.operands for n in a] == [n.operands for n in b]

@@ -1,0 +1,186 @@
+"""Tests for the DFG container."""
+
+import pytest
+
+from repro.dfg.graph import DFG, Port, branches_mutually_exclusive
+from repro.errors import DFGError
+
+
+def build_small():
+    g = DFG("small")
+    a = g.add_input("a")
+    b = g.add_input("b")
+    m = g.add_op("mul", [a, b], name="m")
+    s = g.add_op("add", [m, Port.const(1)], name="s")
+    g.set_output("y", s)
+    return g
+
+
+class TestPort:
+    def test_constructors(self):
+        assert Port.node("n").is_node
+        assert Port.input("x").is_input
+        assert Port.const(3).is_const
+
+    def test_signal_names(self):
+        assert Port.node("n").signal_name() == "op:n"
+        assert Port.input("x").signal_name() == "in:x"
+        assert Port.const(3).signal_name() == "#3"
+
+    def test_ports_are_hashable_values(self):
+        assert Port.node("n") == Port.node("n")
+        assert len({Port.node("n"), Port.node("n"), Port.input("n")}) == 2
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        g = DFG()
+        g.add_input("a")
+        with pytest.raises(DFGError):
+            g.add_input("a")
+
+    def test_duplicate_node_name_rejected(self):
+        g = DFG()
+        a = g.add_input("a")
+        g.add_op("add", [a, a], name="n")
+        with pytest.raises(DFGError):
+            g.add_op("add", [a, a], name="n")
+
+    def test_unknown_operand_node_rejected(self):
+        g = DFG()
+        with pytest.raises(DFGError):
+            g.add_op("add", [Port.node("ghost"), Port.const(1)])
+
+    def test_undeclared_input_rejected(self):
+        g = DFG()
+        with pytest.raises(DFGError):
+            g.add_op("add", [Port.input("ghost"), Port.const(1)])
+
+    def test_auto_names_are_unique(self):
+        g = DFG()
+        a = g.add_input("a")
+        p1 = g.add_op("add", [a, a])
+        p2 = g.add_op("add", [a, a])
+        assert p1.name != p2.name
+
+    def test_output_must_reference_known_node(self):
+        g = DFG()
+        with pytest.raises(DFGError):
+            g.set_output("y", Port.node("ghost"))
+
+
+class TestAccessors:
+    def test_len_and_contains(self):
+        g = build_small()
+        assert len(g) == 2
+        assert "m" in g
+        assert "zzz" not in g
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(DFGError):
+            build_small().node("zzz")
+
+    def test_predecessors_successors(self):
+        g = build_small()
+        assert g.predecessors("s") == ("m",)
+        assert g.successors("m") == ("s",)
+        assert g.predecessors("m") == ()
+        assert g.successors("s") == ()
+
+    def test_predecessors_deduplicated(self):
+        g = DFG()
+        a = g.add_input("a")
+        m = g.add_op("add", [a, a], name="m")
+        sq = g.add_op("mul", [m, m], name="sq")
+        assert g.predecessors("sq") == ("m",)
+        assert g.successors("m") == ("sq",)
+
+    def test_source_and_sink_nodes(self):
+        g = build_small()
+        assert g.source_nodes() == ("m",)
+        assert g.sink_nodes() == ("s",)
+
+    def test_kinds_used_and_counts(self):
+        g = build_small()
+        assert set(g.kinds_used()) == {"mul", "add"}
+        assert g.count_by_kind() == {"mul": 1, "add": 1}
+
+    def test_transitive_closures(self):
+        g = build_small()
+        assert g.transitive_predecessors("s") == {"m"}
+        assert g.transitive_successors("m") == {"s"}
+        assert g.transitive_predecessors("m") == set()
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        g = build_small()
+        order = g.topological_order()
+        assert order.index("m") < order.index("s")
+
+    def test_validate_checks_arity(self, ops):
+        g = DFG()
+        a = g.add_input("a")
+        g.add_op("not", [a, a], name="bad")  # NOT is unary
+        with pytest.raises(DFGError):
+            g.validate(ops)
+
+    def test_validate_passes_clean_graph(self, ops):
+        build_small().validate(ops)
+
+
+class TestMutualExclusion:
+    def test_complementary_arms_exclusive(self):
+        assert branches_mutually_exclusive(
+            (("c", True),), (("c", False),)
+        )
+
+    def test_same_arm_not_exclusive(self):
+        assert not branches_mutually_exclusive(
+            (("c", True),), (("c", True),)
+        )
+
+    def test_unrelated_conditions_not_exclusive(self):
+        assert not branches_mutually_exclusive(
+            (("c1", True),), (("c2", False),)
+        )
+
+    def test_nested_paths(self):
+        inner_then = (("c1", True), ("c2", True))
+        inner_else = (("c1", True), ("c2", False))
+        other_top = (("c1", False),)
+        assert branches_mutually_exclusive(inner_then, inner_else)
+        assert branches_mutually_exclusive(inner_then, other_top)
+
+    def test_dfg_level_query(self):
+        g = DFG()
+        a = g.add_input("a")
+        g.add_op("add", [a, a], name="t", branch=(("c", True),))
+        g.add_op("add", [a, a], name="e", branch=(("c", False),))
+        g.add_op("add", [a, a], name="u")
+        assert g.mutually_exclusive("t", "e")
+        assert not g.mutually_exclusive("t", "u")
+        assert not g.mutually_exclusive("t", "t")
+
+
+class TestCopyRename:
+    def test_copy_is_deep_enough(self):
+        g = build_small()
+        clone = g.copy()
+        clone.add_op("add", [Port.node("m"), Port.const(2)], name="extra")
+        assert "extra" in clone
+        assert "extra" not in g
+
+    def test_copy_preserves_successors(self):
+        clone = build_small().copy()
+        assert clone.successors("m") == ("s",)
+
+    def test_renamed_prefixes_everything(self):
+        renamed = build_small().renamed("i1_")
+        assert "i1_m" in renamed
+        assert renamed.predecessors("i1_s") == ("i1_m",)
+        assert renamed.outputs["y"] == Port.node("i1_s")
+
+    def test_renamed_keeps_inputs(self):
+        renamed = build_small().renamed("i1_")
+        assert renamed.inputs == ("a", "b")

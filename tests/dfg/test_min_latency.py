@@ -1,0 +1,53 @@
+"""Tests for the minimum-initiation-interval search (§5.5.2)."""
+
+import pytest
+
+from repro.dfg.pipeline import minimum_initiation_interval, overlap_report
+from repro.errors import ScheduleError
+from repro.bench.suites import hal_diffeq
+
+
+class TestMinimumInitiationInterval:
+    def test_unbounded_reaches_l1(self, timing):
+        latency, schedule = minimum_initiation_interval(
+            hal_diffeq(), timing, cs=6
+        )
+        assert latency == 1
+        schedule.validate()
+
+    def test_resource_bounds_raise_the_floor(self, timing):
+        bounds = {"mul": 2, "add": 1, "sub": 1, "lt": 1}
+        latency, schedule = minimum_initiation_interval(
+            hal_diffeq(), timing, cs=6, resource_bounds=bounds
+        )
+        # 6 multiplies on 2 units need >= 3 steps per iteration
+        assert latency >= 3
+        schedule.validate(resource_bounds=bounds)
+
+    def test_schedule_is_actually_folded(self, timing):
+        latency, schedule = minimum_initiation_interval(
+            hal_diffeq(), timing, cs=6, resource_bounds={
+                "mul": 3, "add": 1, "sub": 1, "lt": 1
+            }
+        )
+        report = overlap_report(schedule)
+        assert report.latency == latency
+
+    def test_multicycle_kinds_bound_latency(self, timing_mul2):
+        latency, _schedule = minimum_initiation_interval(
+            hal_diffeq(), timing_mul2, cs=8
+        )
+        assert latency >= 2  # the 2-cycle multiplier cannot fold tighter
+
+    def test_pipelined_kind_lifts_the_multicycle_floor(self, timing_mul2):
+        latency, _schedule = minimum_initiation_interval(
+            hal_diffeq(), timing_mul2, cs=8, pipelined_kinds=("mul",)
+        )
+        assert latency == 1
+
+    def test_impossible_bounds_raise(self, timing):
+        with pytest.raises(ScheduleError):
+            minimum_initiation_interval(
+                hal_diffeq(), timing, cs=4,
+                resource_bounds={"mul": 1, "add": 1, "sub": 1, "lt": 1},
+            )

@@ -1,0 +1,135 @@
+"""Tests for operation kinds and operation sets."""
+
+import pytest
+
+from repro.dfg.ops import (
+    OP_SYMBOLS,
+    OpKind,
+    OpSpec,
+    OperationSet,
+    standard_operation_set,
+)
+from repro.errors import UnknownOperationError
+
+
+class TestOpKind:
+    def test_kind_compares_to_string(self):
+        assert OpKind.ADD == "add"
+        assert OpKind.MUL == "mul"
+
+    def test_every_kind_has_a_symbol(self):
+        for kind in OpKind:
+            assert kind in OP_SYMBOLS
+
+    def test_str_is_value(self):
+        assert str(OpKind.SUB) == "sub"
+
+
+class TestOpSpec:
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            OpSpec(kind="add", latency=0)
+
+    def test_rejects_bad_arity(self):
+        with pytest.raises(ValueError):
+            OpSpec(kind="add", arity=3)
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError):
+            OpSpec(kind="add", delay_ns=0.0)
+
+    def test_with_latency_copies_everything_else(self):
+        spec = standard_operation_set().spec(OpKind.MUL)
+        derived = spec.with_latency(2)
+        assert derived.latency == 2
+        assert derived.kind == spec.kind
+        assert derived.commutative == spec.commutative
+        assert derived.evaluate is spec.evaluate
+
+    def test_with_delay(self):
+        spec = standard_operation_set().spec(OpKind.ADD)
+        assert spec.with_delay(3.5).delay_ns == 3.5
+
+
+class TestOperationSet:
+    def test_contains(self, ops):
+        assert "add" in ops
+        assert "quux" not in ops
+
+    def test_unknown_kind_raises(self, ops):
+        with pytest.raises(UnknownOperationError):
+            ops.spec("quux")
+
+    def test_len_and_iter(self, ops):
+        assert len(ops) == len(list(ops)) == len(OpKind)
+
+    def test_kinds_order_is_registration_order(self):
+        registry = OperationSet()
+        registry.register(OpSpec(kind="zz", evaluate=lambda a, b: 0))
+        registry.register(OpSpec(kind="aa", evaluate=lambda a, b: 0))
+        assert registry.kinds() == ("zz", "aa")
+
+    def test_with_latencies_does_not_mutate_original(self, ops):
+        derived = ops.with_latencies({"mul": 2})
+        assert derived.latency("mul") == 2
+        assert ops.latency("mul") == 1
+
+    def test_with_delays(self, ops):
+        derived = ops.with_delays({"add": 99.0})
+        assert derived.delay_ns("add") == 99.0
+        assert ops.delay_ns("add") != 99.0
+
+    def test_copy_is_independent(self, ops):
+        clone = ops.copy()
+        clone.register(OpSpec(kind="custom", evaluate=lambda a, b: 7))
+        assert "custom" in clone
+        assert "custom" not in ops
+
+
+class TestStandardSet:
+    def test_mul_latency_parameter(self):
+        assert standard_operation_set(mul_latency=2).latency("mul") == 2
+        assert standard_operation_set(mul_latency=2).latency("div") == 2
+        assert standard_operation_set(mul_latency=2).latency("add") == 1
+
+    def test_commutativity_flags(self, ops):
+        assert ops.spec("add").commutative
+        assert ops.spec("mul").commutative
+        assert not ops.spec("sub").commutative
+        assert not ops.spec("lt").commutative
+
+    def test_unary_arity(self, ops):
+        assert ops.spec("not").arity == 1
+        assert ops.spec("neg").arity == 1
+        assert ops.spec("add").arity == 2
+
+    def test_evaluators(self, ops):
+        assert ops.spec("add").evaluate(3, 4) == 7
+        assert ops.spec("sub").evaluate(3, 4) == -1
+        assert ops.spec("mul").evaluate(3, 4) == 12
+        assert ops.spec("lt").evaluate(3, 4) == 1
+        assert ops.spec("gt").evaluate(3, 4) == 0
+        assert ops.spec("eq").evaluate(4, 4) == 1
+        assert ops.spec("and").evaluate(0b1100, 0b1010) == 0b1000
+        assert ops.spec("or").evaluate(0b1100, 0b1010) == 0b1110
+        assert ops.spec("xor").evaluate(0b1100, 0b1010) == 0b0110
+        assert ops.spec("neg").evaluate(5) == -5
+        assert ops.spec("min").evaluate(2, 9) == 2
+        assert ops.spec("max").evaluate(2, 9) == 9
+
+    def test_division_truncates_toward_zero(self, ops):
+        divide = ops.spec("div").evaluate
+        assert divide(7, 2) == 3
+        assert divide(-7, 2) == -3
+        assert divide(7, -2) == -3
+        assert divide(0, 5) == 0
+
+    def test_division_by_zero_yields_zero(self, ops):
+        assert ops.spec("div").evaluate(5, 0) == 0
+
+    def test_shift_masks_amount(self, ops):
+        assert ops.spec("shl").evaluate(1, 33) == 2  # 33 & 31 == 1
+
+    def test_delay_overrides(self):
+        custom = standard_operation_set(delays_ns={"add": 1.25})
+        assert custom.delay_ns("add") == 1.25

@@ -1,0 +1,181 @@
+"""Tests for constant folding, dead-code elimination and tree balancing."""
+
+import pytest
+
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind
+from repro.dfg.optimize import (
+    balance_tree,
+    constant_fold,
+    eliminate_dead_code,
+)
+from repro.sim.evaluator import evaluate_dfg
+
+
+class TestConstantFold:
+    def test_constant_chain_collapses(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        c = b.op(OpKind.ADD, 2, 3, name="c1")          # 5
+        c2 = b.op(OpKind.MUL, c, 4, name="c2")         # 20
+        y = b.op(OpKind.ADD, x, c2, name="y")
+        b.output("o", y)
+        g = b.build()
+        folded = constant_fold(g, ops)
+        assert len(folded) == 1
+        node = folded.node("y")
+        assert node.operands[1].is_const
+        assert node.operands[1].value == 20
+
+    def test_semantics_preserved(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.output("o", (x + (2 * 3)) - (b.const(10) / 2))
+        g = b.build()
+        folded = constant_fold(g, ops)
+        for value in (0, 7, -3):
+            assert (
+                evaluate_dfg(g, ops, {"x": value})["o"]
+                == evaluate_dfg(folded, ops, {"x": value})["o"]
+            )
+
+    def test_constant_outputs_fold(self, ops):
+        b = DFGBuilder()
+        b.input("x")
+        c = b.op(OpKind.MUL, 6, 7, name="answer")
+        b.output("o", c)
+        g = b.build()
+        folded = constant_fold(g, ops)
+        assert len(folded) == 0
+        assert folded.outputs["o"].is_const
+        assert folded.outputs["o"].value == 42
+
+    def test_nothing_to_fold(self, ops, diamond_dfg):
+        folded = constant_fold(diamond_dfg, ops)
+        assert len(folded) == len(diamond_dfg)
+
+
+class TestDeadCodeElimination:
+    def test_unreachable_ops_removed(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        live = b.op(OpKind.ADD, x, 1, name="live")
+        b.op(OpKind.MUL, x, x, name="dead")
+        b.op(OpKind.MUL, x, 2, name="dead_parent")
+        b.output("o", live)
+        g = b.build()
+        cleaned = eliminate_dead_code(g)
+        assert cleaned.node_names() == ("live",)
+
+    def test_transitively_live_kept(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        a = b.op(OpKind.ADD, x, 1, name="a")
+        bb = b.op(OpKind.ADD, a, 1, name="b")
+        b.output("o", bb)
+        g = b.build()
+        cleaned = eliminate_dead_code(g)
+        assert set(cleaned.node_names()) == {"a", "b"}
+
+    def test_dead_chain_fully_removed(self):
+        b = DFGBuilder()
+        x = b.input("x")
+        keep = b.op(OpKind.ADD, x, 1, name="keep")
+        t = b.op(OpKind.MUL, x, 2, name="d1")
+        b.op(OpKind.MUL, t, 3, name="d2")
+        b.output("o", keep)
+        cleaned = eliminate_dead_code(b.build())
+        assert len(cleaned) == 1
+
+
+class TestBalanceTree:
+    def linear_sum(self, n):
+        b = DFGBuilder()
+        inputs = b.inputs(*(f"x{i}" for i in range(n)))
+        acc = inputs[0]
+        for index in range(1, n):
+            acc = b.op(OpKind.ADD, acc, inputs[index], name=f"s{index}")
+        b.output("o", acc)
+        return b.build()
+
+    def test_chain_depth_becomes_logarithmic(self, ops, timing):
+        g = self.linear_sum(8)
+        assert critical_path_length(g, timing) == 7
+        balanced = balance_tree(g, ops)
+        assert critical_path_length(balanced, timing) == 3
+
+    def test_op_count_unchanged(self, ops):
+        g = self.linear_sum(8)
+        balanced = balance_tree(g, ops)
+        assert len(balanced) == len(g)
+
+    def test_semantics_preserved(self, ops):
+        g = self.linear_sum(6)
+        balanced = balance_tree(g, ops)
+        inputs = {f"x{i}": (i + 1) * 3 for i in range(6)}
+        assert (
+            evaluate_dfg(g, ops, inputs)["o"]
+            == evaluate_dfg(balanced, ops, inputs)["o"]
+        )
+
+    def test_noncommutative_chains_untouched(self, ops, timing):
+        b = DFGBuilder()
+        x = b.input("x")
+        acc = x
+        for index in range(5):
+            acc = b.op(OpKind.SUB, acc, index + 1, name=f"d{index}")
+        b.output("o", acc)
+        g = b.build()
+        balanced = balance_tree(g, ops)
+        assert critical_path_length(balanced, timing) == 5
+
+    def test_shared_interior_values_not_reassociated(self, ops):
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        partial = b.op(OpKind.ADD, x, y, name="partial")
+        total = b.op(OpKind.ADD, partial, z, name="total")
+        b.output("partial", partial)  # second consumer pins it
+        b.output("total", total)
+        g = b.build()
+        balanced = balance_tree(g, ops)
+        assert "partial" in balanced
+        inputs = {"x": 1, "y": 2, "z": 3}
+        assert evaluate_dfg(balanced, ops, inputs)["partial"] == 3
+
+    def test_mixed_kind_boundaries_respected(self, ops):
+        b = DFGBuilder()
+        w, x, y, z = b.inputs("w", "x", "y", "z")
+        s1 = b.op(OpKind.ADD, w, x, name="s1")
+        product = b.op(OpKind.MUL, s1, y, name="p")
+        s2 = b.op(OpKind.ADD, product, z, name="s2")
+        b.output("o", s2)
+        g = b.build()
+        balanced = balance_tree(g, ops)
+        inputs = {"w": 2, "x": 3, "y": 4, "z": 5}
+        assert evaluate_dfg(balanced, ops, inputs)["o"] == (2 + 3) * 4 + 5
+
+    def test_branch_context_preserved(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.then_branch("c")
+        acc = x
+        for index in range(4):
+            acc = b.op(OpKind.ADD, acc, index, name=f"t{index}")
+        b.end_branch("c")
+        b.output("o", acc)
+        g = b.build()
+        balanced = balance_tree(g, ops)
+        for node in balanced:
+            assert node.branch == (("c", True),)
+
+    def test_enables_tighter_schedules(self, ops, timing):
+        from repro.core.mfs import mfs_schedule
+        from repro.errors import InfeasibleScheduleError
+
+        g = self.linear_sum(8)
+        with pytest.raises(InfeasibleScheduleError):
+            mfs_schedule(g, timing, cs=3)
+        balanced = balance_tree(g, ops)
+        result = mfs_schedule(balanced, timing, cs=3)
+        result.schedule.validate()

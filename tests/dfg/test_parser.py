@@ -1,0 +1,158 @@
+"""Tests for the behavioral-language parser."""
+
+import pytest
+
+from repro.dfg.parser import parse_behavior
+from repro.errors import ParseError
+from repro.sim.evaluator import evaluate_dfg
+
+
+class TestBasics:
+    def test_single_assignment(self):
+        g = parse_behavior("input a b\ny = a + b\noutput y")
+        assert g.count_by_kind() == {"add": 1}
+        assert set(g.outputs) == {"y"}
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # leading comment
+        input a b
+
+        y = a * b  # trailing comment
+        output y
+        """
+        assert parse_behavior(text).count_by_kind() == {"mul": 1}
+
+    def test_precedence(self, ops):
+        g = parse_behavior("input a b c\ny = a + b * c\noutput y")
+        values = evaluate_dfg(g, ops, {"a": 2, "b": 3, "c": 4})
+        assert values["y"] == 14
+
+    def test_parentheses(self, ops):
+        g = parse_behavior("input a b c\ny = (a + b) * c\noutput y")
+        values = evaluate_dfg(g, ops, {"a": 2, "b": 3, "c": 4})
+        assert values["y"] == 20
+
+    def test_unary_minus_and_not(self, ops):
+        g = parse_behavior("input a\ny = -a\nz = ~a\noutput y z")
+        values = evaluate_dfg(g, ops, {"a": 5})
+        assert values["y"] == -5
+        assert values["z"] == ~5
+
+    def test_all_binary_operators(self, ops):
+        text = (
+            "input a b\n"
+            "s = a + b\nd = a - b\np = a * b\nq = a / b\n"
+            "an = a & b\norr = a | b\nx = a ^ b\n"
+            "sl = a << 1\nsr = a >> 1\n"
+            "lt = a < b\ngt = a > b\neq = a == b\n"
+            "output s d p q an orr x sl sr lt gt eq"
+        )
+        values = evaluate_dfg(parse_behavior(text), ops, {"a": 12, "b": 5})
+        assert values["s"] == 17
+        assert values["d"] == 7
+        assert values["p"] == 60
+        assert values["q"] == 2
+        assert values["an"] == 12 & 5
+        assert values["orr"] == 12 | 5
+        assert values["x"] == 12 ^ 5
+        assert values["sl"] == 24
+        assert values["sr"] == 6
+        assert values["lt"] == 0
+        assert values["gt"] == 1
+        assert values["eq"] == 0
+
+    def test_integer_literals(self, ops):
+        g = parse_behavior("input a\ny = 3 * a + 10\noutput y")
+        assert evaluate_dfg(g, ops, {"a": 4})["y"] == 22
+
+    def test_chained_definitions(self):
+        g = parse_behavior(
+            "input a\nt1 = a + 1\nt2 = t1 + 1\nt3 = t2 + 1\noutput t3"
+        )
+        assert len(g) == 3
+
+    def test_output_of_input(self):
+        g = parse_behavior("input a\nd = a + 0\noutput a d")
+        assert g.outputs["a"].is_input
+
+
+class TestBranchStatements:
+    def test_branch_then_else(self):
+        text = (
+            "input a\n"
+            "branch c0 then\n"
+            "t = a + 1\n"
+            "branch c0 else\n"
+            "e = a + 2\n"
+            "end c0\n"
+            "u = a + 3\n"
+            "output u"
+        )
+        g = parse_behavior(text)
+        then_node = next(n for n in g if n.operands[1].value == 1)
+        else_node = next(n for n in g if n.operands[1].value == 2)
+        plain_node = next(n for n in g if n.operands[1].value == 3)
+        assert g.mutually_exclusive(then_node.name, else_node.name)
+        assert plain_node.branch == ()
+
+
+class TestErrors:
+    def test_unknown_name(self):
+        with pytest.raises(ParseError, match="unknown name"):
+            parse_behavior("input a\ny = a + ghost\noutput y")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(ParseError, match="already defined"):
+            parse_behavior("input a\ny = a + 1\ny = a + 2")
+
+    def test_input_redefinition_rejected(self):
+        with pytest.raises(ParseError, match="already defined"):
+            parse_behavior("input a a")
+
+    def test_undefined_output(self):
+        with pytest.raises(ParseError, match="never defined"):
+            parse_behavior("input a\noutput ghost")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse_behavior("this is not a statement")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_behavior("input a\ny = (a + 1\noutput y")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_behavior("input a\ny = a + 1 a\noutput y")
+
+    def test_bad_branch_statement(self):
+        with pytest.raises(ParseError):
+            parse_behavior("branch c0 maybe")
+
+    def test_bad_tokens(self):
+        with pytest.raises(ParseError):
+            parse_behavior("input a\ny = a @ 3\noutput y")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_behavior("input a\nb = a + 1\nc = ghost + 1")
+
+
+class TestRoundTrip:
+    def test_hal_diffeq_equivalent(self, ops):
+        text = (
+            "input x dx u y a\n"
+            "x1 = x + dx\n"
+            "u1 = u - (3 * x) * (u * dx) - (3 * y) * dx\n"
+            "y1 = y + u * dx\n"
+            "c = x1 < a\n"
+            "output x1 u1 y1 c"
+        )
+        g = parse_behavior(text, name="hal")
+        inputs = {"x": 1, "dx": 2, "u": 3, "y": 4, "a": 10}
+        values = evaluate_dfg(g, ops, inputs)
+        assert values["x1"] == 3
+        assert values["u1"] == 3 - (3 * 1) * (3 * 2) - (3 * 4) * 2
+        assert values["y1"] == 4 + 3 * 2
+        assert values["c"] == 1

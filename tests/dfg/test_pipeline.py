@@ -1,0 +1,160 @@
+"""Tests for structural/functional pipelining transforms (§5.5)."""
+
+import pytest
+
+from repro.dfg.analysis import TimingModel, asap_schedule
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind, standard_operation_set
+from repro.dfg.pipeline import (
+    check_stage_contiguity,
+    expand_structural_pipeline,
+    overlap_report,
+    partition_double,
+    stage_kind,
+    unfold_two_instances,
+)
+from repro.errors import ScheduleError
+from repro.core.mfs import MFSScheduler
+from repro.sim.evaluator import evaluate_dfg
+from repro.bench.suites import hal_diffeq
+
+
+class TestStructuralExpansion:
+    def test_stages_replace_multicycle_ops(self, ops_mul2, diamond_dfg):
+        expanded, extended = expand_structural_pipeline(
+            diamond_dfg, ops_mul2, ("mul",)
+        )
+        counts = expanded.count_by_kind()
+        assert counts[stage_kind("mul", 1)] == 2
+        assert counts[stage_kind("mul", 2)] == 2
+        assert "mul" not in counts
+        assert extended.latency(stage_kind("mul", 1)) == 1
+
+    def test_consumers_read_last_stage(self, ops_mul2, diamond_dfg):
+        expanded, _ = expand_structural_pipeline(diamond_dfg, ops_mul2, ("mul",))
+        assert set(expanded.predecessors("s")) == {"m1.s2", "m2.s2"}
+
+    def test_outputs_rewired(self, ops_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        m = b.op(OpKind.MUL, x, x, name="m")
+        b.output("y", m)
+        g = b.build()
+        expanded, _ = expand_structural_pipeline(g, ops_mul2, ("mul",))
+        assert expanded.outputs["y"].name == "m.s2"
+
+    def test_semantics_preserved(self, ops_mul2, diamond_dfg):
+        expanded, extended = expand_structural_pipeline(
+            diamond_dfg, ops_mul2, ("mul",)
+        )
+        inputs = {"a": 3, "c": 4, "d": 5, "e": 6}
+        before = evaluate_dfg(diamond_dfg, ops_mul2, inputs)
+        after = evaluate_dfg(expanded, extended, inputs)
+        assert before["y"] == after["y"]
+
+    def test_single_cycle_kind_rejected(self, ops, diamond_dfg):
+        with pytest.raises(ScheduleError):
+            expand_structural_pipeline(diamond_dfg, ops, ("add",))
+
+    def test_contiguity_checker(self, ops_mul2, diamond_dfg):
+        expanded, extended = expand_structural_pipeline(
+            diamond_dfg, ops_mul2, ("mul",)
+        )
+        timing = TimingModel(ops=extended)
+        result = MFSScheduler(expanded, timing, cs=4, mode="time").run()
+        check_stage_contiguity(result.schedule)
+
+    def test_contiguity_checker_rejects_gap(self, ops_mul2, diamond_dfg):
+        expanded, extended = expand_structural_pipeline(
+            diamond_dfg, ops_mul2, ("mul",)
+        )
+        timing = TimingModel(ops=extended)
+        result = MFSScheduler(expanded, timing, cs=6, mode="time").run()
+        schedule = result.schedule
+        # artificially open a gap between the two stages of m1
+        schedule.starts["m1.s2"] = schedule.starts["m1.s1"] + 2
+        with pytest.raises(ScheduleError):
+            check_stage_contiguity(schedule)
+
+
+class TestNativeStructuralPipelining:
+    def test_pipelined_unit_accepts_back_to_back_ops(self, timing_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        for index in range(4):
+            b.op(OpKind.MUL, x, index, name=f"m{index}")
+        g = b.build()
+        result = MFSScheduler(
+            g, timing_mul2, cs=5, mode="time", pipelined_kinds=("mul",)
+        ).run()
+        assert result.fu_counts["mul"] == 1
+
+    def test_nonpipelined_needs_more_units(self, timing_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        for index in range(4):
+            b.op(OpKind.MUL, x, index, name=f"m{index}")
+        g = b.build()
+        result = MFSScheduler(g, timing_mul2, cs=5, mode="time").run()
+        assert result.fu_counts["mul"] >= 2
+
+
+class TestFunctionalPipelining:
+    def test_unfold_two_instances(self, diamond_dfg):
+        double = unfold_two_instances(diamond_dfg)
+        assert len(double) == 2 * len(diamond_dfg)
+        assert "i1_m1" in double and "i2_m1" in double
+        assert set(double.outputs) == {
+            "i1_y", "i2_y"
+        }
+
+    def test_partition_boundary(self, diamond_dfg, timing):
+        double = unfold_two_instances(diamond_dfg)
+        partition = partition_double(double, timing, cs=4, latency=2)
+        assert partition.boundary == 3
+        assert set(partition.first) | set(partition.second) == set(
+            double.node_names()
+        )
+        # instance-1 sources are early; instance-2 tail ops are late
+        assert "i1_m1" in partition.first
+        assert "i2_t" in partition.second
+
+    def test_folded_schedule_resource_sharing(self, timing):
+        result = MFSScheduler(
+            hal_diffeq(), timing, cs=6, mode="time", latency_l=3
+        ).run()
+        schedule = result.schedule
+        schedule.validate()
+        # folded usage must cover steps t and t+L together
+        report = overlap_report(schedule)
+        assert report.latency == 3
+        assert report.max_overlap() >= 2  # two iterations genuinely overlap
+
+    def test_folding_needs_more_fus_than_unfolded(self, timing):
+        plain = MFSScheduler(hal_diffeq(), timing, cs=6, mode="time").run()
+        folded = MFSScheduler(
+            hal_diffeq(), timing, cs=6, mode="time", latency_l=2
+        ).run()
+        assert sum(folded.fu_counts.values()) >= sum(plain.fu_counts.values())
+
+    def test_overlap_report_requires_folding(self, timing):
+        plain = MFSScheduler(hal_diffeq(), timing, cs=6, mode="time").run()
+        with pytest.raises(ScheduleError):
+            overlap_report(plain.schedule)
+
+    def test_latency_must_cover_multicycle_ops(self, timing_mul2):
+        with pytest.raises(ScheduleError):
+            MFSScheduler(
+                hal_diffeq(), timing_mul2, cs=8, mode="time", latency_l=1
+            )
+
+    def test_pipelined_kind_allowed_under_short_latency(self, timing_mul2):
+        result = MFSScheduler(
+            hal_diffeq(),
+            timing_mul2,
+            cs=8,
+            mode="time",
+            latency_l=2,
+            pipelined_kinds=("mul",),
+        ).run()
+        result.schedule.validate()

@@ -1,0 +1,229 @@
+"""Tests for conditional merging, CSE and loop folding."""
+
+import pytest
+
+from repro.dfg.analysis import TimingModel
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind
+from repro.dfg.transforms import (
+    LoopFolder,
+    add_loop_control,
+    common_subexpression_elimination,
+    merge_conditional_shared_ops,
+)
+from repro.errors import DFGError
+from repro.sim.evaluator import evaluate_dfg
+
+
+def conditional_with_shared_op():
+    b = DFGBuilder("cond")
+    x, y = b.inputs("x", "y")
+    b.then_branch("c")
+    tm = b.op(OpKind.MUL, x, y, name="then_mul")
+    ta = b.op(OpKind.ADD, tm, 1, name="then_add")
+    b.else_branch("c")
+    em = b.op(OpKind.MUL, x, y, name="else_mul")  # identical to then_mul
+    ea = b.op(OpKind.ADD, em, 2, name="else_add")
+    b.end_branch("c")
+    merged = b.op(OpKind.ADD, ta, ea, name="merge")
+    b.output("o", merged)
+    return b.build()
+
+
+class TestConditionalMerge:
+    def test_shared_op_is_merged(self, ops):
+        g = conditional_with_shared_op()
+        merged = merge_conditional_shared_ops(g, ops)
+        assert len(merged) == len(g) - 1
+        assert merged.count_by_kind()["mul"] == 1
+
+    def test_survivor_hoisted_to_common_prefix(self, ops):
+        merged = merge_conditional_shared_ops(conditional_with_shared_op(), ops)
+        survivor = next(n for n in merged if n.kind == "mul")
+        assert survivor.branch == ()
+
+    def test_consumers_rewired(self, ops):
+        merged = merge_conditional_shared_ops(conditional_with_shared_op(), ops)
+        survivor = next(n for n in merged if n.kind == "mul")
+        for name in ("then_add", "else_add"):
+            assert merged.predecessors(name) == (survivor.name,)
+
+    def test_semantics_preserved(self, ops):
+        g = conditional_with_shared_op()
+        merged = merge_conditional_shared_ops(g, ops)
+        inputs = {"x": 7, "y": 9}
+        assert (
+            evaluate_dfg(g, ops, inputs)["o"]
+            == evaluate_dfg(merged, ops, inputs)["o"]
+        )
+
+    def test_non_exclusive_duplicates_not_merged(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.op(OpKind.MUL, x, x, name="m1")
+        b.op(OpKind.MUL, x, x, name="m2")
+        g = b.build()
+        assert len(merge_conditional_shared_ops(g, ops)) == 2
+
+    def test_commutative_match_across_arms(self, ops):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.then_branch("c")
+        b.op(OpKind.ADD, x, y, name="t")
+        b.else_branch("c")
+        b.op(OpKind.ADD, y, x, name="e")  # operands swapped
+        b.end_branch("c")
+        g = b.build()
+        assert len(merge_conditional_shared_ops(g, ops)) == 1
+
+    def test_noncommutative_swap_not_merged(self, ops):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.then_branch("c")
+        b.op(OpKind.SUB, x, y, name="t")
+        b.else_branch("c")
+        b.op(OpKind.SUB, y, x, name="e")
+        b.end_branch("c")
+        g = b.build()
+        assert len(merge_conditional_shared_ops(g, ops)) == 2
+
+    def test_fixpoint_cascades(self, ops):
+        # Two levels of identical chains across arms merge completely.
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.then_branch("c")
+        tm = b.op(OpKind.MUL, x, y, name="tm")
+        b.op(OpKind.ADD, tm, x, name="ta")
+        b.else_branch("c")
+        em = b.op(OpKind.MUL, x, y, name="em")
+        b.op(OpKind.ADD, em, x, name="ea")
+        b.end_branch("c")
+        g = b.build()
+        merged = merge_conditional_shared_ops(g, ops)
+        assert len(merged) == 2
+
+
+class TestCSE:
+    def test_duplicate_merged(self, ops):
+        b = DFGBuilder()
+        u, dx = b.inputs("u", "dx")
+        m1 = b.op(OpKind.MUL, u, dx, name="m1")
+        m2 = b.op(OpKind.MUL, u, dx, name="m2")
+        b.output("a", b.op(OpKind.ADD, m1, m2, name="sum"))
+        g = b.build()
+        reduced = common_subexpression_elimination(g, ops)
+        assert reduced.count_by_kind()["mul"] == 1
+
+    def test_hal_diffeq_loses_one_multiply(self, ops):
+        from repro.bench.suites import hal_diffeq
+
+        g = hal_diffeq()
+        reduced = common_subexpression_elimination(g, ops)
+        assert g.count_by_kind()["mul"] == 6
+        assert reduced.count_by_kind()["mul"] == 5  # the two u*dx merge
+
+    def test_semantics_preserved(self, ops):
+        from repro.bench.suites import hal_diffeq
+
+        g = hal_diffeq()
+        reduced = common_subexpression_elimination(g, ops)
+        inputs = {"x": 2, "dx": 3, "u": 5, "y": 7, "a": 11}
+        before = evaluate_dfg(g, ops, inputs)
+        after = evaluate_dfg(reduced, ops, inputs)
+        for out in g.outputs:
+            assert before[out] == after[out]
+
+    def test_different_branch_paths_not_merged(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.then_branch("c")
+        b.op(OpKind.ADD, x, x, name="t")
+        b.end_branch("c")
+        b.op(OpKind.ADD, x, x, name="u")
+        g = b.build()
+        assert len(common_subexpression_elimination(g, ops)) == 2
+
+    def test_outputs_follow_survivor(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        m1 = b.op(OpKind.MUL, x, x, name="m1")
+        m2 = b.op(OpKind.MUL, x, x, name="m2")
+        b.output("a", m1)
+        b.output("b", m2)
+        g = b.build()
+        reduced = common_subexpression_elimination(g, ops)
+        assert reduced.outputs["a"] == reduced.outputs["b"]
+
+
+class TestLoopControl:
+    def test_adds_increment_and_compare(self, ops, chain_dfg):
+        g = add_loop_control(chain_dfg, counter="i", bound="n")
+        counts = g.count_by_kind()
+        assert counts["lt"] == 1
+        assert counts["add"] == chain_dfg.count_by_kind()["add"] + 1
+        assert "i_next" in g.outputs
+        assert "i_continue" in g.outputs
+
+    def test_loop_control_semantics(self, ops, chain_dfg):
+        g = add_loop_control(chain_dfg)
+        values = evaluate_dfg(g, ops, {"x": 0, "loop_i": 3, "loop_n": 10})
+        assert values["loop_i_next"] == 4
+        assert values["loop_i_continue"] == 1
+
+    def test_does_not_mutate_original(self, chain_dfg):
+        before = len(chain_dfg)
+        add_loop_control(chain_dfg)
+        assert len(chain_dfg) == before
+
+
+class TestLoopFolder:
+    def test_fold_registers_multicycle_spec(self, timing, chain_dfg):
+        folder = LoopFolder(timing)
+        folded = folder.fold("inner", chain_dfg, local_cs=4)
+        assert folded.spec.latency == 4
+        assert folded.spec.kind == "loop_inner"
+        assert "loop_inner" in folder.extended_ops()
+
+    def test_outer_level_schedules_folded_loop(self, timing, chain_dfg):
+        from repro.core.mfs import MFSScheduler
+
+        folder = LoopFolder(timing)
+        folder.fold("inner", chain_dfg, local_cs=4)
+        outer_ops = folder.extended_ops()
+
+        b = DFGBuilder("outer")
+        x, y = b.inputs("x", "y")
+        pre = b.op(OpKind.ADD, x, y, name="pre")
+        loop = b.op("loop_inner", pre, y, name="the_loop")
+        post = b.op(OpKind.ADD, loop, x, name="post")
+        b.output("o", post)
+        outer = b.build()
+
+        outer_timing = TimingModel(ops=outer_ops)
+        result = MFSScheduler(outer, outer_timing, cs=6, mode="time").run()
+        schedule = result.schedule
+        # the loop occupies 4 consecutive steps between pre and post
+        assert schedule.start("the_loop") == schedule.start("pre") + 1
+        assert schedule.start("post") == schedule.start("the_loop") + 4
+
+    def test_nested_folding(self, timing, chain_dfg):
+        folder = LoopFolder(timing)
+        folder.fold("inner", chain_dfg, local_cs=4)
+        # middle loop body uses the folded inner loop
+        b = DFGBuilder("middle")
+        x = b.input("x")
+        inner = b.op("loop_inner", x, x, name="inner_call")
+        b.output("o", b.op(OpKind.ADD, inner, 1, name="wrap"))
+        middle = b.build()
+        folded_middle = folder.fold("middle", middle, local_cs=6)
+        assert folded_middle.spec.latency == 6
+
+    def test_duplicate_fold_rejected(self, timing, chain_dfg):
+        folder = LoopFolder(timing)
+        folder.fold("inner", chain_dfg, local_cs=4)
+        with pytest.raises(DFGError):
+            folder.fold("inner", chain_dfg, local_cs=4)
+
+    def test_unknown_folded_lookup(self, timing):
+        with pytest.raises(DFGError):
+            LoopFolder(timing).folded("ghost")

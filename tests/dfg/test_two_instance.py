@@ -1,0 +1,49 @@
+"""Tests for the §5.5.2 two-instance functional-pipelining procedure."""
+
+import pytest
+
+from repro.dfg.pipeline import two_instance_schedule
+from repro.bench.suites import hal_diffeq, iir_bandpass
+
+
+class TestTwoInstance:
+    def test_double_schedule_is_valid(self, timing):
+        result = two_instance_schedule(hal_diffeq(), timing, cs=6, latency=3)
+        result.iteration.validate()
+        result.double.validate()
+
+    def test_instances_are_identical_modulo_shift(self, timing):
+        result = two_instance_schedule(hal_diffeq(), timing, cs=6, latency=3)
+        for name, start in result.iteration.starts.items():
+            assert result.double.start(f"i1_{name}") == start
+            assert result.double.start(f"i2_{name}") == start + 3
+
+    def test_double_budget_is_cs_plus_latency(self, timing):
+        result = two_instance_schedule(hal_diffeq(), timing, cs=6, latency=2)
+        assert result.double.cs == 8
+
+    def test_overlap_never_exceeds_folded_promise(self, timing):
+        from repro.dfg.analysis import type_concurrency
+
+        for latency in (2, 3, 4):
+            result = two_instance_schedule(
+                hal_diffeq(), timing, cs=6, latency=latency
+            )
+            folded = result.iteration.fu_usage()
+            double_usage = type_concurrency(
+                result.double.dfg,
+                result.double.starts,
+                timing,
+            )
+            for kind, used in double_usage.items():
+                assert used <= folded[kind]
+
+    def test_partition_covers_double(self, timing):
+        result = two_instance_schedule(hal_diffeq(), timing, cs=6, latency=3)
+        covered = set(result.partition.first) | set(result.partition.second)
+        assert covered == set(result.double.dfg.node_names())
+
+    def test_larger_example(self, timing):
+        result = two_instance_schedule(iir_bandpass(), timing, cs=9, latency=4)
+        result.double.validate()
+        assert result.latency == 4

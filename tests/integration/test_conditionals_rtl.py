@@ -1,0 +1,62 @@
+"""Conditionals through the whole flow: scheduling shares hardware, the
+controller tolerates exclusive co-location, simulation stays faithful to
+the speculative semantics."""
+
+import pytest
+
+from repro.core.mfs import mfs_schedule
+from repro.core.mfsa import mfsa_synthesize
+from repro.dfg.analysis import critical_path_length
+from repro.dfg.generators import random_conditional_dfg
+from repro.rtl.controller import build_controller
+from repro.sim.executor import verify_equivalence
+from repro.bench.suites import conditional_example
+
+
+class TestConditionalFlow:
+    def test_mfsa_shares_alus_across_arms(self, timing, alu_family):
+        g = conditional_example()
+        result = mfsa_synthesize(g, timing, alu_family, cs=4)
+        mul_instances = {
+            result.datapath.binding["then_mul"],
+            result.datapath.binding["else_mul"],
+        }
+        assert len(mul_instances) == 1  # exclusive arms share the multiplier
+
+    def test_exclusive_ops_may_share_a_step(self, timing, alu_family):
+        g = conditional_example()
+        result = mfsa_synthesize(g, timing, alu_family, cs=4)
+        assert result.schedule.start("then_mul") == result.schedule.start(
+            "else_mul"
+        )
+
+    def test_controller_builds_despite_colocation(self, timing, alu_family):
+        g = conditional_example()
+        result = mfsa_synthesize(g, timing, alu_family, cs=4)
+        controller = build_controller(result.datapath)
+        assert controller.n_states == 4
+
+    def test_speculative_simulation_matches_reference(self, timing, alu_family):
+        g = conditional_example()
+        result = mfsa_synthesize(g, timing, alu_family, cs=4)
+        verify_equivalence(
+            result.datapath, {"a": 9, "c": 2, "d": 3, "e": 4, "f": 5}
+        )
+
+    def test_random_conditional_designs(self, timing, alu_family):
+        for seed in range(4):
+            g = random_conditional_dfg(seed=seed, n_ops=16)
+            cs = critical_path_length(g, timing) + 2
+            result = mfsa_synthesize(g, timing, alu_family, cs=cs)
+            inputs = {name: i + 1 for i, name in enumerate(g.inputs)}
+            verify_equivalence(result.datapath, inputs)
+
+    def test_merge_then_flow(self, ops, timing, alu_family):
+        from repro.dfg.transforms import merge_conditional_shared_ops
+
+        g = conditional_example()
+        # both arms read (d,e)/(d,f): no identical ops, merge is a no-op
+        merged = merge_conditional_shared_ops(g, ops)
+        assert len(merged) == len(g)
+        result = mfs_schedule(merged, timing, cs=4)
+        result.schedule.validate()

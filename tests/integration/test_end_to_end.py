@@ -1,0 +1,113 @@
+"""End-to-end integration: behavior text → schedule → datapath → RTL → sim."""
+
+import pytest
+
+from repro.core.mfs import MFSScheduler
+from repro.core.mfsa import mfsa_synthesize
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.parser import parse_behavior
+from repro.dfg.transforms import merge_conditional_shared_ops
+from repro.rtl.controller import build_controller
+from repro.rtl.netlist import build_netlist
+from repro.rtl.verilog import emit_verilog
+from repro.sim.executor import verify_equivalence
+
+
+BEHAVIOR = """
+# complex-multiply accumulate: (a+jb) * (c+jd) + (er+jei)
+input ar ai br bi er ei
+t1 = ar * br
+t2 = ai * bi
+t3 = ar * bi
+t4 = ai * br
+re = t1 - t2 + er
+im = t3 + t4 + ei
+output re im
+"""
+
+
+class TestFullFlow:
+    def test_parse_schedule_allocate_emit_simulate(self, ops, alu_family):
+        dfg = parse_behavior(BEHAVIOR, name="cmac")
+        timing = TimingModel(ops=ops)
+        cs = critical_path_length(dfg, timing) + 1
+        result = mfsa_synthesize(dfg, timing, alu_family, cs=cs)
+
+        # schedule level
+        result.schedule.validate()
+        result.trajectory.verify()
+
+        # datapath level: functional equivalence on several input vectors
+        for scale in (1, -3, 17):
+            inputs = {
+                "ar": 2 * scale,
+                "ai": 3 * scale,
+                "br": 5,
+                "bi": -7,
+                "er": 11,
+                "ei": 13,
+            }
+            trace = verify_equivalence(result.datapath, inputs)
+            expected_re = (2 * scale * 5) - (3 * scale * -7) + 11
+            assert trace.result("re") == expected_re
+
+        # RTL level
+        netlist = build_netlist(result.datapath)
+        netlist.validate()
+        controller = build_controller(result.datapath)
+        assert controller.n_states == cs
+        verilog = emit_verilog(result.datapath, module_name="cmac")
+        assert "module cmac" in verilog
+
+    def test_conditional_flow_with_merge(self, ops, alu_family):
+        text = """
+        input a b c
+        cond = a < b
+        branch c0 then
+        x1 = a * b
+        y1 = x1 + c
+        branch c0 else
+        x2 = a * b
+        y2 = x2 - c
+        end c0
+        output cond y1 y2
+        """
+        dfg = parse_behavior(text, name="cond_flow")
+        timing = TimingModel(ops=ops)
+        merged = merge_conditional_shared_ops(dfg, ops)
+        assert merged.count_by_kind()["mul"] == 1
+
+        cs = critical_path_length(merged, timing) + 1
+        result = mfsa_synthesize(merged, timing, alu_family, cs=cs)
+        verify_equivalence(result.datapath, {"a": 4, "b": 9, "c": 2})
+
+    def test_mfs_then_manual_binding_flow(self, ops):
+        from repro.allocation.binding import bind_functional_units
+        from repro.allocation.datapath import Datapath
+        from repro.library.ncr import simple_fu_library
+
+        dfg = parse_behavior(BEHAVIOR, name="cmac")
+        timing = TimingModel(ops=ops)
+        result = MFSScheduler(dfg, timing, cs=4, mode="time").run()
+        binding = {
+            name: (f"alu_{kind}", index)
+            for name, (kind, index) in bind_functional_units(
+                result.schedule
+            ).items()
+        }
+        library = simple_fu_library(dfg.kinds_used())
+        datapath = Datapath(result.schedule, library, binding)
+        verify_equivalence(
+            datapath,
+            {"ar": 1, "ai": 2, "br": 3, "bi": 4, "er": 5, "ei": 6},
+        )
+
+    def test_resource_constrained_flow(self, ops, alu_family):
+        dfg = parse_behavior(BEHAVIOR, name="cmac")
+        timing = TimingModel(ops=ops)
+        bounds = {"mul": 1, "add": 1, "sub": 1}
+        result = MFSScheduler(
+            dfg, timing, mode="resource", resource_bounds=bounds
+        ).run()
+        result.schedule.validate(resource_bounds=bounds)
+        assert result.schedule.makespan() >= 4  # 4 multiplies on one unit

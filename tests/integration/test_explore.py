@@ -1,0 +1,102 @@
+"""Tests for the design-space exploration driver."""
+
+import pytest
+
+from repro.explore import (
+    DesignPoint,
+    design_space,
+    knee_point,
+    pareto_front,
+    render_design_space,
+)
+from repro.bench.suites import hal_diffeq, iir_bandpass
+
+
+@pytest.fixture(scope="module")
+def points():
+    from repro.dfg.analysis import TimingModel
+    from repro.dfg.ops import standard_operation_set
+    from repro.library.ncr import datapath_library
+
+    timing = TimingModel(ops=standard_operation_set())
+    return design_space(hal_diffeq(), timing, datapath_library())
+
+
+class TestDesignSpace:
+    def test_default_ladder_nonempty(self, points):
+        assert len(points) >= 4
+        assert points[0].cs == 4  # the critical path
+
+    def test_area_decreases_with_latency(self, points):
+        ordered = sorted(points, key=lambda p: p.cs)
+        alu_areas = [p.alu_area for p in ordered]
+        assert alu_areas == sorted(alu_areas, reverse=True)
+
+    def test_keep_results(self, ops):
+        from repro.dfg.analysis import TimingModel
+        from repro.library.ncr import datapath_library
+
+        timing = TimingModel(ops=ops)
+        points = design_space(
+            hal_diffeq(), timing, datapath_library(),
+            budgets=[4, 6], keep_results=True,
+        )
+        assert set(points.results) == {4, 6}
+        points.results[4].schedule.validate()
+
+    def test_explicit_budgets(self, ops):
+        from repro.dfg.analysis import TimingModel
+        from repro.library.ncr import datapath_library
+
+        timing = TimingModel(ops=ops)
+        points = design_space(
+            iir_bandpass(), timing, datapath_library(), budgets=[8, 13]
+        )
+        assert [p.cs for p in points] == [8, 13]
+
+
+class TestPareto:
+    def test_front_is_nondominated(self, points):
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    def test_front_members_come_from_points(self, points):
+        front = pareto_front(points)
+        assert set(id(p) for p in front) <= set(id(p) for p in points)
+
+    def test_dominance_semantics(self):
+        cheap_fast = DesignPoint(4, 100.0, 50.0, 2, 4, ())
+        dear_slow = DesignPoint(6, 200.0, 80.0, 3, 6, ())
+        assert cheap_fast.dominates(dear_slow)
+        assert not dear_slow.dominates(cheap_fast)
+        assert not cheap_fast.dominates(cheap_fast)
+
+    def test_knee_on_synthetic_front(self):
+        front = [
+            DesignPoint(4, 100.0, 0, 0, 0, ()),
+            DesignPoint(5, 40.0, 0, 0, 0, ()),  # the obvious knee
+            DesignPoint(10, 35.0, 0, 0, 0, ()),
+        ]
+        assert knee_point(front).cs == 5
+
+    def test_knee_edge_cases(self):
+        assert knee_point([]) is None
+        only = DesignPoint(4, 1.0, 0, 0, 0, ())
+        assert knee_point([only]) is only
+
+    def test_knee_lies_on_front(self, points):
+        front = pareto_front(points)
+        knee = knee_point(front)
+        assert knee in front
+
+
+class TestRendering:
+    def test_render_marks_front(self, points):
+        text = render_design_space(points)
+        assert "Pareto-optimal" in text
+        assert "*" in text
+        for point in points:
+            assert str(point.cs) in text

@@ -1,0 +1,57 @@
+"""Golden-file regression guards.
+
+The regenerated paper artifacts are fully deterministic (no randomness,
+deterministic tie-breaks throughout), so their renderings are pinned
+verbatim.  Any diff here means the reproduction changed — deliberately
+(then refresh the files, see below) or by accident (a regression).
+
+Refresh after an intentional algorithm change::
+
+    python -c "
+    from repro.bench.table1 import table1_rows, render_table1
+    from repro.bench.table2 import table2_rows, render_table2
+    from repro.bench.figures import figure1, figure2
+    open('tests/golden/table1.txt','w').write(render_table1(table1_rows()) + '\\n')
+    open('tests/golden/table2.txt','w').write(render_table2(table2_rows()) + '\\n')
+    open('tests/golden/figure1_ex3.txt','w').write(figure1('ex3') + '\\n')
+    open('tests/golden/figure2_ex3.txt','w').write(figure2('ex3') + '\\n')
+    "
+"""
+
+import pathlib
+
+import pytest
+
+GOLDEN = pathlib.Path(__file__).resolve().parents[1] / "golden"
+
+
+def golden(name: str) -> str:
+    return (GOLDEN / name).read_text()
+
+
+class TestGoldenArtifacts:
+    def test_table1_pinned(self):
+        from repro.bench.table1 import render_table1, table1_rows
+
+        assert render_table1(table1_rows()) + "\n" == golden("table1.txt")
+
+    def test_table2_pinned(self):
+        from repro.bench.table2 import render_table2, table2_rows
+
+        assert render_table2(table2_rows()) + "\n" == golden("table2.txt")
+
+    def test_figure1_pinned(self):
+        from repro.bench.figures import figure1
+
+        assert figure1("ex3") + "\n" == golden("figure1_ex3.txt")
+
+    def test_figure2_pinned(self):
+        from repro.bench.figures import figure2
+
+        assert figure2("ex3") + "\n" == golden("figure2_ex3.txt")
+
+    def test_goldens_are_reproduced_twice_identically(self):
+        """Determinism of the harness itself (same process, two runs)."""
+        from repro.bench.table2 import render_table2, table2_rows
+
+        assert render_table2(table2_rows()) == render_table2(table2_rows())

@@ -1,0 +1,117 @@
+"""Reproduction checks of the paper's §6 claims (beyond the two tables).
+
+Each test pins one sentence of the experimental section to measurable
+behaviour of this implementation; EXPERIMENTS.md cross-references them.
+"""
+
+import time
+
+import pytest
+
+from repro.core.mfs import MFSScheduler
+from repro.dfg.analysis import TimingModel
+from repro.dfg.ops import standard_operation_set
+from repro.bench.baselines import compare_methods
+from repro.bench.suites import EXAMPLES
+from repro.bench.table1 import run_case
+from repro.bench.table2 import run_example
+
+
+class TestRuntimeClaims:
+    """"The CPU time for all examples is less than 0.2 seconds" (MFS) and
+    "less than 0.4 seconds" (MFSA) — on a 1992 SPARC; we allow the same
+    absolute budget per example on modern hardware, which is generous but
+    still catches complexity regressions."""
+
+    def test_mfs_under_200ms_per_example(self):
+        for spec in EXAMPLES.values():
+            for case in spec.table1_cases:
+                start = time.perf_counter()
+                run_case(spec, case)
+                assert time.perf_counter() - start < 0.2
+
+    def test_mfsa_under_400ms_per_example(self):
+        for spec in EXAMPLES.values():
+            for style in (1, 2):
+                start = time.perf_counter()
+                run_example(spec, style)
+                assert time.perf_counter() - start < 0.4
+
+
+class TestQualityClaims:
+    """"...produce optimal or near-optimal results for all of the examples
+    attempted" — MFS must match our exact scheduler where it can run and
+    stay within one unit of force-directed scheduling everywhere."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return compare_methods()
+
+    def test_mfs_matches_exact_optimum(self, rows):
+        by_example = {}
+        for row in rows:
+            by_example.setdefault(row.example, {})[row.method] = row
+        for example, methods in by_example.items():
+            if "exact" in methods:
+                assert (
+                    methods["mfs"].total_units == methods["exact"].total_units
+                ), f"{example}: MFS {methods['mfs'].fu_counts} vs exact"
+
+    def test_mfs_within_one_unit_of_fds(self, rows):
+        by_example = {}
+        for row in rows:
+            by_example.setdefault(row.example, {})[row.method] = row
+        for example, methods in by_example.items():
+            assert (
+                methods["mfs"].total_units <= methods["fds"].total_units + 1
+            )
+
+    def test_mfs_weighted_area_within_5pct_of_fds(self, rows):
+        by_example = {}
+        for row in rows:
+            by_example.setdefault(row.example, {})[row.method] = row
+        for example, methods in by_example.items():
+            ratio = methods["mfs"].weighted_area / methods["fds"].weighted_area
+            assert ratio <= 1.05
+
+
+class TestComplexityClaim:
+    """"Analysis of MFS shows that the algorithm runs in O(l^3) in the
+    worst case" — check that doubling the problem size scales far below
+    quartic (a loose but regression-catching envelope)."""
+
+    def test_scaling_envelope(self):
+        from repro.dfg.generators import layered_workload
+        from repro.dfg.analysis import critical_path_length
+
+        ops = standard_operation_set()
+        timing = TimingModel(ops=ops)
+
+        def runtime(layers, width):
+            g = layered_workload(seed=1, layers=layers, width=width)
+            cs = critical_path_length(g, timing) + 2
+            start = time.perf_counter()
+            MFSScheduler(g, timing, cs=cs, mode="time").run()
+            return time.perf_counter() - start
+
+        small = max(runtime(6, 5), 1e-3)
+        large = runtime(12, 10)  # 4x the operations
+        assert large / small < 4**4
+
+
+class TestStabilityClaim:
+    """The Liapunov-decrease property (§2.2) holds on every run — checked
+    by the trajectory verifier over all six examples."""
+
+    def test_all_example_trajectories_verify(self):
+        for spec in EXAMPLES.values():
+            for case in spec.table1_cases:
+                result = run_case(spec, case)
+                result.trajectory.verify()
+
+    def test_energy_of_choice_is_frame_minimum(self):
+        result = run_case(EXAMPLES["ex3"], EXAMPLES["ex3"].table1_cases[0])
+        for event in result.trajectory.events:
+            assert event.alternatives
+            best = min(energy for _p, energy in event.alternatives)
+            assert event.energy == pytest.approx(best)

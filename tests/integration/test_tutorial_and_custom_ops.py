@@ -1,0 +1,134 @@
+"""Executable checks for the tutorial snippets and custom operation kinds."""
+
+import pytest
+
+from repro import (
+    DFGBuilder,
+    MFSScheduler,
+    OperationSet,
+    OpSpec,
+    TimingModel,
+    balance_tree,
+    constant_fold,
+    critical_path_length,
+    mfs_schedule,
+    mfsa_synthesize,
+    parse_behavior,
+    standard_operation_set,
+)
+from repro.library.cells import ALUCell, CellLibrary, MuxCostTable
+from repro.library.ncr import datapath_library
+from repro.sim.executor import verify_equivalence
+from repro.sim.rtl_executor import verify_controller_equivalence
+
+TUTORIAL_BEHAVIOR = """
+input x y g0 g1 lr
+x1 = x - lr * g0
+y1 = y - lr * g1
+swap = x1 < y1
+output x1 y1 swap
+"""
+
+
+class TestTutorialFlow:
+    def test_the_whole_walkthrough(self):
+        dfg = parse_behavior(TUTORIAL_BEHAVIOR, name="gradient")
+        timing = TimingModel(ops=standard_operation_set())
+        assert critical_path_length(dfg, timing) == 3
+
+        dfg = constant_fold(dfg, timing.ops)
+        dfg = balance_tree(dfg, timing.ops)
+
+        result = mfs_schedule(dfg, timing, cs=4)
+        result.trajectory.verify()
+
+        synth = mfsa_synthesize(
+            dfg, timing, datapath_library(), cs=5, style=2
+        )
+        inputs = {"x": 10, "y": 4, "g0": 2, "g1": -1, "lr": 3}
+        verify_equivalence(synth.datapath, inputs)
+        verify_controller_equivalence(synth.datapath, inputs)
+
+    def test_builder_variant_equivalent(self, ops):
+        from repro.sim.evaluator import evaluate_dfg
+
+        b = DFGBuilder("gradient")
+        x, y, g0, g1, lr = b.inputs("x", "y", "g0", "g1", "lr")
+        step0 = x - lr * g0
+        step1 = y - lr * g1
+        b.outputs(x1=step0, y1=step1, swap=step0.lt(step1))
+        built = b.build()
+        parsed = parse_behavior(TUTORIAL_BEHAVIOR, name="gradient")
+        inputs = {"x": 7, "y": -2, "g0": 1, "g1": 4, "lr": 2}
+        for out in ("x1", "y1", "swap"):
+            assert (
+                evaluate_dfg(built, ops, inputs)[out]
+                == evaluate_dfg(parsed, ops, inputs)[out]
+            )
+
+
+class TestCustomOperationKind:
+    """A user-registered kind flows through the whole stack."""
+
+    def build_world(self):
+        ops = standard_operation_set()
+        ops.register(
+            OpSpec(
+                kind="mac",
+                latency=2,
+                delay_ns=45.0,
+                commutative=False,
+                arity=2,
+                symbol="#",
+                evaluate=lambda a, b: a * b + a,
+            )
+        )
+        timing = TimingModel(ops=ops)
+
+        b = DFGBuilder("custom")
+        x, y = b.inputs("x", "y")
+        m = b.op("mac", x, y, name="m")
+        out = b.op("add", m, y, name="out")
+        b.output("o", out)
+        return b.build(), timing
+
+    def test_mfs_schedules_custom_kind(self):
+        dfg, timing = self.build_world()
+        result = mfs_schedule(dfg, timing, cs=4)
+        result.schedule.validate()
+        assert result.schedule.end("m") == result.schedule.start("m") + 1
+
+    def test_evaluator_uses_custom_semantics(self):
+        from repro.sim.evaluator import evaluate_dfg
+
+        dfg, timing = self.build_world()
+        values = evaluate_dfg(dfg, timing.ops, {"x": 3, "y": 4})
+        assert values["op:m"] == 3 * 4 + 3
+        assert values["o"] == 15 + 4
+
+    def test_mfsa_with_custom_cell_library(self):
+        dfg, timing = self.build_world()
+        library = CellLibrary(
+            name="custom",
+            alus=[
+                ALUCell(name="mac_unit", kinds=frozenset({"mac"}), area=9000.0),
+                ALUCell(name="adder", kinds=frozenset({"add"}), area=2800.0),
+            ],
+            register_area=1500.0,
+            mux_costs=MuxCostTable({2: 700.0}),
+        )
+        result = mfsa_synthesize(dfg, timing, library, cs=4)
+        assert sorted(
+            cell for cell, _i in result.datapath.binding.values()
+        ) == ["adder", "mac_unit"]
+        verify_equivalence(result.datapath, {"x": 3, "y": 4})
+
+    def test_custom_kind_in_resource_mode(self):
+        dfg, timing = self.build_world()
+        result = MFSScheduler(
+            dfg,
+            timing,
+            mode="resource",
+            resource_bounds={"mac": 1, "add": 1},
+        ).run()
+        result.schedule.validate(resource_bounds={"mac": 1, "add": 1})

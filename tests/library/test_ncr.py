@@ -1,0 +1,84 @@
+"""Tests for the synthetic NCR-like libraries."""
+
+import pytest
+
+from repro.dfg.ops import OpKind
+from repro.library.ncr import (
+    BASE_AREAS,
+    alu_area,
+    datapath_library,
+    full_pairs_library,
+    make_alu,
+    ncr_like_library,
+    simple_fu_library,
+)
+
+
+class TestAluArea:
+    def test_single_function_equals_base(self):
+        assert alu_area([OpKind.ADD]) == BASE_AREAS[OpKind.ADD]
+
+    def test_merging_cheaper_than_two_singles(self):
+        merged = alu_area([OpKind.ADD, OpKind.SUB])
+        singles = BASE_AREAS[OpKind.ADD] + BASE_AREAS[OpKind.SUB]
+        assert merged < singles
+        assert merged > max(BASE_AREAS[OpKind.ADD], BASE_AREAS[OpKind.SUB])
+
+    def test_dominant_function_sets_floor(self):
+        assert alu_area([OpKind.MUL, OpKind.ADD]) > BASE_AREAS[OpKind.MUL]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            alu_area([])
+
+    def test_make_alu_label(self):
+        assert make_alu((OpKind.ADD, OpKind.SUB)).label() == "(+-)"
+
+
+class TestLibraries:
+    def test_ncr_covers_all_kinds(self):
+        lib = ncr_like_library()
+        for kind in OpKind:
+            assert lib.cells_for(kind.value)
+
+    def test_ncr_has_multifunction_cells(self):
+        lib = ncr_like_library()
+        assert any(len(cell.kinds) > 1 for cell in lib.cells())
+
+    def test_extra_combos(self):
+        lib = ncr_like_library(extra_combos=[("add", "xor")])
+        assert any(
+            cell.kinds == frozenset({"add", "xor"}) for cell in lib.cells()
+        )
+
+    def test_datapath_library_restricts_singles(self):
+        lib = datapath_library()
+        # subtraction is only available on multifunction ALUs
+        for cell in lib.cells_for("sub"):
+            assert len(cell.kinds) > 1
+
+    def test_datapath_library_covers_example_kinds(self):
+        lib = datapath_library()
+        for kind in ("add", "sub", "mul", "eq", "and", "or", "lt", "gt"):
+            assert lib.cells_for(kind)
+
+    def test_simple_fu_library_single_function_only(self):
+        lib = simple_fu_library(["add", "mul"])
+        assert all(len(cell.kinds) == 1 for cell in lib.cells())
+        assert len(lib.cells()) == 2
+
+    def test_simple_fu_library_dedupes_kinds(self):
+        lib = simple_fu_library(["add", "add", "mul"])
+        assert len(lib.cells()) == 2
+
+    def test_full_pairs_library(self):
+        lib = full_pairs_library(["add", "sub", "mul"])
+        # 3 singles + 3 pairs
+        assert len(lib.cells()) == 6
+
+    def test_mux_costs_nonlinear(self):
+        costs = ncr_like_library().mux_costs
+        increments = [
+            costs.cost(r + 1) - costs.cost(r) for r in range(2, 10)
+        ]
+        assert increments == sorted(increments)  # marginal cost grows

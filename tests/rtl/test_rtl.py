@@ -1,0 +1,171 @@
+"""Tests for netlist construction, the FSM controller and Verilog emission."""
+
+import re
+
+import pytest
+
+from repro.core.mfsa import mfsa_synthesize
+from repro.rtl.controller import build_controller
+from repro.rtl.cost import controller_area, total_area
+from repro.rtl.netlist import build_netlist
+from repro.rtl.verilog import emit_verilog
+from repro.bench.suites import facet_like, hal_diffeq
+
+
+@pytest.fixture
+def hal_datapath(timing, alu_family):
+    return mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6).datapath
+
+
+class TestNetlist:
+    def test_component_counts(self, hal_datapath):
+        netlist = build_netlist(hal_datapath)
+        assert netlist.count("alu") == len(hal_datapath.instances)
+        assert netlist.count("reg") == hal_datapath.register_count()
+        assert netlist.count("input") == len(hal_datapath.schedule.dfg.inputs)
+        assert netlist.count("output") == len(hal_datapath.schedule.dfg.outputs)
+
+    def test_mux_components_match_mux_count(self, hal_datapath):
+        netlist = build_netlist(hal_datapath)
+        assert netlist.count("mux") == hal_datapath.mux_count()
+
+    def test_constants_materialised(self, hal_datapath):
+        netlist = build_netlist(hal_datapath)
+        assert netlist.count("const") >= 1  # HAL's literal 3
+
+    def test_validates(self, hal_datapath):
+        build_netlist(hal_datapath).validate()
+
+    def test_registers_have_data_drivers(self, hal_datapath):
+        netlist = build_netlist(hal_datapath)
+        driven = set()
+        for net in netlist.nets.values():
+            for pin in net.sinks:
+                if pin.port == "d":
+                    driven.add(pin.component)
+        registers = {
+            name
+            for name, component in netlist.components.items()
+            if component.kind == "reg"
+        }
+        assert registers <= driven
+
+    def test_outputs_connected(self, hal_datapath):
+        netlist = build_netlist(hal_datapath)
+        sinks = {
+            pin.component
+            for net in netlist.nets.values()
+            for pin in net.sinks
+        }
+        for name, component in netlist.components.items():
+            if component.kind == "output":
+                assert name in sinks
+
+
+class TestController:
+    def test_one_state_per_step(self, hal_datapath):
+        controller = build_controller(hal_datapath)
+        assert controller.n_states == hal_datapath.schedule.cs
+
+    def test_every_op_active_exactly_once(self, hal_datapath):
+        controller = build_controller(hal_datapath)
+        active = [
+            name for state in controller.states for name in state.active_ops
+        ]
+        assert sorted(active) == sorted(
+            hal_datapath.schedule.dfg.node_names()
+        )
+
+    def test_register_loads_cover_all_registered_values(self, hal_datapath):
+        controller = build_controller(hal_datapath)
+        loads = {
+            register
+            for state in controller.states
+            for register in state.register_loads
+        }
+        expected = {
+            hal_datapath.registers.assignment[signal]
+            for signal, life in hal_datapath.lifetimes.items()
+            if life.needs_register and signal.startswith("op:")
+        }
+        assert loads == expected
+
+    def test_mux_selects_only_for_real_muxes(self, hal_datapath):
+        controller = build_controller(hal_datapath)
+        for state in controller.states:
+            for (cell, index, port), select in state.mux_selects.items():
+                instance = hal_datapath.instances[(cell, index)]
+                inputs = instance.mux.l1 if port == 1 else instance.mux.l2
+                assert len(inputs) >= 2
+                assert 0 <= select < len(inputs)
+
+    def test_alu_function_per_state(self, hal_datapath):
+        controller = build_controller(hal_datapath)
+        schedule = hal_datapath.schedule
+        for state in controller.states:
+            for key, kind in state.alu_functions.items():
+                ops_here = [
+                    name
+                    for name in state.active_ops
+                    if hal_datapath.binding[name] == key
+                ]
+                assert any(
+                    schedule.dfg.node(name).kind == kind for name in ops_here
+                )
+
+    def test_control_bits_positive(self, hal_datapath):
+        assert build_controller(hal_datapath).control_bits() > 0
+
+    def test_state_accessor(self, hal_datapath):
+        controller = build_controller(hal_datapath)
+        assert controller.state(1) is controller.states[0]
+
+
+class TestVerilog:
+    def test_module_structure(self, hal_datapath):
+        text = emit_verilog(hal_datapath, module_name="hal")
+        assert text.startswith("module hal (")
+        assert text.rstrip().endswith("endmodule")
+        assert "input  wire clk" in text
+
+    def test_ports_cover_dfg_io(self, hal_datapath):
+        text = emit_verilog(hal_datapath)
+        for name in hal_datapath.schedule.dfg.inputs:
+            assert re.search(rf"input\s+wire.*\b{name}\b", text)
+        for name in hal_datapath.schedule.dfg.outputs:
+            assert f"out_{name}" in text
+
+    def test_one_wire_per_operation(self, hal_datapath):
+        text = emit_verilog(hal_datapath)
+        for name in hal_datapath.schedule.dfg.node_names():
+            assert f"w_{name}" in text
+
+    def test_register_declarations(self, hal_datapath):
+        text = emit_verilog(hal_datapath)
+        for register in range(hal_datapath.register_count()):
+            assert f"r{register};" in text or f"r{register} " in text
+
+    def test_balanced_begin_end(self, hal_datapath):
+        text = emit_verilog(hal_datapath)
+        assert text.count("begin") == text.count("end") - text.count("endmodule")
+
+    def test_facet_emits_logic_operators(self, timing, alu_family):
+        result = mfsa_synthesize(facet_like(), timing, alu_family, cs=4)
+        text = emit_verilog(result.datapath)
+        assert "&" in text and "|" in text
+
+
+class TestAreaReport:
+    def test_datapath_only_by_default(self, hal_datapath):
+        report = total_area(hal_datapath)
+        assert report.controller == 0.0
+        assert report.total == pytest.approx(report.datapath)
+        assert report.total == pytest.approx(
+            hal_datapath.cost_breakdown().total
+        )
+
+    def test_controller_estimate_positive(self, hal_datapath):
+        report = total_area(hal_datapath, include_controller=True)
+        assert report.controller > 0
+        assert report.total > report.datapath
+        assert report.controller == pytest.approx(controller_area(hal_datapath))

@@ -1,0 +1,154 @@
+"""Tests for the structural Verilog emitter and the controller-driven
+RTL executor (the control-path correctness oracle)."""
+
+import pytest
+
+from repro.core.mfsa import mfsa_synthesize
+from repro.dfg.analysis import critical_path_length
+from repro.dfg.generators import random_dfg
+from repro.dfg.ops import OpKind
+from repro.rtl.controller import build_controller
+from repro.rtl.structural import emit_structural_verilog
+from repro.sim.rtl_executor import (
+    execute_controller,
+    verify_controller_equivalence,
+)
+from repro.bench.suites import chained_addsub, hal_diffeq
+
+HAL_INPUTS = {"x": 2, "dx": 3, "u": 5, "y": 7, "a": 100}
+
+
+class TestControllerHold:
+    def test_multicycle_function_held_over_duration(self, timing_mul2, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing_mul2, alu_family, cs=8)
+        controller = build_controller(result.datapath)
+        schedule = result.schedule
+        for name in ("m1", "m2", "m3", "m4", "m5", "m6"):
+            key = result.datapath.binding[name]
+            for step in range(schedule.start(name), schedule.end(name) + 1):
+                assert controller.state(step).alu_functions[key] == "mul"
+
+    def test_multicycle_selects_held(self, timing_mul2, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing_mul2, alu_family, cs=8)
+        controller = build_controller(result.datapath)
+        schedule = result.schedule
+        for name in ("m1", "m4"):
+            key = result.datapath.binding[name]
+            instance = result.datapath.instances[key]
+            for port, inputs in ((1, instance.mux.l1), (2, instance.mux.l2)):
+                if len(inputs) < 2:
+                    continue
+                selects = {
+                    controller.state(step).mux_selects.get(
+                        (key[0], key[1], port)
+                    )
+                    for step in range(
+                        schedule.start(name), schedule.end(name) + 1
+                    )
+                }
+                assert len(selects) == 1  # held stable
+
+    def test_register_load_at_real_end(self, timing_mul2, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing_mul2, alu_family, cs=8)
+        controller = build_controller(result.datapath)
+        schedule = result.schedule
+        datapath = result.datapath
+        signal = "op:m1"
+        if datapath.lifetimes[signal].needs_register:
+            register = datapath.registers.assignment[signal]
+            end_state = controller.state(schedule.end("m1"))
+            assert register in end_state.register_loads
+
+
+class TestRTLExecutor:
+    def test_matches_reference_single_cycle(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        verify_controller_equivalence(result.datapath, HAL_INPUTS)
+
+    def test_matches_reference_multicycle(self, timing_mul2, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing_mul2, alu_family, cs=8)
+        verify_controller_equivalence(result.datapath, HAL_INPUTS)
+
+    def test_matches_reference_chained(self, timing_chained, alu_family):
+        result = mfsa_synthesize(
+            chained_addsub(), timing_chained, alu_family, cs=4
+        )
+        inputs = {f"i{k}": 2 * k - 5 for k in range(1, 10)}
+        verify_controller_equivalence(result.datapath, inputs)
+
+    def test_random_designs(self, timing, alu_family):
+        for seed in range(6):
+            g = random_dfg(
+                seed=seed,
+                n_ops=15,
+                kinds=(OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.AND),
+            )
+            cs = critical_path_length(g, timing) + 2
+            result = mfsa_synthesize(g, timing, alu_family, cs=cs)
+            inputs = {name: (i * 3) % 11 - 4 for i, name in enumerate(g.inputs)}
+            verify_controller_equivalence(result.datapath, inputs)
+
+    def test_agrees_with_dataflow_executor(self, timing, alu_family):
+        from repro.sim.executor import execute_datapath
+
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        rtl = execute_controller(result.datapath, HAL_INPUTS)
+        dataflow = execute_datapath(result.datapath, HAL_INPUTS)
+        assert rtl.outputs == dataflow.outputs
+
+
+class TestStructuralEmission:
+    def test_module_shape(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        text = emit_structural_verilog(result.datapath, module_name="hal_rtl")
+        assert text.startswith("module hal_rtl (")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_one_output_wire_per_alu_instance(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        text = emit_structural_verilog(result.datapath)
+        declarations = [
+            line
+            for line in text.splitlines()
+            if line.strip().startswith("wire") and line.rstrip().endswith("_out;")
+        ]
+        assert len(declarations) == len(result.datapath.instances)
+
+    def test_shared_alu_has_function_case(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        text = emit_structural_verilog(result.datapath)
+        # the (+-) ALU must select between + and - by state
+        mixed = [
+            instance
+            for instance in result.datapath.instances.values()
+            if len({result.schedule.dfg.node(op).kind for op in instance.ops})
+            > 1
+        ]
+        if mixed:
+            assert "? " in text  # state-conditional function expressions
+
+    def test_mux_selects_appear(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        text = emit_structural_verilog(result.datapath)
+        assert "state ==" in text
+
+    def test_input_register_bypass_at_state_zero(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        text = emit_structural_verilog(result.datapath)
+        if any(
+            signal.startswith("in:")
+            for signal in result.datapath.registers.assignment
+        ):
+            assert "(state == 0) ?" in text
+
+    def test_emits_for_all_six_examples(self, alu_family):
+        from repro.bench.table2 import run_example
+        from repro.bench.suites import EXAMPLES
+
+        for spec in EXAMPLES.values():
+            result = run_example(spec, style=1, library=alu_family)
+            text = emit_structural_verilog(result.datapath)
+            assert "endmodule" in text
+            assert text.count("always @(posedge clk)") == (
+                1 + result.datapath.register_count()
+            )

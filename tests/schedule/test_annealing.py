@@ -1,0 +1,71 @@
+"""Tests for the simulated-annealing baseline scheduler."""
+
+import pytest
+
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.annealing import annealing_schedule
+from repro.bench.suites import facet_like, hal_diffeq
+
+
+class TestAnnealing:
+    def test_produces_valid_schedule(self, timing):
+        schedule = annealing_schedule(hal_diffeq(), timing, cs=6, seed=1)
+        schedule.validate()
+        assert schedule.makespan() <= 6
+
+    def test_deterministic_for_fixed_seed(self, timing):
+        a = annealing_schedule(hal_diffeq(), timing, cs=6, seed=7)
+        b = annealing_schedule(hal_diffeq(), timing, cs=6, seed=7)
+        assert a.starts == b.starts
+
+    def test_seeds_explore_differently(self, timing):
+        results = {
+            tuple(sorted(annealing_schedule(
+                hal_diffeq(), timing, cs=8, seed=seed
+            ).starts.items()))
+            for seed in range(4)
+        }
+        assert len(results) > 1
+
+    def test_close_to_mfs_quality(self, timing):
+        from repro.core.mfs import mfs_schedule
+
+        mfs = mfs_schedule(hal_diffeq(), timing, cs=6)
+        annealed = annealing_schedule(hal_diffeq(), timing, cs=6, seed=3)
+        assert (
+            sum(annealed.fu_usage().values())
+            <= sum(mfs.fu_counts.values()) + 2
+        )
+
+    def test_weights_steer_energy(self, timing):
+        heavy_mul = annealing_schedule(
+            hal_diffeq(), timing, cs=8, seed=2, weights={"mul": 100.0}
+        )
+        assert heavy_mul.fu_usage()["mul"] <= 2
+
+    def test_infeasible_budget_raises(self, timing):
+        with pytest.raises(InfeasibleScheduleError):
+            annealing_schedule(hal_diffeq(), timing, cs=3, seed=1)
+
+    def test_multicycle(self, timing_mul2):
+        schedule = annealing_schedule(facet_like(), timing_mul2, cs=6, seed=1)
+        schedule.validate()
+
+    def test_mfs_is_much_faster_than_annealing(self, timing):
+        """The paper's motivation for avoiding annealing."""
+        import time
+
+        from repro.core.mfs import MFSScheduler
+        from repro.bench.suites import ewf
+
+        g = ewf()
+
+        start = time.perf_counter()
+        MFSScheduler(g, timing, cs=16, mode="time").run()
+        mfs_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        annealing_schedule(g, timing, cs=16, seed=1)
+        sa_time = time.perf_counter() - start
+
+        assert mfs_time * 3 < sa_time

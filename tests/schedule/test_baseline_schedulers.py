@@ -1,0 +1,137 @@
+"""Tests for the ASAP/ALAP, list, force-directed and exact schedulers."""
+
+import pytest
+
+from repro.dfg.analysis import critical_path_length
+from repro.dfg.generators import random_dfg
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.asap_alap import schedule_alap, schedule_asap
+from repro.schedule.exact import exact_schedule
+from repro.schedule.force_directed import force_directed_schedule
+from repro.schedule.list_scheduler import (
+    list_schedule_resource_constrained,
+    list_schedule_time_constrained,
+)
+from repro.bench.suites import facet_like, hal_diffeq
+
+
+class TestAsapAlapSchedulers:
+    def test_asap_valid(self, diamond_dfg, timing):
+        schedule = schedule_asap(diamond_dfg, timing)
+        schedule.validate()
+        assert schedule.makespan() == 3
+
+    def test_alap_valid(self, diamond_dfg, timing):
+        schedule = schedule_alap(diamond_dfg, timing, cs=5)
+        schedule.validate()
+        assert schedule.start("t") == 5
+
+    def test_alap_defaults_to_critical_path(self, diamond_dfg, timing):
+        schedule = schedule_alap(diamond_dfg, timing)
+        assert schedule.cs == 3
+
+
+class TestListScheduler:
+    def test_resource_constrained_respects_bounds(self, timing):
+        g = hal_diffeq()
+        schedule = list_schedule_resource_constrained(g, timing, {"mul": 1})
+        schedule.validate(resource_bounds={"mul": 1})
+
+    def test_one_multiplier_serializes(self, timing):
+        g = hal_diffeq()
+        schedule = list_schedule_resource_constrained(g, timing, {"mul": 1})
+        # six multiplies on one unit need at least six steps
+        assert schedule.makespan() >= 6
+
+    def test_unbounded_kind_unconstrained(self, timing):
+        g = hal_diffeq()
+        schedule = list_schedule_resource_constrained(g, timing, {})
+        assert schedule.makespan() == critical_path_length(g, timing)
+
+    def test_time_constrained_meets_budget(self, timing):
+        g = hal_diffeq()
+        for cs in (4, 5, 6, 8):
+            schedule = list_schedule_time_constrained(g, timing, cs)
+            schedule.validate()
+            assert schedule.makespan() <= cs
+
+    def test_time_constrained_infeasible_raises(self, timing):
+        with pytest.raises(InfeasibleScheduleError):
+            list_schedule_time_constrained(hal_diffeq(), timing, cs=3)
+
+    def test_multicycle_occupancy(self, timing_mul2):
+        g = hal_diffeq()
+        schedule = list_schedule_resource_constrained(g, timing_mul2, {"mul": 2})
+        schedule.validate(resource_bounds={"mul": 2})
+
+    def test_random_graphs_valid(self, timing):
+        for seed in range(8):
+            g = random_dfg(seed=seed, n_ops=30)
+            schedule = list_schedule_resource_constrained(
+                g, timing, {kind: 2 for kind in g.kinds_used()}
+            )
+            schedule.validate(
+                resource_bounds={kind: 2 for kind in g.kinds_used()}
+            )
+
+
+class TestForceDirected:
+    def test_valid_at_critical_path(self, timing):
+        g = hal_diffeq()
+        schedule = force_directed_schedule(g, timing, cs=4)
+        schedule.validate()
+
+    def test_balances_hal_at_4(self, timing):
+        schedule = force_directed_schedule(hal_diffeq(), timing, cs=4)
+        assert schedule.fu_usage()["mul"] == 2  # the known optimum
+
+    def test_relaxing_budget_reduces_fus(self, timing):
+        tight = force_directed_schedule(hal_diffeq(), timing, cs=4)
+        loose = force_directed_schedule(hal_diffeq(), timing, cs=8)
+        assert loose.fu_usage()["mul"] <= tight.fu_usage()["mul"]
+
+    def test_infeasible_budget_raises(self, timing):
+        with pytest.raises(InfeasibleScheduleError):
+            force_directed_schedule(hal_diffeq(), timing, cs=3)
+
+    def test_multicycle(self, timing_mul2):
+        schedule = force_directed_schedule(hal_diffeq(), timing_mul2, cs=8)
+        schedule.validate()
+
+    def test_random_graphs_valid(self, timing):
+        for seed in range(5):
+            g = random_dfg(seed=seed, n_ops=20)
+            cs = critical_path_length(g, timing) + 2
+            force_directed_schedule(g, timing, cs).validate()
+
+
+class TestExactScheduler:
+    def test_optimal_on_facet(self, timing):
+        schedule = exact_schedule(facet_like(), timing, cs=4)
+        schedule.validate()
+        assert schedule.fu_usage()["add"] == 2
+
+    def test_relaxed_facet_needs_one_adder(self, timing):
+        schedule = exact_schedule(facet_like(), timing, cs=5)
+        assert schedule.fu_usage()["add"] == 1
+
+    def test_weights_steer_objective(self, timing):
+        # make multipliers expensive: the optimum must minimise them first
+        schedule = exact_schedule(
+            hal_diffeq(), timing, cs=6, weights={"mul": 100.0}
+        )
+        assert schedule.fu_usage()["mul"] == 2
+
+    def test_never_worse_than_asap(self, timing):
+        g = hal_diffeq()
+        exact = exact_schedule(g, timing, cs=4)
+        asap = schedule_asap(g, timing, cs=4)
+        assert sum(exact.fu_usage().values()) <= sum(asap.fu_usage().values())
+
+    def test_infeasible_raises(self, timing):
+        with pytest.raises(InfeasibleScheduleError):
+            exact_schedule(hal_diffeq(), timing, cs=3)
+
+    def test_multicycle(self, timing_mul2):
+        schedule = exact_schedule(hal_diffeq(), timing_mul2, cs=7)
+        schedule.validate()

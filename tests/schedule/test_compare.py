@@ -1,0 +1,68 @@
+"""Tests for schedule diffing."""
+
+import pytest
+
+from repro.core.mfs import mfs_schedule
+from repro.errors import ScheduleError
+from repro.schedule.asap_alap import schedule_alap, schedule_asap
+from repro.schedule.compare import diff_schedules, render_diff
+from repro.bench.suites import hal_diffeq
+
+
+class TestDiff:
+    def test_identical_schedules(self, timing):
+        a = schedule_asap(hal_diffeq(), timing, cs=6)
+        b = schedule_asap(hal_diffeq(), timing, cs=6)
+        diff = diff_schedules(a, b)
+        assert diff.identical
+        assert diff.total_displacement() == 0
+        assert render_diff(diff) == "schedules are identical"
+
+    def test_asap_vs_alap(self, timing):
+        asap = schedule_asap(hal_diffeq(), timing, cs=6)
+        alap = schedule_alap(hal_diffeq(), timing, cs=6)
+        diff = diff_schedules(asap, alap)
+        assert not diff.identical
+        # ALAP never starts anything earlier than ASAP
+        assert all(move.delta > 0 for move in diff.moves)
+
+    def test_fu_delta(self, timing):
+        tight = mfs_schedule(hal_diffeq(), timing, cs=4).schedule
+        loose = mfs_schedule(hal_diffeq(), timing, cs=8).schedule
+        diff = diff_schedules(tight, loose)
+        assert diff.fu_delta().get("mul") == -1  # 2 multipliers -> 1
+        assert diff.makespan_after >= diff.makespan_before
+
+    def test_mismatched_graphs_rejected(self, timing, diamond_dfg):
+        a = schedule_asap(hal_diffeq(), timing, cs=6)
+        b = schedule_asap(diamond_dfg, timing, cs=6)
+        with pytest.raises(ScheduleError):
+            diff_schedules(a, b)
+
+    def test_render_lists_moves(self, timing):
+        asap = schedule_asap(hal_diffeq(), timing, cs=6)
+        alap = schedule_alap(hal_diffeq(), timing, cs=6)
+        text = render_diff(diff_schedules(asap, alap))
+        assert "operations moved" in text
+        assert "->" in text
+
+    def test_deterministic_ordering(self, timing):
+        asap = schedule_asap(hal_diffeq(), timing, cs=6)
+        alap = schedule_alap(hal_diffeq(), timing, cs=6)
+        first = diff_schedules(asap, alap)
+        second = diff_schedules(asap, alap)
+        assert [m.op for m in first.moves] == [m.op for m in second.moves]
+
+    def test_ablation_usage(self, timing):
+        """The intended workflow: quantify what a knob changed."""
+        from repro.core.mfsa import mfsa_synthesize
+        from repro.library.ncr import datapath_library
+
+        library = datapath_library()
+        plain = mfsa_synthesize(hal_diffeq(), timing, library, cs=8)
+        eager = mfsa_synthesize(
+            hal_diffeq(), timing, library, cs=8, open_policy="eager"
+        )
+        diff = diff_schedules(plain.schedule, eager.schedule)
+        # eager opening pulls operations earlier (or keeps them put)
+        assert all(move.delta <= 0 for move in diff.moves)

@@ -1,0 +1,120 @@
+"""Tests for the Schedule value object and its validator."""
+
+import pytest
+
+from repro.dfg.analysis import TimingModel
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind
+from repro.errors import ScheduleError
+from repro.schedule.types import Schedule
+
+
+def make(dfg, timing, cs, starts, **kw):
+    return Schedule(dfg=dfg, timing=timing, cs=cs, starts=starts, **kw)
+
+
+class TestAccessors:
+    def test_start_end_makespan(self, diamond_dfg, timing_mul2):
+        s = make(
+            diamond_dfg,
+            timing_mul2,
+            5,
+            {"m1": 1, "m2": 2, "s": 4, "t": 5},
+        )
+        assert s.start("m1") == 1
+        assert s.end("m1") == 2  # 2-cycle multiply
+        assert s.end("s") == 4
+        assert s.makespan() == 5
+
+    def test_steps_of(self, diamond_dfg, timing_mul2):
+        s = make(diamond_dfg, timing_mul2, 5, {"m1": 1, "m2": 2, "s": 4, "t": 5})
+        assert set(s.steps_of(2)) == {"m1", "m2"}
+
+    def test_copy_independent(self, diamond_dfg, timing):
+        s = make(diamond_dfg, timing, 4, {"m1": 1, "m2": 1, "s": 2, "t": 3})
+        clone = s.copy()
+        clone.starts["m1"] = 2
+        assert s.start("m1") == 1
+
+    def test_fu_usage(self, diamond_dfg, timing):
+        s = make(diamond_dfg, timing, 3, {"m1": 1, "m2": 1, "s": 2, "t": 3})
+        assert s.fu_usage() == {"mul": 2, "add": 1, "sub": 1}
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, diamond_dfg, timing):
+        make(diamond_dfg, timing, 3, {"m1": 1, "m2": 1, "s": 2, "t": 3}).validate()
+
+    def test_missing_node_rejected(self, diamond_dfg, timing):
+        with pytest.raises(ScheduleError, match="unscheduled"):
+            make(diamond_dfg, timing, 3, {"m1": 1, "m2": 1, "s": 2}).validate()
+
+    def test_unknown_node_rejected(self, diamond_dfg, timing):
+        starts = {"m1": 1, "m2": 1, "s": 2, "t": 3, "ghost": 1}
+        with pytest.raises(ScheduleError, match="unknown"):
+            make(diamond_dfg, timing, 3, starts).validate()
+
+    def test_before_step_one_rejected(self, diamond_dfg, timing):
+        with pytest.raises(ScheduleError, match="before step 1"):
+            make(diamond_dfg, timing, 3, {"m1": 0, "m2": 1, "s": 2, "t": 3}).validate()
+
+    def test_budget_overflow_rejected(self, diamond_dfg, timing):
+        with pytest.raises(ScheduleError, match="budget"):
+            make(diamond_dfg, timing, 3, {"m1": 1, "m2": 1, "s": 2, "t": 4}).validate()
+
+    def test_multicycle_budget_overflow(self, diamond_dfg, timing_mul2):
+        # m2 (2-cycle) starting at 3 spills past cs=3
+        with pytest.raises(ScheduleError, match="budget"):
+            make(
+                diamond_dfg, timing_mul2, 3, {"m1": 1, "m2": 3, "s": 3, "t": 3}
+            ).validate()
+
+    def test_precedence_violation_rejected(self, diamond_dfg, timing):
+        with pytest.raises(ScheduleError, match="does not follow"):
+            make(diamond_dfg, timing, 3, {"m1": 2, "m2": 1, "s": 2, "t": 3}).validate()
+
+    def test_multicycle_precedence(self, diamond_dfg, timing_mul2):
+        # s at step 2 overlaps m1 finishing at step 2
+        with pytest.raises(ScheduleError):
+            make(
+                diamond_dfg, timing_mul2, 5, {"m1": 1, "m2": 1, "s": 2, "t": 5}
+            ).validate()
+
+    def test_resource_bounds_checked(self, diamond_dfg, timing):
+        s = make(diamond_dfg, timing, 3, {"m1": 1, "m2": 1, "s": 2, "t": 3})
+        s.validate(resource_bounds={"mul": 2})
+        with pytest.raises(ScheduleError, match="bound"):
+            s.validate(resource_bounds={"mul": 1})
+
+
+class TestChainingValidation:
+    def test_chained_pair_in_one_step_accepted(self, chain_dfg, timing_chained):
+        s = make(
+            chain_dfg, timing_chained, 2, {"a0": 1, "a1": 1, "a2": 2, "a3": 2}
+        )
+        s.validate()
+
+    def test_same_step_without_chaining_rejected(self, chain_dfg, timing):
+        s = make(chain_dfg, timing, 2, {"a0": 1, "a1": 1, "a2": 2, "a3": 2})
+        with pytest.raises(ScheduleError):
+            s.validate()
+
+    def test_chain_too_long_for_clock_rejected(self, chain_dfg, timing_chained):
+        # three 10 ns adds in one 20 ns step
+        s = make(
+            chain_dfg, timing_chained, 2, {"a0": 1, "a1": 1, "a2": 1, "a3": 2}
+        )
+        with pytest.raises(ScheduleError, match="clock"):
+            s.validate()
+
+    def test_multicycle_cannot_chain(self, timing_mul2, ops_mul2):
+        b = DFGBuilder()
+        x = b.input("x")
+        m = b.op(OpKind.MUL, x, x, name="m")
+        a = b.op(OpKind.ADD, m, x, name="a")
+        b.output("o", a)
+        g = b.build()
+        chained = TimingModel(ops=ops_mul2, clock_period_ns=100.0)
+        s = make(g, chained, 3, {"m": 1, "a": 2})
+        with pytest.raises(ScheduleError):
+            s.validate()

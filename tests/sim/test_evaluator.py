@@ -1,0 +1,64 @@
+"""Tests for reference DFG evaluation."""
+
+import pytest
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.ops import OpKind
+from repro.errors import SimulationError
+from repro.sim.evaluator import evaluate_dfg
+from repro.bench.suites import hal_diffeq
+
+
+class TestEvaluation:
+    def test_simple_arithmetic(self, ops):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("r", (x + y) * (x - y))
+        g = b.build()
+        assert evaluate_dfg(g, ops, {"x": 5, "y": 3})["r"] == 16
+
+    def test_constants(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.output("r", 3 * x + 7)
+        g = b.build()
+        assert evaluate_dfg(g, ops, {"x": 4})["r"] == 19
+
+    def test_node_values_exposed(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.op(OpKind.ADD, x, 1, name="inc")
+        g = b.build()
+        assert evaluate_dfg(g, ops, {"x": 9})["op:inc"] == 10
+
+    def test_output_of_input_passthrough(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.op(OpKind.ADD, x, 0, name="d")
+        b.output("echo", x)
+        g = b.build()
+        assert evaluate_dfg(g, ops, {"x": 42})["echo"] == 42
+
+    def test_missing_input_raises(self, ops):
+        b = DFGBuilder()
+        x = b.input("x")
+        b.output("r", x + 1)
+        g = b.build()
+        with pytest.raises(SimulationError, match="missing"):
+            evaluate_dfg(g, ops, {})
+
+    def test_hal_diffeq_euler_step(self, ops):
+        inputs = {"x": 1, "dx": 2, "u": 3, "y": 4, "a": 10}
+        values = evaluate_dfg(hal_diffeq(), ops, inputs)
+        assert values["x1"] == 3
+        assert values["y1"] == 4 + 3 * 2
+        assert values["u1"] == 3 - (3 * 1) * (3 * 2) - (3 * 4) * 2
+        assert values["again"] == 1
+
+    def test_both_branches_evaluated(self, ops):
+        from repro.bench.suites import conditional_example
+
+        g = conditional_example()
+        values = evaluate_dfg(g, ops, {"a": 5, "c": 2, "d": 3, "e": 4, "f": 6})
+        assert values["op:then_mul"] == 12
+        assert values["op:else_mul"] == 18

@@ -1,0 +1,146 @@
+"""Tests for cycle-accurate schedule/datapath execution."""
+
+import pytest
+
+from repro.core.mfs import mfs_schedule
+from repro.core.mfsa import mfsa_synthesize
+from repro.dfg.analysis import critical_path_length
+from repro.dfg.generators import random_dfg
+from repro.dfg.ops import OpKind
+from repro.errors import SimulationError
+from repro.schedule.types import Schedule
+from repro.sim.evaluator import evaluate_dfg
+from repro.sim.executor import (
+    execute_datapath,
+    execute_schedule,
+    verify_equivalence,
+)
+from repro.bench.suites import chained_addsub, hal_diffeq
+
+
+HAL_INPUTS = {"x": 2, "dx": 3, "u": 5, "y": 7, "a": 100}
+
+
+class TestExecuteSchedule:
+    def test_matches_reference(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=6)
+        trace = execute_schedule(result.schedule, HAL_INPUTS)
+        reference = evaluate_dfg(hal_diffeq(), timing.ops, HAL_INPUTS)
+        for out in result.schedule.dfg.outputs:
+            assert trace.outputs[out] == reference[out]
+
+    def test_events_in_step_order(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=6)
+        trace = execute_schedule(result.schedule, HAL_INPUTS)
+        steps = [event.step for event in trace.events]
+        assert steps == sorted(steps)
+        assert len(trace.events) == len(hal_diffeq())
+
+    def test_premature_read_detected(self, timing, diamond_dfg):
+        bad = Schedule(
+            dfg=diamond_dfg,
+            timing=timing,
+            cs=3,
+            starts={"m1": 2, "m2": 1, "s": 2, "t": 3},
+        )
+        with pytest.raises(SimulationError):
+            execute_schedule(bad, {"a": 1, "c": 2, "d": 3, "e": 4})
+
+    def test_chained_schedule_executes(self, timing_chained):
+        result = mfs_schedule(chained_addsub(), timing_chained, cs=4)
+        inputs = {f"i{k}": k * 3 for k in range(1, 10)}
+        trace = execute_schedule(result.schedule, inputs)
+        reference = evaluate_dfg(chained_addsub(), timing_chained.ops, inputs)
+        assert trace.outputs["result"] == reference["result"]
+
+    def test_multicycle_schedule_executes(self, timing_mul2):
+        result = mfs_schedule(hal_diffeq(), timing_mul2, cs=8)
+        trace = execute_schedule(result.schedule, HAL_INPUTS)
+        reference = evaluate_dfg(hal_diffeq(), timing_mul2.ops, HAL_INPUTS)
+        for out in result.schedule.dfg.outputs:
+            assert trace.outputs[out] == reference[out]
+
+
+class TestExecuteDatapath:
+    def test_mfsa_result_equivalent(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        trace = verify_equivalence(result.datapath, HAL_INPUTS)
+        assert trace.result("x1") == 5
+
+    def test_instances_recorded_in_events(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        trace = execute_datapath(result.datapath, HAL_INPUTS)
+        assert all(event.instance is not None for event in trace.events)
+
+    def test_register_writes_recorded(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        trace = execute_datapath(result.datapath, HAL_INPUTS)
+        assert trace.register_writes
+        for end, register, signal, _value in trace.register_writes:
+            assert register < result.datapath.register_count()
+            life = result.datapath.lifetimes[signal]
+            assert life.birth == end
+
+    def test_register_clobber_detected(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        datapath = result.datapath
+        # Sabotage: map two overlapping values onto one register.
+        overlapping = [
+            signal
+            for signal, life in datapath.lifetimes.items()
+            if life.needs_register
+        ]
+        victim, squatter = None, None
+        for first in overlapping:
+            for second in overlapping:
+                if first != second and datapath.lifetimes[first].overlaps(
+                    datapath.lifetimes[second]
+                ):
+                    victim, squatter = first, second
+                    break
+            if victim:
+                break
+        assert victim is not None, "test needs overlapping lifetimes"
+        datapath.registers.assignment[squatter] = (
+            datapath.registers.assignment[victim]
+        )
+        with pytest.raises(SimulationError):
+            execute_datapath(datapath, HAL_INPUTS)
+
+    def test_bad_mux_routing_detected(self, timing, alu_family):
+        result = mfsa_synthesize(hal_diffeq(), timing, alu_family, cs=6)
+        datapath = result.datapath
+        # Sabotage: drop a signal from a mux input list.
+        for instance in datapath.instances.values():
+            if len(instance.mux.l1) >= 1:
+                instance.mux = type(instance.mux)(
+                    l1=instance.mux.l1[1:],
+                    l2=instance.mux.l2,
+                    swapped=instance.mux.swapped,
+                )
+                break
+        with pytest.raises(SimulationError, match="mux|wired"):
+            execute_datapath(datapath, HAL_INPUTS)
+
+    def test_random_mfsa_datapaths_equivalent(self, timing, alu_family):
+        for seed in range(6):
+            g = random_dfg(
+                seed=seed,
+                n_ops=16,
+                kinds=(OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.OR),
+            )
+            cs = critical_path_length(g, timing) + 2
+            result = mfsa_synthesize(g, timing, alu_family, cs=cs)
+            inputs = {name: (i * 7) % 23 - 5 for i, name in enumerate(g.inputs)}
+            verify_equivalence(result.datapath, inputs)
+
+    def test_register_handover_same_step(self, timing, alu_family):
+        # Values whose lifetimes abut (death == birth of the next) share a
+        # register; the executor must read the dying value before the
+        # newborn's write lands.
+        for seed in (3, 4, 5):
+            g = random_dfg(seed=seed, n_ops=22)
+            cs = critical_path_length(g, timing) + 1
+            result = mfsa_synthesize(g, timing, alu_family, cs=cs)
+            inputs = {name: i + 1 for i, name in enumerate(g.inputs)}
+            verify_equivalence(result.datapath, inputs)

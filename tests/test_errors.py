@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_cycle_is_dfg_error(self):
+        assert issubclass(errors.CycleError, errors.DFGError)
+
+    def test_parse_is_dfg_error(self):
+        assert issubclass(errors.ParseError, errors.DFGError)
+
+    def test_infeasible_is_schedule_error(self):
+        assert issubclass(
+            errors.InfeasibleScheduleError, errors.ScheduleError
+        )
+
+    def test_single_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("boom")
+
+    def test_library_users_can_discriminate(self):
+        try:
+            raise errors.InfeasibleScheduleError("too tight")
+        except errors.DFGError:  # pragma: no cover - must not trigger
+            raise AssertionError("wrong branch")
+        except errors.ScheduleError as caught:
+            assert "tight" in str(caught)
