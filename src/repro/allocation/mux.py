@@ -130,3 +130,122 @@ def optimize_mux_inputs(operands: Sequence[MuxOperand]) -> MuxAssignment:
 def mux_cost_of(assignment: MuxAssignment, mux_costs) -> float:
     """Cost of the two input muxes under a :class:`MuxCostTable`."""
     return mux_costs.cost(len(assignment.l1)) + mux_costs.cost(len(assignment.l2))
+
+
+# ---------------------------------------------------------------------------
+# Process-wide memo over renaming-canonical operand lists.
+#
+# :func:`optimize_mux_inputs` is a pure function that touches signal names
+# only through equality (set membership), so a bijective renaming of the
+# signals yields an isomorphic run: identical orientations per operand and
+# identical list *contents* up to the renaming.  Canonicalising names to
+# first-occurrence indices therefore lets every isomorphic operand list —
+# across ALU instances, schedulers and runs in this process — share one
+# optimiser invocation.  The memo stores the canonical assignment (index
+# sets plus the per-operand swap pattern) and reconstructs the real-name
+# :class:`MuxAssignment` on a hit; results are byte-identical to a direct
+# call.  Op ids must be distinct for the swap pattern to be positional —
+# callers with duplicate ids fall through to the direct path.
+# ---------------------------------------------------------------------------
+
+_CANON_CACHE: Dict[tuple, Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[bool, ...]]] = {}
+_CANON_CACHE_MAX = 1 << 16
+
+
+def clear_mux_memo() -> None:
+    """Drop the process-wide optimiser memo (tests / memory pressure)."""
+    _CANON_CACHE.clear()
+
+
+def _canonical_form(
+    operands: Sequence[MuxOperand],
+) -> Tuple[Optional[tuple], List[str]]:
+    """Canonical key plus the index → signal-name decoder, or ``(None, [])``."""
+    ids: Dict[str, int] = {}
+    names: List[str] = []
+    seen_ops: Set[str] = set()
+    key = []
+    for item in operands:
+        if item.op in seen_ops:
+            return None, []
+        seen_ops.add(item.op)
+        left = ids.get(item.left)
+        if left is None:
+            left = ids[item.left] = len(names)
+            names.append(item.left)
+        if item.right is None:
+            right = None
+        else:
+            right = ids.get(item.right)
+            if right is None:
+                right = ids[item.right] = len(names)
+                names.append(item.right)
+        key.append((left, right, item.commutative))
+    return tuple(key), names
+
+
+def cached_mux_input_sizes(
+    operands: Sequence[MuxOperand], perf=None
+) -> Tuple[int, int]:
+    """``(|L1|, |L2|)`` of the optimised assignment, via the memo.
+
+    The cost-only variant of :func:`cached_optimize_mux_inputs`: a memo
+    hit skips reconstructing the real-name assignment entirely (sizes are
+    renaming-invariant).
+    """
+    key, names = _canonical_form(operands)
+    if key is None:
+        assignment = optimize_mux_inputs(operands)
+        return len(assignment.l1), len(assignment.l2)
+    hit = _CANON_CACHE.get(key)
+    if hit is not None:
+        if perf is not None:
+            perf.incr("mux.canon_hits")
+        return len(hit[0]), len(hit[1])
+    if perf is not None:
+        perf.incr("mux.canon_misses")
+    assignment = optimize_mux_inputs(operands)
+    if len(_CANON_CACHE) < _CANON_CACHE_MAX:
+        ids = {name: i for i, name in enumerate(names)}
+        _CANON_CACHE[key] = (
+            tuple(sorted(ids[s] for s in assignment.l1)),
+            tuple(sorted(ids[s] for s in assignment.l2)),
+            tuple(assignment.swapped.get(item.op, False) for item in operands),
+        )
+    return len(assignment.l1), len(assignment.l2)
+
+
+def cached_optimize_mux_inputs(
+    operands: Sequence[MuxOperand], perf=None
+) -> MuxAssignment:
+    """Memoized :func:`optimize_mux_inputs` (identical results).
+
+    ``perf`` (an optional :class:`repro.perf.PerfCounters`) receives
+    ``mux.canon_hits`` / ``mux.canon_misses``.
+    """
+    key, names = _canonical_form(operands)
+    if key is None:
+        return optimize_mux_inputs(operands)
+    hit = _CANON_CACHE.get(key)
+    if hit is not None:
+        if perf is not None:
+            perf.incr("mux.canon_hits")
+        canon_l1, canon_l2, pattern = hit
+        return MuxAssignment(
+            l1=tuple(sorted(names[i] for i in canon_l1)),
+            l2=tuple(sorted(names[i] for i in canon_l2)),
+            swapped={
+                item.op: flag for item, flag in zip(operands, pattern)
+            },
+        )
+    if perf is not None:
+        perf.incr("mux.canon_misses")
+    assignment = optimize_mux_inputs(operands)
+    if len(_CANON_CACHE) < _CANON_CACHE_MAX:
+        ids = {name: i for i, name in enumerate(names)}
+        _CANON_CACHE[key] = (
+            tuple(sorted(ids[s] for s in assignment.l1)),
+            tuple(sorted(ids[s] for s in assignment.l2)),
+            tuple(assignment.swapped.get(item.op, False) for item in operands),
+        )
+    return assignment

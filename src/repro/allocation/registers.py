@@ -106,19 +106,40 @@ class IncrementalRegisterEstimator:
         return len(self._tracks)
 
     def cost_of(self, lifetimes: Iterable[Lifetime]) -> int:
-        """New registers the given lifetimes would require (no commit)."""
+        """New registers the given lifetimes would require (no commit).
+
+        Tentative placements are tracked per-track instead of deep-copying
+        every track up front; the first-fit order (existing tracks, then
+        tentative new ones) matches the copying formulation exactly.
+        """
         added = 0
-        borrowed: List[List[Lifetime]] = [list(track) for track in self._tracks]
+        extras: Dict[int, List[Lifetime]] = {}
+        new_tracks: List[List[Lifetime]] = []
         for life in lifetimes:
             if not life.needs_register or life.value in self._known:
                 continue
-            for track in borrowed:
-                if all(not life.overlaps(other) for other in track):
-                    track.append(life)
-                    break
+            overlaps = life.overlaps
+            for index, track in enumerate(self._tracks):
+                if any(overlaps(other) for other in track):
+                    continue
+                tentative = extras.get(index)
+                if tentative is not None and any(
+                    overlaps(other) for other in tentative
+                ):
+                    continue
+                if tentative is None:
+                    extras[index] = [life]
+                else:
+                    tentative.append(life)
+                break
             else:
-                borrowed.append([life])
-                added += 1
+                for track in new_tracks:
+                    if not any(overlaps(other) for other in track):
+                        track.append(life)
+                        break
+                else:
+                    new_tracks.append([life])
+                    added += 1
         return added
 
     def commit(self, lifetimes: Iterable[Lifetime]) -> None:

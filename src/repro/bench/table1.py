@@ -13,6 +13,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.dfg.analysis import TimingModel
 from repro.dfg.ops import OP_SYMBOLS, standard_operation_set
 from repro.core.mfs import MFSResult, MFSScheduler
+from repro.perf import PerfCounters
+from repro.sweep import SweepExecutor
 from repro.bench.suites import EXAMPLES, ExampleSpec, Table1Case
 
 
@@ -54,7 +56,11 @@ def format_fu_mix(fu_counts: Mapping[str, int]) -> str:
     return ",".join(parts)
 
 
-def run_case(spec: ExampleSpec, case: Table1Case) -> MFSResult:
+def run_case(
+    spec: ExampleSpec,
+    case: Table1Case,
+    perf: Optional[PerfCounters] = None,
+) -> MFSResult:
     """Run MFS for one Table-1 cell."""
     dfg = spec.build()
     ops = standard_operation_set(mul_latency=case.mul_latency)
@@ -66,31 +72,48 @@ def run_case(spec: ExampleSpec, case: Table1Case) -> MFSResult:
         mode="time",
         latency_l=case.latency_l,
         pipelined_kinds=case.pipelined_kinds,
+        perf=perf,
     )
     return scheduler.run()
 
 
-def table1_rows(keys: Optional[Iterable[str]] = None) -> List[Table1Row]:
-    """Regenerate every Table-1 cell (optionally a subset of examples)."""
-    rows: List[Table1Row] = []
-    for key, spec in EXAMPLES.items():
-        if keys is not None and key not in set(keys):
-            continue
-        for case in spec.table1_cases:
-            result = run_case(spec, case)
-            rows.append(
-                Table1Row(
-                    example=key,
-                    number=spec.number,
-                    feature=spec.feature,
-                    cs=case.cs,
-                    mul_latency=case.mul_latency,
-                    fu_counts=result.fu_counts,
-                    makespan=result.schedule.makespan(),
-                    paper_fu=case.paper_fu,
-                )
-            )
-    return rows
+def _row_worker(payload) -> Table1Row:
+    """One Table-1 cell (module-level so process pools can pickle it)."""
+    key, case_index = payload
+    spec = EXAMPLES[key]
+    case = spec.table1_cases[case_index]
+    result = run_case(spec, case)
+    return Table1Row(
+        example=key,
+        number=spec.number,
+        feature=spec.feature,
+        cs=case.cs,
+        mul_latency=case.mul_latency,
+        fu_counts=result.fu_counts,
+        makespan=result.schedule.makespan(),
+        paper_fu=case.paper_fu,
+    )
+
+
+def table1_rows(
+    keys: Optional[Iterable[str]] = None,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+) -> List[Table1Row]:
+    """Regenerate every Table-1 cell (optionally a subset of examples).
+
+    ``backend``/``workers`` select the sweep executor; cell order and
+    values are identical on every backend.
+    """
+    wanted = set(keys) if keys is not None else None
+    payloads = [
+        (key, case_index)
+        for key, spec in EXAMPLES.items()
+        if wanted is None or key in wanted
+        for case_index in range(len(spec.table1_cases))
+    ]
+    executor = SweepExecutor(backend=backend, workers=workers)
+    return executor.map(_row_worker, payloads)
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:

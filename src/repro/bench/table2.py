@@ -19,6 +19,8 @@ from repro.dfg.ops import standard_operation_set
 from repro.library.cells import CellLibrary
 from repro.library.ncr import datapath_library
 from repro.core.mfsa import MFSAResult, MFSAScheduler
+from repro.perf import PerfCounters
+from repro.sweep import SweepExecutor
 from repro.bench.suites import EXAMPLES, ExampleSpec
 
 
@@ -51,6 +53,8 @@ def run_example(
     spec: ExampleSpec,
     style: int,
     library: Optional[CellLibrary] = None,
+    perf: Optional[PerfCounters] = None,
+    no_cache: bool = False,
 ) -> MFSAResult:
     """Run MFSA for one Table-2 row."""
     dfg = spec.build()
@@ -62,37 +66,52 @@ def run_example(
         library or datapath_library(),
         cs=spec.mfsa_cs,
         style=style,
+        perf=perf,
+        no_cache=no_cache,
     )
     return scheduler.run()
+
+
+def _row_worker(payload) -> Table2Row:
+    """One Table-2 row (module-level so process pools can pickle it)."""
+    key, style, library = payload
+    spec = EXAMPLES[key]
+    result = run_example(spec, style, library)
+    datapath = result.datapath
+    return Table2Row(
+        example=key,
+        number=spec.number,
+        cs=spec.mfsa_cs,
+        style=style,
+        alu_labels=result.alu_labels(),
+        cost=result.cost.total,
+        registers=datapath.register_count(),
+        muxes=datapath.mux_count(),
+        mux_inputs=datapath.mux_inputs(),
+    )
 
 
 def table2_rows(
     keys: Optional[Iterable[str]] = None,
     library: Optional[CellLibrary] = None,
+    backend: str = "serial",
+    workers: Optional[int] = None,
 ) -> List[Table2Row]:
-    """Regenerate Table 2 (both styles for every example)."""
+    """Regenerate Table 2 (both styles for every example).
+
+    ``backend``/``workers`` select the sweep executor; row order and
+    values are identical on every backend.
+    """
     library = library or datapath_library()
-    rows: List[Table2Row] = []
-    for key, spec in EXAMPLES.items():
-        if keys is not None and key not in set(keys):
-            continue
-        for style in (1, 2):
-            result = run_example(spec, style, library)
-            datapath = result.datapath
-            rows.append(
-                Table2Row(
-                    example=key,
-                    number=spec.number,
-                    cs=spec.mfsa_cs,
-                    style=style,
-                    alu_labels=result.alu_labels(),
-                    cost=result.cost.total,
-                    registers=datapath.register_count(),
-                    muxes=datapath.mux_count(),
-                    mux_inputs=datapath.mux_inputs(),
-                )
-            )
-    return rows
+    wanted = set(keys) if keys is not None else None
+    payloads = [
+        (key, style, library)
+        for key in EXAMPLES
+        if wanted is None or key in wanted
+        for style in (1, 2)
+    ]
+    executor = SweepExecutor(backend=backend, workers=workers)
+    return executor.map(_row_worker, payloads)
 
 
 def style_overhead(rows: Sequence[Table2Row], number: int) -> float:

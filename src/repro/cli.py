@@ -25,6 +25,7 @@ from repro.core.mfs import MFSScheduler
 from repro.core.mfsa import MFSAScheduler
 from repro.library.ncr import datapath_library
 from repro.io.text import render_datapath, render_schedule
+from repro.perf import PerfCounters
 
 
 def _load_dfg(path: str):
@@ -35,6 +36,44 @@ def _load_dfg(path: str):
 def _timing(args) -> TimingModel:
     ops = standard_operation_set(mul_latency=args.mul_latency)
     return TimingModel(ops=ops, clock_period_ns=args.clock_ns)
+
+
+def _make_perf(args) -> Optional[PerfCounters]:
+    return PerfCounters() if getattr(args, "perf", False) else None
+
+
+def _print_perf(perf: Optional[PerfCounters]) -> None:
+    """Emit counters to stderr so machine-readable stdout stays clean."""
+    if perf is not None:
+        print(perf.render(), file=sys.stderr)
+
+
+def _add_perf_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="print performance counters (candidates evaluated, cache hit "
+        "rates, phase timings) to stderr",
+    )
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan the sweep out over a process pool (serial fallback on "
+        "single-core machines)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool worker count (default: CPU count)",
+    )
+
+
+def _backend(args) -> str:
+    return "auto" if getattr(args, "parallel", False) else "serial"
 
 
 def _add_timing_arguments(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +126,7 @@ def _command_schedule(args) -> int:
     dfg = _load_dfg(args.file)
     timing = _timing(args)
     cs = args.cs or critical_path_length(dfg, timing)
+    perf = _make_perf(args)
     scheduler = MFSScheduler(
         dfg,
         timing,
@@ -94,8 +134,10 @@ def _command_schedule(args) -> int:
         mode="time",
         latency_l=args.latency_l,
         pipelined_kinds=tuple(args.pipelined.split(",")) if args.pipelined else (),
+        perf=perf,
     )
     result = scheduler.run()
+    _print_perf(perf)
     if args.json:
         from repro.io.jsonio import schedule_to_json
 
@@ -128,10 +170,19 @@ def _command_explore(args) -> int:
     budgets = (
         [int(v) for v in args.budgets.split(",")] if args.budgets else None
     )
+    perf = _make_perf(args)
     points = design_space(
-        dfg, timing, datapath_library(), budgets=budgets, style=args.style
+        dfg,
+        timing,
+        datapath_library(),
+        budgets=budgets,
+        style=args.style,
+        backend=_backend(args),
+        workers=args.workers,
+        perf=perf,
     )
     print(render_design_space(points))
+    _print_perf(perf)
     knee = knee_point(pareto_front(points))
     if knee is not None:
         print(f"knee: T={knee.cs}, area {knee.total_area:.0f} um^2")
@@ -142,14 +193,17 @@ def _command_synth(args) -> int:
     dfg = _load_dfg(args.file)
     timing = _timing(args)
     cs = args.cs or critical_path_length(dfg, timing)
+    perf = _make_perf(args)
     scheduler = MFSAScheduler(
         dfg,
         timing,
         datapath_library(),
         cs=cs,
         style=args.style,
+        perf=perf,
     )
     result = scheduler.run()
+    _print_perf(perf)
     if args.json:
         from repro.io.jsonio import synthesis_to_json
 
@@ -226,6 +280,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the (slow) runtime measurements",
     )
+    _add_sweep_arguments(p)
+    _add_perf_argument(p)
 
     p = sub.add_parser("schedule", help="run MFS on a behavioral file")
     p.add_argument("file")
@@ -238,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", action="store_true", help="Graphviz output")
     p.add_argument("--svg", help="write a Gantt chart SVG to this path")
     _add_timing_arguments(p)
+    _add_perf_argument(p)
 
     p = sub.add_parser(
         "explore", help="latency/area design-space sweep on a behavioral file"
@@ -248,6 +305,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--style", type=int, choices=[1, 2], default=1)
     _add_timing_arguments(p)
+    _add_sweep_arguments(p)
+    _add_perf_argument(p)
 
     p = sub.add_parser("synth", help="run MFSA on a behavioral file")
     p.add_argument("file")
@@ -268,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inputs", help="simulation inputs, e.g. a=3,b=5")
     p.add_argument("--json", action="store_true")
     _add_timing_arguments(p)
+    _add_perf_argument(p)
 
     return parser
 
@@ -287,11 +347,20 @@ def main(argv=None) -> int:
     if args.command == "report":
         from repro.bench.report import generate_report, write_report
 
+        perf = _make_perf(args)
+        backend = _backend(args)
+        kwargs = dict(
+            include_runtimes=not args.no_runtimes,
+            backend=backend,
+            workers=args.workers,
+            perf=perf,
+        )
         if args.out:
-            write_report(args.out, include_runtimes=not args.no_runtimes)
+            write_report(args.out, **kwargs)
             print(f"wrote {args.out}", file=sys.stderr)
         else:
-            print(generate_report(include_runtimes=not args.no_runtimes))
+            print(generate_report(**kwargs))
+        _print_perf(perf)
         return 0
     if args.command == "schedule":
         return _command_schedule(args)

@@ -195,12 +195,17 @@ def compute_frames(
     )
 
     banned = set(excluded_instances)
+    is_free = grid.is_free
+    mf_append = frame.mf.append
+    top_col = min(current, max_cols)
     for y in range(pf_rows[0], pf_rows[1] + 1):
-        if frame.in_ff(GridPosition(table, 1, y)):
+        # Inline FrameSet.in_ff: forbidden below (unless chaining re-admits
+        # the row) or at/above the placed-successor bound.
+        if (y <= latest_pred_end and y not in chain_rows) or y >= ff_rows_after:
             continue
-        for x in range(1, min(current, max_cols) + 1):
+        for x in range(1, top_col + 1):
             if x in banned:
                 continue
-            if grid.is_free(node, table, x, y, latency):
-                frame.mf.append(GridPosition(table, x, y))
+            if is_free(node, table, x, y, latency):
+                mf_append(GridPosition(table, x, y))
     return frame

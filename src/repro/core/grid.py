@@ -122,8 +122,12 @@ class PlacementGrid:
             return False
         if y < 1 or y + latency - 1 > self.cs:
             return False
-        for folded in self.occupied_steps(table, y, latency):
-            for other in self._occupants.get((table, x, folded), ()):
+        span = 1 if table in self._pipelined else latency
+        occupants = self._occupants
+        fold = self.latency_l
+        for i in range(span):
+            step = ((y + i - 1) % fold) + 1 if fold else y + i
+            for other in occupants.get((table, x, step), ()):
                 if not self._dfg.mutually_exclusive(node, other):
                     return False
         return True

@@ -44,12 +44,23 @@ class StaticLiapunov:
         """Deterministic total order on positions."""
         return (self.value(position), position.y, position.x)
 
-    def best(self, positions) -> Optional[GridPosition]:
-        """Minimum-energy position of an iterable (None when empty)."""
+    def best(self, positions, values=None) -> Optional[GridPosition]:
+        """Minimum-energy position of an iterable (None when empty).
+
+        ``values`` may carry precomputed energies (a mapping position →
+        energy); the caller typically already evaluated every move-frame
+        position for the trajectory record, and passing them here avoids
+        re-running :meth:`value` once per position inside the argmin
+        (``tie_key`` would otherwise recompute each one).
+        """
         positions = list(positions)
         if not positions:
             return None
-        return min(positions, key=self.tie_key)
+        if values is None:
+            return min(positions, key=self.tie_key)
+        return min(
+            positions, key=lambda p: (values[p], p.y, p.x)
+        )
 
 
 @dataclass

@@ -45,6 +45,7 @@ from repro.core.liapunov import (
 )
 from repro.core.priorities import priority_order
 from repro.core.stability import Trajectory
+from repro.perf import PerfCounters
 
 
 @dataclass
@@ -96,6 +97,16 @@ class MFSScheduler:
         number" fallback).  User-supplied bounds are never relaxed.
     record_frames:
         Keep the last :class:`FrameSet` per node (Figure-2 regeneration).
+        Off by default — the log grows with every rescheduling pass and
+        only the figure harness reads it.
+    record_alternatives:
+        Keep the full (position, energy) list of every move frame in the
+        trajectory (Figure-1 regeneration and the strongest stability
+        check).  On by default; sweeps that only need schedules may turn
+        it off to skip the per-move list construction.
+    perf:
+        Optional :class:`~repro.perf.PerfCounters` receiving frame/
+        position counters and the ``mfs.run`` timer.
     """
 
     def __init__(
@@ -109,6 +120,8 @@ class MFSScheduler:
         pipelined_kinds: Iterable[str] = (),
         relax_bounds: bool = True,
         record_frames: bool = False,
+        record_alternatives: bool = True,
+        perf: Optional[PerfCounters] = None,
     ) -> None:
         if mode not in ("time", "resource"):
             raise ValueError(f"mode must be 'time' or 'resource', got {mode!r}")
@@ -119,6 +132,8 @@ class MFSScheduler:
         self.pipelined_kinds = frozenset(str(k) for k in pipelined_kinds)
         self.relax_bounds = relax_bounds
         self.record_frames = record_frames
+        self.record_alternatives = record_alternatives
+        self.perf = perf
         self.user_bounds = dict(resource_bounds) if resource_bounds else None
 
         dfg.validate(timing.ops)
@@ -178,6 +193,12 @@ class MFSScheduler:
     # ------------------------------------------------------------------
     def run(self) -> MFSResult:
         """Execute MFS and return the full result."""
+        if self.perf is None:
+            return self._run()
+        with self.perf.timer("mfs.run"):
+            return self._run()
+
+    def _run(self) -> MFSResult:
         dfg, timing = self.dfg, self.timing
         if len(dfg) == 0:
             empty = Schedule(dfg=dfg, timing=timing, cs=max(self.cs or 1, 1), starts={})
@@ -221,9 +242,12 @@ class MFSScheduler:
         trajectory = Trajectory()
         frames_log: Dict[str, FrameSet] = {}
 
+        perf = self.perf
         for name in order:
             kind = dfg.node(name).kind
             while True:
+                if perf is not None:
+                    perf.incr("mfs.frames_computed")
                 frame = compute_frames(
                     dfg,
                     timing,
@@ -239,6 +263,8 @@ class MFSScheduler:
                 if not frame.empty:
                     break
                 # §3.2 Step 4: local rescheduling — open one more FU.
+                if perf is not None:
+                    perf.incr("mfs.local_reschedules")
                 if current[kind] < grid.columns(kind):
                     current[kind] += 1
                     continue
@@ -255,18 +281,23 @@ class MFSScheduler:
                 )
             if self.record_frames:
                 frames_log[name] = frame
-            alternatives = tuple(
-                (position, liapunov.value(position)) for position in frame.mf
-            )
-            chosen = liapunov.best(frame.mf)
+            # Single-pass Liapunov evaluation: every move-frame position is
+            # scored exactly once, feeding both the trajectory record and
+            # the argmin (previously ``best`` re-evaluated them all).
+            values = {position: liapunov.value(position) for position in frame.mf}
+            if perf is not None:
+                perf.incr("mfs.positions_evaluated", len(values))
+            chosen = liapunov.best(frame.mf, values=values)
             grid.place(name, chosen, timing.latency(kind))
             placed_starts[name] = chosen.y
             self._update_chain_offset(name, chosen.y, placed_starts, chain_offsets)
             trajectory.record(
                 node=name,
                 position=chosen,
-                energy=liapunov.value(chosen),
-                alternatives=alternatives,
+                energy=values[chosen],
+                alternatives=(
+                    tuple(values.items()) if self.record_alternatives else ()
+                ),
             )
 
         schedule = Schedule(

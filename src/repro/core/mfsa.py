@@ -31,13 +31,18 @@ from repro.library.cells import ALUCell, CellLibrary
 from repro.schedule.types import Schedule
 from repro.allocation.datapath import CostBreakdown, Datapath
 from repro.allocation.lifetimes import Lifetime
-from repro.allocation.mux import MuxOperand, optimize_mux_inputs
+from repro.allocation.mux import (
+    MuxOperand,
+    cached_mux_input_sizes,
+    optimize_mux_inputs,
+)
 from repro.allocation.registers import IncrementalRegisterEstimator
 from repro.core.frames import FrameSet, compute_frames
 from repro.core.grid import GridPosition, PlacementGrid
 from repro.core.liapunov import LiapunovWeights, MFSALiapunov
 from repro.core.priorities import priority_order
 from repro.core.stability import Trajectory
+from repro.perf import PerfCounters
 
 
 @dataclass
@@ -63,9 +68,39 @@ class MFSAResult:
 
 
 class _AllocationState:
-    """Mutable hardware picture MFSA's dynamic Liapunov function reads."""
+    """Mutable hardware picture MFSA's dynamic Liapunov function reads.
 
-    def __init__(self, dfg: DFG, timing: TimingModel, library: CellLibrary) -> None:
+    With ``cache=True`` (the default) two exact memo tables remove the
+    redundant work of candidate evaluation:
+
+    * ``_operand_cache`` — :class:`MuxOperand` construction per node.  A
+      node's operand signals never change during a run, yet the naive path
+      rebuilds the operand of every *member* of an instance for every
+      candidate position probed against that instance.
+    * ``_mux_with_cache`` — mux costs keyed by the instance's committed
+      member tuple plus the candidate.  The optimised mux cost is a pure
+      function of exactly those operand lists (the mux cost table is
+      library-wide), so the key is valid forever: a commit grows the
+      member tuple, which simply routes later probes of that instance to
+      a new key — no invalidation walk.  Misses fall through to the
+      process-wide renaming-canonical optimiser memo in
+      :mod:`repro.allocation.mux`, where isomorphic operand lists across
+      instances, schedulers and runs share one ``optimize_mux_inputs``
+      call.
+
+    Both caches are exact (same inputs → same deterministic optimiser
+    call), so cached and uncached runs produce byte-identical schedules —
+    the property ``tests/core/test_mfsa_equivalence.py`` locks down.
+    """
+
+    def __init__(
+        self,
+        dfg: DFG,
+        timing: TimingModel,
+        library: CellLibrary,
+        cache: bool = True,
+        perf: Optional[PerfCounters] = None,
+    ) -> None:
         self.dfg = dfg
         self.timing = timing
         self.library = library
@@ -74,6 +109,10 @@ class _AllocationState:
         self._mux_cost: Dict[Tuple[str, int], float] = {}
         self.registers = IncrementalRegisterEstimator()
         self.alu_area_spent = 0.0
+        self.cache = cache
+        self.perf = perf
+        self._operand_cache: Dict[str, MuxOperand] = {}
+        self._mux_with_cache: Dict[Tuple[Tuple[str, ...], str], float] = {}
 
     # -- ALU ------------------------------------------------------------
     def instance_open(self, cell: ALUCell, x: int) -> bool:
@@ -85,26 +124,55 @@ class _AllocationState:
 
     # -- MUX ------------------------------------------------------------
     def _mux_operand(self, name: str) -> MuxOperand:
+        if self.cache:
+            cached = self._operand_cache.get(name)
+            if cached is not None:
+                if self.perf is not None:
+                    self.perf.incr("mfsa.operand_cache_hits")
+                return cached
         node = self.dfg.node(name)
         spec = self.timing.ops.spec(node.kind)
         signals = node.operand_names()
-        return MuxOperand(
+        operand = MuxOperand(
             op=name,
             left=signals[0],
             right=signals[1] if len(signals) > 1 else None,
             commutative=spec.commutative,
         )
+        if self.cache:
+            if self.perf is not None:
+                self.perf.incr("mfsa.operand_cache_misses")
+            self._operand_cache[name] = operand
+        return operand
 
     def mux_cost_before(self, cell: ALUCell, x: int) -> float:
         return self._mux_cost.get((cell.name, x), 0.0)
 
     def mux_cost_with(self, cell: ALUCell, x: int, name: str) -> float:
         members = self.ops_on.get((cell.name, x), [])
+        if self.cache:
+            memo_key = (tuple(members), name)
+            cached = self._mux_with_cache.get(memo_key)
+            if cached is not None:
+                if self.perf is not None:
+                    self.perf.incr("mfsa.mux_cache_hits")
+                return cached
         operands = [self._mux_operand(member) for member in members]
         operands.append(self._mux_operand(name))
-        assignment = optimize_mux_inputs(operands)
         costs = self.library.mux_costs
-        return costs.cost(len(assignment.l1)) + costs.cost(len(assignment.l2))
+        if self.cache:
+            # Second level: the process-wide renaming-canonical memo in
+            # repro.allocation.mux — isomorphic operand lists (across
+            # instances, runs and schedulers) share one optimiser call.
+            if self.perf is not None:
+                self.perf.incr("mfsa.mux_cache_misses")
+            n1, n2 = cached_mux_input_sizes(operands, perf=self.perf)
+            cost = costs.cost(n1) + costs.cost(n2)
+            self._mux_with_cache[memo_key] = cost
+        else:
+            assignment = optimize_mux_inputs(operands)
+            cost = costs.cost(len(assignment.l1)) + costs.cost(len(assignment.l2))
+        return cost
 
     def f_mux(self, cell: ALUCell, x: int, name: str) -> float:
         """§4.1: multiplexer cost delta under best signal sharing."""
@@ -152,6 +220,8 @@ class _AllocationState:
         if key not in self.ops_on:
             self.alu_area_spent += cell.area
         self._mux_cost[key] = self.mux_cost_with(cell, x, name)
+        # Appending to the member list retires the old memo key of this
+        # instance automatically — no explicit invalidation needed.
         self.ops_on.setdefault(key, []).append(name)
         self.opened_columns[cell.name] = max(
             self.opened_columns.get(cell.name, 0), x
@@ -183,6 +253,21 @@ class MFSAScheduler:
     max_instances_per_cell:
         Column budget per ALU cell table (default: enough for every
         compatible operation — the "presummed big number").
+    no_cache:
+        Disable the incremental-evaluation layer (operand, mux, f_REG and
+        shared-frame caches) and re-derive every Liapunov term from
+        scratch for every candidate position — the slow reference path
+        the equivalence tests compare against.
+    record_frames:
+        Keep every :class:`FrameSet` built per node (Figure-2 harness
+        only; grows O(ops × gather passes)).  Off by default.
+    record_alternatives:
+        Keep the full (position, energy) candidate list per move in the
+        trajectory.  On by default (it backs the strongest stability
+        check); sweeps may disable it to skip the list construction.
+    perf:
+        Optional :class:`~repro.perf.PerfCounters` receiving candidate/
+        cache counters and the ``mfsa.run`` timer.
     """
 
     def __init__(
@@ -196,10 +281,13 @@ class MFSAScheduler:
         latency_l: Optional[int] = None,
         pipelined_kinds: Iterable[str] = (),
         max_instances_per_cell: Optional[int] = None,
+        no_cache: bool = False,
         record_frames: bool = False,
+        record_alternatives: bool = True,
         count_input_registers: bool = True,
         open_policy: str = "reuse-first",
         area_budget: Optional[float] = None,
+        perf: Optional[PerfCounters] = None,
     ) -> None:
         if style not in (1, 2):
             raise ValueError(f"style must be 1 or 2, got {style}")
@@ -216,7 +304,10 @@ class MFSAScheduler:
         self.latency_l = latency_l
         self.pipelined_kinds = frozenset(str(k) for k in pipelined_kinds)
         self.max_instances_per_cell = max_instances_per_cell
+        self.no_cache = no_cache
         self.record_frames = record_frames
+        self.record_alternatives = record_alternatives
+        self.perf = perf
         self.count_input_registers = count_input_registers
         # "reuse-first" is the paper's redundant-frame rule (open a new ALU
         # instance only when no opened one can host the operation);
@@ -255,6 +346,13 @@ class MFSAScheduler:
 
     # ------------------------------------------------------------------
     def run(self) -> MFSAResult:
+        """Execute MFSA and return the full result."""
+        if self.perf is None:
+            return self._run()
+        with self.perf.timer("mfsa.run"):
+            return self._run()
+
+    def _run(self) -> MFSAResult:
         dfg, timing = self.dfg, self.timing
         if len(dfg) == 0:
             raise ScheduleError("MFSA needs a non-empty DFG")
@@ -294,7 +392,9 @@ class MFSAScheduler:
             pipelined_tables=pipelined_tables,
         )
         liapunov = MFSALiapunov(self.library, self.weights)
-        state = _AllocationState(dfg, timing, self.library)
+        state = _AllocationState(
+            dfg, timing, self.library, cache=not self.no_cache, perf=self.perf
+        )
 
         # Area-budget bookkeeping: cheapest capable cell per kind and how
         # many operations of each kind are still unplaced.  Opening an
@@ -334,10 +434,12 @@ class MFSAScheduler:
         trajectory = Trajectory()
         frames_log: Dict[str, List[FrameSet]] = {}
 
+        perf = self.perf
         for name in order:
             kind = dfg.node(name).kind
             latency = timing.latency(kind)
             reg_cache: Dict[int, Tuple[float, List[Lifetime]]] = {}
+            frame_cache: Dict[str, FrameSet] = {}
             alternatives: List[Tuple[GridPosition, float]] = []
 
             def gather(fresh_instance: bool):
@@ -352,35 +454,78 @@ class MFSAScheduler:
                 """
                 best_key = None
                 best_choice = None
+                use_cache = not self.no_cache
+                # A frame's move positions are per-(x, y) feasibility checks
+                # with no cross-position coupling, so the reuse-pass frame
+                # equals the fresh-pass frame filtered to x <= opened (the
+                # filter the position loop below applies anyway).  On the
+                # cached path compute one frame per cell and share it across
+                # both gather passes; record_frames keeps the faithful
+                # per-pass log for the Figure-2 harness.
+                share_frames = use_cache and not self.record_frames
                 for cell in candidates_by_kind[kind]:
+                    # f_ALU and f_MUX depend on the instance column only,
+                    # not the step: hoist them out of the y-loop (cached
+                    # fast path; the naive reference re-derives per cell).
+                    hw_cache: Dict[int, Tuple[float, float]] = {}
                     opened = state.opened_columns.get(cell.name, 0)
-                    current = (
-                        min(opened + 1, grid.columns(cell.name))
-                        if fresh_instance
-                        else opened
-                    )
-                    if current == 0:
-                        continue
-                    excluded = (
-                        state.excluded_instances(cell, name)
-                        if self.style == 2
-                        else ()
-                    )
-                    frame = compute_frames(
-                        dfg,
-                        timing,
-                        grid,
-                        name,
-                        table=cell.name,
-                        asap=asap,
-                        alap=alap,
-                        current=current,
-                        placed_starts=placed_starts,
-                        chain_offsets=chain_offsets,
-                        excluded_instances=excluded,
-                    )
-                    if self.record_frames:
-                        frames_log.setdefault(name, []).append(frame)
+                    if share_frames:
+                        if not fresh_instance and opened == 0:
+                            continue
+                        frame = frame_cache.get(cell.name)
+                        if frame is None:
+                            if perf is not None:
+                                perf.incr("mfsa.frames_computed")
+                            frame = compute_frames(
+                                dfg,
+                                timing,
+                                grid,
+                                name,
+                                table=cell.name,
+                                asap=asap,
+                                alap=alap,
+                                current=min(
+                                    opened + 1, grid.columns(cell.name)
+                                ),
+                                placed_starts=placed_starts,
+                                chain_offsets=chain_offsets,
+                                excluded_instances=(
+                                    state.excluded_instances(cell, name)
+                                    if self.style == 2
+                                    else ()
+                                ),
+                            )
+                            frame_cache[cell.name] = frame
+                    else:
+                        current = (
+                            min(opened + 1, grid.columns(cell.name))
+                            if fresh_instance
+                            else opened
+                        )
+                        if current == 0:
+                            continue
+                        excluded = (
+                            state.excluded_instances(cell, name)
+                            if self.style == 2
+                            else ()
+                        )
+                        if perf is not None:
+                            perf.incr("mfsa.frames_computed")
+                        frame = compute_frames(
+                            dfg,
+                            timing,
+                            grid,
+                            name,
+                            table=cell.name,
+                            asap=asap,
+                            alap=alap,
+                            current=current,
+                            placed_starts=placed_starts,
+                            chain_offsets=chain_offsets,
+                            excluded_instances=excluded,
+                        )
+                        if self.record_frames:
+                            frames_log.setdefault(name, []).append(frame)
                     for position in frame.mf:
                         if not fresh_instance and position.x > opened:
                             continue
@@ -393,7 +538,9 @@ class MFSAScheduler:
                             > self.area_budget
                         ):
                             continue
-                        if position.y not in reg_cache:
+                        if not use_cache or position.y not in reg_cache:
+                            if perf is not None:
+                                perf.incr("mfsa.reg_cache_misses")
                             lifetimes = state.input_lifetimes(
                                 name,
                                 position.y,
@@ -404,11 +551,26 @@ class MFSAScheduler:
                                 state.f_reg(lifetimes),
                                 lifetimes,
                             )
+                        elif perf is not None:
+                            perf.incr("mfsa.reg_cache_hits")
                         f_reg, lifetimes = reg_cache[position.y]
-                        f_alu = state.f_alu(cell, position.x)
-                        f_mux = state.f_mux(cell, position.x, name)
+                        if use_cache:
+                            hw = hw_cache.get(position.x)
+                            if hw is None:
+                                hw = (
+                                    state.f_alu(cell, position.x),
+                                    state.f_mux(cell, position.x, name),
+                                )
+                                hw_cache[position.x] = hw
+                            f_alu, f_mux = hw
+                        else:
+                            f_alu = state.f_alu(cell, position.x)
+                            f_mux = state.f_mux(cell, position.x, name)
                         energy = liapunov.value(position.y, f_alu, f_mux, f_reg)
-                        alternatives.append((position, energy))
+                        if perf is not None:
+                            perf.incr("mfsa.candidates_evaluated")
+                        if self.record_alternatives:
+                            alternatives.append((position, energy))
                         key = (
                             energy,
                             position.y,

@@ -85,24 +85,86 @@ def _evaluate_div(a: int, b: int) -> int:
     return quotient
 
 
+# Named (module-level) evaluators: specs must stay picklable so schedules,
+# timing models and synthesis results can cross process-pool boundaries.
+def _evaluate_add(a: int, b: int) -> int:
+    return a + b
+
+
+def _evaluate_sub(a: int, b: int) -> int:
+    return a - b
+
+
+def _evaluate_mul(a: int, b: int) -> int:
+    return a * b
+
+
+def _evaluate_eq(a: int, b: int) -> int:
+    return int(a == b)
+
+
+def _evaluate_lt(a: int, b: int) -> int:
+    return int(a < b)
+
+
+def _evaluate_gt(a: int, b: int) -> int:
+    return int(a > b)
+
+
+def _evaluate_and(a: int, b: int) -> int:
+    return a & b
+
+
+def _evaluate_or(a: int, b: int) -> int:
+    return a | b
+
+
+def _evaluate_xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _evaluate_not(a: int) -> int:
+    return ~a
+
+
+def _evaluate_shl(a: int, b: int) -> int:
+    return a << (b & 31)
+
+
+def _evaluate_shr(a: int, b: int) -> int:
+    return a >> (b & 31)
+
+
+def _evaluate_neg(a: int) -> int:
+    return -a
+
+
+def _evaluate_move(a: int) -> int:
+    return a
+
+
+def _evaluate_default(*_args: int) -> int:
+    return 0
+
+
 _EVALUATORS: Mapping[str, Callable[..., int]] = {
-    OpKind.ADD: lambda a, b: a + b,
-    OpKind.SUB: lambda a, b: a - b,
-    OpKind.MUL: lambda a, b: a * b,
+    OpKind.ADD: _evaluate_add,
+    OpKind.SUB: _evaluate_sub,
+    OpKind.MUL: _evaluate_mul,
     OpKind.DIV: _evaluate_div,
-    OpKind.EQ: lambda a, b: int(a == b),
-    OpKind.LT: lambda a, b: int(a < b),
-    OpKind.GT: lambda a, b: int(a > b),
-    OpKind.AND: lambda a, b: a & b,
-    OpKind.OR: lambda a, b: a | b,
-    OpKind.XOR: lambda a, b: a ^ b,
-    OpKind.NOT: lambda a: ~a,
-    OpKind.SHL: lambda a, b: a << (b & 31),
-    OpKind.SHR: lambda a, b: a >> (b & 31),
-    OpKind.NEG: lambda a: -a,
+    OpKind.EQ: _evaluate_eq,
+    OpKind.LT: _evaluate_lt,
+    OpKind.GT: _evaluate_gt,
+    OpKind.AND: _evaluate_and,
+    OpKind.OR: _evaluate_or,
+    OpKind.XOR: _evaluate_xor,
+    OpKind.NOT: _evaluate_not,
+    OpKind.SHL: _evaluate_shl,
+    OpKind.SHR: _evaluate_shr,
+    OpKind.NEG: _evaluate_neg,
     OpKind.MIN: min,
     OpKind.MAX: max,
-    OpKind.MOVE: lambda a: a,
+    OpKind.MOVE: _evaluate_move,
 }
 
 _COMMUTATIVE = {
@@ -152,7 +214,7 @@ class OpSpec:
     commutative: bool = False
     arity: int = 2
     symbol: str = "?"
-    evaluate: Callable[..., int] = field(default=lambda *args: 0, repr=False)
+    evaluate: Callable[..., int] = field(default=_evaluate_default, repr=False)
 
     def __post_init__(self) -> None:
         if self.latency < 1:
@@ -202,12 +264,14 @@ class OperationSet:
 
     def __init__(self, specs: Iterable[OpSpec] = ()) -> None:
         self._specs: Dict[str, OpSpec] = {}
+        self._latencies: Dict[str, int] = {}
         for spec in specs:
             self.register(spec)
 
     def register(self, spec: OpSpec) -> None:
         """Add or replace the spec for ``spec.kind``."""
         self._specs[str(spec.kind)] = spec
+        self._latencies[str(spec.kind)] = spec.latency
 
     def spec(self, kind: str) -> OpSpec:
         """Return the spec for ``kind``; raise if it is not registered."""
@@ -233,7 +297,10 @@ class OperationSet:
 
     def latency(self, kind: str) -> int:
         """Latency in control steps of ``kind``."""
-        return self.spec(kind).latency
+        try:
+            return self._latencies[kind]
+        except (KeyError, TypeError):
+            return self.spec(kind).latency
 
     def delay_ns(self, kind: str) -> float:
         """Combinational delay in nanoseconds of ``kind``."""

@@ -12,7 +12,7 @@ collect the cost metrics, extract the Pareto front and pick a knee.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import InfeasibleScheduleError
 from repro.dfg.analysis import TimingModel, critical_path_length
@@ -20,6 +20,8 @@ from repro.dfg.graph import DFG
 from repro.library.cells import CellLibrary
 from repro.core.liapunov import LiapunovWeights
 from repro.core.mfsa import MFSAResult, MFSAScheduler
+from repro.perf import PerfCounters
+from repro.sweep import SweepExecutor, merge_worker_perf
 
 
 @dataclass(frozen=True)
@@ -42,6 +44,55 @@ class DesignPoint:
         )
 
 
+def default_budget_ladder(dfg: DFG, timing: TimingModel) -> List[int]:
+    """The default sweep ladder: critical path up to the serial length."""
+    base = critical_path_length(dfg, timing)
+    serial = sum(timing.latency(node.kind) for node in dfg)
+    ladder = sorted(
+        {
+            base,
+            base + 1,
+            base + 2,
+            base + 4,
+            base + 8,
+            (base + serial) // 2,
+            serial,
+        }
+    )
+    return [cs for cs in ladder if cs >= base]
+
+
+def _design_point_worker(payload) -> Tuple[int, Optional[dict], Optional[MFSAResult], Optional[dict]]:
+    """Synthesise one budget (module-level so process pools can pickle it).
+
+    Returns ``(cs, point_fields, result | None, perf_snapshot | None)``;
+    ``point_fields`` is ``None`` for infeasible budgets.
+    """
+    dfg, timing, library, cs, style, weights, keep_results, want_perf = payload
+    perf = PerfCounters() if want_perf else None
+    try:
+        result = MFSAScheduler(
+            dfg, timing, library, cs=cs, style=style, weights=weights, perf=perf
+        ).run()
+    except InfeasibleScheduleError:
+        return cs, None, None, perf.as_dict() if perf else None
+    cost = result.cost
+    fields = dict(
+        cs=cs,
+        total_area=cost.total,
+        alu_area=cost.alu,
+        register_count=result.datapath.register_count(),
+        mux_inputs=result.datapath.mux_inputs(),
+        alu_labels=tuple(sorted(result.alu_labels())),
+    )
+    return (
+        cs,
+        fields,
+        result if keep_results else None,
+        perf.as_dict() if perf else None,
+    )
+
+
 def design_space(
     dfg: DFG,
     timing: TimingModel,
@@ -50,6 +101,9 @@ def design_space(
     style: int = 1,
     weights: LiapunovWeights = LiapunovWeights(),
     keep_results: bool = False,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    perf: Optional[PerfCounters] = None,
 ) -> List[DesignPoint]:
     """Synthesise the behaviour across a range of time budgets.
 
@@ -60,46 +114,35 @@ def design_space(
     With ``keep_results`` each point's full :class:`MFSAResult` is
     attached via the ``results`` attribute of the returned list (a plain
     list subclass), for callers that want the actual datapaths.
+
+    ``backend`` selects the sweep executor (``"serial"`` — the default,
+    ``"process"`` — a :mod:`concurrent.futures` pool over budgets,
+    ``"auto"`` — processes when the machine has them).  Results are
+    identical in value and order on every backend; ``perf`` (optional
+    :class:`~repro.perf.PerfCounters`) aggregates scheduler counters
+    across all budgets, merged from workers when the pool runs.
     """
     if budgets is None:
-        base = critical_path_length(dfg, timing)
-        serial = sum(timing.latency(node.kind) for node in dfg)
-        ladder = sorted(
-            {
-                base,
-                base + 1,
-                base + 2,
-                base + 4,
-                base + 8,
-                (base + serial) // 2,
-                serial,
-            }
-        )
-        budgets = [cs for cs in ladder if cs >= base]
+        budgets = default_budget_ladder(dfg, timing)
 
     class _PointList(list):
         results: dict
 
+    payloads = [
+        (dfg, timing, library, cs, style, weights, keep_results, perf is not None)
+        for cs in budgets
+    ]
+    executor = SweepExecutor(backend=backend, workers=workers, perf=perf)
+    outcomes = executor.map(_design_point_worker, payloads)
+    merge_worker_perf(perf, (snap for _cs, _f, _r, snap in outcomes))
+
     points = _PointList()
     points.results = {}
-    for cs in budgets:
-        try:
-            result = MFSAScheduler(
-                dfg, timing, library, cs=cs, style=style, weights=weights
-            ).run()
-        except InfeasibleScheduleError:
+    for cs, fields, result, _snapshot in outcomes:
+        if fields is None:
             continue
-        cost = result.cost
-        point = DesignPoint(
-            cs=cs,
-            total_area=cost.total,
-            alu_area=cost.alu,
-            register_count=result.datapath.register_count(),
-            mux_inputs=result.datapath.mux_inputs(),
-            alu_labels=tuple(sorted(result.alu_labels())),
-        )
-        points.append(point)
-        if keep_results:
+        points.append(DesignPoint(**fields))
+        if keep_results and result is not None:
             points.results[cs] = result
     return points
 

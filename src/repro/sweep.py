@@ -1,0 +1,144 @@
+"""Parallel sweep execution for design-space and table regeneration.
+
+Every harness in this repository has the same shape: a list of independent
+work items (time budgets, Table-1 cells, Table-2 rows, ablation grid
+points) mapped through a pure synthesis function.  :class:`SweepExecutor`
+fans such maps out over a :mod:`concurrent.futures` process pool while
+keeping the *contract* of the serial loop:
+
+* **deterministic ordering** — results come back in item order, always
+  (``ProcessPoolExecutor.map`` preserves input order; the serial path is
+  a plain loop);
+* **identical values** — workers run the exact same function on the exact
+  same picklable payloads, so a process-pool sweep is byte-for-byte
+  interchangeable with a serial one (locked down by the test suite);
+* **graceful degradation** — on a single-core box, in restricted sandboxes
+  where forking fails, or for payloads that refuse to pickle, the executor
+  silently falls back to the serial loop rather than erroring out.
+
+Workers must be module-level functions and payloads picklable; the
+callers in :mod:`repro.explore` and :mod:`repro.bench` define dedicated
+``_*_worker`` functions for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.perf import PerfCounters
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognised backend names.
+BACKENDS = ("auto", "process", "serial")
+
+
+def default_workers() -> int:
+    """Worker count used when the caller does not pin one."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class SweepExecutor:
+    """Order-preserving map over independent sweep items.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` — plain in-process loop; ``"process"`` — always use a
+        :class:`ProcessPoolExecutor`; ``"auto"`` — use processes when the
+        machine has more than one CPU and there is more than one item,
+        else serial.
+    workers:
+        Process count for the pool (default: ``os.cpu_count()``).
+    perf:
+        Optional :class:`~repro.perf.PerfCounters`; receives a
+        ``sweep.tasks`` count and a ``sweep.map`` timer, and is the merge
+        target for worker-side snapshots (see :func:`merge_worker_perf`).
+    """
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        workers: Optional[int] = None,
+        perf: Optional[PerfCounters] = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.backend = backend
+        self.workers = workers or default_workers()
+        self.perf = perf
+
+    # ------------------------------------------------------------------
+    def _use_processes(self, n_items: int) -> bool:
+        if self.backend == "serial":
+            return False
+        if self.backend == "process":
+            return True
+        return self.workers > 1 and n_items > 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results in item order.
+
+        The process path requires ``fn`` to be a module-level function and
+        the items/results to pickle; when they do not (checked up front
+        for the items, so no half-finished pool is left behind), or when
+        the pool itself cannot start, the serial loop runs instead.
+        """
+        items = list(items)
+        if self.perf is None:
+            return self._map(fn, items)
+        with self.perf.timer("sweep.map"):
+            return self._map(fn, items)
+
+    def _map(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
+        if self.perf is not None:
+            self.perf.incr("sweep.tasks", len(items))
+        if self._use_processes(len(items)):
+            try:
+                pickle.dumps((fn, items))
+            except Exception:
+                pass  # unpicklable payload: run serial below
+            else:
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(self.workers, len(items))
+                    ) as pool:
+                        return list(pool.map(fn, items))
+                except (OSError, PermissionError):
+                    pass  # pool could not start (sandbox, no /dev/shm, …)
+        return [fn(item) for item in items]
+
+
+def sweep_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    backend: str = "auto",
+    workers: Optional[int] = None,
+    perf: Optional[PerfCounters] = None,
+) -> List[R]:
+    """One-call convenience wrapper around :class:`SweepExecutor`."""
+    return SweepExecutor(backend=backend, workers=workers, perf=perf).map(
+        fn, items
+    )
+
+
+def merge_worker_perf(perf: Optional[PerfCounters], snapshots) -> None:
+    """Fold worker-side :meth:`PerfCounters.as_dict` snapshots into ``perf``.
+
+    Workers cannot mutate the caller's counter object across process
+    boundaries, so parallel workers return ``(result, snapshot)`` pairs
+    and the caller merges the snapshots after the map completes.
+    """
+    if perf is None:
+        return
+    for snapshot in snapshots:
+        if snapshot:
+            perf.merge(snapshot)

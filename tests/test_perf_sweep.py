@@ -1,0 +1,169 @@
+"""Tests for the performance layer: counters, timers, sweep executor.
+
+The sweep contract under test is the acceptance criterion of the perf PR:
+``design_space`` over >= 6 budgets through the process-pool backend must
+return results identical — same order, same values — to the serial
+backend.  On single-core boxes the pool degrades to one worker process
+but the contract still holds.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.suites import EXAMPLES
+from repro.bench.table1 import table1_rows
+from repro.bench.table2 import table2_rows
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.ops import standard_operation_set
+from repro.explore import default_budget_ladder, design_space
+from repro.library.ncr import datapath_library
+from repro.perf import PerfCounters
+from repro.sweep import SweepExecutor, default_workers, sweep_map
+
+TIMING = TimingModel(ops=standard_operation_set())
+LIBRARY = datapath_library()
+
+
+# ---------------------------------------------------------------------------
+# PerfCounters
+# ---------------------------------------------------------------------------
+class TestPerfCounters:
+    def test_incr_and_get(self):
+        perf = PerfCounters()
+        perf.incr("a")
+        perf.incr("a", 4)
+        assert perf.get("a") == 5
+        assert perf.get("missing") == 0
+
+    def test_timer_accumulates(self):
+        perf = PerfCounters()
+        with perf.timer("phase"):
+            pass
+        with perf.timer("phase"):
+            pass
+        assert perf.timers["phase"] >= 0.0
+
+    def test_hit_rate(self):
+        perf = PerfCounters()
+        perf.incr("cache_hits", 3)
+        perf.incr("cache_misses", 1)
+        assert perf.hit_rate("cache") == pytest.approx(0.75)
+        assert perf.hit_rate("nothing") is None
+
+    def test_merge_snapshot_roundtrip(self):
+        worker = PerfCounters()
+        worker.incr("n", 2)
+        worker.add_time("t", 0.5)
+        main = PerfCounters()
+        main.incr("n", 1)
+        main.merge(worker.as_dict())
+        assert main.get("n") == 3
+        assert main.timers["t"] == pytest.approx(0.5)
+
+    def test_render_mentions_counters(self):
+        perf = PerfCounters()
+        perf.incr("mfsa.candidates_evaluated", 7)
+        text = perf.render()
+        assert "mfsa.candidates_evaluated" in text
+        assert "7" in text
+
+
+# ---------------------------------------------------------------------------
+# SweepExecutor basics
+# ---------------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+class TestSweepExecutor:
+    def test_serial_map_preserves_order(self):
+        assert sweep_map(_square, [3, 1, 2], backend="serial") == [9, 1, 4]
+
+    def test_process_map_matches_serial(self):
+        items = list(range(12))
+        serial = sweep_map(_square, items, backend="serial")
+        process = sweep_map(_square, items, backend="process", workers=2)
+        assert process == serial
+
+    def test_unpicklable_payload_falls_back_to_serial(self):
+        items = [lambda: 1]  # lambdas do not pickle
+        with pytest.raises(Exception):
+            pickle.dumps(items)
+        result = SweepExecutor(backend="process").map(lambda f: f(), items)
+        assert result == [1]
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(backend="threads")
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=0)
+
+    def test_perf_counts_tasks(self):
+        perf = PerfCounters()
+        sweep_map(_square, [1, 2, 3], backend="serial", perf=perf)
+        assert perf.get("sweep.tasks") == 3
+        assert "sweep.map" in perf.timers
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: design_space process pool == serial, >= 6 budgets
+# ---------------------------------------------------------------------------
+def _ladder(dfg, timing, minimum=6):
+    budgets = default_budget_ladder(dfg, timing)
+    base = budgets[-1]
+    while len(budgets) < minimum:
+        base += 1
+        budgets.append(base)
+    return budgets
+
+
+class TestDesignSpaceBackends:
+    def test_process_identical_to_serial_six_budgets(self):
+        spec = EXAMPLES["ex2"]
+        dfg = spec.build()
+        budgets = _ladder(dfg, TIMING)
+        assert len(budgets) >= 6
+        serial = design_space(dfg, TIMING, LIBRARY, budgets=budgets)
+        pooled = design_space(
+            dfg, TIMING, LIBRARY, budgets=budgets, backend="process"
+        )
+        assert pooled == serial  # same order, same values
+
+    def test_auto_backend_matches_serial(self):
+        spec = EXAMPLES["ex1"]
+        dfg = spec.build()
+        budgets = _ladder(dfg, TIMING)
+        serial = design_space(dfg, TIMING, LIBRARY, budgets=budgets)
+        auto = design_space(
+            dfg, TIMING, LIBRARY, budgets=budgets, backend="auto"
+        )
+        assert auto == serial
+
+    def test_worker_perf_merged_across_pool(self):
+        spec = EXAMPLES["ex1"]
+        dfg = spec.build()
+        budgets = _ladder(dfg, TIMING)
+        perf = PerfCounters()
+        design_space(
+            dfg, TIMING, LIBRARY, budgets=budgets, backend="process", perf=perf
+        )
+        assert perf.get("sweep.tasks") == len(budgets)
+        assert perf.get("mfsa.candidates_evaluated") > 0
+
+
+class TestTableBackends:
+    def test_table1_process_identical_to_serial(self):
+        keys = ["ex1", "ex2"]
+        serial = table1_rows(keys=keys)
+        pooled = table1_rows(keys=keys, backend="process", workers=2)
+        assert pooled == serial
+
+    def test_table2_process_identical_to_serial(self):
+        keys = ["ex1"]
+        serial = table2_rows(keys=keys)
+        pooled = table2_rows(keys=keys, backend="process", workers=2)
+        assert pooled == serial
