@@ -1,0 +1,96 @@
+"""Allocation- and RTL-level consistency checks.
+
+Wraps the static datapath verifier (binding capability, temporal
+exclusivity per ALU, mux routing, register-lifetime sharing, controller
+consistency) and extends it to the structural netlist: the materialised
+RTL must reference only declared resources, and declare exactly the
+resources the allocation produced.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import RTLError
+from repro.allocation.datapath import Datapath
+from repro.allocation.verify import verify_datapath
+from repro.check.report import Violation
+
+
+def check_datapath_consistency(
+    datapath: Datapath, expect_style2: bool = False
+) -> List[Violation]:
+    """Audit the allocated datapath structure (§5.6/§5.8 invariants)."""
+    return [
+        Violation("datapath.structure", datapath.schedule.dfg.name, message)
+        for message in verify_datapath(datapath, expect_style2=expect_style2)
+    ]
+
+
+def check_netlist_consistency(datapath: Datapath) -> List[Violation]:
+    """Audit the structural netlist implied by the datapath.
+
+    * the netlist builds and passes its own pin-reference validation
+      (every net's driver and sinks name declared components);
+    * every ALU instance and every allocated register materialises as
+      exactly one component — no resource is dropped or invented.
+    """
+    violations: List[Violation] = []
+    try:
+        from repro.rtl.netlist import build_netlist
+
+        netlist = build_netlist(datapath)
+        netlist.validate()
+    except RTLError as error:
+        return [
+            Violation(
+                "netlist.invalid", datapath.schedule.dfg.name, str(error)
+            )
+        ]
+
+    alus = netlist.count("alu")
+    if alus != len(datapath.instances):
+        violations.append(
+            Violation(
+                "netlist.alu-count",
+                datapath.schedule.dfg.name,
+                f"netlist declares {alus} ALUs, allocation produced "
+                f"{len(datapath.instances)}",
+            )
+        )
+    registers = netlist.count("reg")
+    if registers != datapath.registers.count:
+        violations.append(
+            Violation(
+                "netlist.register-count",
+                datapath.schedule.dfg.name,
+                f"netlist declares {registers} registers, allocation "
+                f"produced {datapath.registers.count}",
+            )
+        )
+    # Every bound operation must appear on exactly one ALU component.
+    for op, key in sorted(datapath.binding.items()):
+        ops_of_key = [
+            name
+            for name, component in netlist.components.items()
+            if component.kind == "alu" and op in component.params.get("ops", [])
+        ]
+        if not ops_of_key:
+            violations.append(
+                Violation(
+                    "netlist.unbound-op",
+                    op,
+                    f"bound to ALU {key} but no netlist ALU component "
+                    f"lists it",
+                )
+            )
+        elif len(ops_of_key) > 1:
+            violations.append(
+                Violation(
+                    "netlist.multiply-bound-op",
+                    op,
+                    f"listed by {len(ops_of_key)} ALU components "
+                    f"({sorted(ops_of_key)})",
+                )
+            )
+    return violations

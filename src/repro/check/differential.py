@@ -1,0 +1,160 @@
+"""Differential cross-validation against the baseline schedulers.
+
+Runs the list, force-directed and (for small graphs) exact schedulers on
+the same problem and checks the consistency relations that must hold
+between independent implementations:
+
+* every baseline that claims feasibility produces a *legal* schedule
+  (audited by the same legality checker MFS results go through);
+* every schedule respects the distribution lower bound
+  ``units(kind) >= ceil(N_kind / cs)`` (skipped when the graph carries
+  mutually exclusive branches, which legitimately share units);
+* MFS never reports fewer total FUs than the exact branch-and-bound
+  optimum — if it does, the FU accounting of one of the two is broken.
+
+Disagreements in *quality* (MFS needing more units than a baseline) are
+expected and reported as data, not violations; only impossible results
+count as breaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import InfeasibleScheduleError, ReproError
+from repro.dfg.analysis import TimingModel
+from repro.dfg.graph import DFG
+from repro.schedule.types import Schedule
+from repro.schedule.exact import exact_schedule
+from repro.schedule.force_directed import force_directed_schedule
+from repro.schedule.list_scheduler import list_schedule_time_constrained
+from repro.check.report import Violation
+from repro.check.schedule import check_schedule_legality
+
+#: Exact branch and bound is exponential; beyond this many operations the
+#: differential pass skips it rather than stall the audit.
+EXACT_OP_LIMIT = 24
+
+#: Search-tree budget for the exact scheduler inside audits.  If the
+#: limit is hit the result is best-effort, not optimal, so the optimum
+#: comparison is skipped (``DifferentialOutcome.exact_is_optimal``).
+EXACT_NODE_LIMIT = 300_000
+
+
+@dataclass
+class DifferentialOutcome:
+    """What the cross-validation actually ran and measured."""
+
+    baselines: Dict[str, Schedule] = field(default_factory=dict)
+    skipped: Dict[str, str] = field(default_factory=dict)
+    fu_totals: Dict[str, int] = field(default_factory=dict)
+    exact_is_optimal: bool = False
+
+
+def _has_exclusive_branches(dfg: DFG) -> bool:
+    return any(dfg.node(name).branch for name in dfg.node_names())
+
+
+def cross_validate(
+    dfg: DFG,
+    timing: TimingModel,
+    cs: int,
+    fu_counts: Optional[Dict[str, int]] = None,
+    latency_l: Optional[int] = None,
+    pipelined_kinds: frozenset = frozenset(),
+    exact_op_limit: int = EXACT_OP_LIMIT,
+    exact_node_limit: int = EXACT_NODE_LIMIT,
+) -> tuple:
+    """Cross-validate one time-constrained scheduling problem.
+
+    ``fu_counts`` is the MFS/MFSA per-kind unit demand being audited (its
+    total is compared against the exact optimum).  ``latency_l`` /
+    ``pipelined_kinds`` describe the audited run: the baselines model
+    neither functional nor structural pipelining, so their unit counts
+    are not comparable to a pipelined run and the optimum comparison is
+    skipped.  Returns ``(violations, outcome)``.
+    """
+    violations: List[Violation] = []
+    outcome = DifferentialOutcome()
+    exclusive = _has_exclusive_branches(dfg)
+
+    def record(name: str, schedule: Schedule) -> None:
+        outcome.baselines[name] = schedule
+        for violation in check_schedule_legality(schedule):
+            violations.append(
+                Violation(
+                    f"differential.{name}.{violation.code}",
+                    violation.subject,
+                    violation.message,
+                )
+            )
+        usage = schedule.fu_usage()
+        outcome.fu_totals[name] = sum(usage.values())
+        if not exclusive:
+            counts = dfg.count_by_kind()
+            for kind, count in counts.items():
+                lower = -(-count // cs)
+                if usage.get(kind, 0) < lower:
+                    violations.append(
+                        Violation(
+                            f"differential.{name}.lower-bound",
+                            kind,
+                            f"reports {usage.get(kind, 0)} units, the "
+                            f"distribution lower bound is {lower}",
+                        )
+                    )
+
+    try:
+        record("list", list_schedule_time_constrained(dfg, timing, cs))
+    except InfeasibleScheduleError as error:
+        outcome.skipped["list"] = str(error)
+    try:
+        record("force-directed", force_directed_schedule(dfg, timing, cs))
+    except (InfeasibleScheduleError, RecursionError) as error:
+        outcome.skipped["force-directed"] = str(error)
+
+    pipelined = latency_l is not None or bool(pipelined_kinds)
+    run_exact = (
+        len(dfg) <= exact_op_limit
+        and not timing.chaining
+        and not exclusive
+        and not pipelined
+    )
+    if run_exact:
+        try:
+            stats: Dict[str, object] = {}
+            exact = exact_schedule(
+                dfg, timing, cs, node_limit=exact_node_limit, stats=stats
+            )
+            record("exact", exact)
+            # A truncated search returns a legal but possibly suboptimal
+            # schedule; only a complete one certifies the optimum.
+            outcome.exact_is_optimal = bool(stats.get("complete"))
+        except (InfeasibleScheduleError, ReproError) as error:
+            outcome.skipped["exact"] = str(error)
+    else:
+        outcome.skipped["exact"] = (
+            "graph too large, chained, pipelined, or carries exclusive "
+            "branches"
+        )
+
+    if fu_counts is not None:
+        audited_total = sum(fu_counts.values())
+        outcome.fu_totals["audited"] = audited_total
+        exact_total = outcome.fu_totals.get("exact")
+        if (
+            outcome.exact_is_optimal
+            and exact_total is not None
+            and audited_total < exact_total
+        ):
+            violations.append(
+                Violation(
+                    "differential.beats-exact",
+                    dfg.name,
+                    f"audited run reports {audited_total} total FUs, "
+                    f"below the exact optimum {exact_total}: FU "
+                    f"accounting of one scheduler is broken",
+                )
+            )
+    return violations, outcome

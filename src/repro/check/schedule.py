@@ -1,0 +1,308 @@
+"""Schedule-legality and grid-occupancy invariant checks.
+
+These mirror :meth:`repro.schedule.types.Schedule.validate` but collect
+*every* violation instead of raising on the first, and go further than
+the value object can: ASAP/ALAP containment is re-derived from the graph,
+and a :class:`~repro.core.grid.PlacementGrid` is audited cell by cell
+against the schedule it is supposed to mirror (folded
+functional-pipelining steps included).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.dfg.analysis import alap_schedule, asap_schedule
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.types import Schedule
+from repro.core.grid import GridPosition, PlacementGrid
+from repro.check.report import Violation
+
+
+def check_schedule_legality(
+    schedule: Schedule,
+    resource_bounds: Optional[Mapping[str, int]] = None,
+) -> List[Violation]:
+    """Audit coverage, bounds, precedence, chaining and resource limits."""
+    violations: List[Violation] = []
+    dfg, timing = schedule.dfg, schedule.timing
+
+    # Coverage: every node scheduled exactly once, no strays.
+    scheduled = set(schedule.starts)
+    nodes = set(dfg.node_names())
+    for name in sorted(nodes - scheduled):
+        violations.append(
+            Violation("schedule.unscheduled", name, "node has no start step")
+        )
+    for name in sorted(scheduled - nodes):
+        violations.append(
+            Violation(
+                "schedule.unknown-node", name, "schedule mentions unknown node"
+            )
+        )
+
+    # Bounds: start within [1, cs], multi-cycle span within the budget.
+    for name in sorted(scheduled & nodes):
+        start = schedule.starts[name]
+        latency = timing.latency(dfg.node(name).kind)
+        if start < 1:
+            violations.append(
+                Violation(
+                    "schedule.before-start",
+                    name,
+                    f"starts at step {start} (< 1)",
+                )
+            )
+        if start + latency - 1 > schedule.cs:
+            violations.append(
+                Violation(
+                    "schedule.exceeds-budget",
+                    name,
+                    f"latency {latency} starting at {start} exceeds the "
+                    f"{schedule.cs}-step budget",
+                )
+            )
+
+    # Precedence (chaining-aware, §5.4).
+    for node in dfg:
+        if node.name not in schedule.starts:
+            continue
+        start = schedule.starts[node.name]
+        for pred in node.predecessor_names():
+            if pred not in schedule.starts:
+                continue
+            pred_end = schedule.end(pred)
+            if start > pred_end:
+                continue
+            chainable = (
+                timing.chaining
+                and start == pred_end
+                and timing.latency(node.kind) == 1
+                and timing.latency(dfg.node(pred).kind) == 1
+            )
+            if not chainable:
+                violations.append(
+                    Violation(
+                        "schedule.precedence",
+                        node.name,
+                        f"step {start} does not follow predecessor {pred!r} "
+                        f"finishing at step {pred_end}",
+                    )
+                )
+
+    # Chained combinational delay must fit the clock period.
+    if timing.chaining:
+        period = timing.clock_period_ns
+        offsets: Dict[str, float] = {}
+        for name in dfg.topological_order():
+            node = dfg.node(name)
+            if name not in schedule.starts or timing.latency(node.kind) != 1:
+                continue
+            start = schedule.starts[name]
+            incoming = 0.0
+            for pred in node.predecessor_names():
+                if (
+                    pred in schedule.starts
+                    and schedule.end(pred) == start
+                    and pred in offsets
+                ):
+                    incoming = max(incoming, offsets[pred])
+            offsets[name] = incoming + timing.delay_ns(node.kind)
+            if offsets[name] > period + 1e-9:
+                violations.append(
+                    Violation(
+                        "schedule.chain-delay",
+                        name,
+                        f"chained path takes {offsets[name]:.1f} ns at step "
+                        f"{start}, longer than the {period} ns clock",
+                    )
+                )
+
+    # Optional per-kind resource bounds (folding + exclusion aware).
+    if resource_bounds is not None:
+        for kind, used in schedule.fu_usage().items():
+            limit = resource_bounds.get(kind)
+            if limit is not None and used > limit:
+                violations.append(
+                    Violation(
+                        "schedule.resource-bound",
+                        kind,
+                        f"uses {used} units, bound is {limit}",
+                    )
+                )
+    return violations
+
+
+def check_frame_containment(schedule: Schedule) -> List[Violation]:
+    """Every start step must lie inside the node's [ASAP, ALAP] frame.
+
+    The frames are re-derived from the graph, so this catches schedulers
+    that drifted outside the §3.2 primary frame — something
+    :meth:`Schedule.validate` cannot see.
+    """
+    violations: List[Violation] = []
+    dfg, timing = schedule.dfg, schedule.timing
+    try:
+        asap = asap_schedule(dfg, timing)
+        alap = alap_schedule(dfg, timing, schedule.cs)
+    except InfeasibleScheduleError as error:
+        return [
+            Violation(
+                "schedule.infeasible-frames",
+                dfg.name,
+                f"ASAP/ALAP infeasible for cs={schedule.cs}: {error}",
+            )
+        ]
+    for name, start in schedule.starts.items():
+        if name not in asap:
+            continue  # unknown node, reported by the legality check
+        if not asap[name] <= start <= alap[name]:
+            violations.append(
+                Violation(
+                    "schedule.outside-frame",
+                    name,
+                    f"start {start} outside time frame "
+                    f"[{asap[name]}, {alap[name]}]",
+                )
+            )
+    return violations
+
+
+def _expected_occupancy(
+    schedule: Schedule,
+    grid: PlacementGrid,
+    placements: Mapping[str, GridPosition],
+) -> Dict[Tuple[str, int, int], List[str]]:
+    """Recompute (table, x, folded step) → occupants from the placements."""
+    expected: Dict[Tuple[str, int, int], List[str]] = {}
+    timing, dfg = schedule.timing, schedule.dfg
+    for name, position in placements.items():
+        latency = timing.latency(dfg.node(name).kind)
+        for folded in grid.occupied_steps(position.table, position.y, latency):
+            expected.setdefault((position.table, position.x, folded), []).append(name)
+    return expected
+
+
+def check_grid_consistency(
+    schedule: Schedule,
+    grid: PlacementGrid,
+    placements: Mapping[str, GridPosition],
+) -> List[Violation]:
+    """Audit the placement grid against the schedule it produced.
+
+    Checks, per §2.3/§5.5 occupancy rules:
+
+    * every scheduled node is placed, at the step the schedule records;
+    * placements sit inside the grid geometry (column and row bounds);
+    * the grid's occupant lists match an independent recomputation from
+      the placements — no ghost occupants left by asymmetric
+      place/remove, no duplicate entries from folded spans;
+    * no two non-mutually-exclusive operations share a cell.
+    """
+    violations: List[Violation] = []
+    dfg, timing = schedule.dfg, schedule.timing
+
+    for name in schedule.starts:
+        position = placements.get(name)
+        if position is None:
+            violations.append(
+                Violation("grid.unplaced", name, "scheduled but not placed")
+            )
+            continue
+        if position.y != schedule.starts[name]:
+            violations.append(
+                Violation(
+                    "grid.step-mismatch",
+                    name,
+                    f"placed at step {position.y}, scheduled at "
+                    f"{schedule.starts[name]}",
+                )
+            )
+        if not 1 <= position.x <= grid.columns(position.table):
+            violations.append(
+                Violation(
+                    "grid.column-bound",
+                    name,
+                    f"column {position.x} outside table "
+                    f"{position.table!r} ({grid.columns(position.table)} "
+                    f"columns)",
+                )
+            )
+        latency = timing.latency(dfg.node(name).kind)
+        if position.y < 1 or position.y + latency - 1 > grid.cs:
+            violations.append(
+                Violation(
+                    "grid.row-bound",
+                    name,
+                    f"span [{position.y}, {position.y + latency - 1}] "
+                    f"outside the {grid.cs}-step grid",
+                )
+            )
+
+    # Occupancy cross-check: grid state == recomputation from placements.
+    expected = _expected_occupancy(schedule, grid, placements)
+    seen_cells = set()
+    for table in grid.tables():
+        for x in range(1, grid.columns(table) + 1):
+            fold_limit = (
+                min(grid.cs, grid.latency_l) if grid.latency_l else grid.cs
+            )
+            for folded in range(1, fold_limit + 1):
+                occupants = list(grid.occupants(table, x, folded))
+                cell = (table, x, folded)
+                seen_cells.add(cell)
+                wanted = expected.get(cell, [])
+                for name in set(occupants):
+                    if occupants.count(name) > 1:
+                        violations.append(
+                            Violation(
+                                "grid.duplicate-occupant",
+                                name,
+                                f"recorded {occupants.count(name)} times at "
+                                f"{table}[{x}]@cs{folded}",
+                            )
+                        )
+                if sorted(set(occupants)) != sorted(set(wanted)):
+                    ghosts = set(occupants) - set(wanted)
+                    missing = set(wanted) - set(occupants)
+                    for name in sorted(ghosts):
+                        violations.append(
+                            Violation(
+                                "grid.ghost-occupant",
+                                name,
+                                f"occupies {table}[{x}]@cs{folded} but its "
+                                f"placement does not cover that cell",
+                            )
+                        )
+                    for name in sorted(missing):
+                        violations.append(
+                            Violation(
+                                "grid.missing-occupant",
+                                name,
+                                f"placement covers {table}[{x}]@cs{folded} "
+                                f"but the grid does not record it",
+                            )
+                        )
+                members = sorted(set(occupants))
+                for i, first in enumerate(members):
+                    for second in members[i + 1:]:
+                        if not dfg.mutually_exclusive(first, second):
+                            violations.append(
+                                Violation(
+                                    "grid.overlap",
+                                    first,
+                                    f"shares {table}[{x}]@cs{folded} with "
+                                    f"non-exclusive {second!r}",
+                                )
+                            )
+    for cell, names in expected.items():
+        if cell not in seen_cells:
+            for name in names:
+                violations.append(
+                    Violation(
+                        "grid.out-of-grid",
+                        name,
+                        f"placement covers cell {cell} outside the grid",
+                    )
+                )
+    return violations

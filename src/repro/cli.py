@@ -7,7 +7,9 @@ Invoke as ``python -m repro`` (or the ``repro-hls`` console script):
 * ``repro-hls baselines`` — the §6 scheduler-quality comparison;
 * ``repro-hls schedule design.beh --cs 6`` — run MFS on a behavioral file;
 * ``repro-hls synth design.beh --cs 6 --verilog out.v`` — run MFSA and
-  emit the RTL structure.
+  emit the RTL structure;
+* ``repro-hls check`` — audit the paper examples (and optionally random
+  DFGs) against the :mod:`repro.check` invariants; exit 1 on violation.
 
 Behavioral files use the :mod:`repro.dfg.parser` language.
 """
@@ -76,6 +78,15 @@ def _backend(args) -> str:
     return "auto" if getattr(args, "parallel", False) else "serial"
 
 
+def _add_verify_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="audit the result with repro.check before emitting anything "
+        "(raises on any invariant violation)",
+    )
+
+
 def _add_timing_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mul-latency",
@@ -134,6 +145,7 @@ def _command_schedule(args) -> int:
         mode="time",
         latency_l=args.latency_l,
         pipelined_kinds=tuple(args.pipelined.split(",")) if args.pipelined else (),
+        verify=args.verify,
         perf=perf,
     )
     result = scheduler.run()
@@ -200,6 +212,7 @@ def _command_synth(args) -> int:
         datapath_library(),
         cs=cs,
         style=args.style,
+        verify=args.verify,
         perf=perf,
     )
     result = scheduler.run()
@@ -239,6 +252,29 @@ def _command_synth(args) -> int:
         write_vcd(args.vcd, result.datapath, trace)
         print(f"wrote {args.vcd}", file=sys.stderr)
     return 0
+
+
+def _command_check(args) -> int:
+    from repro.check import check_all_examples, check_random_dfgs
+
+    differential = not args.no_differential
+    reports = check_all_examples(
+        keys=[args.example] if args.example else None,
+        differential=differential,
+    )
+    if args.random:
+        reports.append(
+            check_random_dfgs(
+                count=args.random,
+                seed=args.seed,
+                differential=differential,
+            )
+        )
+    failed = False
+    for report in reports:
+        print(report.render())
+        failed = failed or not report.ok
+    return 1 if failed else 0
 
 
 def _parse_inputs(spec: Optional[str], names) -> Dict[str, int]:
@@ -293,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="JSON output")
     p.add_argument("--dot", action="store_true", help="Graphviz output")
     p.add_argument("--svg", help="write a Gantt chart SVG to this path")
+    _add_verify_argument(p)
     _add_timing_arguments(p)
     _add_perf_argument(p)
 
@@ -307,6 +344,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_timing_arguments(p)
     _add_sweep_arguments(p)
     _add_perf_argument(p)
+
+    p = sub.add_parser(
+        "check",
+        help="audit schedule/Liapunov/allocation invariants on the paper "
+        "examples (repro.check)",
+    )
+    p.add_argument(
+        "--example",
+        choices=[f"ex{i}" for i in range(1, 7)],
+        help="audit just one example (default: all six)",
+    )
+    p.add_argument(
+        "--random",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally audit N randomly generated DFGs",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="seed for --random workloads"
+    )
+    p.add_argument(
+        "--no-differential",
+        action="store_true",
+        help="skip the cross-validation against baseline schedulers",
+    )
 
     p = sub.add_parser("synth", help="run MFSA on a behavioral file")
     p.add_argument("file")
@@ -326,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vcd", help="simulate and write a VCD waveform")
     p.add_argument("--inputs", help="simulation inputs, e.g. a=3,b=5")
     p.add_argument("--json", action="store_true")
+    _add_verify_argument(p)
     _add_timing_arguments(p)
     _add_perf_argument(p)
 
@@ -368,6 +432,8 @@ def main(argv=None) -> int:
         return _command_explore(args)
     if args.command == "synth":
         return _command_synth(args)
+    if args.command == "check":
+        return _command_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

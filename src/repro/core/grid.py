@@ -101,9 +101,24 @@ class PlacementGrid:
         return step
 
     def occupied_steps(self, table: str, start: int, latency: int) -> Tuple[int, ...]:
-        """Folded steps an operation at ``start`` occupies in ``table``."""
+        """Folded steps an operation at ``start`` occupies in ``table``.
+
+        Deduplicated: with functional pipelining a span longer than ``L``
+        wraps onto itself, and recording the same folded step twice would
+        leave a ghost occupant behind after :meth:`remove` (which removes
+        one list entry per step).  Such spans are rejected by
+        :meth:`is_free` anyway; dedup keeps occupancy bookkeeping an
+        exact inverse of removal regardless.
+        """
         span = 1 if table in self._pipelined else latency
-        return tuple(self.fold(start + i) for i in range(span))
+        steps: List[int] = []
+        seen = set()
+        for i in range(span):
+            folded = self.fold(start + i)
+            if folded not in seen:
+                seen.add(folded)
+                steps.append(folded)
+        return tuple(steps)
 
     # ------------------------------------------------------------------
     # occupancy
@@ -125,6 +140,11 @@ class PlacementGrid:
         span = 1 if table in self._pipelined else latency
         occupants = self._occupants
         fold = self.latency_l
+        if fold and span > fold:
+            # The folded span wraps onto itself: the operation would need
+            # the unit at one folded step for two different phases — a
+            # collision with its own next initiation (§5.5.2).
+            return False
         for i in range(span):
             step = ((y + i - 1) % fold) + 1 if fold else y + i
             for other in occupants.get((table, x, step), ()):

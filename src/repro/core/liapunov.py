@@ -77,6 +77,22 @@ class TimeConstrainedLiapunov(StaticLiapunov):
         if self.n < 1:
             raise ValueError(f"n must be >= 1, got {self.n}")
 
+    def require_dominance(self, max_j: int) -> None:
+        """Enforce the §3.1 dominance bound ``n >= max_j``.
+
+        With ``n < max_j`` position ``(max_j, t)`` costs more than
+        ``(1, t+1)`` and the argmin silently prefers wasting a control
+        step over opening the last FU — the step-ordering guarantee is
+        gone.  Call sites must check against the widest table they will
+        actually offer positions in.
+        """
+        if self.n < max_j:
+            raise ValueError(
+                f"time-constrained Liapunov n={self.n} does not dominate "
+                f"{max_j} FU columns (need n >= max_j): step ordering "
+                f"would silently break"
+            )
+
     def value(self, position: GridPosition) -> float:
         return position.x + self.n * position.y
 
@@ -94,6 +110,21 @@ class ResourceConstrainedLiapunov(StaticLiapunov):
     def __post_init__(self) -> None:
         if self.cs < 1:
             raise ValueError(f"cs must be >= 1, got {self.cs}")
+
+    def require_dominance(self, schedule_steps: int) -> None:
+        """Enforce the §3.1 dominance bound ``cs >= schedule length``.
+
+        With ``cs`` smaller than the number of control steps offered,
+        ``(x, cs+1)`` costs more than ``(x+1, 1)`` and the argmin opens a
+        new FU instead of reusing an existing one in a late step —
+        instance ordering silently breaks.
+        """
+        if self.cs < schedule_steps:
+            raise ValueError(
+                f"resource-constrained Liapunov cs={self.cs} does not "
+                f"dominate a {schedule_steps}-step table (need cs >= "
+                f"schedule length): FU-reuse ordering would silently break"
+            )
 
     def value(self, position: GridPosition) -> float:
         return self.cs * position.x + position.y

@@ -104,6 +104,16 @@ class MFSScheduler:
         trajectory (Figure-1 regeneration and the strongest stability
         check).  On by default; sweeps that only need schedules may turn
         it off to skip the per-move list construction.
+    liapunov:
+        Optional energy-function override.  The default is the mode's
+        paper function (``x + n·y`` / ``cs·x + y``); a supplied instance
+        is validated against the §3.1 dominance bounds before any
+        placement, so an undersized ``n`` or ``cs`` raises instead of
+        silently breaking step ordering.
+    verify:
+        Audit the finished run with :mod:`repro.check` (schedule
+        legality, grid-occupancy consistency, Liapunov descent) and raise
+        :class:`~repro.errors.VerificationError` on any violation.
     perf:
         Optional :class:`~repro.perf.PerfCounters` receiving frame/
         position counters and the ``mfs.run`` timer.
@@ -121,6 +131,8 @@ class MFSScheduler:
         relax_bounds: bool = True,
         record_frames: bool = False,
         record_alternatives: bool = True,
+        liapunov: Optional[StaticLiapunov] = None,
+        verify: bool = False,
         perf: Optional[PerfCounters] = None,
     ) -> None:
         if mode not in ("time", "resource"):
@@ -133,6 +145,8 @@ class MFSScheduler:
         self.relax_bounds = relax_bounds
         self.record_frames = record_frames
         self.record_alternatives = record_alternatives
+        self.user_liapunov = liapunov
+        self.verify = verify
         self.perf = perf
         self.user_bounds = dict(resource_bounds) if resource_bounds else None
 
@@ -313,7 +327,7 @@ class MFSScheduler:
         )
         trajectory.verify()
         fu_counts = schedule.fu_usage()
-        return MFSResult(
+        result = MFSResult(
             schedule=schedule,
             placements=grid.placements(),
             trajectory=trajectory,
@@ -321,13 +335,37 @@ class MFSScheduler:
             fu_counts=fu_counts,
             frames_log=frames_log,
         )
+        if self.verify:
+            from repro.check.runner import check_mfs_result
+
+            check_mfs_result(
+                result,
+                resource_bounds=(
+                    self.user_bounds if self.mode == "resource" else None
+                ),
+            ).raise_if_failed()
+        return result
 
     # ------------------------------------------------------------------
     def _make_liapunov(self, max_j: Mapping[str, int]) -> StaticLiapunov:
-        if self.mode == "time":
-            n = max(max_j.values()) if max_j else 1
-            return TimeConstrainedLiapunov(n=max(n, 1))
-        return ResourceConstrainedLiapunov(cs=self.cs)
+        widest = max(max_j.values()) if max_j else 1
+        if self.user_liapunov is not None:
+            liapunov = self.user_liapunov
+        elif self.mode == "time":
+            liapunov = TimeConstrainedLiapunov(n=max(widest, 1))
+        else:
+            liapunov = ResourceConstrainedLiapunov(cs=self.cs)
+        # §3.1 dominance: an undersized bound would not crash — it would
+        # quietly misorder the argmin — so enforce it here, where the grid
+        # geometry the function must dominate is known.
+        try:
+            if isinstance(liapunov, TimeConstrainedLiapunov):
+                liapunov.require_dominance(widest)
+            elif isinstance(liapunov, ResourceConstrainedLiapunov):
+                liapunov.require_dominance(self.cs)
+        except ValueError as error:
+            raise ScheduleError(str(error)) from None
+        return liapunov
 
     def _update_chain_offset(
         self,

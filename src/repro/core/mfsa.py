@@ -265,6 +265,11 @@ class MFSAScheduler:
         Keep the full (position, energy) candidate list per move in the
         trajectory.  On by default (it backs the strongest stability
         check); sweeps may disable it to skip the list construction.
+    verify:
+        Audit the finished run with :mod:`repro.check` (schedule
+        legality, grid-occupancy consistency, Liapunov descent, datapath
+        and netlist consistency) and raise
+        :class:`~repro.errors.VerificationError` on any violation.
     perf:
         Optional :class:`~repro.perf.PerfCounters` receiving candidate/
         cache counters and the ``mfsa.run`` timer.
@@ -287,6 +292,7 @@ class MFSAScheduler:
         count_input_registers: bool = True,
         open_policy: str = "reuse-first",
         area_budget: Optional[float] = None,
+        verify: bool = False,
         perf: Optional[PerfCounters] = None,
     ) -> None:
         if style not in (1, 2):
@@ -307,6 +313,7 @@ class MFSAScheduler:
         self.no_cache = no_cache
         self.record_frames = record_frames
         self.record_alternatives = record_alternatives
+        self.verify = verify
         self.perf = perf
         self.count_input_registers = count_input_registers
         # "reuse-first" is the paper's redundant-frame rule (open a new ALU
@@ -631,7 +638,7 @@ class MFSAScheduler:
             raise ScheduleError(
                 "style-2 MFSA produced a self-loop around an ALU (internal error)"
             )
-        return MFSAResult(
+        result = MFSAResult(
             schedule=schedule,
             datapath=datapath,
             placements=grid.placements(),
@@ -640,6 +647,11 @@ class MFSAScheduler:
             style=self.style,
             frames_log=frames_log,
         )
+        if self.verify:
+            from repro.check.runner import check_mfsa_result
+
+            check_mfsa_result(result).raise_if_failed()
+        return result
 
     def _update_chain_offset(
         self,

@@ -48,6 +48,18 @@ class StabilityError(ReproError):
     """A Liapunov monotonicity invariant was violated during a run."""
 
 
+class VerificationError(ReproError):
+    """A :mod:`repro.check` audit found invariant violations.
+
+    Carries the offending :class:`repro.check.CheckReport` as
+    ``report`` when raised by :meth:`CheckReport.raise_if_failed`.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class SimulationError(ReproError):
     """Cycle-accurate simulation of a datapath failed or diverged."""
 

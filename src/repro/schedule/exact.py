@@ -26,6 +26,7 @@ def exact_schedule(
     cs: int,
     weights: Optional[Mapping[str, float]] = None,
     node_limit: int = 2_000_000,
+    stats: Optional[Dict[str, object]] = None,
 ) -> Schedule:
     """Minimum-weighted-FU schedule in ``cs`` steps via branch and bound.
 
@@ -33,6 +34,13 @@ def exact_schedule(
     ``node_limit`` bounds the search-tree size; the best solution found so
     far is returned if the limit is hit (the search is seeded with ASAP, so
     a valid schedule always exists).
+
+    When a ``stats`` dict is supplied it receives ``visited`` (search-tree
+    nodes expanded) and ``complete`` (whether the search exhausted the
+    tree, i.e. the result is certified optimal rather than best-effort).
+    Callers that compare other schedulers against "the optimum" — the
+    :mod:`repro.check` differential audit — must only trust runs with
+    ``complete=True``.
     """
     asap = asap_schedule(dfg, timing)
     alap = alap_schedule(dfg, timing, cs)  # raises if infeasible
@@ -109,6 +117,9 @@ def exact_schedule(
         return
 
     dfs(0)
+    if stats is not None:
+        stats["visited"] = visited
+        stats["complete"] = visited <= node_limit
     if best_starts is None:
         raise InfeasibleScheduleError(
             f"exact scheduler found no schedule for {dfg.name!r} in {cs} steps"

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.perf import PerfCounters
@@ -38,8 +38,17 @@ BACKENDS = ("auto", "process", "serial")
 
 
 def default_workers() -> int:
-    """Worker count used when the caller does not pin one."""
-    return max(os.cpu_count() or 1, 1)
+    """Worker count used when the caller does not pin one.
+
+    ``os.cpu_count()`` reports the machine's cores even when the process
+    is confined to fewer (containers, cgroups, ``taskset``); the CPU
+    affinity mask is the number of cores this process may actually run
+    on, so prefer it where the platform exposes it.
+    """
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(os.cpu_count() or 1, 1)
 
 
 class SweepExecutor:
@@ -113,7 +122,17 @@ class SweepExecutor:
                     ) as pool:
                         return list(pool.map(fn, items))
                 except (OSError, PermissionError):
-                    pass  # pool could not start (sandbox, no /dev/shm, …)
+                    # Pool could not start (sandbox, no /dev/shm, …).
+                    if self.perf is not None:
+                        self.perf.incr("sweep.pool_failures")
+                except (BrokenExecutor, pickle.PicklingError):
+                    # A worker died mid-map (OOM-killed, segfaulted, …) or
+                    # a *result* refused to pickle on the way back.  The
+                    # up-front dumps() above only vets fn and the items,
+                    # so both failures surface here; the workers are pure
+                    # functions, so rerunning everything serially is safe.
+                    if self.perf is not None:
+                        self.perf.incr("sweep.pool_failures")
         return [fn(item) for item in items]
 
 

@@ -1,0 +1,64 @@
+"""Datapath- and netlist-consistency checkers against real MFSA output."""
+
+import pytest
+
+from repro.bench.suites import hal_diffeq
+from repro.check.allocation import (
+    check_datapath_consistency,
+    check_netlist_consistency,
+)
+from repro.core.mfsa import MFSAScheduler
+
+
+def codes(violations):
+    return {violation.code for violation in violations}
+
+
+@pytest.fixture
+def datapath(timing, alu_family):
+    return (
+        MFSAScheduler(hal_diffeq(), timing, alu_family, cs=6).run().datapath
+    )
+
+
+class TestDatapathConsistency:
+    def test_clean_datapath_passes(self, datapath):
+        assert check_datapath_consistency(datapath) == []
+
+    def test_style2_expectation_flags_self_loop(self, datapath):
+        # The style-1 hal datapath feeds an ALU from itself; claiming it
+        # is style 2 must surface as a structural violation.
+        assert datapath.has_self_loop()
+        found = codes(
+            check_datapath_consistency(datapath, expect_style2=True)
+        )
+        assert found == {"datapath.structure"}
+
+    def test_style2_run_passes_style2_check(self, timing, alu_family):
+        result = MFSAScheduler(
+            hal_diffeq(), timing, alu_family, cs=6, style=2
+        ).run()
+        assert (
+            check_datapath_consistency(result.datapath, expect_style2=True)
+            == []
+        )
+
+
+class TestNetlistConsistency:
+    def test_clean_netlist_passes(self, datapath):
+        assert check_netlist_consistency(datapath) == []
+
+    def test_dropped_op_detected(self, datapath):
+        instance = max(datapath.instances.values(), key=lambda i: len(i.ops))
+        instance.ops.pop()
+        assert "netlist.unbound-op" in codes(
+            check_netlist_consistency(datapath)
+        )
+
+    def test_multiply_listed_op_detected(self, datapath):
+        instances = list(datapath.instances.values())
+        assert len(instances) >= 2
+        instances[1].ops.append(instances[0].ops[0])
+        assert "netlist.multiply-bound-op" in codes(
+            check_netlist_consistency(datapath)
+        )

@@ -1,0 +1,84 @@
+"""Differential cross-validation: baselines, exact gate, pipelining skip."""
+
+from repro.bench.suites import chained_addsub, hal_diffeq
+from repro.check.differential import cross_validate
+from repro.core.mfs import mfs_schedule
+from repro.dfg.generators import random_conditional_dfg
+
+
+def codes(violations):
+    return {violation.code for violation in violations}
+
+
+class TestCrossValidate:
+    def test_clean_mfs_run_validates(self, timing):
+        result = mfs_schedule(hal_diffeq(), timing, cs=5)
+        violations, outcome = cross_validate(
+            hal_diffeq(), timing, 5, fu_counts=dict(result.fu_counts)
+        )
+        assert violations == []
+        assert set(outcome.baselines) == {"list", "force-directed", "exact"}
+        assert outcome.exact_is_optimal
+
+    def test_impossible_fu_total_flagged_as_beats_exact(self, timing):
+        violations, outcome = cross_validate(
+            hal_diffeq(), timing, 5, fu_counts={"mul": 1}
+        )
+        assert outcome.exact_is_optimal
+        assert "differential.beats-exact" in codes(violations)
+
+    def test_truncated_exact_search_never_certifies(self, timing):
+        # A one-node search budget cannot complete, so even an absurdly
+        # low audited total must NOT be reported as beating the optimum.
+        violations, outcome = cross_validate(
+            hal_diffeq(),
+            timing,
+            5,
+            fu_counts={"mul": 1},
+            exact_node_limit=1,
+        )
+        assert not outcome.exact_is_optimal
+        assert "differential.beats-exact" not in codes(violations)
+
+    def test_pipelined_run_skips_exact(self, timing_mul2):
+        # Structural pipelining: MFS counts pipelined units by start step
+        # only, exact does not model that — totals are incomparable.
+        violations, outcome = cross_validate(
+            hal_diffeq(),
+            timing_mul2,
+            6,
+            fu_counts={"mul": 1, "add": 1, "sub": 1, "lt": 1},
+            pipelined_kinds=frozenset({"mul"}),
+        )
+        assert "exact" in outcome.skipped
+        assert "pipelined" in outcome.skipped["exact"]
+        assert "differential.beats-exact" not in codes(violations)
+
+    def test_functional_pipelining_skips_exact(self, timing):
+        _violations, outcome = cross_validate(
+            hal_diffeq(), timing, 8, fu_counts={"mul": 1}, latency_l=4
+        )
+        assert "exact" in outcome.skipped
+
+    def test_chained_timing_skips_exact(self, timing_chained):
+        _violations, outcome = cross_validate(
+            chained_addsub(), timing_chained, 4
+        )
+        assert "exact" in outcome.skipped
+
+    def test_exclusive_branches_skip_exact_and_lower_bound(self, timing):
+        dfg = random_conditional_dfg(seed=7, n_ops=14)
+        violations, outcome = cross_validate(dfg, timing, 12)
+        assert "exact" in outcome.skipped
+        assert not any("lower-bound" in code for code in codes(violations))
+
+    def test_oversize_graph_skips_exact(self, timing):
+        _violations, outcome = cross_validate(
+            hal_diffeq(), timing, 5, exact_op_limit=2
+        )
+        assert "exact" in outcome.skipped
+
+    def test_baseline_totals_recorded(self, timing):
+        _violations, outcome = cross_validate(hal_diffeq(), timing, 5)
+        assert outcome.fu_totals["list"] >= 1
+        assert outcome.fu_totals["exact"] >= 1

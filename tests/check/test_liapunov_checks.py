@@ -1,0 +1,71 @@
+"""Liapunov-descent replay checker on handcrafted trajectories."""
+
+from repro.check.liapunov import check_liapunov_descent
+from repro.core.grid import GridPosition
+from repro.core.stability import Trajectory
+
+P1 = GridPosition("add", 1, 1)
+P2 = GridPosition("add", 1, 2)
+
+
+def codes(violations):
+    return {violation.code for violation in violations}
+
+
+def test_clean_trajectory_passes():
+    t = Trajectory()
+    t.record("a", P1, 3.0, alternatives=((P1, 3.0), (P2, 5.0)))
+    t.record("a", P1, 2.0, alternatives=((P1, 2.0),))  # descent is fine
+    assert check_liapunov_descent(t) == []
+
+
+def test_empty_alternatives_are_skipped():
+    t = Trajectory()
+    t.record("a", P1, 3.0)
+    assert check_liapunov_descent(t) == []
+
+
+def test_not_argmin_detected():
+    t = Trajectory()
+    t.record("a", P2, 5.0, alternatives=((P1, 3.0), (P2, 5.0)))
+    assert codes(check_liapunov_descent(t)) == {"liapunov.not-argmin"}
+
+
+def test_position_not_in_frame_detected():
+    t = Trajectory()
+    t.record("a", P2, 3.0, alternatives=((P1, 3.0),))
+    assert codes(check_liapunov_descent(t)) == {
+        "liapunov.position-not-in-frame"
+    }
+
+
+def test_energy_mismatch_detected():
+    # Energy below every alternative: not an argmin breach, but the
+    # recorded value disagrees with the frame's entry for that position.
+    t = Trajectory()
+    t.record("a", P1, 2.0, alternatives=((P1, 3.0),))
+    assert codes(check_liapunov_descent(t)) == {"liapunov.energy-mismatch"}
+
+
+def test_ascent_detected():
+    t = Trajectory()
+    t.record("a", P1, 1.0)
+    t.record("a", P2, 2.0)
+    assert codes(check_liapunov_descent(t)) == {"liapunov.ascent"}
+
+
+def test_ascent_across_other_nodes_detected():
+    t = Trajectory()
+    t.record("a", P1, 1.0)
+    t.record("b", P2, 9.0)
+    t.record("a", P2, 1.5)
+    assert codes(check_liapunov_descent(t)) == {"liapunov.ascent"}
+
+
+def test_all_breaches_reported_at_once():
+    t = Trajectory()
+    t.record("a", P2, 5.0, alternatives=((P1, 3.0), (P2, 5.0)))
+    t.record("a", P1, 6.0, alternatives=((P1, 6.0),))
+    found = codes(check_liapunov_descent(t))
+    assert "liapunov.not-argmin" in found
+    assert "liapunov.ascent" in found

@@ -1,0 +1,60 @@
+"""Tests for the Violation/CheckReport value objects."""
+
+import pytest
+
+from repro.check.report import CheckReport, Violation
+from repro.errors import VerificationError
+
+
+class TestViolation:
+    def test_str_format(self):
+        v = Violation("schedule.precedence", "n3", "starts too early")
+        assert str(v) == "[schedule.precedence] n3: starts too early"
+
+
+class TestCheckReport:
+    def test_empty_report_is_ok(self):
+        report = CheckReport(target="t")
+        assert report.ok
+        report.raise_if_failed()  # no-op
+
+    def test_add_makes_report_fail(self):
+        report = CheckReport(target="t")
+        report.add("x.y", "s", "m")
+        assert not report.ok
+        assert len(report.violations) == 1
+
+    def test_ran_deduplicates(self):
+        report = CheckReport(target="t")
+        report.ran("a")
+        report.ran("a")
+        report.ran("b")
+        assert report.checks_run == ["a", "b"]
+
+    def test_merge_folds_violations_and_checks(self):
+        a = CheckReport(target="a")
+        a.ran("legality")
+        b = CheckReport(target="b")
+        b.ran("legality")
+        b.ran("frames")
+        b.add("x.y", "s", "m")
+        a.merge(b)
+        assert a.checks_run == ["legality", "frames"]
+        assert not a.ok
+
+    def test_render_mentions_status_and_violations(self):
+        report = CheckReport(target="hal")
+        report.ran("legality")
+        assert "PASS" in report.render()
+        report.add("schedule.precedence", "n1", "bad")
+        text = report.render()
+        assert "FAIL (1 violations)" in text
+        assert "[schedule.precedence] n1: bad" in text
+
+    def test_raise_if_failed_carries_report(self):
+        report = CheckReport(target="t")
+        report.add("x.y", "s", "m")
+        with pytest.raises(VerificationError) as excinfo:
+            report.raise_if_failed()
+        assert excinfo.value.report is report
+        assert "x.y" in str(excinfo.value)

@@ -1,0 +1,181 @@
+"""Schedule-legality, frame-containment and grid-consistency checkers.
+
+Each negative test corrupts one aspect of a genuine MFS run and asserts
+the corresponding violation code appears — proving the checker actually
+discriminates, not just that clean runs pass.
+"""
+
+import pytest
+
+from repro.bench.suites import chained_addsub, hal_diffeq
+from repro.check.schedule import (
+    check_frame_containment,
+    check_grid_consistency,
+    check_schedule_legality,
+)
+from repro.core.grid import GridPosition
+from repro.core.mfs import mfs_schedule
+
+
+def codes(violations):
+    return {violation.code for violation in violations}
+
+
+def node_with_op_predecessor(schedule):
+    """Some (node, predecessor) pair where both are scheduled operations."""
+    for node in schedule.dfg:
+        for pred in node.predecessor_names():
+            if pred in schedule.starts and node.name in schedule.starts:
+                return node.name, pred
+    raise AssertionError("graph has no op-to-op edge")
+
+
+@pytest.fixture
+def result(timing):
+    return mfs_schedule(hal_diffeq(), timing, cs=5)
+
+
+class TestLegality:
+    def test_clean_run_passes(self, result):
+        assert check_schedule_legality(result.schedule) == []
+
+    def test_unscheduled_node_detected(self, result):
+        name = next(iter(result.schedule.starts))
+        del result.schedule.starts[name]
+        assert "schedule.unscheduled" in codes(
+            check_schedule_legality(result.schedule)
+        )
+
+    def test_unknown_node_detected(self, result):
+        result.schedule.starts["phantom"] = 1
+        assert "schedule.unknown-node" in codes(
+            check_schedule_legality(result.schedule)
+        )
+
+    def test_precedence_breach_detected(self, result):
+        name, pred = node_with_op_predecessor(result.schedule)
+        # Same step as the predecessor: illegal without chaining.
+        result.schedule.starts[name] = result.schedule.starts[pred]
+        assert "schedule.precedence" in codes(
+            check_schedule_legality(result.schedule)
+        )
+
+    def test_budget_overrun_detected(self, result):
+        name = next(iter(result.schedule.starts))
+        result.schedule.starts[name] = result.schedule.cs + 3
+        assert "schedule.exceeds-budget" in codes(
+            check_schedule_legality(result.schedule)
+        )
+
+    def test_before_start_detected(self, result):
+        name = next(iter(result.schedule.starts))
+        result.schedule.starts[name] = 0
+        assert "schedule.before-start" in codes(
+            check_schedule_legality(result.schedule)
+        )
+
+    def test_resource_bound_breach_detected(self, timing):
+        # hal at cs=4 genuinely needs two multipliers.
+        tight = mfs_schedule(hal_diffeq(), timing, cs=4)
+        violations = check_schedule_legality(
+            tight.schedule, resource_bounds={"mul": 1}
+        )
+        assert codes(violations) == {"schedule.resource-bound"}
+
+    def test_chained_schedule_passes(self, timing_chained):
+        chained = mfs_schedule(chained_addsub(), timing_chained, cs=4)
+        assert check_schedule_legality(chained.schedule) == []
+
+
+class TestFrameContainment:
+    def test_clean_run_passes(self, result):
+        assert check_frame_containment(result.schedule) == []
+
+    def test_outside_frame_detected(self, result):
+        # A node pushed past its ALAP leaves the primary frame.
+        name = next(iter(result.schedule.starts))
+        result.schedule.starts[name] = result.schedule.cs + 5
+        assert "schedule.outside-frame" in codes(
+            check_frame_containment(result.schedule)
+        )
+
+
+class TestGridConsistency:
+    def test_clean_run_passes(self, result):
+        assert (
+            check_grid_consistency(
+                result.schedule, result.grid, result.placements
+            )
+            == []
+        )
+
+    def test_unplaced_node_detected(self, result):
+        placements = dict(result.placements)
+        name = next(iter(placements))
+        del placements[name]
+        found = codes(
+            check_grid_consistency(result.schedule, result.grid, placements)
+        )
+        # Missing from the placements map, yet still recorded in the grid.
+        assert "grid.unplaced" in found
+        assert "grid.ghost-occupant" in found
+
+    def test_step_mismatch_detected(self, result):
+        placements = dict(result.placements)
+        name = next(iter(placements))
+        old = placements[name]
+        placements[name] = GridPosition(old.table, old.x, old.y + 1)
+        found = codes(
+            check_grid_consistency(result.schedule, result.grid, placements)
+        )
+        assert "grid.step-mismatch" in found
+
+    def test_ghost_occupant_detected(self, result):
+        # Simulate asymmetric place/remove: an occupant entry with no
+        # backing placement.
+        cell = next(iter(result.grid._occupants))
+        outsider = next(
+            name
+            for name, pos in result.placements.items()
+            if (pos.table, pos.x, pos.y) != cell
+        )
+        result.grid._occupants[cell].append(outsider)
+        found = codes(
+            check_grid_consistency(
+                result.schedule, result.grid, result.placements
+            )
+        )
+        assert "grid.ghost-occupant" in found
+
+    def test_duplicate_occupant_detected(self, result):
+        cell = next(iter(result.grid._occupants))
+        occupant = result.grid._occupants[cell][0]
+        result.grid._occupants[cell].append(occupant)
+        found = codes(
+            check_grid_consistency(
+                result.schedule, result.grid, result.placements
+            )
+        )
+        assert "grid.duplicate-occupant" in found
+
+    def test_column_bound_detected(self, result):
+        placements = dict(result.placements)
+        name = next(iter(placements))
+        old = placements[name]
+        placements[name] = GridPosition(old.table, 99, old.y)
+        found = codes(
+            check_grid_consistency(result.schedule, result.grid, placements)
+        )
+        assert "grid.column-bound" in found
+
+    def test_folded_grid_passes(self, timing):
+        # Functional pipelining: occupancy audited on folded steps.
+        folded = mfs_schedule(
+            hal_diffeq(), timing, cs=8, latency_l=4
+        )
+        assert (
+            check_grid_consistency(
+                folded.schedule, folded.grid, folded.placements
+            )
+            == []
+        )

@@ -11,6 +11,29 @@ from repro.library.ncr import datapath_library, ncr_like_library
 
 
 @pytest.fixture
+def audit():
+    """Audit an MFS/MFSA result with :mod:`repro.check`.
+
+    Returns a callable; call it on any ``MFSResult`` or ``MFSAResult``
+    and it raises :class:`~repro.errors.VerificationError` on the first
+    invariant breach (returning the passing report otherwise).  Keyword
+    arguments are forwarded to the underlying checker
+    (``resource_bounds=``, ``differential=``).
+    """
+    from repro.check import check_mfs_result, check_mfsa_result
+
+    def _audit(result, **kwargs):
+        checker = (
+            check_mfsa_result if hasattr(result, "datapath") else check_mfs_result
+        )
+        report = checker(result, **kwargs)
+        report.raise_if_failed()
+        return report
+
+    return _audit
+
+
+@pytest.fixture
 def ops():
     """Standard 1-cycle operation set."""
     return standard_operation_set()

@@ -114,6 +114,61 @@ class TestOccupancy:
         assert grid.is_free("t", "add", 1, 2, 1)
 
 
+class TestFoldedSpanRegressions:
+    """Spans interacting with the functional-pipelining fold (§5.5.2).
+
+    Regressions for the folded-occupancy bookkeeping: a span longer than
+    ``L`` wraps onto itself — historically this recorded the same folded
+    step twice (so ``remove`` left a ghost occupant behind) and
+    ``is_free`` happily accepted the self-colliding placement.
+    """
+
+    def grid_l2(self):
+        return PlacementGrid(
+            exclusive_pair_dfg(), cs=8, columns={"add": 1}, latency_l=2
+        )
+
+    def test_occupied_steps_deduplicated(self):
+        # A 4-step span under L=2 folds onto {1, 2}; each folded step
+        # must appear exactly once, not (1, 2, 1, 2).
+        grid = self.grid_l2()
+        assert grid.occupied_steps("add", 1, 4) == (1, 2)
+
+    def test_self_colliding_span_not_free(self):
+        # span > L: the operation would collide with its own next
+        # initiation, so the position is never free even on an empty grid.
+        grid = self.grid_l2()
+        assert not grid.is_free("u", "add", 1, 1, 4)
+        with pytest.raises(ScheduleError):
+            grid.place("u", GridPosition("add", 1, 1), latency=4)
+
+    def test_span_equal_to_latency_l_still_allowed(self):
+        grid = self.grid_l2()
+        assert grid.is_free("u", "add", 1, 1, 2)
+
+    def test_place_remove_symmetric_under_fold(self):
+        grid = self.grid_l2()
+        grid.place("u", GridPosition("add", 1, 1), latency=2)
+        grid.remove("u")
+        for step in (1, 2):
+            assert grid.occupants("add", 1, step) == ()
+        assert grid.is_free("t", "add", 1, 1, 2)
+
+    def test_pipelined_table_span_exempt_from_fold_limit(self):
+        # Structural pipelining occupies the start step only, so a long
+        # latency does not self-collide even under a short L.
+        grid = PlacementGrid(
+            exclusive_pair_dfg(),
+            cs=8,
+            columns={"add": 1},
+            latency_l=2,
+            pipelined_tables=("add",),
+        )
+        assert grid.is_free("u", "add", 1, 1, 4)
+        grid.place("u", GridPosition("add", 1, 1), latency=4)
+        assert grid.occupied_steps("add", 1, 4) == (1,)
+
+
 class TestStatistics:
     def test_used_columns(self, grid):
         assert grid.used_columns("add") == 0

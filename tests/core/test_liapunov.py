@@ -47,6 +47,33 @@ class TestTimeConstrained:
             TimeConstrainedLiapunov(n=0)
 
 
+class TestDominanceEnforcement:
+    """§3.1 bounds: an undersized n/cs silently breaks the argmin order,
+    so ``require_dominance`` must catch it at the call site."""
+
+    def test_time_constrained_accepts_sufficient_n(self):
+        TimeConstrainedLiapunov(n=4).require_dominance(4)
+        TimeConstrainedLiapunov(n=9).require_dominance(4)
+
+    def test_time_constrained_rejects_undersized_n(self):
+        with pytest.raises(ValueError, match="dominate"):
+            TimeConstrainedLiapunov(n=3).require_dominance(4)
+        # And the ordering really is broken with n < max_j: a new step
+        # would beat the last FU column of the current step.
+        v = TimeConstrainedLiapunov(n=2)
+        assert v.value(pos(4, 1)) > v.value(pos(1, 2))
+
+    def test_resource_constrained_accepts_sufficient_cs(self):
+        ResourceConstrainedLiapunov(cs=6).require_dominance(6)
+        ResourceConstrainedLiapunov(cs=8).require_dominance(6)
+
+    def test_resource_constrained_rejects_undersized_cs(self):
+        with pytest.raises(ValueError, match="dominate"):
+            ResourceConstrainedLiapunov(cs=5).require_dominance(6)
+        v = ResourceConstrainedLiapunov(cs=4)
+        assert v.value(pos(1, 6)) > v.value(pos(2, 1))
+
+
 class TestResourceConstrained:
     def test_existing_fu_later_beats_new_fu_now(self):
         # §3.1: position (x, t+1) on an existing FU beats (x+1, t).

@@ -63,6 +63,58 @@ class TestTimeConstrained:
             MFSScheduler(hal_diffeq(), timing, cs=4, mode="banana")
 
 
+class TestLiapunovInjection:
+    """The ``liapunov=`` override and its §3.1 dominance validation."""
+
+    def test_undersized_time_liapunov_rejected(self, timing):
+        # hal at cs=4 offers >= 2 multiplier columns, so n=1 violates
+        # n >= max_j and must be refused instead of silently misordering.
+        from repro.core.liapunov import TimeConstrainedLiapunov
+
+        with pytest.raises(ScheduleError, match="dominate"):
+            MFSScheduler(
+                hal_diffeq(),
+                timing,
+                cs=4,
+                mode="time",
+                liapunov=TimeConstrainedLiapunov(n=1),
+            ).run()
+
+    def test_adequate_time_liapunov_matches_default(self, timing):
+        from repro.core.liapunov import TimeConstrainedLiapunov
+
+        default = mfs_schedule(hal_diffeq(), timing, cs=5)
+        injected = MFSScheduler(
+            hal_diffeq(),
+            timing,
+            cs=5,
+            mode="time",
+            liapunov=TimeConstrainedLiapunov(n=50),
+        ).run()
+        # A dominant n changes no argmin decision, only the energy scale.
+        assert injected.schedule.starts == default.schedule.starts
+
+    def test_undersized_resource_liapunov_rejected(self, timing):
+        from repro.core.liapunov import ResourceConstrainedLiapunov
+
+        with pytest.raises(ScheduleError, match="dominate"):
+            MFSScheduler(
+                hal_diffeq(),
+                timing,
+                mode="resource",
+                resource_bounds={"mul": 1, "add": 1, "sub": 1, "lt": 1},
+                liapunov=ResourceConstrainedLiapunov(cs=2),
+            ).run()
+
+
+class TestVerifyPostCondition:
+    def test_verify_true_passes_on_clean_run(self, timing):
+        result = MFSScheduler(
+            hal_diffeq(), timing, cs=5, mode="time", verify=True
+        ).run()
+        result.schedule.validate()
+
+
 class TestUserBounds:
     def test_user_bounds_respected(self, timing):
         result = MFSScheduler(

@@ -1,0 +1,43 @@
+"""Integration-suite fixtures: every MFS/MFSA run is audited for free.
+
+The autouse fixture below wraps the schedulers' ``run`` methods so each
+result produced anywhere in an integration test — golden tables, end to
+end synthesis, the full example matrix — is pushed through the
+:mod:`repro.check` invariant audit (schedule legality, frame
+containment, grid-occupancy consistency, Liapunov descent, and for MFSA
+datapath/netlist consistency).  The differential cross-validation is
+left off here: it reruns three baseline schedulers per result, which
+the ``repro check`` CLI and the property suite cover already.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _audit_every_run(monkeypatch):
+    from repro.check.runner import check_mfs_result, check_mfsa_result
+    from repro.core.mfs import MFSScheduler
+    from repro.core.mfsa import MFSAScheduler
+
+    real_mfs_run = MFSScheduler.run
+    real_mfsa_run = MFSAScheduler.run
+
+    def mfs_run(self):
+        result = real_mfs_run(self)
+        check_mfs_result(
+            result,
+            resource_bounds=(
+                self.user_bounds if self.mode == "resource" else None
+            ),
+        ).raise_if_failed()
+        return result
+
+    def mfsa_run(self):
+        result = real_mfsa_run(self)
+        check_mfsa_result(result).raise_if_failed()
+        return result
+
+    monkeypatch.setattr(MFSScheduler, "run", mfs_run)
+    monkeypatch.setattr(MFSAScheduler, "run", mfsa_run)

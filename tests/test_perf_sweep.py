@@ -7,6 +7,8 @@ backend.  On single-core boxes the pool degrades to one worker process
 but the contract still holds.
 """
 
+import multiprocessing
+import os
 import pickle
 
 import pytest
@@ -107,6 +109,76 @@ class TestSweepExecutor:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+    def test_default_workers_prefers_affinity_mask(self, monkeypatch):
+        # Containers/cgroups confine the process to fewer cores than the
+        # machine has; the affinity mask is the truth, cpu_count is not.
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1}, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_workers() == 2
+
+    def test_default_workers_falls_back_to_cpu_count(self, monkeypatch):
+        def unavailable(pid):
+            raise OSError("affinity not supported")
+
+        monkeypatch.setattr(
+            os, "sched_getaffinity", unavailable, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert default_workers() == 3
+
+
+# ---------------------------------------------------------------------------
+# Pool fault tolerance: crashed workers and unpicklable results must not
+# kill the sweep — the serial loop reruns every item.
+# ---------------------------------------------------------------------------
+def _die_in_pool_worker(x):
+    """Crash hard when running inside a pool child (simulated OOM-kill);
+    compute normally in the main process (the serial fallback rerun)."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x + 10
+
+
+class _RefusesToPickle:
+    def __reduce__(self):
+        raise pickle.PicklingError("result refuses to pickle")
+
+
+def _unpicklable_result_in_pool(x):
+    """Return a result the child cannot send back; compute normally in
+    the serial fallback."""
+    if multiprocessing.parent_process() is not None:
+        return _RefusesToPickle()
+    return x * 2
+
+
+class TestPoolFaultTolerance:
+    def test_worker_crash_falls_back_to_serial(self):
+        perf = PerfCounters()
+        result = sweep_map(
+            _die_in_pool_worker,
+            [1, 2, 3],
+            backend="process",
+            workers=2,
+            perf=perf,
+        )
+        assert result == [11, 12, 13]
+        assert perf.get("sweep.pool_failures") == 1
+
+    def test_unpicklable_result_falls_back_to_serial(self):
+        perf = PerfCounters()
+        result = sweep_map(
+            _unpicklable_result_in_pool,
+            [2, 3],
+            backend="process",
+            workers=2,
+            perf=perf,
+        )
+        assert result == [4, 6]
+        assert perf.get("sweep.pool_failures") == 1
 
 
 # ---------------------------------------------------------------------------
