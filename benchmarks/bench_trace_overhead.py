@@ -1,0 +1,216 @@
+"""Trace-overhead harness: proves the recorder's cost budget, emits BENCH_core.json.
+
+Measures, on the paper's hardest example (EWF, ``ewf()``, T = 17):
+
+* the plain cached MFSA run (``trace=None`` — the disabled path, which
+  must cost ~0 %: every hot-path emission is behind one ``is not None``);
+* the same run with a :class:`~repro.trace.recorder.TraceRecorder`
+  attached (no perf counters, so the comparison isolates the recorder);
+* the MFS run, plain vs traced, for the §3 kernel;
+* one traced-run materialisation (``events()`` + JSONL serialisation),
+  reported separately — serialisation happens once after the run and is
+  not part of the scheduling overhead budget.
+
+The budget (<5 % overhead with tracing enabled on the EWF MFSA kernel)
+is asserted in ``--smoke`` mode with a generous margin for noisy CI
+boxes; the full run appends the measured numbers to the ``history`` list
+of ``BENCH_core.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.allocation.mux import clear_mux_memo
+from repro.bench.suites import EXAMPLES
+from repro.core.mfs import MFSScheduler
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.analysis import TimingModel
+from repro.dfg.ops import standard_operation_set
+from repro.library.ncr import datapath_library
+from repro.trace.recorder import TraceRecorder
+
+EWF_KEY = "ex6"  # the elliptic wave filter, ewf(), T = 17
+
+#: Overhead budget for the enabled recorder on the EWF MFSA kernel.
+OVERHEAD_BUDGET = 0.05
+
+#: CI smoke margin: wall-clock noise on a loaded box easily exceeds the
+#: real overhead at millisecond scale, so the smoke assertion allows 3x
+#: the budget; the recorded full-run numbers hold the real line.
+SMOKE_MARGIN = 3.0
+
+
+def best_of_pair(plain_fn, traced_fn, repeat):
+    """Best-of timings for the plain and traced variants, interleaved.
+
+    Measuring one variant's repeats back to back and then the other's
+    lets CPU-frequency and load drift between the two phases masquerade
+    as overhead at millisecond scale; alternating the variants inside a
+    single loop exposes both to the same drift.  The collector is paused
+    for the timed region: the traced run's retained event tuples
+    otherwise tip generational GC into collecting *during* the traced
+    run but not the plain one, billing the recorder for collector sweeps
+    of the whole heap.
+    """
+    best_plain = best_traced = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeat):
+            start = time.perf_counter()
+            plain_fn()
+            best_plain = min(best_plain, time.perf_counter() - start)
+            start = time.perf_counter()
+            traced_fn()
+            best_traced = min(best_traced, time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best_plain, best_traced
+
+
+def measure(repeat):
+    spec = EXAMPLES[EWF_KEY]
+    dfg = spec.build()
+    ops = standard_operation_set(mul_latency=spec.mfsa_mul_latency)
+    timing = TimingModel(ops=ops, clock_period_ns=spec.mfsa_clock_ns)
+    library = datapath_library()
+
+    def mfsa(trace=None):
+        return MFSAScheduler(
+            dfg, timing, library, cs=spec.mfsa_cs, style=1, trace=trace
+        ).run()
+
+    case = spec.table1_cases[0]
+    mfs_ops = standard_operation_set(mul_latency=case.mul_latency)
+    mfs_timing = TimingModel(ops=mfs_ops, clock_period_ns=case.clock_ns)
+
+    def mfs(trace=None):
+        return MFSScheduler(
+            dfg, mfs_timing, cs=case.cs, mode="time",
+            latency_l=case.latency_l, pipelined_kinds=case.pipelined_kinds,
+            trace=trace,
+        ).run()
+
+    # Warm the process-wide mux memo once so plain and traced runs hit
+    # identical cache states (tracing must not change what is computed).
+    clear_mux_memo()
+    plain = mfsa()
+    probe = TraceRecorder()
+    traced = mfsa(trace=probe)
+    assert traced.schedule.starts == plain.schedule.starts, (
+        "tracing changed the schedule"
+    )
+    events = len(probe)
+
+    mfsa_plain_s, mfsa_traced_s = best_of_pair(
+        lambda: mfsa(), lambda: mfsa(trace=TraceRecorder()), repeat
+    )
+    mfs_plain_s, mfs_traced_s = best_of_pair(
+        lambda: mfs(), lambda: mfs(trace=TraceRecorder()), repeat
+    )
+
+    # Materialisation cost (events() + JSONL), once, outside the budget.
+    start = time.perf_counter()
+    jsonl = probe.to_jsonl()
+    serialise_s = time.perf_counter() - start
+
+    return {
+        "example": EWF_KEY,
+        "cs": spec.mfsa_cs,
+        "repeat": repeat,
+        "events": events,
+        "jsonl_bytes": len(jsonl),
+        "mfsa_plain_ms": round(mfsa_plain_s * 1e3, 3),
+        "mfsa_traced_ms": round(mfsa_traced_s * 1e3, 3),
+        "mfsa_overhead": round(mfsa_traced_s / mfsa_plain_s - 1.0, 4),
+        "mfs_plain_ms": round(mfs_plain_s * 1e3, 3),
+        "mfs_traced_ms": round(mfs_traced_s * 1e3, 3),
+        "mfs_overhead": round(mfs_traced_s / mfs_plain_s - 1.0, 4),
+        "serialise_ms": round(serialise_s * 1e3, 3),
+        "budget": OVERHEAD_BUDGET,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI variant: fewer repeats, assert the overhead budget "
+        "(with noise margin), do not write BENCH_core.json",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="best-of repeat count (default 30, smoke 10)",
+    )
+    parser.add_argument(
+        "--label", default="trace-layer",
+        help="history-entry label recorded in BENCH_core.json",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_core.json"),
+        help="output path (default: repo root BENCH_core.json)",
+    )
+    args = parser.parse_args(argv)
+    repeat = args.repeat or (10 if args.smoke else 30)
+
+    entry = measure(repeat)
+    entry["label"] = args.label
+    entry["benchmark"] = "trace_overhead"
+    print(
+        f"EWF (T={entry['cs']}) MFSA: plain {entry['mfsa_plain_ms']:.2f} ms, "
+        f"traced {entry['mfsa_traced_ms']:.2f} ms "
+        f"-> {entry['mfsa_overhead']:+.1%} ({entry['events']} events)"
+    )
+    print(
+        f"EWF MFS: plain {entry['mfs_plain_ms']:.2f} ms, "
+        f"traced {entry['mfs_traced_ms']:.2f} ms "
+        f"-> {entry['mfs_overhead']:+.1%}"
+    )
+    print(
+        f"materialise + JSONL: {entry['serialise_ms']:.2f} ms "
+        f"({entry['jsonl_bytes']} bytes, once per run)"
+    )
+
+    if args.smoke:
+        ceiling = OVERHEAD_BUDGET * SMOKE_MARGIN
+        if entry["mfsa_overhead"] > ceiling:
+            print(
+                f"FAIL: traced EWF MFSA overhead {entry['mfsa_overhead']:.1%} "
+                f"exceeds the smoke ceiling {ceiling:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"smoke OK: {entry['mfsa_overhead']:+.1%} <= {ceiling:.0%} ceiling"
+        )
+        return 0
+
+    out = Path(args.out)
+    payload = {"schema": 1, "benchmark": "perf_trajectory", "history": []}
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except (OSError, ValueError):
+            pass
+    payload.setdefault("history", []).append(entry)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

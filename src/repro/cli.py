@@ -8,8 +8,15 @@ Invoke as ``python -m repro`` (or the ``repro-hls`` console script):
 * ``repro-hls schedule design.beh --cs 6`` — run MFS on a behavioral file;
 * ``repro-hls synth design.beh --cs 6 --verilog out.v`` — run MFSA and
   emit the RTL structure;
+* ``repro-hls trace design.beh`` — run MFS/MFSA with the
+  :mod:`repro.trace` recorder attached, write the JSONL event stream and
+  a markdown run report, and exit 1 if the replayed Liapunov descent
+  fails the :mod:`repro.check` audit;
 * ``repro-hls check`` — audit the paper examples (and optionally random
   DFGs) against the :mod:`repro.check` invariants; exit 1 on violation.
+
+Every subcommand's ``--help`` cites the paper section it reproduces
+(``tests/test_cli_help.py`` keeps the citations and wording pinned).
 
 Behavioral files use the :mod:`repro.dfg.parser` language.
 """
@@ -183,6 +190,11 @@ def _command_explore(args) -> int:
         [int(v) for v in args.budgets.split(",")] if args.budgets else None
     )
     perf = _make_perf(args)
+    trace = None
+    if args.trace:
+        from repro.trace import TraceRecorder
+
+        trace = TraceRecorder()
     points = design_space(
         dfg,
         timing,
@@ -192,8 +204,12 @@ def _command_explore(args) -> int:
         backend=_backend(args),
         workers=args.workers,
         perf=perf,
+        trace=trace,
     )
     print(render_design_space(points))
+    if trace is not None:
+        trace.write_jsonl(args.trace)
+        print(f"wrote {args.trace}", file=sys.stderr)
     _print_perf(perf)
     knee = knee_point(pareto_front(points))
     if knee is not None:
@@ -277,6 +293,47 @@ def _command_check(args) -> int:
     return 1 if failed else 0
 
 
+def _command_trace(args) -> int:
+    import os
+
+    from repro.trace import trace_run
+
+    stem = os.path.splitext(os.path.basename(args.file))[0]
+    with open(args.file) as handle:
+        dfg = parse_behavior(handle.read(), name=stem)
+    timing = _timing(args)
+    run = trace_run(
+        dfg,
+        timing,
+        scheduler=args.scheduler,
+        cs=args.cs,
+        style=args.style,
+        latency_l=args.latency_l,
+        pipelined_kinds=tuple(args.pipelined.split(",")) if args.pipelined else (),
+    )
+    jsonl_path = args.jsonl or f"{stem}.trace.jsonl"
+    report_path = args.report or f"{stem}.report.md"
+    with open(jsonl_path, "w") as handle:
+        handle.write(run.jsonl)
+    with open(report_path, "w") as handle:
+        handle.write(run.report)
+    print(f"wrote {jsonl_path}", file=sys.stderr)
+    print(f"wrote {report_path}", file=sys.stderr)
+    events = run.jsonl.count("\n")
+    commits = len(run.result.trajectory)
+    verdict = "OK" if run.ok else f"{len(run.violations)} violation(s)"
+    print(
+        f"{args.scheduler} on {dfg.name}: {events} events, "
+        f"{commits} commits, replayed descent {verdict}"
+    )
+    if not run.ok:
+        for violation in run.violations:
+            print(f"  {violation.code} {violation.subject}: "
+                  f"{violation.message}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _parse_inputs(spec: Optional[str], names) -> Dict[str, int]:
     values = {name: 0 for name in names}
     if spec:
@@ -295,20 +352,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name, helptext in (
-        ("table1", "regenerate the paper's Table 1 (MFS)"),
-        ("table2", "regenerate the paper's Table 2 (MFSA)"),
+        ("table1", "regenerate the paper's Table 1 — MFS results (§6)"),
+        ("table2", "regenerate the paper's Table 2 — MFSA results (§6)"),
     ):
         p = sub.add_parser(name, help=helptext)
         p.add_argument("--example", choices=[f"ex{i}" for i in range(1, 7)])
 
-    for which in (1, 2):
-        p = sub.add_parser(f"figure{which}", help=f"regenerate Figure {which}")
+    for which, detail in (
+        (1, "a move frame and its Liapunov argmin (§2.2)"),
+        (2, "the PF/RF/FF frames of one operation (§3.2)"),
+    ):
+        p = sub.add_parser(
+            f"figure{which}",
+            help=f"regenerate the paper's Figure {which} — {detail}",
+        )
         p.add_argument("--example", choices=[f"ex{i}" for i in range(1, 7)])
 
     sub.add_parser("baselines", help="scheduler quality comparison (§6)")
 
     p = sub.add_parser(
-        "report", help="regenerate every paper artifact into one document"
+        "report",
+        help="regenerate every paper artifact into one document (§6)",
     )
     p.add_argument("--out", help="write Markdown here (default: stdout)")
     p.add_argument(
@@ -319,7 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_arguments(p)
     _add_perf_argument(p)
 
-    p = sub.add_parser("schedule", help="run MFS on a behavioral file")
+    p = sub.add_parser(
+        "schedule",
+        help="run move frame scheduling (MFS, §3) on a behavioral file",
+    )
     p.add_argument("file")
     p.add_argument("--cs", type=int, help="time constraint (default: critical path)")
     p.add_argument("--latency-l", type=int, default=None,
@@ -334,13 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_argument(p)
 
     p = sub.add_parser(
-        "explore", help="latency/area design-space sweep on a behavioral file"
+        "explore",
+        help="latency/area design-space sweep over MFSA runs (§4, §6)",
     )
     p.add_argument("file")
     p.add_argument(
         "--budgets", help="comma-separated time budgets (default: auto ladder)"
     )
     p.add_argument("--style", type=int, choices=[1, 2], default=1)
+    p.add_argument(
+        "--trace",
+        help="write the merged per-budget decision trace (JSONL) here",
+    )
     _add_timing_arguments(p)
     _add_sweep_arguments(p)
     _add_perf_argument(p)
@@ -348,7 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "check",
         help="audit schedule/Liapunov/allocation invariants on the paper "
-        "examples (repro.check)",
+        "examples (§2.2, §3.2)",
     )
     p.add_argument(
         "--example",
@@ -371,7 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the cross-validation against baseline schedulers",
     )
 
-    p = sub.add_parser("synth", help="run MFSA on a behavioral file")
+    p = sub.add_parser(
+        "synth",
+        help="run mixed scheduling-allocation (MFSA, §4) on a behavioral "
+        "file",
+    )
     p.add_argument("file")
     p.add_argument("--cs", type=int)
     p.add_argument("--style", type=int, choices=[1, 2], default=1)
@@ -392,6 +468,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_verify_argument(p)
     _add_timing_arguments(p)
     _add_perf_argument(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one traced MFS/MFSA pass: record every frame, candidate "
+        "energy and commit (§2.2, §3.2, §4.1), write the JSONL event "
+        "stream plus a markdown run report, and replay-audit the descent",
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--scheduler",
+        choices=["mfsa", "mfs"],
+        default="mfsa",
+        help="which scheduler to trace (default: mfsa)",
+    )
+    p.add_argument("--cs", type=int, help="time constraint (default: critical path)")
+    p.add_argument("--style", type=int, choices=[1, 2], default=1)
+    p.add_argument("--latency-l", type=int, default=None,
+                   help="functional-pipelining initiation interval")
+    p.add_argument("--pipelined", default="",
+                   help="comma-separated structurally pipelined kinds")
+    p.add_argument(
+        "--jsonl",
+        help="event-stream output path (default: <design>.trace.jsonl)",
+    )
+    p.add_argument(
+        "--report",
+        help="run-report output path (default: <design>.report.md)",
+    )
+    _add_timing_arguments(p)
 
     return parser
 
@@ -434,6 +539,8 @@ def main(argv=None) -> int:
         return _command_synth(args)
     if args.command == "check":
         return _command_check(args)
+    if args.command == "trace":
+        return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

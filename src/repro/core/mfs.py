@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.trace.recorder import TraceRecorder
 
 from repro.errors import InfeasibleScheduleError, ScheduleError
 from repro.dfg.analysis import (
@@ -117,6 +120,13 @@ class MFSScheduler:
     perf:
         Optional :class:`~repro.perf.PerfCounters` receiving frame/
         position counters and the ``mfs.run`` timer.
+    trace:
+        Optional :class:`~repro.trace.recorder.TraceRecorder` receiving
+        typed decision events — frame constructions, per-candidate
+        Liapunov evaluations, commits, local-rescheduling steps, and the
+        run summary (plus the ``perf`` counter snapshot when both are
+        given).  ``None`` (the default) records nothing and costs
+        nothing.
     """
 
     def __init__(
@@ -134,6 +144,7 @@ class MFSScheduler:
         liapunov: Optional[StaticLiapunov] = None,
         verify: bool = False,
         perf: Optional[PerfCounters] = None,
+        trace: Optional["TraceRecorder"] = None,
     ) -> None:
         if mode not in ("time", "resource"):
             raise ValueError(f"mode must be 'time' or 'resource', got {mode!r}")
@@ -148,6 +159,7 @@ class MFSScheduler:
         self.user_liapunov = liapunov
         self.verify = verify
         self.perf = perf
+        self.trace = trace
         self.user_bounds = dict(resource_bounds) if resource_bounds else None
 
         dfg.validate(timing.ops)
@@ -214,7 +226,12 @@ class MFSScheduler:
 
     def _run(self) -> MFSResult:
         dfg, timing = self.dfg, self.timing
+        trace = self.trace
+        if trace is not None:
+            trace.run_start("mfs", dfg.name, self.cs, mode=self.mode)
         if len(dfg) == 0:
+            if trace is not None:
+                trace.run_end(commits=0, fu_counts={})
             empty = Schedule(dfg=dfg, timing=timing, cs=max(self.cs or 1, 1), starts={})
             return MFSResult(
                 schedule=empty,
@@ -274,6 +291,8 @@ class MFSScheduler:
                     placed_starts=placed_starts,
                     chain_offsets=chain_offsets,
                 )
+                if trace is not None:
+                    trace.frame(name, kind, frame, current[kind])
                 if not frame.empty:
                     break
                 # §3.2 Step 4: local rescheduling — open one more FU.
@@ -281,6 +300,8 @@ class MFSScheduler:
                     perf.incr("mfs.local_reschedules")
                 if current[kind] < grid.columns(kind):
                     current[kind] += 1
+                    if trace is not None:
+                        trace.reschedule(name, kind, "open-fu", current[kind])
                     continue
                 if bounds_are_auto and self.relax_bounds:
                     grid.widen(kind, grid.columns(kind) + 1)
@@ -288,6 +309,8 @@ class MFSScheduler:
                     liapunov = self._make_liapunov(
                         {k: grid.columns(k) for k in grid.tables()}
                     )
+                    if trace is not None:
+                        trace.reschedule(name, kind, "widen-table", current[kind])
                     continue
                 raise InfeasibleScheduleError(
                     f"no position for {name!r} ({kind}) within "
@@ -302,6 +325,17 @@ class MFSScheduler:
             if perf is not None:
                 perf.incr("mfs.positions_evaluated", len(values))
             chosen = liapunov.best(frame.mf, values=values)
+            if trace is not None:
+                trace.candidates(name, kind, values.items())
+                trace.commit(
+                    name,
+                    kind,
+                    kind,
+                    chosen.x,
+                    chosen.y,
+                    values[chosen],
+                    timing.latency(kind),
+                )
             grid.place(name, chosen, timing.latency(kind))
             placed_starts[name] = chosen.y
             self._update_chain_offset(name, chosen.y, placed_starts, chain_offsets)
@@ -327,6 +361,10 @@ class MFSScheduler:
         )
         trajectory.verify()
         fu_counts = schedule.fu_usage()
+        if trace is not None:
+            if perf is not None:
+                trace.counters(dict(perf.counters))
+            trace.run_end(commits=len(trajectory), fu_counts=dict(fu_counts))
         result = MFSResult(
             schedule=schedule,
             placements=grid.placements(),

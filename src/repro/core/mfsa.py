@@ -22,7 +22,10 @@ DFG predecessors or successors — the SYNTEST self-testable style).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.trace.recorder import TraceRecorder
 
 from repro.errors import InfeasibleScheduleError, ScheduleError
 from repro.dfg.analysis import TimingModel, alap_schedule, asap_schedule
@@ -273,6 +276,15 @@ class MFSAScheduler:
     perf:
         Optional :class:`~repro.perf.PerfCounters` receiving candidate/
         cache counters and the ``mfsa.run`` timer.
+    trace:
+        Optional :class:`~repro.trace.recorder.TraceRecorder` receiving
+        typed decision events — frame constructions, per-candidate
+        energies with the §4.1 ``f_TIME``/``f_ALU``/``f_MUX``/``f_REG``
+        breakdown, commits (with the chosen ALU cell), fresh-instance
+        rescheduling steps, and the run summary including the Table-2
+        cost roll-up (plus the ``perf`` counter snapshot when both are
+        given).  ``None`` (the default) records nothing and costs
+        nothing.
     """
 
     def __init__(
@@ -294,6 +306,7 @@ class MFSAScheduler:
         area_budget: Optional[float] = None,
         verify: bool = False,
         perf: Optional[PerfCounters] = None,
+        trace: Optional["TraceRecorder"] = None,
     ) -> None:
         if style not in (1, 2):
             raise ValueError(f"style must be 1 or 2, got {style}")
@@ -315,6 +328,7 @@ class MFSAScheduler:
         self.record_alternatives = record_alternatives
         self.verify = verify
         self.perf = perf
+        self.trace = trace
         self.count_input_registers = count_input_registers
         # "reuse-first" is the paper's redundant-frame rule (open a new ALU
         # instance only when no opened one can host the operation);
@@ -361,8 +375,11 @@ class MFSAScheduler:
 
     def _run(self) -> MFSAResult:
         dfg, timing = self.dfg, self.timing
+        trace = self.trace
         if len(dfg) == 0:
             raise ScheduleError("MFSA needs a non-empty DFG")
+        if trace is not None:
+            trace.run_start("mfsa", dfg.name, self.cs, style=self.style)
 
         asap = asap_schedule(dfg, timing)
         alap = alap_schedule(dfg, timing, self.cs)
@@ -442,12 +459,16 @@ class MFSAScheduler:
         frames_log: Dict[str, List[FrameSet]] = {}
 
         perf = self.perf
+        c_constant = liapunov.c_constant
         for name in order:
             kind = dfg.node(name).kind
             latency = timing.latency(kind)
             reg_cache: Dict[int, Tuple[float, List[Lifetime]]] = {}
             frame_cache: Dict[str, FrameSet] = {}
             alternatives: List[Tuple[GridPosition, float]] = []
+            # Traced candidates accumulate in a plain local list (cheap)
+            # and land in the recorder as one batch at commit time.
+            traced_cands: Optional[list] = [] if trace is not None else None
 
             def gather(fresh_instance: bool):
                 """Collect candidate placements.
@@ -462,6 +483,9 @@ class MFSAScheduler:
                 best_key = None
                 best_choice = None
                 use_cache = not self.no_cache
+                traced_append = (
+                    traced_cands.append if traced_cands is not None else None
+                )
                 # A frame's move positions are per-(x, y) feasibility checks
                 # with no cross-position coupling, so the reuse-pass frame
                 # equals the fresh-pass frame filtered to x <= opened (the
@@ -483,6 +507,7 @@ class MFSAScheduler:
                         if frame is None:
                             if perf is not None:
                                 perf.incr("mfsa.frames_computed")
+                            current = min(opened + 1, grid.columns(cell.name))
                             frame = compute_frames(
                                 dfg,
                                 timing,
@@ -491,9 +516,7 @@ class MFSAScheduler:
                                 table=cell.name,
                                 asap=asap,
                                 alap=alap,
-                                current=min(
-                                    opened + 1, grid.columns(cell.name)
-                                ),
+                                current=current,
                                 placed_starts=placed_starts,
                                 chain_offsets=chain_offsets,
                                 excluded_instances=(
@@ -503,6 +526,8 @@ class MFSAScheduler:
                                 ),
                             )
                             frame_cache[cell.name] = frame
+                            if trace is not None:
+                                trace.frame(name, cell.name, frame, current)
                     else:
                         current = (
                             min(opened + 1, grid.columns(cell.name))
@@ -531,6 +556,8 @@ class MFSAScheduler:
                             chain_offsets=chain_offsets,
                             excluded_instances=excluded,
                         )
+                        if trace is not None:
+                            trace.frame(name, cell.name, frame, current)
                         if self.record_frames:
                             frames_log.setdefault(name, []).append(frame)
                     for position in frame.mf:
@@ -576,6 +603,16 @@ class MFSAScheduler:
                         energy = liapunov.value(position.y, f_alu, f_mux, f_reg)
                         if perf is not None:
                             perf.incr("mfsa.candidates_evaluated")
+                        if traced_append is not None:
+                            traced_append((
+                                cell.name,
+                                position.x,
+                                position.y,
+                                energy,
+                                f_alu,
+                                f_mux,
+                                f_reg,
+                            ))
                         if self.record_alternatives:
                             alternatives.append((position, energy))
                         key = (
@@ -594,6 +631,10 @@ class MFSAScheduler:
             else:
                 best_choice = gather(fresh_instance=False)
                 if best_choice is None:
+                    # §4: no opened instance can host the op — let a fresh
+                    # instance per cell join the frame (f_ALU arbitrates).
+                    if trace is not None:
+                        trace.reschedule(name, kind, "fresh-instance", 0)
                     best_choice = gather(fresh_instance=True)
             if best_choice is None:
                 raise InfeasibleScheduleError(
@@ -601,6 +642,18 @@ class MFSAScheduler:
                     f"{self.cs} steps (style {self.style})"
                 )
             cell, position, energy, lifetimes = best_choice
+            if trace is not None:
+                trace.candidates_detailed(name, traced_cands, c_constant)
+                trace.commit(
+                    name,
+                    kind,
+                    position.table,
+                    position.x,
+                    position.y,
+                    energy,
+                    latency,
+                    cell=cell,  # label() resolved at materialisation
+                )
             remaining_by_kind[kind] -= 1
             grid.place(name, position, latency)
             placed_starts[name] = position.y
@@ -647,6 +700,20 @@ class MFSAScheduler:
             style=self.style,
             frames_log=frames_log,
         )
+        if trace is not None:
+            if perf is not None:
+                trace.counters(dict(perf.counters))
+            cost = result.cost
+            trace.run_end(
+                commits=len(trajectory),
+                cost={
+                    "alu": cost.alu,
+                    "registers": cost.registers,
+                    "mux": cost.mux,
+                    "total": cost.total,
+                },
+                alus=result.alu_labels(),
+            )
         if self.verify:
             from repro.check.runner import check_mfsa_result
 

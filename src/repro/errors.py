@@ -60,6 +60,10 @@ class VerificationError(ReproError):
         self.report = report
 
 
+class TraceError(ReproError):
+    """A trace stream is malformed, schema-incompatible or fails replay."""
+
+
 class SimulationError(ReproError):
     """Cycle-accurate simulation of a datapath failed or diverged."""
 

@@ -21,7 +21,8 @@ from repro.library.cells import CellLibrary
 from repro.core.liapunov import LiapunovWeights
 from repro.core.mfsa import MFSAResult, MFSAScheduler
 from repro.perf import PerfCounters
-from repro.sweep import SweepExecutor, merge_worker_perf
+from repro.sweep import SweepExecutor, merge_worker_perf, merge_worker_traces
+from repro.trace.recorder import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -62,20 +63,39 @@ def default_budget_ladder(dfg: DFG, timing: TimingModel) -> List[int]:
     return [cs for cs in ladder if cs >= base]
 
 
-def _design_point_worker(payload) -> Tuple[int, Optional[dict], Optional[MFSAResult], Optional[dict]]:
+def _design_point_worker(payload) -> Tuple[
+    int, Optional[dict], Optional[MFSAResult], Optional[dict], Optional[list]
+]:
     """Synthesise one budget (module-level so process pools can pickle it).
 
-    Returns ``(cs, point_fields, result | None, perf_snapshot | None)``;
-    ``point_fields`` is ``None`` for infeasible budgets.
+    Returns ``(cs, point_fields, result | None, perf_snapshot | None,
+    trace_snapshot | None)``; ``point_fields`` is ``None`` for infeasible
+    budgets.  The trace snapshot is a header-less event list (see
+    :meth:`~repro.trace.recorder.TraceRecorder.snapshot`) the caller
+    merges back under a ``cs=<budget>`` source tag.
     """
-    dfg, timing, library, cs, style, weights, keep_results, want_perf = payload
+    dfg, timing, library, cs, style, weights, keep_results, want_perf, want_trace = payload
     perf = PerfCounters() if want_perf else None
+    trace = TraceRecorder() if want_trace else None
     try:
         result = MFSAScheduler(
-            dfg, timing, library, cs=cs, style=style, weights=weights, perf=perf
+            dfg,
+            timing,
+            library,
+            cs=cs,
+            style=style,
+            weights=weights,
+            perf=perf,
+            trace=trace,
         ).run()
     except InfeasibleScheduleError:
-        return cs, None, None, perf.as_dict() if perf else None
+        return (
+            cs,
+            None,
+            None,
+            perf.as_dict() if perf else None,
+            trace.snapshot() if trace else None,
+        )
     cost = result.cost
     fields = dict(
         cs=cs,
@@ -90,6 +110,7 @@ def _design_point_worker(payload) -> Tuple[int, Optional[dict], Optional[MFSARes
         fields,
         result if keep_results else None,
         perf.as_dict() if perf else None,
+        trace.snapshot() if trace else None,
     )
 
 
@@ -104,6 +125,7 @@ def design_space(
     backend: str = "serial",
     workers: Optional[int] = None,
     perf: Optional[PerfCounters] = None,
+    trace: Optional[TraceRecorder] = None,
 ) -> List[DesignPoint]:
     """Synthesise the behaviour across a range of time budgets.
 
@@ -121,6 +143,13 @@ def design_space(
     identical in value and order on every backend; ``perf`` (optional
     :class:`~repro.perf.PerfCounters`) aggregates scheduler counters
     across all budgets, merged from workers when the pool runs.
+
+    ``trace`` (optional :class:`~repro.trace.recorder.TraceRecorder`)
+    collects the full decision stream of every budget into one recorder:
+    each worker records its own run and the per-budget streams are merged
+    back in budget order under a ``cs=<budget>`` source tag, so the
+    combined JSONL splits back into per-budget runs on replay — identical
+    whether the sweep ran serial or over the pool.
     """
     if budgets is None:
         budgets = default_budget_ladder(dfg, timing)
@@ -129,16 +158,29 @@ def design_space(
         results: dict
 
     payloads = [
-        (dfg, timing, library, cs, style, weights, keep_results, perf is not None)
+        (
+            dfg,
+            timing,
+            library,
+            cs,
+            style,
+            weights,
+            keep_results,
+            perf is not None,
+            trace is not None,
+        )
         for cs in budgets
     ]
     executor = SweepExecutor(backend=backend, workers=workers, perf=perf)
     outcomes = executor.map(_design_point_worker, payloads)
-    merge_worker_perf(perf, (snap for _cs, _f, _r, snap in outcomes))
+    merge_worker_perf(perf, (snap for _cs, _f, _r, snap, _t in outcomes))
+    merge_worker_traces(
+        trace, ((f"cs={cs}", snap) for cs, _f, _r, _p, snap in outcomes)
+    )
 
     points = _PointList()
     points.results = {}
-    for cs, fields, result, _snapshot in outcomes:
+    for cs, fields, result, _snapshot, _trace_snapshot in outcomes:
         if fields is None:
             continue
         points.append(DesignPoint(**fields))

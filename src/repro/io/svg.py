@@ -1,10 +1,17 @@
 """Dependency-free SVG rendering of schedules and placement grids.
 
-Two views:
+Views:
 
 * :func:`schedule_to_svg` — a Gantt chart: one row per FU instance (from
   the MFS placement or an explicit binding), one column per control step,
   operation boxes labelled and coloured by kind;
+* :func:`gantt_to_svg` — the generic Gantt renderer behind it, fed with
+  bare ``(row, start, span, label, kind)`` cells (the trace run-report
+  rebuilds schedules from JSONL commit events through this);
+* :func:`line_chart_to_svg` — a minimal polyline chart (the trace
+  report's Liapunov descent curve);
+* :func:`heat_strip_to_svg` — a one-row heat strip (move-frame occupancy
+  per scheduling iteration);
 * :func:`frames_to_svg` — Figure 2 as a proper vector image: PF/RF/FF/MF
   cells shaded, placed predecessors marked.
 
@@ -65,6 +72,43 @@ def _text(x, y, content, anchor="middle", size=12) -> str:
     )
 
 
+def gantt_to_svg(
+    cells: List[Tuple[str, int, int, str, str]],
+    cs: int,
+    title: str,
+) -> str:
+    """Generic Gantt chart from bare cells.
+
+    Each cell is ``(row, start, span, label, kind)`` — row label, 1-based
+    start step, occupied span in steps, box text, operation kind (for the
+    colour map).  Rows appear in sorted order.
+    """
+    rows = sorted({cell[0] for cell in cells})
+    row_index = {key: i for i, key in enumerate(rows)}
+    width = LABEL_W + cs * CELL_W + 10
+    height = HEADER_H + len(rows) * CELL_H + 10
+
+    parts = _svg_header(width, height, title)
+    for step in range(1, cs + 1):
+        x = LABEL_W + (step - 1) * CELL_W
+        parts.append(_text(x + CELL_W / 2, HEADER_H - 12, f"cs{step}"))
+        parts.append(
+            f'<line x1="{x}" y1="{HEADER_H}" x2="{x}" '
+            f'y2="{height - 10}" stroke="#ddd"/>'
+        )
+    for key, index in row_index.items():
+        y = HEADER_H + index * CELL_H
+        parts.append(_text(6, y + CELL_H * 0.65, key, anchor="start"))
+    for row, start, span, label, kind in sorted(cells):
+        x = LABEL_W + (start - 1) * CELL_W
+        y = HEADER_H + row_index[row] * CELL_H + 2
+        colour = KIND_COLOURS.get(kind, DEFAULT_COLOUR)
+        parts.append(_box(x + 1, y, span * CELL_W - 2, CELL_H - 4, colour))
+        parts.append(_text(x + span * CELL_W / 2, y + CELL_H * 0.6, label))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
 def schedule_to_svg(
     schedule: Schedule,
     binding: Optional[Mapping[str, Tuple[str, int]]] = None,
@@ -80,43 +124,159 @@ def schedule_to_svg(
 
         binding = bind_functional_units(schedule)
 
-    rows: List[Tuple[str, int]] = sorted(set(binding.values()))
-    row_index = {key: i for i, key in enumerate(rows)}
-    width = LABEL_W + schedule.cs * CELL_W + 10
-    height = HEADER_H + len(rows) * CELL_H + 10
-
-    parts = _svg_header(
-        width, height, title or f"schedule of {schedule.dfg.name}"
-    )
-    for step in range(1, schedule.cs + 1):
-        x = LABEL_W + (step - 1) * CELL_W
-        parts.append(_text(x + CELL_W / 2, HEADER_H - 12, f"cs{step}"))
-        parts.append(
-            f'<line x1="{x}" y1="{HEADER_H}" x2="{x}" '
-            f'y2="{height - 10}" stroke="#ddd"/>'
-        )
-    for key, index in row_index.items():
-        y = HEADER_H + index * CELL_H
-        parts.append(
-            _text(6, y + CELL_H * 0.65, f"{key[0]}#{key[1]}", anchor="start")
-        )
+    cells: List[Tuple[str, int, int, str, str]] = []
     for name, key in sorted(binding.items()):
         node = schedule.dfg.node(name)
-        start = schedule.start(name)
         latency = schedule.timing.latency(node.kind)
         span = 1 if node.kind in schedule.pipelined_kinds else latency
-        x = LABEL_W + (start - 1) * CELL_W
-        y = HEADER_H + row_index[key] * CELL_H + 2
-        colour = KIND_COLOURS.get(node.kind, DEFAULT_COLOUR)
-        parts.append(_box(x + 1, y, span * CELL_W - 2, CELL_H - 4, colour))
         symbol = OP_SYMBOLS.get(node.kind, "?")
-        parts.append(
-            _text(
-                x + span * CELL_W / 2,
-                y + CELL_H * 0.6,
+        cells.append(
+            (
+                f"{key[0]}#{key[1]}",
+                schedule.start(name),
+                span,
                 f"{name} ({symbol})",
+                node.kind,
             )
         )
+    return gantt_to_svg(
+        cells, schedule.cs, title or f"schedule of {schedule.dfg.name}"
+    )
+
+
+CHART_W = 560
+CHART_H = 220
+CHART_PAD = 42
+
+#: Series colours for :func:`line_chart_to_svg` (assigned in order).
+SERIES_COLOURS = ("#3182bd", "#e6550d", "#31a354", "#756bb1")
+
+
+def line_chart_to_svg(
+    series: List[Tuple[str, List[Tuple[float, float]]]],
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Minimal polyline chart: ``series`` is ``[(label, [(x, y), ...])]``.
+
+    Designed for the trace report's Liapunov-descent curve; axes are
+    linear with min/max tick labels only, markers at every point.
+    """
+    points = [p for _label, pts in series for p in pts]
+    if not points:
+        return "\n".join(_svg_header(CHART_W, CHART_H, title) + ["</svg>"])
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    plot_w = CHART_W - 2 * CHART_PAD
+    plot_h = CHART_H - 2 * CHART_PAD
+
+    def px(x: float) -> float:
+        return round(CHART_PAD + (x - x_lo) / x_span * plot_w, 1)
+
+    def py(y: float) -> float:
+        return round(CHART_H - CHART_PAD - (y - y_lo) / y_span * plot_h, 1)
+
+    parts = _svg_header(CHART_W, CHART_H, title)
+    parts.append(_text(CHART_W / 2, 16, title, size=13))
+    axis = CHART_H - CHART_PAD
+    parts.append(
+        f'<line x1="{CHART_PAD}" y1="{axis}" x2="{CHART_W - CHART_PAD}" '
+        f'y2="{axis}" stroke="#555"/>'
+    )
+    parts.append(
+        f'<line x1="{CHART_PAD}" y1="{CHART_PAD}" x2="{CHART_PAD}" '
+        f'y2="{axis}" stroke="#555"/>'
+    )
+    parts.append(_text(CHART_PAD, axis + 16, _fmt_tick(x_lo), size=10))
+    parts.append(
+        _text(CHART_W - CHART_PAD, axis + 16, _fmt_tick(x_hi), size=10)
+    )
+    parts.append(
+        _text(CHART_PAD - 6, axis + 3, _fmt_tick(y_lo), anchor="end", size=10)
+    )
+    parts.append(
+        _text(CHART_PAD - 6, CHART_PAD + 3, _fmt_tick(y_hi), anchor="end", size=10)
+    )
+    if x_label:
+        parts.append(_text(CHART_W / 2, CHART_H - 8, x_label, size=11))
+    if y_label:
+        parts.append(
+            f'<text x="12" y="{CHART_H / 2}" text-anchor="middle" '
+            f'font-size="11" transform="rotate(-90 12 {CHART_H / 2})">'
+            f"{html.escape(y_label)}</text>"
+        )
+    for index, (label, pts) in enumerate(series):
+        colour = SERIES_COLOURS[index % len(SERIES_COLOURS)]
+        if len(pts) > 1:
+            path = " ".join(f"{px(x)},{py(y)}" for x, y in pts)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{colour}" '
+                f'stroke-width="1.5"/>'
+            )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{px(x)}" cy="{py(y)}" r="2.5" fill="{colour}"/>'
+            )
+        parts.append(
+            _text(
+                CHART_W - CHART_PAD,
+                CHART_PAD + 14 * index,
+                label,
+                anchor="end",
+                size=10,
+            )
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _fmt_tick(value: float) -> str:
+    return f"{value:g}"
+
+
+STRIP_CELL = 14
+
+
+def heat_strip_to_svg(
+    values: List[int],
+    title: str,
+    labels: Optional[List[str]] = None,
+) -> str:
+    """One-row heat strip: cell ``i`` shaded by ``values[i]`` (0 = white).
+
+    Used for the move-frame occupancy strip of the trace report — one
+    cell per scheduling iteration, darker green for larger move frames;
+    ``labels`` become ``<title>`` hover tooltips.
+    """
+    peak = max(values, default=0) or 1
+    width = 2 * CHART_PAD + max(len(values), 1) * STRIP_CELL
+    height = 64
+    parts = _svg_header(width, height, title)
+    parts.append(_text(width / 2, 14, title, size=12))
+    for index, value in enumerate(values):
+        level = value / peak
+        # white → mid green, quantised so output stays byte-stable
+        red = int(255 - 139 * level)
+        green = int(255 - 59 * level)
+        blue = int(255 - 137 * level)
+        x = CHART_PAD + index * STRIP_CELL
+        tooltip = (
+            f"<title>{html.escape(labels[index])}</title>"
+            if labels is not None
+            else ""
+        )
+        parts.append(
+            f'<rect x="{x}" y="24" width="{STRIP_CELL}" height="{STRIP_CELL}"'
+            f' fill="rgb({red},{green},{blue})" stroke="#999">{tooltip}</rect>'
+        )
+    parts.append(
+        _text(width / 2, 56, f"peak |MF| = {peak if values else 0}", size=10)
+    )
     parts.append("</svg>")
     return "\n".join(parts)
 

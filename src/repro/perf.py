@@ -20,11 +20,18 @@ Canonical counter names (grep targets for the BENCH trajectory harness):
 ``mfsa.operand_cache_hits/..``  memoized vs fresh ``MuxOperand`` builds
 ``mfsa.reg_cache_hits/misses``  memoized vs fresh f_REG/lifetime evals
 ``sweep.tasks``                 items fanned out by a sweep executor
+``sweep.pool_failures``         process pools that fell back to serial
 ==============================  ==========================================
 
 Timers use ``time.perf_counter`` and accumulate, so one counter object can
 aggregate a whole sweep (see :meth:`merge`, which parallel backends use to
 fold worker-side snapshots back into the caller's object).
+
+When a scheduler is given both a counter object and a
+:class:`~repro.trace.recorder.TraceRecorder`, the final counter snapshot
+is embedded into the trace as a ``perf.counters`` event, attributing the
+cache hits/misses above to that specific run in the exported JSONL (see
+``docs/TRACING.md``).
 """
 
 from __future__ import annotations

@@ -161,3 +161,21 @@ def merge_worker_perf(perf: Optional[PerfCounters], snapshots) -> None:
     for snapshot in snapshots:
         if snapshot:
             perf.merge(snapshot)
+
+
+def merge_worker_traces(trace, tagged_snapshots) -> None:
+    """Fold worker-side trace snapshots into one ``TraceRecorder``.
+
+    Mirrors :func:`merge_worker_perf` for the :mod:`repro.trace` layer:
+    workers record into their own recorder and ship back
+    :meth:`~repro.trace.recorder.TraceRecorder.snapshot` (a picklable
+    event list); the caller merges them here, in item order, each stream
+    tagged with its ``src`` label so replay can split the combined file
+    back into per-item runs.  ``tagged_snapshots`` is an iterable of
+    ``(source_label, events | None)`` pairs; ``trace=None`` is a no-op.
+    """
+    if trace is None:
+        return
+    for source, events in tagged_snapshots:
+        if events:
+            trace.merge(events, source)

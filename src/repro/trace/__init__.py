@@ -1,0 +1,57 @@
+"""repro.trace — structured decision tracing and run reports.
+
+The observability layer of the reproduction: a low-overhead, span-based
+event recorder hooked into the MFS/MFSA inner loops (zero-cost when
+absent), a versioned JSONL export, a replay loader that reconstructs the
+§2.2 Liapunov descent and audits it through :mod:`repro.check`, and a
+markdown/SVG run-report renderer.
+
+* :class:`TraceRecorder` — pass as ``trace=`` to
+  :class:`~repro.core.mfs.MFSScheduler` /
+  :class:`~repro.core.mfsa.MFSAScheduler` (or the ``mfs_schedule`` /
+  ``mfsa_synthesize`` wrappers);
+* :func:`read_jsonl` / :func:`parse_jsonl` — load a trace file back;
+* :func:`check_descent` — replay the recorded trajectory against the
+  paper's movement properties;
+* :func:`render_run_report` — self-contained markdown report (Gantt,
+  energy descent, move-frame occupancy, counters);
+* :func:`trace_run` — one-call traced run (the CLI ``repro-hls trace``).
+
+Schema: ``docs/TRACING.md``; paper mapping: ``docs/PAPER_MAP.md``.
+"""
+
+from repro.trace.events import (
+    SCHEMA_VERSION,
+    validate_event,
+    validate_events,
+)
+from repro.trace.recorder import TraceRecorder, events_to_jsonl
+from repro.trace.replay import (
+    check_descent,
+    descent_curve,
+    node_energy_sequences,
+    parse_jsonl,
+    read_jsonl,
+    split_runs,
+    to_trajectory,
+)
+from repro.trace.report import render_run_report
+from repro.trace.driver import TracedRun, trace_run
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceRecorder",
+    "TracedRun",
+    "check_descent",
+    "descent_curve",
+    "events_to_jsonl",
+    "node_energy_sequences",
+    "parse_jsonl",
+    "read_jsonl",
+    "render_run_report",
+    "split_runs",
+    "to_trajectory",
+    "trace_run",
+    "validate_event",
+    "validate_events",
+]

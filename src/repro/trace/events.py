@@ -1,0 +1,158 @@
+"""The trace event schema (version 1).
+
+Every trace is a stream of flat JSON objects, one per JSONL line.  The
+first line is always the header; every subsequent event carries a
+sequence number ``i`` (0-based, per stream) and a type tag ``t``.  The
+full field-by-field documentation, with a worked EWF excerpt, lives in
+``docs/TRACING.md``; the mapping from each event type to the paper
+section it witnesses is in ``docs/PAPER_MAP.md``.
+
+Event types
+-----------
+``trace.header``
+    ``{"t", "v"}`` — schema version marker, always the first line.
+``run.start``
+    ``{"t", "i", "scheduler", "design", "cs"}`` plus an optional
+    ``info`` object (MFS: ``{"mode": ...}``; MFSA: ``{"style": ...}``)
+    and, on merged sweep traces, a ``src`` worker tag.
+``frame.built``
+    One PF/RF/FF/MF construction (§3.2 Step 4): ``pf_rows``/``pf_cols``
+    inclusive ``[lo, hi]`` pairs, ``rf_cols`` (``null`` when every
+    instance is open), the forbidden-frame bounds ``ff_before``/
+    ``ff_after``, chaining re-admitted ``chain_rows``, the move-frame
+    size ``mf`` and the opened-instance count ``current``.
+``cand.eval``
+    One Liapunov evaluation of a move-frame position: ``x``, ``y``,
+    total energy ``e``; MFSA additionally records the §4.1 breakdown
+    ``ft``/``fa``/``fm``/``fr`` (unweighted f_TIME/f_ALU/f_MUX/f_REG).
+``op.commit``
+    The argmin placement of one operation: ``kind``, ``table``, ``x``,
+    ``y``, chosen energy ``e``, latency ``lat`` and, for MFSA, the ALU
+    ``cell`` label.
+``resched``
+    Local rescheduling (§3.2 Step 4): ``action`` is ``"open-fu"``
+    (``current_j`` grew), ``"widen-table"`` (auto bounds relaxed) or
+    ``"fresh-instance"`` (MFSA's second gather pass), with the
+    resulting ``current`` count.
+``perf.counters``
+    Snapshot of the run's :mod:`repro.perf` counters (cache hit/miss
+    attribution); emitted just before ``run.end`` when the scheduler
+    holds a :class:`~repro.perf.PerfCounters`.
+``run.end``
+    Terminal summary: ``commits`` plus scheduler-specific result fields
+    (MFS: ``fu_counts``; MFSA: ``cost`` and ``alus``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Schema version emitted in the ``trace.header`` line.  Bump on any
+#: backwards-incompatible field change and document the migration in
+#: docs/TRACING.md.
+SCHEMA_VERSION = 1
+
+HEADER = "trace.header"
+RUN_START = "run.start"
+FRAME = "frame.built"
+CANDIDATE = "cand.eval"
+COMMIT = "op.commit"
+RESCHEDULE = "resched"
+COUNTERS = "perf.counters"
+RUN_END = "run.end"
+
+#: Required fields per event type (beyond the ``t``/``i`` envelope).
+REQUIRED_FIELDS: Mapping[str, tuple] = {
+    RUN_START: ("scheduler", "design", "cs"),
+    FRAME: (
+        "node",
+        "table",
+        "pf_rows",
+        "pf_cols",
+        "rf_cols",
+        "ff_before",
+        "ff_after",
+        "chain_rows",
+        "mf",
+        "current",
+    ),
+    CANDIDATE: ("node", "table", "x", "y", "e"),
+    COMMIT: ("node", "kind", "table", "x", "y", "e", "lat"),
+    RESCHEDULE: ("node", "table", "action", "current"),
+    COUNTERS: ("counters",),
+    RUN_END: ("commits",),
+}
+
+#: Fields that must hold (JSON) numbers when present.
+_NUMERIC_FIELDS = frozenset(
+    ("cs", "x", "y", "e", "lat", "ff_before", "ff_after", "mf", "current",
+     "commits", "ft", "fa", "fm", "fr")
+)
+
+_RESCHEDULE_ACTIONS = frozenset(("open-fu", "widen-table", "fresh-instance"))
+
+
+def validate_event(obj: Any) -> Optional[str]:
+    """Validate one (non-header) event object; return an error or None."""
+    if not isinstance(obj, dict):
+        return f"event is not an object: {obj!r}"
+    kind = obj.get("t")
+    if kind == HEADER:
+        if obj.get("v") != SCHEMA_VERSION:
+            return (
+                f"unsupported trace schema version {obj.get('v')!r} "
+                f"(this library reads v{SCHEMA_VERSION})"
+            )
+        return None
+    if kind not in REQUIRED_FIELDS:
+        return f"unknown event type {kind!r}"
+    if not isinstance(obj.get("i"), int):
+        return f"{kind} event lacks an integer sequence number 'i'"
+    for field in REQUIRED_FIELDS[kind]:
+        if field not in obj:
+            return f"{kind} event #{obj['i']} lacks required field {field!r}"
+    for field in _NUMERIC_FIELDS:
+        if field in obj and not isinstance(obj[field], (int, float)):
+            return f"{kind} event #{obj['i']}: field {field!r} is not a number"
+    if kind == RESCHEDULE and obj["action"] not in _RESCHEDULE_ACTIONS:
+        return (
+            f"resched event #{obj['i']}: unknown action {obj['action']!r} "
+            f"(expected one of {sorted(_RESCHEDULE_ACTIONS)})"
+        )
+    if kind == FRAME:
+        for field in ("pf_rows", "pf_cols"):
+            pair = obj[field]
+            if not (isinstance(pair, list) and len(pair) == 2):
+                return (
+                    f"frame.built event #{obj['i']}: {field} must be a "
+                    f"[lo, hi] pair, got {pair!r}"
+                )
+        if obj["rf_cols"] is not None and not (
+            isinstance(obj["rf_cols"], list) and len(obj["rf_cols"]) == 2
+        ):
+            return (
+                f"frame.built event #{obj['i']}: rf_cols must be a "
+                f"[lo, hi] pair or null, got {obj['rf_cols']!r}"
+            )
+    return None
+
+
+def validate_events(events) -> List[str]:
+    """Validate a full event stream (header first); return all errors."""
+    errors: List[str] = []
+    events = list(events)
+    if not events:
+        return ["empty trace (no header line)"]
+    head = events[0]
+    if not (isinstance(head, dict) and head.get("t") == HEADER):
+        errors.append("first event is not a trace.header line")
+    for obj in events:
+        error = validate_event(obj)
+        if error is not None:
+            errors.append(error)
+    return errors
+
+
+def header_object() -> Dict[str, Any]:
+    """The canonical header line object."""
+    return {"t": HEADER, "v": SCHEMA_VERSION}

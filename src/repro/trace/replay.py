@@ -1,0 +1,164 @@
+"""Replay loader: JSONL → event stream → Liapunov descent audit.
+
+The loader reverses :meth:`TraceRecorder.to_jsonl` exactly (the
+round-trip ``emit → JSONL → load`` reproduces the recorder's event list
+verbatim), then reconstructs the paper's §2.2 trajectory from the
+recorded decisions:
+
+* each ``op.commit`` becomes a :class:`~repro.core.stability.Trajectory`
+  event whose alternatives are the ``cand.eval`` energies recorded for
+  that operation since the previous commit;
+* :func:`check_descent` pushes the reconstructed trajectory through
+  :func:`repro.check.liapunov.check_liapunov_descent`, so a trace on
+  disk is auditable against the same §2.2/§2.4 movement properties the
+  live scheduler is;
+* :func:`descent_curve` / :func:`node_energy_sequences` extract the
+  energy-descent data the report renderer plots.
+
+Merged sweep traces hold several runs (tagged by ``src``);
+:func:`split_runs` separates them so per-node monotonicity is never
+checked across unrelated runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.core.grid import GridPosition
+from repro.core.stability import Trajectory
+from repro.trace.events import (
+    CANDIDATE,
+    COMMIT,
+    HEADER,
+    RUN_START,
+    validate_events,
+)
+
+
+def parse_jsonl(text: str, validate: bool = True) -> List[Dict[str, Any]]:
+    """Parse JSONL text into the event stream (validating the schema)."""
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError as error:
+            raise TraceError(f"line {lineno}: not valid JSON ({error})") from None
+    if validate:
+        errors = validate_events(events)
+        if errors:
+            raise TraceError(
+                "invalid trace stream: " + "; ".join(errors[:5])
+                + (f" (+{len(errors) - 5} more)" if len(errors) > 5 else "")
+            )
+    return events
+
+
+def read_jsonl(path, validate: bool = True) -> List[Dict[str, Any]]:
+    """Load and validate a trace file written by ``write_jsonl``."""
+    return parse_jsonl(Path(path).read_text(), validate=validate)
+
+
+def split_runs(events) -> List[List[Dict[str, Any]]]:
+    """Split a stream into per-run event lists.
+
+    Events are first grouped by their ``src`` tag (``None`` for locally
+    recorded events, a worker label for merged sweep traces), preserving
+    first-appearance order; each group is then split at ``run.start``
+    boundaries.  Header lines are dropped.  Events preceding the first
+    ``run.start`` of a group form their own (anonymous) run.
+    """
+    groups: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    order: List[Optional[str]] = []
+    for event in events:
+        if event.get("t") == HEADER:
+            continue
+        src = event.get("src")
+        if src not in groups:
+            groups[src] = []
+            order.append(src)
+        groups[src].append(event)
+
+    runs: List[List[Dict[str, Any]]] = []
+    for src in order:
+        current: List[Dict[str, Any]] = []
+        for event in groups[src]:
+            if event["t"] == RUN_START and current:
+                runs.append(current)
+                current = []
+            current.append(event)
+        if current:
+            runs.append(current)
+    return runs
+
+
+def to_trajectory(run_events) -> Trajectory:
+    """Rebuild the §2.2 trajectory of one run from its commit events."""
+    trajectory = Trajectory()
+    pending: Dict[str, List[Tuple[GridPosition, float]]] = {}
+    for event in run_events:
+        kind = event["t"]
+        if kind == CANDIDATE:
+            pending.setdefault(event["node"], []).append(
+                (GridPosition(event["table"], event["x"], event["y"]),
+                 event["e"])
+            )
+        elif kind == COMMIT:
+            alternatives = tuple(pending.pop(event["node"], ()))
+            pending.clear()
+            trajectory.record(
+                node=event["node"],
+                position=GridPosition(event["table"], event["x"], event["y"]),
+                energy=event["e"],
+                alternatives=alternatives,
+            )
+    return trajectory
+
+
+def descent_curve(run_events) -> List[Tuple[int, str, float]]:
+    """``(iteration, node, chosen energy)`` per commit, in commit order."""
+    return [
+        (index, event["node"], event["e"])
+        for index, event in enumerate(
+            e for e in run_events if e["t"] == COMMIT
+        )
+    ]
+
+
+def node_energy_sequences(run_events) -> Dict[str, List[float]]:
+    """Per-node committed-energy sequences (re-placements append)."""
+    sequences: Dict[str, List[float]] = {}
+    for event in run_events:
+        if event["t"] == COMMIT:
+            sequences.setdefault(event["node"], []).append(event["e"])
+    return sequences
+
+
+def check_descent(events) -> List:
+    """Audit every run of a stream against the §2.2 movement properties.
+
+    Returns the combined :class:`repro.check.report.Violation` list from
+    :func:`repro.check.liapunov.check_liapunov_descent` — empty means the
+    replayed Liapunov descent holds: every commit was the argmin of the
+    alternatives the scheduler recorded, and per-node energies never
+    increased.
+    """
+    from repro.check.liapunov import check_liapunov_descent
+
+    violations: List = []
+    for run in split_runs(events):
+        violations.extend(check_liapunov_descent(to_trajectory(run)))
+    return violations
+
+
+def run_meta(run_events) -> Dict[str, Any]:
+    """The run's ``run.start`` fields (empty dict for anonymous runs)."""
+    for event in run_events:
+        if event["t"] == RUN_START:
+            return event
+    return {}

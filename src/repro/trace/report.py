@@ -1,0 +1,237 @@
+"""Self-contained markdown/SVG run reports from trace event streams.
+
+:func:`render_run_report` turns a (loaded or freshly recorded) event
+stream into one markdown document with inline SVG — a schedule Gantt
+rebuilt from the commit events, the Liapunov energy-descent curve, a
+move-frame occupancy heat strip, and the perf counter / cache table —
+plus the replayed §2.2 descent audit verdict.  Everything is derived
+from the events alone (no wall-clock readings), so regenerating a report
+from the same trace is byte-identical; ``docs/sample_report.md`` is kept
+under exactly that drift check.
+
+The SVG pieces come from :mod:`repro.io.svg`
+(:func:`~repro.io.svg.gantt_to_svg`,
+:func:`~repro.io.svg.line_chart_to_svg`,
+:func:`~repro.io.svg.heat_strip_to_svg`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.io.svg import gantt_to_svg, heat_strip_to_svg, line_chart_to_svg
+from repro.trace.events import (
+    CANDIDATE,
+    COMMIT,
+    COUNTERS,
+    FRAME,
+    RESCHEDULE,
+    RUN_END,
+)
+from repro.trace.replay import (
+    check_descent,
+    descent_curve,
+    run_meta,
+    split_runs,
+)
+
+
+def _gantt_section(run: List[Dict[str, Any]], cs: int, design: str) -> str:
+    cells = [
+        (
+            f"{event['table']}#{event['x']}",
+            event["y"],
+            event["lat"],
+            event["node"],
+            event["kind"],
+        )
+        for event in run
+        if event["t"] == COMMIT
+    ]
+    if not cells:
+        return "_No commits recorded._"
+    return gantt_to_svg(cells, cs, f"schedule of {design}")
+
+
+def _descent_section(run: List[Dict[str, Any]]) -> str:
+    curve = descent_curve(run)
+    if not curve:
+        return "_No commits recorded._"
+    chosen = [(float(i), float(e)) for i, _node, e in curve]
+    # Worst candidate the scheduler priced per commit — the gap to the
+    # chosen line is the energy the argmin saved at that iteration.
+    worst_by_node: Dict[str, float] = {}
+    pending: Dict[str, float] = {}
+    for event in run:
+        if event["t"] == CANDIDATE:
+            node = event["node"]
+            pending[node] = max(pending.get(node, event["e"]), event["e"])
+        elif event["t"] == COMMIT:
+            worst_by_node[event["node"]] = pending.pop(
+                event["node"], event["e"]
+            )
+            pending.clear()
+    worst = [
+        (float(i), float(worst_by_node.get(node, e)))
+        for i, node, e in curve
+    ]
+    series = [("worst candidate", worst), ("chosen (argmin)", chosen)]
+    return line_chart_to_svg(
+        series,
+        "Liapunov energy per commit",
+        x_label="commit iteration",
+        y_label="V",
+    )
+
+
+def _occupancy_section(run: List[Dict[str, Any]]) -> str:
+    frames = [event for event in run if event["t"] == FRAME]
+    if not frames:
+        return "_No frame constructions recorded._"
+    values = [event["mf"] for event in frames]
+    labels = [
+        f"{event['node']} in {event['table']}: |MF|={event['mf']} "
+        f"(current={event['current']})"
+        for event in frames
+    ]
+    empty = sum(1 for v in values if v == 0)
+    strip = heat_strip_to_svg(
+        values, "move-frame size per frame construction", labels=labels
+    )
+    note = (
+        f"\n\n{len(frames)} frame constructions; {empty} produced an empty "
+        f"move frame (each one triggers §3.2 Step-4 local rescheduling)."
+    )
+    return strip + note
+
+
+def _counters_section(run: List[Dict[str, Any]]) -> str:
+    snapshots = [event for event in run if event["t"] == COUNTERS]
+    if not snapshots:
+        return "_No perf counters attached to this run._"
+    counters = snapshots[-1]["counters"]
+    lines = ["| counter | value |", "|---|---|"]
+    for name in sorted(counters):
+        lines.append(f"| `{name}` | {counters[name]} |")
+    for prefix in ("mfsa.mux_cache", "mfsa.operand_cache", "mfsa.reg_cache"):
+        hits = counters.get(f"{prefix}_hits", 0)
+        misses = counters.get(f"{prefix}_misses", 0)
+        if hits + misses:
+            lines.append(
+                f"| `{prefix}_hit_rate` | {hits / (hits + misses):.1%} |"
+            )
+    return "\n".join(lines)
+
+
+def _result_section(run: List[Dict[str, Any]]) -> Optional[str]:
+    end = next((e for e in run if e["t"] == RUN_END), None)
+    if end is None:
+        return None
+    lines: List[str] = []
+    if "fu_counts" in end:
+        mix = ", ".join(
+            f"{kind}: {count}"
+            for kind, count in sorted(end["fu_counts"].items())
+        )
+        lines.append(f"FU usage — {mix}.")
+    if "alus" in end:
+        lines.append("ALUs — " + "; ".join(end["alus"]) + ".")
+    if "cost" in end:
+        cost = end["cost"]
+        lines.append(
+            f"Cost — ALU {cost['alu']:.0f}, registers "
+            f"{cost['registers']:.0f}, mux {cost['mux']:.0f}, total "
+            f"**{cost['total']:.0f}**."
+        )
+    return "\n".join(lines) if lines else None
+
+
+def render_run_report(events, title: Optional[str] = None) -> str:
+    """Render one markdown run report from an event stream.
+
+    Multi-run streams (merged sweeps) get one section block per run.
+    The report embeds the replayed-descent verdict; violations are
+    listed rather than raised so a report can document a broken trace.
+    """
+    runs = split_runs(events)
+    violations = check_descent(events)
+    total_events = sum(len(run) for run in runs)
+
+    out: List[str] = []
+    meta0 = run_meta(runs[0]) if runs else {}
+    heading = title or (
+        f"Run report — {meta0.get('design', 'trace')}" if meta0 else "Run report"
+    )
+    out.append(f"# {heading}")
+    out.append("")
+    out.append(
+        "_Generated by `repro-hls trace` (schema v1 — see "
+        "`docs/TRACING.md`).  Every figure below is reconstructed from "
+        "the JSONL event stream alone._"
+    )
+    out.append("")
+    if violations:
+        out.append(
+            f"**Replayed Liapunov descent: {len(violations)} violation(s).**"
+        )
+        for violation in violations:
+            out.append(f"- `{violation.code}` {violation.subject}: "
+                       f"{violation.message}")
+    else:
+        commits = sum(
+            1 for run in runs for e in run if e["t"] == COMMIT
+        )
+        out.append(
+            f"Replayed Liapunov descent: **OK** — every one of the "
+            f"{commits} commits is the argmin of its recorded move frame "
+            f"and per-node energies are monotone non-increasing (§2.2)."
+        )
+    out.append("")
+    out.append(f"{total_events} events across {len(runs)} run(s).")
+
+    for number, run in enumerate(runs, start=1):
+        meta = run_meta(run)
+        scheduler = meta.get("scheduler", "?")
+        design = meta.get("design", "?")
+        cs = meta.get("cs", 0)
+        info = meta.get("info", {})
+        src = meta.get("src")
+        label = f"{scheduler.upper()} on `{design}`, T = {cs}"
+        if info:
+            label += " (" + ", ".join(
+                f"{k}={v}" for k, v in sorted(info.items())
+            ) + ")"
+        if src is not None:
+            label += f" — worker `{src}`"
+        out.append("")
+        out.append(f"## Run {number}: {label}")
+        reschedules = [e for e in run if e["t"] == RESCHEDULE]
+        if reschedules:
+            moves = ", ".join(
+                f"`{e['node']}` ({e['action']} → {e['current']})"
+                for e in reschedules
+            )
+            out.append("")
+            out.append(f"Local rescheduling: {moves}.")
+        result = _result_section(run)
+        if result:
+            out.append("")
+            out.append(result)
+        out.append("")
+        out.append("### Schedule (Gantt)")
+        out.append("")
+        out.append(_gantt_section(run, int(cs) if cs else 1, design))
+        out.append("")
+        out.append("### Liapunov descent")
+        out.append("")
+        out.append(_descent_section(run))
+        out.append("")
+        out.append("### Move-frame occupancy")
+        out.append("")
+        out.append(_occupancy_section(run))
+        out.append("")
+        out.append("### Counters")
+        out.append("")
+        out.append(_counters_section(run))
+    out.append("")
+    return "\n".join(out)

@@ -1,0 +1,57 @@
+"""CLI help-text guards: golden top-level help, §-citation discipline.
+
+``repro-hls`` is a reproduction tool, so every subcommand's one-line
+help names the paper section it reproduces.  The top-level help is
+pinned verbatim (``tests/golden/cli_help.txt``); refresh it after an
+intentional wording change::
+
+    COLUMNS=80 PYTHONPATH=src python -c "
+    from repro.cli import build_parser
+    open('tests/golden/cli_help.txt','w').write(build_parser().format_help())
+    "
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+GOLDEN = Path(__file__).resolve().parent / "golden" / "cli_help.txt"
+
+#: A paper citation: '§6', '§2.2', '§3.2 step 4', ...
+CITATION = re.compile(r"§\d+(\.\d+)?")
+
+
+def subcommand_actions():
+    (subparsers,) = [
+        action
+        for action in build_parser()._actions
+        if action.dest == "command"
+    ]
+    return subparsers
+
+
+class TestCliHelp:
+    def test_top_level_help_is_pinned(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "80")
+        assert build_parser().format_help() == GOLDEN.read_text()
+
+    def test_every_subcommand_cites_a_paper_section(self):
+        subparsers = subcommand_actions()
+        helps = {
+            action.dest: action.help
+            for action in subparsers._get_subactions()
+        }
+        assert set(helps) == set(subparsers.choices)
+        for name, text in helps.items():
+            assert text, f"subcommand {name!r} has no help text"
+            assert CITATION.search(text), (
+                f"subcommand {name!r} help lacks a § paper citation: {text!r}"
+            )
+
+    def test_subcommand_helps_render_without_error(self):
+        for name, sub in subcommand_actions().choices.items():
+            text = sub.format_help()
+            assert "usage: repro-hls " + name in text

@@ -1,0 +1,53 @@
+"""Drift check: docs/sample_report.md is a fresh regeneration, verbatim.
+
+The report renderer derives everything from the trace events (no
+wall-clock readings), so the checked-in sample must match a fresh
+traced run byte for byte.  Refresh after an intentional renderer or
+scheduler change::
+
+    PYTHONPATH=src python -c "
+    from pathlib import Path
+    from repro.dfg.analysis import TimingModel
+    from repro.dfg.ops import standard_operation_set
+    from repro.dfg.parser import parse_behavior
+    from repro.trace import trace_run
+    dfg = parse_behavior(Path('examples/designs/gradient.beh').read_text(),
+                         name='gradient')
+    run = trace_run(dfg, TimingModel(ops=standard_operation_set()))
+    Path('docs/sample_report.md').write_text(run.report)
+    "
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.dfg.analysis import TimingModel
+from repro.dfg.ops import standard_operation_set
+from repro.dfg.parser import parse_behavior
+from repro.trace import trace_run
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def fresh_run():
+    dfg = parse_behavior(
+        (REPO / "examples/designs/gradient.beh").read_text(), name="gradient"
+    )
+    return trace_run(dfg, TimingModel(ops=standard_operation_set()))
+
+
+def test_sample_report_matches_fresh_regeneration(fresh_run):
+    assert fresh_run.ok
+    sample = (REPO / "docs/sample_report.md").read_text()
+    assert fresh_run.report == sample
+
+
+def test_regeneration_is_deterministic(fresh_run):
+    dfg = parse_behavior(
+        (REPO / "examples/designs/gradient.beh").read_text(), name="gradient"
+    )
+    again = trace_run(dfg, TimingModel(ops=standard_operation_set()))
+    assert again.jsonl == fresh_run.jsonl
+    assert again.report == fresh_run.report

@@ -1,0 +1,65 @@
+"""Merged sweep traces: serial vs process backends must agree byte for byte."""
+
+import pytest
+
+from repro.explore import design_space
+from repro.trace import (
+    TraceRecorder,
+    check_descent,
+    parse_jsonl,
+    split_runs,
+    validate_events,
+)
+
+BUDGETS = [4, 5, 6]
+
+
+def sweep_trace(diamond_dfg, timing, alu_family, backend):
+    trace = TraceRecorder()
+    design_space(
+        diamond_dfg,
+        timing,
+        alu_family,
+        budgets=BUDGETS,
+        backend=backend,
+        trace=trace,
+    )
+    return trace
+
+
+class TestMergedSweepTraces:
+    def test_one_tagged_run_per_budget(self, diamond_dfg, timing, alu_family):
+        trace = sweep_trace(diamond_dfg, timing, alu_family, "serial")
+        runs = split_runs(trace.events())
+        assert len(runs) == len(BUDGETS)
+        for budget, run in zip(BUDGETS, runs):
+            start = run[0]
+            assert start["t"] == "run.start"
+            assert start["cs"] == budget
+            # Every event of a merged worker run carries its src tag.
+            assert all(e["src"] == f"cs={budget}" for e in run)
+
+    def test_merged_stream_validates_and_descends(
+        self, diamond_dfg, timing, alu_family
+    ):
+        trace = sweep_trace(diamond_dfg, timing, alu_family, "serial")
+        events = trace.events()
+        assert validate_events(events) == []
+        assert check_descent(events) == []
+
+    def test_merged_stream_roundtrips(self, diamond_dfg, timing, alu_family):
+        trace = sweep_trace(diamond_dfg, timing, alu_family, "serial")
+        assert parse_jsonl(trace.to_jsonl()) == trace.events()
+
+    def test_serial_and_process_traces_identical(
+        self, diamond_dfg, timing, alu_family
+    ):
+        serial = sweep_trace(diamond_dfg, timing, alu_family, "serial")
+        process = sweep_trace(diamond_dfg, timing, alu_family, "process")
+        assert serial.to_jsonl() == process.to_jsonl()
+
+    def test_none_trace_is_a_no_op(self, diamond_dfg, timing, alu_family):
+        points = design_space(
+            diamond_dfg, timing, alu_family, budgets=BUDGETS, trace=None
+        )
+        assert [p.cs for p in points] == BUDGETS
