@@ -13,7 +13,11 @@ Invoke as ``python -m repro`` (or the ``repro-hls`` console script):
   a markdown run report, and exit 1 if the replayed Liapunov descent
   fails the :mod:`repro.check` audit;
 * ``repro-hls check`` — audit the paper examples (and optionally random
-  DFGs) against the :mod:`repro.check` invariants; exit 1 on violation.
+  DFGs) against the :mod:`repro.check` invariants; exit 1 on violation;
+* ``repro-hls serve`` — run the batching, cache-fronted synthesis
+  service (:mod:`repro.serve`); SIGTERM drains gracefully;
+* ``repro-hls submit design.beh --cs 6`` — submit a job to a running
+  service and print the result.
 
 Every subcommand's ``--help`` cites the paper section it reproduces
 (``tests/test_cli_help.py`` keeps the citations and wording pinned).
@@ -334,6 +338,91 @@ def _command_trace(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from repro.serve import ServeApp, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        max_batch=args.max_batch,
+        batch_wait_ms=args.batch_wait_ms,
+        workers=args.workers,
+        backend="serial" if args.serial else "auto",
+        cache_entries=args.cache_entries,
+        default_timeout_s=args.timeout,
+    )
+    return ServeApp(config).serve_forever()
+
+
+def _command_submit(args) -> int:
+    import json
+
+    from repro.serve.client import Client, ServiceError
+
+    if (args.file is None) == (args.example is None):
+        print(
+            "submit: pass exactly one of FILE or --example",
+            file=sys.stderr,
+        )
+        return 2
+    params: Dict[str, object] = {
+        "mul_latency": args.mul_latency,
+        "seed": args.seed,
+    }
+    if args.example is not None:
+        from repro.bench.suites import EXAMPLES
+        from repro.io.jsonio import dfg_to_json
+
+        spec = EXAMPLES[args.example]
+        design = {"dfg": json.loads(dfg_to_json(spec.build()))}
+        params["cs"] = args.cs or spec.mfsa_cs
+        if args.mul_latency == 1:
+            params["mul_latency"] = spec.mfsa_mul_latency
+        params["clock_ns"] = (
+            args.clock_ns if args.clock_ns is not None else spec.mfsa_clock_ns
+        )
+    else:
+        with open(args.file) as handle:
+            design = {"source": handle.read(), "name": args.file}
+        if args.cs:
+            params["cs"] = args.cs
+        params["clock_ns"] = args.clock_ns
+    if args.latency_l:
+        params["latency_l"] = args.latency_l
+    if args.pipelined:
+        params["pipelined"] = args.pipelined.split(",")
+    if args.algorithm == "mfsa":
+        params["style"] = args.style
+    params = {key: value for key, value in params.items() if value is not None}
+
+    client = Client(args.url, timeout=args.timeout + 30.0)
+    submit = client.schedule if args.algorithm == "mfs" else client.synth
+    try:
+        out = submit(
+            wait=True,
+            verify=args.verify,
+            trace=args.trace,
+            timeout=args.timeout,
+            **design,
+            **params,
+        )
+    except ServiceError as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 1
+    job = out["job"]
+    print(
+        f"{job['id']}: {job['status']} ({job['cache']}, "
+        f"{job.get('total_seconds', 0.0):.3f}s)",
+        file=sys.stderr,
+    )
+    if args.raw:
+        print(client.result_text(job["id"]), end="")
+    else:
+        print(json.dumps(out["result"], sort_keys=True, indent=2))
+    return 0 if out["result"].get("ok") else 1
+
+
 def _parse_inputs(spec: Optional[str], names) -> Dict[str, int]:
     values = {name: 0 for name in names}
     if spec:
@@ -470,6 +559,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_argument(p)
 
     p = sub.add_parser(
+        "serve",
+        help="run the synthesis service: JSON-over-HTTP MFS (§3) / MFSA "
+        "(§4) with a content-addressed result cache, bounded queue "
+        "(429 on overload) and micro-batched dispatch; SIGTERM drains",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8421,
+                   help="bind port (0 picks an ephemeral port)")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="bounded queue capacity before 429s (default 64)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="jobs coalesced per dispatch batch (default 8)")
+    p.add_argument("--batch-wait-ms", type=float, default=10.0,
+                   help="micro-batch coalescing window (default 10 ms)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool worker count (default: CPU count)")
+    p.add_argument("--serial", action="store_true",
+                   help="execute batches in-process (no pool)")
+    p.add_argument("--cache-entries", type=int, default=1024,
+                   help="result-cache capacity, LRU beyond (default 1024)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="default per-job timeout in seconds (default 60)")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one MFS (§3) / MFSA (§4) job to a running service "
+        "and print the result",
+    )
+    p.add_argument("file", nargs="?", help="behavioral design file")
+    p.add_argument(
+        "--example",
+        choices=[f"ex{i}" for i in range(1, 7)],
+        help="submit one of the paper's examples instead of a file",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8421",
+                   help="service base URL")
+    p.add_argument(
+        "--algorithm",
+        choices=["mfs", "mfsa"],
+        default="mfsa",
+        help="mfs = scheduling only, mfsa = scheduling-allocation "
+        "(default mfsa)",
+    )
+    p.add_argument("--cs", type=int, help="time constraint (default: critical path)")
+    p.add_argument("--style", type=int, choices=[1, 2], default=1)
+    p.add_argument("--latency-l", type=int, default=None,
+                   help="functional-pipelining initiation interval")
+    p.add_argument("--pipelined", default="",
+                   help="comma-separated structurally pipelined kinds")
+    p.add_argument("--seed", type=int, default=0,
+                   help="cache-partition seed (results are deterministic)")
+    p.add_argument("--verify", action="store_true",
+                   help="audit the result with repro.check on the server")
+    p.add_argument("--trace", action="store_true",
+                   help="attach the repro.trace JSONL artifact to the result")
+    p.add_argument("--raw", action="store_true",
+                   help="print the raw canonical result bytes")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-job timeout in seconds (default 60)")
+    _add_timing_arguments(p)
+
+    p = sub.add_parser(
         "trace",
         help="run one traced MFS/MFSA pass: record every frame, candidate "
         "energy and commit (§2.2, §3.2, §4.1), write the JSONL event "
@@ -539,6 +690,10 @@ def main(argv=None) -> int:
         return _command_synth(args)
     if args.command == "check":
         return _command_check(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -20,7 +20,14 @@ Canonical counter names (grep targets for the BENCH trajectory harness):
 ``mfsa.operand_cache_hits/..``  memoized vs fresh ``MuxOperand`` builds
 ``mfsa.reg_cache_hits/misses``  memoized vs fresh f_REG/lifetime evals
 ``sweep.tasks``                 items fanned out by a sweep executor
-``sweep.pool_failures``         process pools that fell back to serial
+``sweep.pool_failures``         process pools that started (or tried to
+                                start) and failed over to serial
+``sweep.serial_fallbacks``      every degradation to the serial loop,
+                                including payloads that never reached a
+                                pool
+``sweep.fallback.<reason>``     fallback attribution: one of
+                                ``payload-unpicklable``, ``pool-start``,
+                                ``worker-crash``, ``result-unpicklable``
 ==============================  ==========================================
 
 Timers use ``time.perf_counter`` and accumulate, so one counter object can

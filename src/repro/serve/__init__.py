@@ -1,0 +1,42 @@
+"""repro.serve — the batching, cache-fronted synthesis service.
+
+A stdlib-only JSON-over-HTTP front end to the MFS/MFSA schedulers:
+content-addressed result cache, bounded job queue with backpressure,
+micro-batching dispatch through :class:`~repro.sweep.SweepExecutor`,
+Prometheus-compatible metrics and graceful drain.  See
+``docs/SERVICE.md`` for the operator's guide.
+"""
+
+from repro.serve.app import ServeApp, ServeConfig, ServeHandle
+from repro.serve.cache import ResultCache
+from repro.serve.client import Backpressure, Client, ServiceError
+from repro.serve.jobs import (
+    JobSpecError,
+    cache_key,
+    execute_spec,
+    normalize_spec,
+    response_text,
+)
+from repro.serve.metrics import Metrics
+from repro.serve.queue import Job, JobFailed, JobQueue, JobTimeout, QueueFull
+
+__all__ = [
+    "ServeApp",
+    "ServeConfig",
+    "ServeHandle",
+    "ResultCache",
+    "Client",
+    "ServiceError",
+    "Backpressure",
+    "JobSpecError",
+    "cache_key",
+    "normalize_spec",
+    "execute_spec",
+    "response_text",
+    "Metrics",
+    "Job",
+    "JobQueue",
+    "JobFailed",
+    "JobTimeout",
+    "QueueFull",
+]

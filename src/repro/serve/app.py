@@ -1,0 +1,583 @@
+"""The synthesis service: JSON-over-HTTP on asyncio streams.
+
+Stdlib-only by construction (``asyncio.start_server`` + hand-rolled
+HTTP/1.1 request parsing; no third-party framework), because the repo's
+dependency surface is the python standard library.  One
+:class:`ServeApp` owns the whole pipeline::
+
+    HTTP request ──▶ JobSpec ──▶ cache? ──▶ single-flight? ──▶ JobQueue
+                                                       │
+    response ◀── Job.future ◀── resolve ◀── MicroBatcher ◀────┘
+
+API surface (see ``docs/SERVICE.md`` for the full reference):
+
+* ``POST /v1/schedule`` / ``POST /v1/synth`` — submit an MFS scheduling
+  or MFSA synthesis job; ``?wait=1`` blocks for the result, ``?verify=on``
+  audits the run through :mod:`repro.check`, ``?trace=on`` attaches a
+  :mod:`repro.trace` JSONL artifact;
+* ``GET /v1/jobs/<id>`` — job status (+ result when finished);
+* ``GET /v1/jobs/<id>/result`` — the raw canonical result bytes;
+* ``GET /healthz`` — liveness/readiness (reports draining);
+* ``GET /metrics`` — Prometheus text exposition.
+
+Overload behaviour: a full :class:`~repro.serve.queue.JobQueue` answers
+**429 with a ``Retry-After`` hint** instead of queueing unboundedly, and
+a draining instance (SIGTERM received) answers **503** while in-flight
+work finishes.  Graceful drain = stop admitting, finish every queued and
+running batch, flush a final metrics snapshot, close the listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.perf import PerfCounters
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import JobSpecError, cache_key, normalize_spec
+from repro.serve.metrics import Metrics
+from repro.serve.queue import (
+    Job,
+    JobFailed,
+    JobQueue,
+    JobTimeout,
+    QueueFull,
+)
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_TRUE_VALUES = ("1", "on", "true", "yes")
+
+
+class ProtocolError(Exception):
+    """A request the HTTP layer could not parse."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one service instance (see docs/SERVICE.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    queue_size: int = 64
+    max_batch: int = 8
+    batch_wait_ms: float = 10.0
+    workers: Optional[int] = None
+    backend: str = "auto"
+    cache_entries: int = 1024
+    default_timeout_s: float = 60.0
+    retry_after_s: float = 1.0
+    job_history: int = 1024
+    max_body_bytes: int = 8 * 1024 * 1024
+
+
+class ServeApp:
+    """One synthesis service instance (cache + queue + batcher + HTTP)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None, **overrides) -> None:
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a ServeConfig or keyword overrides")
+        self.config = config
+        self.perf = PerfCounters()
+        self.metrics = Metrics()
+        self.cache = ResultCache(config.cache_entries, metrics=self.metrics)
+        self.queue = JobQueue(config.queue_size)
+        self.inflight: Dict[str, Job] = {}
+        self.jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self.batcher = MicroBatcher(
+            self.queue,
+            resolve=self._resolve,
+            max_batch=config.max_batch,
+            max_wait_s=config.batch_wait_ms / 1000.0,
+            backend=config.backend,
+            workers=config.workers,
+            perf=self.perf,
+            metrics=self.metrics,
+        )
+        self.draining = False
+        self.started_monotonic: Optional[float] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._drain_on_stop = True
+        self._announce = sys.stderr
+        self._describe_metrics()
+
+    def _describe_metrics(self) -> None:
+        m = self.metrics
+        m.describe("jobs", "Jobs finished, by terminal status.")
+        m.describe("jobs_executed", "Jobs actually synthesised (cache misses).")
+        m.describe("batches", "Micro-batches dispatched to the sweep executor.")
+        m.describe("batch_size", "Jobs per dispatched micro-batch.")
+        m.describe("stage_seconds", "Per-stage latency (queue/execute/total).")
+        m.describe("cache_hits", "Result-cache hits.")
+        m.describe("cache_misses", "Result-cache misses.")
+        m.describe("cache_evictions", "LRU evictions from the result cache.")
+        m.describe("singleflight_followers", "Submissions coalesced onto an identical in-flight job.")
+        m.describe("backpressure", "Submissions rejected with 429 (queue full).")
+        m.describe("http_requests", "HTTP requests, by method/route/status.")
+        m.gauge("queue_depth", self.queue.depth)
+        m.gauge("inflight", lambda: len(self.inflight))
+        m.gauge("cache_entries", lambda: len(self.cache))
+        m.gauge("draining", lambda: 1 if self.draining else 0)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the dispatch loop."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.batcher.start()
+        self.started_monotonic = time.monotonic()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop the service; with ``drain``, finish all accepted work first."""
+        self.draining = True
+        if drain:
+            await self.batcher.drain()
+            while self.inflight:
+                await asyncio.sleep(0.02)
+        await self.batcher.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._announce is not None:
+            # The final snapshot an operator sees after SIGTERM.
+            print(self.metrics.render(self.perf), file=self._announce, end="")
+            print("drained and stopped", file=self._announce, flush=True)
+
+    def serve_forever(
+        self, announce=sys.stderr, install_signals: bool = True
+    ) -> int:
+        """Blocking entry point of ``repro-hls serve``.
+
+        SIGTERM/SIGINT trigger a graceful drain: stop admitting (503),
+        finish in-flight batches, flush metrics, exit 0.
+        """
+        self._announce = announce
+        return asyncio.run(self._serve_forever(install_signals))
+
+    async def _serve_forever(self, install_signals: bool) -> int:
+        await self.start()
+        self._stop_event = asyncio.Event()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_stop)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-Unix platform or nested loop
+        if self._announce is not None:
+            print(f"serving on {self.url}", file=self._announce, flush=True)
+        await self._stop_event.wait()
+        await self.shutdown(drain=self._drain_on_stop)
+        return 0
+
+    def request_stop(self, drain: bool = True) -> None:
+        """Ask the serving loop to drain and exit (signal-handler safe)."""
+        self.draining = True
+        self._drain_on_stop = drain
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    # -- threaded harness (tests, docs, benchmarks) --------------------
+    def start_in_thread(self) -> "ServeHandle":
+        """Run this app on a dedicated event-loop thread; returns a handle.
+
+        The embedded-server harness used by the test suite, the runnable
+        documentation examples and the throughput benchmark.
+        """
+        ready = threading.Event()
+        failure: Dict[str, BaseException] = {}
+
+        def _runner() -> None:
+            try:
+                asyncio.run(self._thread_main(ready))
+            except BaseException as error:  # pragma: no cover - startup bugs
+                failure["error"] = error
+                ready.set()
+
+        thread = threading.Thread(
+            target=_runner, name="repro-serve", daemon=True
+        )
+        thread.start()
+        ready.wait(timeout=30)
+        if "error" in failure:
+            raise RuntimeError("service failed to start") from failure["error"]
+        return ServeHandle(self, thread)
+
+    async def _thread_main(self, ready: threading.Event) -> None:
+        self._announce = None
+        await self.start()
+        self._stop_event = asyncio.Event()
+        self._thread_loop = asyncio.get_running_loop()
+        ready.set()
+        await self._stop_event.wait()
+        await self.shutdown(drain=self._drain_on_stop)
+
+    # ------------------------------------------------------------------
+    # submission pipeline
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        algorithm: str,
+        body: Mapping[str, Any],
+        verify: bool = False,
+        trace: bool = False,
+        timeout_s: Optional[float] = None,
+    ) -> Job:
+        """Admit one request: cache → single-flight → bounded queue.
+
+        Raises :class:`JobSpecError` (400) or :class:`QueueFull` (429).
+        Must run on the event-loop thread.
+        """
+        spec = normalize_spec(algorithm, body, verify=verify, trace=trace)
+        key = cache_key(spec)
+        loop = asyncio.get_running_loop()
+        job = Job(
+            spec,
+            key,
+            timeout_s=timeout_s
+            if timeout_s is not None
+            else self.config.default_timeout_s,
+            loop=loop,
+        )
+        self._register(job)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            job.cache = "hit"
+            job.mark_running()
+            job.finish(True, cached)
+            return job
+
+        leader = self.inflight.get(key)
+        if leader is not None and not leader.terminal:
+            self.metrics.incr("singleflight_followers")
+            job.follow(leader)
+            return job
+
+        try:
+            self.queue.put(job, retry_after=self.config.retry_after_s)
+        except QueueFull:
+            self.metrics.incr("backpressure")
+            self.jobs.pop(job.id, None)
+            raise
+        self.inflight[key] = job
+        job.arm_timeout(loop)
+        return job
+
+    def _register(self, job: Job) -> None:
+        self.jobs[job.id] = job
+        while len(self.jobs) > self.config.job_history:
+            self.jobs.popitem(last=False)
+
+        def _on_terminal(_future: asyncio.Future) -> None:
+            self.metrics.incr("jobs", status=job.status)
+            total = job.total_seconds()
+            if total is not None:
+                self.metrics.observe("stage_seconds", total, stage="total")
+            # A job that died before the batcher saw it (queued timeout,
+            # cancel) must release its single-flight slot so identical
+            # retries recompute instead of following a corpse.
+            if self.inflight.get(job.key) is job and job.status != "done":
+                if job.status in ("timeout", "cancelled"):
+                    self.inflight.pop(job.key, None)
+
+        job.future.add_done_callback(_on_terminal)
+
+    def _resolve(self, job: Job, payload: Mapping[str, Any], text: str) -> None:
+        """Batcher callback: publish a computed result (loop thread)."""
+        ok = bool(payload.get("ok"))
+        if ok:
+            # Cache before resolving waiters so anything they trigger
+            # next already sees the entry.
+            self.cache.put(job.key, text)
+        if self.inflight.get(job.key) is job:
+            self.inflight.pop(job.key, None)
+        job.finish(ok, text, payload.get("error"))
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        method = route = "-"
+        status = 500
+        try:
+            try:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, path, query, body = request
+                route, (status, headers, payload) = await self._route(
+                    method, path, query, body
+                )
+            except ProtocolError as error:
+                status, headers, payload = (
+                    error.status,
+                    {},
+                    {"error": str(error)},
+                )
+            except JobSpecError as error:
+                status, headers, payload = 400, {}, {"error": str(error)}
+            except QueueFull as error:
+                status = 429
+                headers = {"Retry-After": f"{error.retry_after:g}"}
+                payload = {
+                    "error": "queue full",
+                    "queue_depth": error.depth,
+                    "queue_size": error.maxsize,
+                    "retry_after": error.retry_after,
+                }
+            except Exception as error:  # pragma: no cover - defensive
+                status, headers, payload = (
+                    500,
+                    {},
+                    {"error": f"{type(error).__name__}: {error}"},
+                )
+            await self._write_response(writer, status, headers, payload)
+        finally:
+            self.metrics.incr(
+                "http_requests", method=method, route=route, status=str(status)
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ProtocolError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body_bytes:
+            raise ProtocolError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(split.query).items()
+        }
+        return method.upper(), split.path, query, body
+
+    @staticmethod
+    def _flag(query: Mapping[str, str], name: str) -> bool:
+        return query.get(name, "").lower() in _TRUE_VALUES
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, str],
+        body: bytes,
+    ) -> Tuple[str, Tuple[int, Dict[str, str], Any]]:
+        if path in ("/v1/schedule", "/v1/synth"):
+            if method != "POST":
+                return path, (405, {}, {"error": "POST required"})
+            algorithm = "mfs" if path == "/v1/schedule" else "mfsa"
+            return path, await self._handle_submit(algorithm, query, body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return "/v1/jobs", (405, {}, {"error": "GET required"})
+            return "/v1/jobs", self._handle_job(path[len("/v1/jobs/"):])
+        if path == "/healthz":
+            return path, (200, {}, self._health())
+        if path == "/metrics":
+            return path, (
+                200,
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                self.metrics.render(self.perf),
+            )
+        return "-", (404, {}, {"error": f"no route for {method} {path}"})
+
+    async def _handle_submit(
+        self, algorithm: str, query: Mapping[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, str], Any]:
+        if self.draining:
+            return 503, {}, {"error": "draining; not accepting new work"}
+        try:
+            parsed = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(400, f"request body is not JSON: {error}")
+        timeout_s: Optional[float] = None
+        if "timeout" in query:
+            try:
+                timeout_s = float(query["timeout"])
+            except ValueError:
+                raise ProtocolError(400, "'timeout' must be a number")
+        job = self.submit(
+            algorithm,
+            parsed,
+            verify=self._flag(query, "verify"),
+            trace=self._flag(query, "trace"),
+            timeout_s=timeout_s,
+        )
+        if not self._flag(query, "wait"):
+            return 202, {}, {"job": job.describe()}
+        try:
+            text = await asyncio.shield(job.future)
+        except JobTimeout:
+            return 504, {}, {"job": job.describe()}
+        except (JobFailed, asyncio.CancelledError):
+            response: Dict[str, Any] = {"job": job.describe()}
+            stored = getattr(job, "response_text", None)
+            if stored is not None:
+                response["result"] = json.loads(stored)
+            return 500, {}, response
+        return 200, {}, {"job": job.describe(), "result": json.loads(text)}
+
+    def _handle_job(self, tail: str) -> Tuple[int, Dict[str, str], Any]:
+        job_id, _sep, sub = tail.partition("/")
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {}, {"error": f"unknown job {job_id!r}"}
+        text = getattr(job, "response_text", None)
+        if sub == "result":
+            if text is None:
+                return 404, {}, {"error": f"job {job_id} has no result yet"}
+            # Raw stored bytes: cold and cached responses are comparable
+            # byte for byte on this endpoint.
+            return 200, {"X-Raw-Body": "1"}, text
+        if sub:
+            return 404, {}, {"error": f"unknown job subresource {sub!r}"}
+        response: Dict[str, Any] = {"job": job.describe()}
+        if text is not None:
+            response["result"] = json.loads(text)
+        return 200, {}, response
+
+    def _health(self) -> Dict[str, Any]:
+        uptime = (
+            time.monotonic() - self.started_monotonic
+            if self.started_monotonic is not None
+            else 0.0
+        )
+        return {
+            "status": "draining" if self.draining else "ok",
+            "queue_depth": self.queue.depth(),
+            "queue_size": self.config.queue_size,
+            "inflight": len(self.inflight),
+            "cache_entries": len(self.cache),
+            "uptime_seconds": round(uptime, 3),
+        }
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        headers: Dict[str, str],
+        payload: Any,
+    ) -> None:
+        if isinstance(payload, str) and (
+            headers.pop("X-Raw-Body", None)
+            or headers.get("Content-Type", "").startswith("text/")
+        ):
+            body = payload.encode("utf-8")
+            content_type = headers.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            content_type = "application/json"
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+class ServeHandle:
+    """Control handle for a :meth:`ServeApp.start_in_thread` instance."""
+
+    def __init__(self, app: ServeApp, thread: threading.Thread) -> None:
+        self.app = app
+        self._thread = thread
+
+    @property
+    def url(self) -> str:
+        return self.app.url
+
+    @property
+    def port(self) -> int:
+        return self.app.port
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Drain (optionally) and stop the server thread."""
+        loop = getattr(self.app, "_thread_loop", None)
+        if loop is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(self.app.request_stop, drain)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServeHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

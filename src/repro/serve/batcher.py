@@ -1,0 +1,151 @@
+"""Micro-batching dispatcher: queue → :class:`~repro.sweep.SweepExecutor`.
+
+The throughput/latency trade the service makes is classic micro-batching:
+the dispatcher takes the first queued job immediately, then holds a short
+coalescing window (``max_wait_s``, default 10 ms) collecting up to
+``max_batch - 1`` more jobs before fanning the whole batch out through a
+*warm* process pool (``SweepExecutor(keep_pool=True)``).  Under light
+load a job therefore pays at most one window of extra latency; under
+heavy load batches fill instantly and throughput scales with cores.
+Single-job batches skip the pool entirely (the executor's ``auto``
+backend runs one item in-process), so an idle service answers with
+serial-CLI latency.
+
+The batch map runs in a worker thread (``asyncio.to_thread``) so the
+event loop keeps serving requests, scrapes and health checks while
+synthesis is on the CPU.  Job resolution is delegated to the
+``resolve(job, payload, text)`` callback supplied by the app, which owns
+cache insertion, single-flight bookkeeping and per-job metrics; the
+batcher only tracks batch-shaped metrics (sizes, execute latency) and
+merges worker perf snapshots.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional
+
+from repro.perf import PerfCounters
+from repro.serve.jobs import execute_spec, response_text
+from repro.serve.metrics import Metrics
+from repro.serve.queue import Job, JobQueue
+from repro.sweep import SweepExecutor
+
+
+class MicroBatcher:
+    """Coalesces queued jobs into sweep batches and resolves them."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        resolve: Callable[[Job, dict, str], None],
+        max_batch: int = 8,
+        max_wait_s: float = 0.010,
+        backend: str = "auto",
+        workers: Optional[int] = None,
+        perf: Optional[PerfCounters] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.queue = queue
+        self.resolve = resolve
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.perf = perf if perf is not None else PerfCounters()
+        self.metrics = metrics
+        self.executor = SweepExecutor(
+            backend=backend, workers=workers, perf=self.perf, keep_pool=True
+        )
+        self._task: Optional[asyncio.Task] = None
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the dispatch loop on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the loop and release the warm pool."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        await asyncio.to_thread(self.executor.close)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a batch is currently executing."""
+        return self._busy
+
+    async def drain(self, poll_s: float = 0.02) -> None:
+        """Wait until the queue is empty and no batch is running."""
+        while self.queue.depth() > 0 or self._busy:
+            await asyncio.sleep(poll_s)
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self.queue.get()]
+            if self.max_wait_s > 0:
+                deadline = loop.time() + self.max_wait_s
+                while len(batch) < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self.queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            else:
+                while len(batch) < self.max_batch:
+                    job = self.queue.get_nowait()
+                    if job is None:
+                        break
+                    batch.append(job)
+            self._busy = True
+            try:
+                await self._dispatch(batch, loop)
+            finally:
+                self._busy = False
+
+    async def _dispatch(
+        self, batch: List[Job], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        # A job can die (timeout, cancel) between enqueue and dispatch;
+        # it already resolved its waiters, so just drop it here.
+        live = [job for job in batch if not job.terminal]
+        if not live:
+            return
+        for job in live:
+            job.mark_running()
+            if self.metrics is not None:
+                queue_wait = job.queue_seconds()
+                if queue_wait is not None:
+                    self.metrics.observe(
+                        "stage_seconds", queue_wait, stage="queue"
+                    )
+        specs = [job.spec for job in live]
+        started = loop.time()
+        pairs = await asyncio.to_thread(
+            self.executor.map, execute_spec, specs
+        )
+        elapsed = loop.time() - started
+        if self.metrics is not None:
+            self.metrics.incr("batches")
+            self.metrics.observe("batch_size", len(live))
+            self.metrics.observe("stage_seconds", elapsed, stage="execute")
+            self.metrics.incr("jobs_executed", len(live))
+        for job, (payload, snapshot) in zip(live, pairs):
+            if snapshot:
+                self.perf.merge(snapshot)
+            self.resolve(job, payload, response_text(payload))

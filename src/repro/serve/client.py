@@ -1,0 +1,212 @@
+"""Stdlib HTTP client for the synthesis service.
+
+A thin, dependency-free wrapper over :mod:`http.client` used by the
+``repro-hls submit`` CLI, the documentation examples and the service
+tests.  It speaks the same JSON API documented in ``docs/SERVICE.md``
+and turns the service's error statuses into typed exceptions —
+notably :class:`Backpressure` for 429, which carries the server's
+``Retry-After`` hint so callers can implement polite backoff.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import urlencode, urlsplit
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload
+        if isinstance(payload, Mapping):
+            message = payload.get("error", payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class Backpressure(ServiceError):
+    """The service shed load (HTTP 429); ``retry_after`` is its hint."""
+
+    def __init__(self, status: int, payload: Any, retry_after: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class Client:
+    """Synchronous client for one service instance.
+
+    >>> client = Client("http://127.0.0.1:8421")   # doctest: +SKIP
+    >>> out = client.schedule(source="x := a + b") # doctest: +SKIP
+    >>> out["result"]["length"]                    # doctest: +SKIP
+    """
+
+    def __init__(self, url: str, timeout: float = 120.0) -> None:
+        split = urlsplit(url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {split.scheme!r}")
+        netloc = split.netloc or split.path  # allow "host:port" without scheme
+        self.host, _sep, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        query: Optional[Mapping[str, Any]] = None,
+        body: Optional[Mapping[str, Any]] = None,
+        raw: bool = False,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            header_map = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            if raw:
+                decoded: Any = data.decode("utf-8")
+            else:
+                try:
+                    decoded = json.loads(data.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = data.decode("utf-8", errors="replace")
+            return response.status, header_map, decoded
+        finally:
+            connection.close()
+
+    def _checked(self, *args, **kwargs) -> Any:
+        status, headers, decoded = self._request(*args, **kwargs)
+        if status == 429:
+            try:
+                retry_after = float(headers.get("retry-after", "1"))
+            except ValueError:
+                retry_after = 1.0
+            raise Backpressure(status, decoded, retry_after)
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    def _submit(
+        self,
+        endpoint: str,
+        design: Mapping[str, Any],
+        wait: bool,
+        verify: bool,
+        trace: bool,
+        timeout: Optional[float],
+        params: Mapping[str, Any],
+    ) -> Dict[str, Any]:
+        body = dict(design)
+        body.update(params)
+        query: Dict[str, Any] = {}
+        if wait:
+            query["wait"] = 1
+        if verify:
+            query["verify"] = "on"
+        if trace:
+            query["trace"] = "on"
+        if timeout is not None:
+            query["timeout"] = timeout
+        return self._checked("POST", endpoint, query=query, body=body)
+
+    def schedule(
+        self,
+        source: Optional[str] = None,
+        dfg: Optional[Mapping[str, Any]] = None,
+        name: Optional[str] = None,
+        wait: bool = True,
+        verify: bool = False,
+        trace: bool = False,
+        timeout: Optional[float] = None,
+        **params: Any,
+    ) -> Dict[str, Any]:
+        """Submit an MFS scheduling job (``POST /v1/schedule``).
+
+        Pass the design as ``source`` (behavioral text) or ``dfg``
+        (parsed ``repro-dfg`` JSON object); extra keyword arguments
+        (``cs``, ``mul_latency``, ``latency_l``, ``pipelined``,
+        ``clock_ns``, ``seed``) become spec parameters.
+        """
+        design = self._design(source, dfg, name)
+        return self._submit(
+            "/v1/schedule", design, wait, verify, trace, timeout, params
+        )
+
+    def synth(
+        self,
+        source: Optional[str] = None,
+        dfg: Optional[Mapping[str, Any]] = None,
+        name: Optional[str] = None,
+        wait: bool = True,
+        verify: bool = False,
+        trace: bool = False,
+        timeout: Optional[float] = None,
+        **params: Any,
+    ) -> Dict[str, Any]:
+        """Submit an MFSA synthesis job (``POST /v1/synth``)."""
+        design = self._design(source, dfg, name)
+        return self._submit(
+            "/v1/synth", design, wait, verify, trace, timeout, params
+        )
+
+    @staticmethod
+    def _design(
+        source: Optional[str],
+        dfg: Optional[Mapping[str, Any]],
+        name: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        if (source is None) == (dfg is None):
+            raise ValueError("pass exactly one of 'source' or 'dfg'")
+        design: Dict[str, Any] = (
+            {"source": source} if source is not None else {"dfg": dict(dfg)}
+        )
+        if name is not None:
+            design["name"] = name
+        return design
+
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Job status + result when finished (``GET /v1/jobs/<id>``)."""
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def result_text(self, job_id: str) -> str:
+        """The raw canonical result bytes (``GET /v1/jobs/<id>/result``)."""
+        return self._checked("GET", f"/v1/jobs/{job_id}/result", raw=True)
+
+    def wait_for(
+        self, job_id: str, timeout: float = 60.0, poll_s: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll a job submitted with ``wait=False`` until it is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            info = self.job(job_id)
+            if info["job"]["status"] not in ("queued", "running"):
+                return info
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {info['job']['status']}")
+            time.sleep(poll_s)
+
+    def healthz(self) -> Dict[str, Any]:
+        """Service health (``GET /healthz``)."""
+        return self._checked("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition text (``GET /metrics``)."""
+        return self._checked("GET", "/metrics", raw=True)

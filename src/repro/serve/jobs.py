@@ -1,0 +1,291 @@
+"""Job specifications and the picklable synthesis worker.
+
+A *job spec* is the plain-dict, process-portable description of one
+synthesis request: the design (as canonical ``repro-dfg`` JSON) plus the
+full parameter tuple (algorithm, time constraint, ALU style, timing
+model, pipelining, seed) and the per-job flags (``verify``, ``trace``).
+Specs are what crosses the process boundary into
+:class:`~repro.sweep.SweepExecutor` workers, what the result cache is
+keyed on, and what the HTTP layer parses requests into — one shape for
+all three.
+
+Determinism contract: :func:`execute_spec` runs the exact same scheduler
+code path as the one-shot CLI (``repro-hls schedule`` / ``synth
+--json``), so a served result is byte-identical to the CLI's JSON output
+for the same design and parameters.  Traced runs clear the process-wide
+mux-optimiser memo first, mirroring :func:`repro.trace.driver.trace_run`,
+so the embedded ``perf.counters`` event — and therefore the whole trace
+artifact — is reproducible no matter which worker process picks the job
+up.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.fingerprint import (
+    dfg_fingerprint,
+    library_fingerprint,
+    params_fingerprint,
+    sha256_of,
+)
+from repro.dfg.graph import DFG
+from repro.dfg.ops import standard_operation_set
+from repro.dfg.parser import parse_behavior
+from repro.io.jsonio import dfg_from_json, dfg_to_json
+from repro.perf import PerfCounters
+
+#: Algorithms the service can run.
+ALGORITHMS = ("mfs", "mfsa")
+
+#: Spec schema version (part of every cache key).
+SPEC_VERSION = 1
+
+
+class JobSpecError(ValueError):
+    """A request that cannot be turned into a valid job spec (HTTP 400)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise JobSpecError(message)
+
+
+def parse_design(body: Mapping[str, Any], name: str = "design") -> DFG:
+    """Extract the DFG from a request body.
+
+    Accepts either ``{"source": "<behavioral text>"}`` (the
+    :mod:`repro.dfg.parser` language) or ``{"dfg": {...}}`` (a parsed
+    ``repro-dfg`` JSON object, as produced by
+    :func:`repro.io.jsonio.dfg_to_json`).
+    """
+    source = body.get("source")
+    dfg_obj = body.get("dfg")
+    _require(
+        (source is None) != (dfg_obj is None),
+        "request must carry exactly one of 'source' or 'dfg'",
+    )
+    try:
+        if source is not None:
+            _require(isinstance(source, str), "'source' must be a string")
+            return parse_behavior(source, name=str(body.get("name", name)))
+        return dfg_from_json(json.dumps(dfg_obj))
+    except JobSpecError:
+        raise
+    except Exception as error:
+        raise JobSpecError(f"malformed design: {error}") from error
+
+
+def normalize_spec(
+    algorithm: str,
+    body: Mapping[str, Any],
+    verify: bool = False,
+    trace: bool = False,
+) -> Dict[str, Any]:
+    """Validate a request body into a canonical, picklable job spec.
+
+    The canonicalisation matters: two requests describing the same job
+    (isomorphic designs, same parameters in any spelling) normalise to
+    specs with the same :func:`cache_key`.
+    """
+    _require(algorithm in ALGORITHMS, f"unknown algorithm {algorithm!r}")
+    _require(isinstance(body, Mapping), "request body must be a JSON object")
+    dfg = parse_design(body)
+    _require(len(dfg) > 0, "design has no operations")
+
+    def _opt_number(key: str, cast, minimum=None):
+        value = body.get(key)
+        if value is None:
+            return None
+        try:
+            value = cast(value)
+        except (TypeError, ValueError):
+            raise JobSpecError(f"{key!r} must be a {cast.__name__}") from None
+        _require(
+            minimum is None or value >= minimum,
+            f"{key!r} must be >= {minimum}",
+        )
+        return value
+
+    style = _opt_number("style", int) or 1
+    _require(style in (1, 2), "'style' must be 1 or 2")
+    pipelined = body.get("pipelined", [])
+    if isinstance(pipelined, str):
+        pipelined = [k for k in pipelined.split(",") if k]
+    _require(
+        isinstance(pipelined, (list, tuple))
+        and all(isinstance(k, str) for k in pipelined),
+        "'pipelined' must be a list of kind names",
+    )
+    spec = {
+        "version": SPEC_VERSION,
+        "algorithm": algorithm,
+        "dfg_json": dfg_to_json(dfg, indent=None),
+        "cs": _opt_number("cs", int, minimum=1),
+        "style": style,
+        "mul_latency": _opt_number("mul_latency", int, minimum=1) or 1,
+        "clock_ns": _opt_number("clock_ns", float, minimum=0.0),
+        "latency_l": _opt_number("latency_l", int, minimum=1),
+        "pipelined": sorted(set(pipelined)),
+        "seed": _opt_number("seed", int) or 0,
+        "verify": bool(verify),
+        "trace": bool(trace),
+    }
+    return spec
+
+
+def cache_key(spec: Mapping[str, Any]) -> str:
+    """Content address of a job spec (the result-cache key).
+
+    Combines the canonical DFG fingerprint (renaming/insertion-order
+    free), the full parameter tuple, and — for allocation jobs — the
+    cell library cost model.  The ``verify``/``trace`` flags are part of
+    the key because they change the response payload (audit fields, the
+    trace artifact), and cached responses are returned byte-identical.
+    """
+    dfg = dfg_from_json(spec["dfg_json"])
+    params = {
+        # The design name is erased by the structural fingerprint but
+        # embedded in the response bytes, so it must key the cache.
+        "design_name": dfg.name,
+    }
+    params.update(
+        (key, spec[key])
+        for key in (
+            "version",
+            "algorithm",
+            "cs",
+            "style",
+            "mul_latency",
+            "clock_ns",
+            "latency_l",
+            "pipelined",
+            "seed",
+            "verify",
+            "trace",
+        )
+    )
+    library_digest = None
+    if spec["algorithm"] == "mfsa":
+        from repro.library.ncr import datapath_library
+
+        library_digest = library_fingerprint(datapath_library())
+    return sha256_of(
+        [
+            "repro-serve-key",
+            SPEC_VERSION,
+            dfg_fingerprint(dfg),
+            params_fingerprint(params),
+            library_digest,
+        ]
+    )
+
+
+def execute_spec(
+    spec: Mapping[str, Any],
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Run one job spec to completion — the sweep worker function.
+
+    Module-level and pure so :class:`~repro.sweep.SweepExecutor` can ship
+    it to pool processes.  Returns ``(payload, perf_snapshot)``: the
+    response payload (``payload["ok"]`` discriminates success) and the
+    :meth:`~repro.perf.PerfCounters.as_dict` snapshot for the caller to
+    merge into the service-wide counters.  Job failures are *returned*,
+    never raised, so one bad job cannot poison its batch.
+    """
+    perf = PerfCounters()
+    try:
+        payload = _execute(spec, perf)
+    except Exception as error:
+        payload = {
+            "ok": False,
+            "error": {"type": type(error).__name__, "message": str(error)},
+        }
+    return payload, perf.as_dict()
+
+
+def _execute(spec: Mapping[str, Any], perf: PerfCounters) -> Dict[str, Any]:
+    from repro.core.mfs import MFSScheduler
+    from repro.core.mfsa import MFSAScheduler
+    from repro.io.jsonio import schedule_to_json, synthesis_to_json
+    from repro.library.ncr import datapath_library
+
+    dfg = dfg_from_json(spec["dfg_json"])
+    ops = standard_operation_set(mul_latency=spec["mul_latency"])
+    timing = TimingModel(ops=ops, clock_period_ns=spec["clock_ns"])
+    cs = spec["cs"] or critical_path_length(dfg, timing)
+
+    trace = None
+    if spec["trace"]:
+        from repro.allocation.mux import clear_mux_memo
+        from repro.trace import TraceRecorder
+
+        # Mirror repro.trace.driver: a cleared process-wide memo makes
+        # the counters embedded in the trace worker-independent.
+        clear_mux_memo()
+        trace = TraceRecorder()
+
+    if spec["algorithm"] == "mfs":
+        result = MFSScheduler(
+            dfg,
+            timing,
+            cs=cs,
+            mode="time",
+            latency_l=spec["latency_l"],
+            pipelined_kinds=tuple(spec["pipelined"]),
+            perf=perf,
+            trace=trace,
+        ).run()
+        result_obj = json.loads(schedule_to_json(result.schedule))
+    else:
+        result = MFSAScheduler(
+            dfg,
+            timing,
+            datapath_library(),
+            cs=cs,
+            style=spec["style"],
+            latency_l=spec["latency_l"],
+            pipelined_kinds=tuple(spec["pipelined"]),
+            perf=perf,
+            trace=trace,
+        ).run()
+        result_obj = json.loads(synthesis_to_json(result))
+
+    payload: Dict[str, Any] = {
+        "ok": True,
+        "algorithm": spec["algorithm"],
+        "design": dfg.name,
+        "cs": cs,
+        "result": result_obj,
+    }
+    if spec["verify"]:
+        from repro.check import check_mfs_result, check_mfsa_result
+
+        checker = (
+            check_mfs_result if spec["algorithm"] == "mfs" else check_mfsa_result
+        )
+        report = checker(result)
+        payload["verified"] = report.ok
+        payload["checks_run"] = list(report.checks_run)
+        if not report.ok:
+            payload["ok"] = False
+            payload["violations"] = [str(v) for v in report.violations]
+            payload["error"] = {
+                "type": "VerificationError",
+                "message": f"{len(report.violations)} invariant violation(s)",
+            }
+    if trace is not None:
+        payload["trace_jsonl"] = trace.to_jsonl()
+    return payload
+
+
+def response_text(payload: Mapping[str, Any]) -> str:
+    """Canonical serialisation of a job result payload.
+
+    This exact text is what the cache stores and what
+    ``GET /v1/jobs/<id>/result`` returns, so the cold and cached paths
+    are byte-identical by construction.
+    """
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"

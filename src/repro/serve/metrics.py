@@ -1,0 +1,156 @@
+"""Prometheus-compatible metrics for the synthesis service.
+
+Stdlib-only, single-process, asyncio-friendly (every mutation happens on
+the event loop thread or under the GIL on plain dict ops, so no locking
+is needed for correctness of the rendered snapshot).
+
+Three instrument shapes cover everything ``/metrics`` exposes:
+
+* **counters** — monotonically increasing totals, optionally labelled
+  (``jobs_total{status="done"}``);
+* **gauges** — instantaneous values read from a callable at render time
+  (queue depth, in-flight jobs), so the scrape always reflects *now*;
+* **summaries** — ``_sum``/``_count`` pairs for observed distributions
+  (batch sizes, per-stage latencies); enough for rates and averages
+  without histogram buckets.
+
+The :class:`~repro.perf.PerfCounters` totals accumulated by the batcher
+(scheduler cache hit rates, sweep fallbacks, …) are folded into the same
+exposition as ``repro_perf_counter_total{name="..."}`` /
+``repro_perf_timer_seconds_total{name="..."}`` series, which is how the
+``sweep.fallback.<reason>`` attribution surfaces to operators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.perf import PerfCounters
+
+#: Prefix shared by every service-level series.
+NAMESPACE = "repro_serve"
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labels(labels: Mapping[str, str]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metrics:
+    """The service metrics registry (one per :class:`~repro.serve.app.ServeApp`)."""
+
+    def __init__(self, namespace: str = NAMESPACE) -> None:
+        self.namespace = namespace
+        self._counters: Dict[str, Dict[LabelSet, float]] = {}
+        self._summaries: Dict[str, Dict[LabelSet, Tuple[float, int]]] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to metric ``name``."""
+        self._help[name] = help_text
+
+    def incr(
+        self, name: str, amount: float = 1, **labels: str
+    ) -> None:
+        """Add ``amount`` to counter ``name`` for the given label set."""
+        series = self._counters.setdefault(name, {})
+        key = _labels(labels)
+        series[key] = series.get(key, 0) + amount
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Current value of a counter (0 when never touched)."""
+        return self._counters.get(name, {}).get(_labels(labels), 0)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one observation into summary ``name`` (sum + count)."""
+        series = self._summaries.setdefault(name, {})
+        key = _labels(labels)
+        total, count = series.get(key, (0.0, 0))
+        series[key] = (total + float(value), count + 1)
+
+    def summary_value(self, name: str, **labels: str) -> Tuple[float, int]:
+        """The ``(sum, count)`` pair of a summary (zeros when untouched)."""
+        return self._summaries.get(name, {}).get(_labels(labels), (0.0, 0))
+
+    def gauge(self, name: str, read: Callable[[], float]) -> None:
+        """Register gauge ``name``; ``read()`` is called at render time."""
+        self._gauges[name] = read
+
+    # ------------------------------------------------------------------
+    def render(self, perf: Optional[PerfCounters] = None) -> str:
+        """The Prometheus text exposition (version 0.0.4)."""
+        lines = []
+
+        def emit_header(full_name: str, metric_type: str, base: str) -> None:
+            help_text = self._help.get(base)
+            if help_text:
+                lines.append(f"# HELP {full_name} {help_text}")
+            lines.append(f"# TYPE {full_name} {metric_type}")
+
+        for name in sorted(self._counters):
+            full = f"{self.namespace}_{name}_total"
+            emit_header(full, "counter", name)
+            for key in sorted(self._counters[name]):
+                value = self._counters[name][key]
+                lines.append(f"{full}{_render_labels(key)} {_format(value)}")
+
+        for name in sorted(self._gauges):
+            full = f"{self.namespace}_{name}"
+            emit_header(full, "gauge", name)
+            lines.append(f"{full} {_format(self._gauges[name]())}")
+
+        for name in sorted(self._summaries):
+            full = f"{self.namespace}_{name}"
+            emit_header(full, "summary", name)
+            for key in sorted(self._summaries[name]):
+                total, count = self._summaries[name][key]
+                rendered = _render_labels(key)
+                lines.append(f"{full}_sum{rendered} {_format(total)}")
+                lines.append(f"{full}_count{rendered} {_format(count)}")
+
+        if perf is not None:
+            if perf.counters:
+                lines.append(
+                    "# HELP repro_perf_counter_total Scheduler/sweep "
+                    "PerfCounters totals aggregated across all jobs."
+                )
+                lines.append("# TYPE repro_perf_counter_total counter")
+                for name in sorted(perf.counters):
+                    lines.append(
+                        f'repro_perf_counter_total{{name="{_escape(name)}"}} '
+                        f"{_format(perf.counters[name])}"
+                    )
+            if perf.timers:
+                lines.append(
+                    "# HELP repro_perf_timer_seconds_total Accumulated "
+                    "PerfCounters phase timers."
+                )
+                lines.append("# TYPE repro_perf_timer_seconds_total counter")
+                for name in sorted(perf.timers):
+                    lines.append(
+                        f'repro_perf_timer_seconds_total{{name="{_escape(name)}"}} '
+                        f"{_format(perf.timers[name])}"
+                    )
+        return "\n".join(lines) + "\n"

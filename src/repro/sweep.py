@@ -14,11 +14,22 @@ keeping the *contract* of the serial loop:
   interchangeable with a serial one (locked down by the test suite);
 * **graceful degradation** — on a single-core box, in restricted sandboxes
   where forking fails, or for payloads that refuse to pickle, the executor
-  silently falls back to the serial loop rather than erroring out.
+  falls back to the serial loop rather than erroring out — and *says so*:
+  every fallback records its reason in the attached
+  :class:`~repro.perf.PerfCounters` (``sweep.serial_fallbacks`` plus a
+  per-reason ``sweep.fallback.<reason>`` counter) and in
+  :attr:`SweepExecutor.last_fallback_reason`, so a degraded deployment is
+  visible in ``--perf`` output and the ``repro.serve`` ``/metrics``
+  endpoint instead of silently running at 1/N throughput.
 
 Workers must be module-level functions and payloads picklable; the
 callers in :mod:`repro.explore` and :mod:`repro.bench` define dedicated
 ``_*_worker`` functions for exactly this reason.
+
+Long-lived callers (the :mod:`repro.serve` micro-batcher) can pass
+``keep_pool=True`` to reuse one warm process pool across many ``map``
+calls instead of paying pool start-up per batch; :meth:`SweepExecutor.close`
+(or use as a context manager) releases it.
 """
 
 from __future__ import annotations
@@ -67,13 +78,29 @@ class SweepExecutor:
         Optional :class:`~repro.perf.PerfCounters`; receives a
         ``sweep.tasks`` count and a ``sweep.map`` timer, and is the merge
         target for worker-side snapshots (see :func:`merge_worker_perf`).
+    keep_pool:
+        Keep one warm :class:`ProcessPoolExecutor` alive across ``map``
+        calls (sized ``workers``) instead of starting a fresh pool per
+        call.  For many small batches — the ``repro.serve`` dispatch
+        pattern — this removes pool start-up from every batch.  Call
+        :meth:`close` (or use the executor as a context manager) when
+        done; a broken pool is discarded and lazily rebuilt.
     """
+
+    #: Fallback reason codes (the ``sweep.fallback.<reason>`` counters).
+    FALLBACK_REASONS = (
+        "payload-unpicklable",
+        "pool-start",
+        "worker-crash",
+        "result-unpicklable",
+    )
 
     def __init__(
         self,
         backend: str = "auto",
         workers: Optional[int] = None,
         perf: Optional[PerfCounters] = None,
+        keep_pool: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -84,6 +111,11 @@ class SweepExecutor:
         self.backend = backend
         self.workers = workers or default_workers()
         self.perf = perf
+        self.keep_pool = keep_pool
+        #: Reason code of the most recent serial fallback (``None`` when
+        #: every map so far ran where it was asked to run).
+        self.last_fallback_reason: Optional[str] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
     def _use_processes(self, n_items: int) -> bool:
@@ -114,26 +146,72 @@ class SweepExecutor:
             try:
                 pickle.dumps((fn, items))
             except Exception:
-                pass  # unpicklable payload: run serial below
+                # Unpicklable payload: run serial below.
+                self._note_fallback("payload-unpicklable", pool_failed=False)
             else:
                 try:
+                    if self.keep_pool:
+                        return list(self._warm_pool().map(fn, items))
                     with ProcessPoolExecutor(
                         max_workers=min(self.workers, len(items))
                     ) as pool:
                         return list(pool.map(fn, items))
                 except (OSError, PermissionError):
                     # Pool could not start (sandbox, no /dev/shm, …).
-                    if self.perf is not None:
-                        self.perf.incr("sweep.pool_failures")
-                except (BrokenExecutor, pickle.PicklingError):
-                    # A worker died mid-map (OOM-killed, segfaulted, …) or
-                    # a *result* refused to pickle on the way back.  The
-                    # up-front dumps() above only vets fn and the items,
-                    # so both failures surface here; the workers are pure
-                    # functions, so rerunning everything serially is safe.
-                    if self.perf is not None:
-                        self.perf.incr("sweep.pool_failures")
+                    self._note_fallback("pool-start")
+                except BrokenExecutor:
+                    # A worker died mid-map (OOM-killed, segfaulted, …);
+                    # the workers are pure functions, so rerunning
+                    # everything serially is safe.
+                    self._note_fallback("worker-crash")
+                except pickle.PicklingError:
+                    # A *result* refused to pickle on the way back — the
+                    # up-front dumps() above only vets fn and the items.
+                    self._note_fallback("result-unpicklable")
         return [fn(item) for item in items]
+
+    def _note_fallback(self, reason: str, pool_failed: bool = True) -> None:
+        """Record why a map degraded to the serial loop.
+
+        ``sweep.pool_failures`` keeps its historical meaning (a pool that
+        started — or tried to start — and failed); ``sweep.serial_fallbacks``
+        counts every degradation including payloads that never reached a
+        pool, with ``sweep.fallback.<reason>`` attributing the cause.
+        """
+        self.last_fallback_reason = reason
+        if pool_failed:
+            self._discard_pool()
+        if self.perf is not None:
+            if pool_failed:
+                self.perf.incr("sweep.pool_failures")
+            self.perf.incr("sweep.serial_fallbacks")
+            self.perf.incr(f"sweep.fallback.{reason}")
+
+    # -- persistent pool ------------------------------------------------
+    def _warm_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def close(self) -> None:
+        """Shut down the warm pool (no-op without ``keep_pool``)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def sweep_map(

@@ -1,0 +1,231 @@
+"""Property tests for the canonical DFG fingerprint.
+
+The contract (``repro/dfg/fingerprint.py``): isomorphic renamings and
+re-insertions of the same graph *collide*; any semantic change — an
+operation kind, an edge, a constant, a branch arm, the output map —
+*separates*.  Both directions are exercised over the seeded random
+generator, plus directed unit cases for each mutation class.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg.fingerprint import (
+    canonical_encoding,
+    dfg_fingerprint,
+    job_fingerprint,
+    library_fingerprint,
+    params_fingerprint,
+)
+from repro.dfg.generators import random_conditional_dfg, random_dfg
+from repro.dfg.graph import DFG, Port
+from repro.library.cells import ALUCell, CellLibrary
+from repro.library.ncr import datapath_library
+
+
+def shuffled_isomorph(dfg: DFG, seed: int, prefix: str = "ren_") -> DFG:
+    """Rebuild ``dfg`` with renamed nodes in a random valid insertion order.
+
+    Nodes are inserted whenever all their predecessors already exist,
+    picked at random among the ready ones — a uniformly shuffled
+    linear extension of the dependency partial order.
+    """
+    rng = random.Random(seed)
+    clone = DFG(dfg.name)
+    for input_name in dfg.inputs:
+        clone.add_input(input_name)
+    renamed = {}
+    remaining = list(dfg.node_names())
+    while remaining:
+        ready = [
+            name
+            for name in remaining
+            if all(p in renamed for p in dfg.predecessors(name))
+        ]
+        name = rng.choice(ready)
+        remaining.remove(name)
+        node = dfg.node(name)
+        new_name = f"{prefix}{len(renamed)}"
+        renamed[name] = new_name
+        operands = [
+            Port.node(renamed[p.name]) if p.is_node else p
+            for p in node.operands
+        ]
+        clone.add_op(node.kind, operands, name=new_name, branch=node.branch)
+    for out_name, port in dfg.outputs.items():
+        clone.set_output(
+            out_name, Port.node(renamed[port.name]) if port.is_node else port
+        )
+    return clone
+
+
+dfg_strategy = st.builds(
+    random_dfg,
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_ops=st.integers(min_value=1, max_value=24),
+    n_inputs=st.integers(min_value=1, max_value=5),
+    locality=st.integers(min_value=1, max_value=10),
+)
+
+conditional_dfg_strategy = st.builds(
+    random_conditional_dfg,
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(dfg=dfg_strategy, seed=st.integers(min_value=0, max_value=999))
+    def test_isomorphic_renaming_collides(self, dfg, seed):
+        twin = shuffled_isomorph(dfg, seed)
+        assert twin.node_names() != dfg.node_names()
+        assert dfg_fingerprint(twin) == dfg_fingerprint(dfg)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dfg=conditional_dfg_strategy, seed=st.integers(0, 999))
+    def test_branchy_isomorphic_renaming_collides(self, dfg, seed):
+        assert dfg_fingerprint(shuffled_isomorph(dfg, seed)) == dfg_fingerprint(dfg)
+
+    def test_builtin_rename_helper_collides(self):
+        dfg = random_dfg(seed=7, n_ops=12)
+        assert dfg_fingerprint(dfg.renamed("x_")) == dfg_fingerprint(dfg)
+
+    def test_copy_collides(self):
+        dfg = random_dfg(seed=9)
+        assert dfg_fingerprint(dfg.copy()) == dfg_fingerprint(dfg)
+
+    def test_graph_name_is_not_semantic(self):
+        dfg = random_dfg(seed=3)
+        assert dfg_fingerprint(dfg.copy(name="other")) == dfg_fingerprint(dfg)
+
+
+def _diamond() -> DFG:
+    """a+b and (a+b)*(a-b) — small, every mutation site reachable."""
+    dfg = DFG("diamond")
+    a = dfg.add_input("a")
+    b = dfg.add_input("b")
+    s = dfg.add_op("add", [a, b], name="s")
+    d = dfg.add_op("sub", [a, b], name="d")
+    p = dfg.add_op("mul", [s, d], name="p")
+    dfg.set_output("out", p)
+    return dfg
+
+
+class TestSeparation:
+    def test_kind_change_separates(self):
+        base, mutated = _diamond(), DFG("diamond")
+        a = mutated.add_input("a")
+        b = mutated.add_input("b")
+        s = mutated.add_op("add", [a, b], name="s")
+        d = mutated.add_op("add", [a, b], name="d")  # sub -> add
+        mutated.set_output("out", mutated.add_op("mul", [s, d], name="p"))
+        assert dfg_fingerprint(base) != dfg_fingerprint(mutated)
+
+    def test_edge_rewire_separates(self):
+        base, mutated = _diamond(), DFG("diamond")
+        a = mutated.add_input("a")
+        b = mutated.add_input("b")
+        s = mutated.add_op("add", [a, b], name="s")
+        d = mutated.add_op("sub", [a, b], name="d")
+        mutated.set_output("out", mutated.add_op("mul", [s, s], name="p"))
+        assert dfg_fingerprint(base) != dfg_fingerprint(mutated)
+
+    def test_operand_order_is_semantic(self):
+        left, right = DFG("l"), DFG("r")
+        for dfg, order in ((left, ("a", "b")), (right, ("b", "a"))):
+            a = dfg.add_input("a")
+            b = dfg.add_input("b")
+            ports = {"a": a, "b": b}
+            dfg.set_output(
+                "out", dfg.add_op("sub", [ports[order[0]], ports[order[1]]])
+            )
+        assert dfg_fingerprint(left) != dfg_fingerprint(right)
+
+    def test_constant_change_separates(self):
+        def build(value):
+            dfg = DFG("c")
+            a = dfg.add_input("a")
+            dfg.set_output(
+                "out", dfg.add_op("add", [a, Port.const(value)])
+            )
+            return dfg
+
+        assert dfg_fingerprint(build(3)) != dfg_fingerprint(build(4))
+
+    def test_extra_node_separates(self):
+        base = _diamond()
+        grown = _diamond()
+        grown.add_op("add", [Port.node("p"), Port.node("s")], name="extra")
+        assert dfg_fingerprint(base) != dfg_fingerprint(grown)
+
+    def test_output_map_separates(self):
+        base = _diamond()
+        remapped = _diamond()
+        remapped.set_output("out", Port.node("s"))
+        assert dfg_fingerprint(base) != dfg_fingerprint(remapped)
+
+    def test_branch_arm_separates(self):
+        def build(arm):
+            dfg = DFG("b")
+            a = dfg.add_input("a")
+            dfg.set_output(
+                "out",
+                dfg.add_op("add", [a, a], branch=(("c0", arm),)),
+            )
+            return dfg
+
+        assert dfg_fingerprint(build(True)) != dfg_fingerprint(build(False))
+
+    def test_input_rename_is_interface_change(self):
+        def build(name):
+            dfg = DFG("i")
+            a = dfg.add_input(name)
+            dfg.set_output("out", dfg.add_op("add", [a, a]))
+            return dfg
+
+        assert dfg_fingerprint(build("a")) != dfg_fingerprint(build("b"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed_a=st.integers(0, 2_000),
+        seed_b=st.integers(0, 2_000),
+    )
+    def test_distinct_random_graphs_rarely_collide(self, seed_a, seed_b):
+        a = random_dfg(seed=seed_a, n_ops=10)
+        b = random_dfg(seed=seed_b, n_ops=10)
+        if canonical_encoding(a) != canonical_encoding(b):
+            assert dfg_fingerprint(a) != dfg_fingerprint(b)
+        else:
+            assert dfg_fingerprint(a) == dfg_fingerprint(b)
+
+
+class TestAuxiliaryFingerprints:
+    def test_library_fingerprint_stable_and_sensitive(self):
+        assert library_fingerprint(datapath_library()) == library_fingerprint(
+            datapath_library()
+        )
+        tweaked = CellLibrary(
+            "tweaked",
+            [ALUCell("alu_add", frozenset({"add"}), 1234.0)],
+            register_area=500.0,
+        )
+        assert library_fingerprint(tweaked) != library_fingerprint(
+            datapath_library()
+        )
+
+    def test_params_fingerprint_key_order_free(self):
+        assert params_fingerprint({"cs": 6, "style": 1}) == params_fingerprint(
+            {"style": 1, "cs": 6}
+        )
+        assert params_fingerprint({"cs": 6}) != params_fingerprint({"cs": 7})
+
+    def test_job_fingerprint_combines_all_inputs(self):
+        dfg = _diamond()
+        library = datapath_library()
+        base = job_fingerprint(dfg, {"cs": 4}, library)
+        assert job_fingerprint(shuffled_isomorph(dfg, 1), {"cs": 4}, library) == base
+        assert job_fingerprint(dfg, {"cs": 5}, library) != base
+        assert job_fingerprint(dfg, {"cs": 4}, None) != base

@@ -18,6 +18,7 @@ DOCUMENTED = [
     "README.md",
     "docs/TUTORIAL.md",
     "docs/TRACING.md",
+    "docs/SERVICE.md",
 ]
 
 _FENCE = re.compile(r"^```python\n(.*?)^```$", re.M | re.S)

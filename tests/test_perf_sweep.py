@@ -158,27 +158,90 @@ def _unpicklable_result_in_pool(x):
 class TestPoolFaultTolerance:
     def test_worker_crash_falls_back_to_serial(self):
         perf = PerfCounters()
-        result = sweep_map(
-            _die_in_pool_worker,
-            [1, 2, 3],
-            backend="process",
-            workers=2,
-            perf=perf,
-        )
+        executor = SweepExecutor(backend="process", workers=2, perf=perf)
+        result = executor.map(_die_in_pool_worker, [1, 2, 3])
         assert result == [11, 12, 13]
         assert perf.get("sweep.pool_failures") == 1
+        # The degradation is attributed, not silent (serve /metrics and
+        # --perf surface these counters).
+        assert perf.get("sweep.serial_fallbacks") == 1
+        assert perf.get("sweep.fallback.worker-crash") == 1
+        assert executor.last_fallback_reason == "worker-crash"
 
     def test_unpicklable_result_falls_back_to_serial(self):
         perf = PerfCounters()
-        result = sweep_map(
-            _unpicklable_result_in_pool,
-            [2, 3],
-            backend="process",
-            workers=2,
-            perf=perf,
-        )
+        executor = SweepExecutor(backend="process", workers=2, perf=perf)
+        result = executor.map(_unpicklable_result_in_pool, [2, 3])
         assert result == [4, 6]
         assert perf.get("sweep.pool_failures") == 1
+        assert perf.get("sweep.serial_fallbacks") == 1
+        assert perf.get("sweep.fallback.result-unpicklable") == 1
+        assert executor.last_fallback_reason == "result-unpicklable"
+
+    def test_unpicklable_payload_fallback_is_attributed(self):
+        perf = PerfCounters()
+        executor = SweepExecutor(backend="process", perf=perf)
+        assert executor.map(lambda f: f(), [lambda: 1]) == [1]
+        # No pool ever started, so the historical counter stays 0 …
+        assert perf.get("sweep.pool_failures") == 0
+        # … but the degradation itself is still visible and attributed.
+        assert perf.get("sweep.serial_fallbacks") == 1
+        assert perf.get("sweep.fallback.payload-unpicklable") == 1
+        assert executor.last_fallback_reason == "payload-unpicklable"
+
+    def test_pool_start_failure_is_attributed(self, monkeypatch):
+        import repro.sweep as sweep_module
+
+        class _RefusesToStart:
+            def __init__(self, *args, **kwargs):
+                raise PermissionError("no /dev/shm in this sandbox")
+
+        monkeypatch.setattr(
+            sweep_module, "ProcessPoolExecutor", _RefusesToStart
+        )
+        perf = PerfCounters()
+        executor = SweepExecutor(backend="process", workers=2, perf=perf)
+        assert executor.map(_square, [2, 3]) == [4, 9]
+        assert perf.get("sweep.pool_failures") == 1
+        assert perf.get("sweep.fallback.pool-start") == 1
+        assert executor.last_fallback_reason == "pool-start"
+
+    def test_healthy_map_records_no_fallback(self):
+        perf = PerfCounters()
+        executor = SweepExecutor(backend="process", workers=2, perf=perf)
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert perf.get("sweep.serial_fallbacks") == 0
+        assert executor.last_fallback_reason is None
+
+
+class TestPersistentPool:
+    def test_keep_pool_reuses_one_pool_across_maps(self):
+        with SweepExecutor(
+            backend="process", workers=2, keep_pool=True
+        ) as executor:
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+            pool = executor._pool
+            assert pool is not None
+            assert executor.map(_square, [4, 5]) == [16, 25]
+            assert executor._pool is pool
+        assert executor._pool is None
+
+    def test_keep_pool_recovers_from_worker_crash(self):
+        perf = PerfCounters()
+        with SweepExecutor(
+            backend="process", workers=2, keep_pool=True, perf=perf
+        ) as executor:
+            assert executor.map(_die_in_pool_worker, [1, 2]) == [11, 12]
+            assert perf.get("sweep.fallback.worker-crash") == 1
+            # The broken pool was discarded; the next map gets a fresh one
+            # and runs in processes again.
+            assert executor.map(_square, [3, 4]) == [9, 16]
+            assert perf.get("sweep.serial_fallbacks") == 1
+
+    def test_close_is_idempotent(self):
+        executor = SweepExecutor(backend="serial", keep_pool=True)
+        executor.close()
+        executor.close()
 
 
 # ---------------------------------------------------------------------------
