@@ -1,0 +1,190 @@
+"""Resilience-cost harness: recovery time and retry overhead, to BENCH_core.json.
+
+Two questions, both answered with wall clocks:
+
+* **recovery time** — how long a restarted server takes to replay a
+  journal of completed jobs back into its cache and job table.  A
+  journal of N ``complete`` records is written the way a crashed server
+  would have left it, then ``ServeApp.start`` (which runs ``_recover``
+  before binding the listener) is timed on a fresh app.
+* **retry overhead** — what the client-side resilience machinery
+  (retry budget + seeded backoff policy + circuit breaker) costs on the
+  fault-free path, measured as round-trip latency of cache-hit
+  submissions with ``retries=3`` + breaker versus a bare client.  The
+  budgeted ceiling is <5 % — on the happy path the machinery is one
+  extra ``before_call``/``record_success`` pair per request.
+
+Results are appended to the ``history`` list of ``BENCH_core.json``;
+``--smoke`` runs a quick variant with generous ceilings for CI and does
+not touch the JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.resilience.retry import CircuitBreaker
+from repro.resilience.journal import JobJournal
+from repro.serve import Client, ServeApp
+from repro.serve.jobs import cache_key, execute_spec, normalize_spec, response_text
+
+SRC = """input a b c d
+t1 = a + b
+t2 = t1 * c
+x = t2 - d
+output x
+"""
+
+#: CI smoke ceilings — generous: shared runners are slow and noisy.
+SMOKE_REPLAY_CEILING_S = 5.0
+SMOKE_OVERHEAD_CEILING = 0.50  # 50 % on a noisy runner; real budget is 5 %
+
+
+def _write_completed_journal(path: str, jobs: int) -> None:
+    """A journal a crashed server would leave: N admitted+completed jobs."""
+    spec = normalize_spec("mfs", {"source": SRC, "cs": 6})
+    payload, _perf = execute_spec(spec)
+    text = response_text(payload)
+    journal = JobJournal(path, fsync=False)
+    for index in range(jobs):
+        # Distinct keys so every record lands its own cache entry.
+        key = f"{cache_key(spec)}-{index:04d}"
+        job_id = f"j{index:05d}-replay"
+        journal.record_admit(job_id, key, spec, timeout_s=60.0)
+        journal.record_complete(job_id, "done", True, text, key=key)
+    journal.close()
+
+
+def measure_recovery(jobs: int) -> float:
+    """Seconds to boot a server over a journal of ``jobs`` completed jobs."""
+    with tempfile.TemporaryDirectory() as state:
+        _write_completed_journal(f"{state}/jobs.journal.jsonl", jobs)
+        start = time.perf_counter()
+        app = ServeApp(port=0, state_dir=state, job_history=jobs + 1)
+        handle = app.start_in_thread()
+        elapsed = time.perf_counter() - start
+        try:
+            recovered = app.metrics.counter_value(
+                "recovered_jobs", kind="completed"
+            )
+            assert recovered == jobs, (recovered, jobs)
+            assert len(app.cache) == jobs
+        finally:
+            handle.stop(drain=False)
+        return elapsed
+
+
+def measure_retry_overhead(repeat: int) -> "tuple[float, float]":
+    """Median cache-hit round-trip: bare client vs full resilience stack."""
+    app = ServeApp(port=0, backend="serial")
+    handle = app.start_in_thread()
+    try:
+        bare = Client(handle.url)
+        armored = Client(
+            handle.url,
+            retries=3,
+            breaker=CircuitBreaker(threshold=8),
+            retry_seed=0,
+        )
+        bare.schedule(source=SRC, cs=6, wait=True)  # populate the cache
+
+        def median_rtt(client):
+            samples = []
+            for _ in range(repeat):
+                start = time.perf_counter()
+                out = client.schedule(source=SRC, cs=6, wait=True)
+                samples.append(time.perf_counter() - start)
+                assert out["job"]["cache"] == "hit"
+            return statistics.median(samples)
+
+        # Interleave a warm-up of each before timing either.
+        median_rtt(bare)
+        median_rtt(armored)
+        return median_rtt(bare), median_rtt(armored)
+    finally:
+        handle.stop()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=100,
+                        help="journal size for the recovery measurement")
+    parser.add_argument("--repeat", type=int, default=40,
+                        help="cache-hit samples per client variant")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI variant with generous ceilings; "
+                        "does not write the JSON")
+    parser.add_argument("--out", default="BENCH_core.json")
+    args = parser.parse_args()
+
+    jobs = 20 if args.smoke else args.jobs
+    repeat = 10 if args.smoke else args.repeat
+
+    replay_s = measure_recovery(jobs)
+    bare_s, armored_s = measure_retry_overhead(repeat)
+    overhead = armored_s / bare_s - 1.0 if bare_s > 0 else 0.0
+
+    entry = {
+        "recovery_jobs": jobs,
+        "recovery_replay_ms": round(replay_s * 1e3, 3),
+        "recovery_ms_per_job": round(replay_s * 1e3 / jobs, 4),
+        "retry_repeat": repeat,
+        "bare_hit_rtt_ms": round(bare_s * 1e3, 4),
+        "armored_hit_rtt_ms": round(armored_s * 1e3, 4),
+        "retry_overhead_fraction": round(overhead, 4),
+        "label": "resilience-layer (journal replay + retry machinery)",
+    }
+    print(
+        f"journal replay: {jobs} jobs in {entry['recovery_replay_ms']:.1f} ms "
+        f"({entry['recovery_ms_per_job']:.3f} ms/job)"
+    )
+    print(
+        f"cache-hit RTT: bare {entry['bare_hit_rtt_ms']:.3f} ms, "
+        f"with retries+breaker {entry['armored_hit_rtt_ms']:.3f} ms "
+        f"({overhead:+.1%} overhead)"
+    )
+
+    if args.smoke:
+        if replay_s > SMOKE_REPLAY_CEILING_S:
+            print(
+                f"FAIL: replay of {jobs} jobs took {replay_s:.2f} s "
+                f"(ceiling {SMOKE_REPLAY_CEILING_S} s)",
+                file=sys.stderr,
+            )
+            return 1
+        if overhead > SMOKE_OVERHEAD_CEILING:
+            print(
+                f"FAIL: fault-free retry overhead {overhead:.1%} "
+                f"(ceiling {SMOKE_OVERHEAD_CEILING:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print("smoke OK: replay and overhead within ceilings")
+        return 0
+
+    out = Path(args.out)
+    payload = {"schema": 1, "benchmark": "perf_trajectory", "history": []}
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except (OSError, ValueError):
+            pass
+    payload.setdefault("history", []).append(entry)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,13 +7,14 @@ two multipliers, one adder, one subtractor).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.dfg.analysis import TimingModel
 from repro.dfg.ops import OP_SYMBOLS, standard_operation_set
 from repro.core.mfs import MFSResult, MFSScheduler
 from repro.perf import PerfCounters
+from repro.resilience.checkpoint import resume_map
 from repro.sweep import SweepExecutor
 from repro.bench.suites import EXAMPLES, ExampleSpec, Table1Case
 
@@ -99,11 +100,14 @@ def table1_rows(
     keys: Optional[Iterable[str]] = None,
     backend: str = "serial",
     workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
 ) -> List[Table1Row]:
     """Regenerate every Table-1 cell (optionally a subset of examples).
 
     ``backend``/``workers`` select the sweep executor; cell order and
-    values are identical on every backend.
+    values are identical on every backend.  ``checkpoint`` names a
+    :class:`~repro.resilience.checkpoint.SweepCheckpoint` file so an
+    interrupted regeneration resumes at cell granularity.
     """
     wanted = set(keys) if keys is not None else None
     payloads = [
@@ -112,8 +116,25 @@ def table1_rows(
         if wanted is None or key in wanted
         for case_index in range(len(spec.table1_cases))
     ]
+    ckpt = None
+    if checkpoint is not None:
+        from repro.resilience.checkpoint import SweepCheckpoint
+
+        ckpt = SweepCheckpoint(checkpoint, meta={"kind": "table1"})
     executor = SweepExecutor(backend=backend, workers=workers)
-    return executor.map(_row_worker, payloads)
+    try:
+        return resume_map(
+            executor,
+            _row_worker,
+            payloads,
+            ckpt,
+            key_fn=lambda payload: f"{payload[0]}:{payload[1]}",
+            encode=asdict,
+            decode=lambda value: Table1Row(**value),
+        )
+    finally:
+        if ckpt is not None:
+            ckpt.close()
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:

@@ -11,7 +11,7 @@ checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from repro.dfg.analysis import TimingModel
@@ -20,6 +20,7 @@ from repro.library.cells import CellLibrary
 from repro.library.ncr import datapath_library
 from repro.core.mfsa import MFSAResult, MFSAScheduler
 from repro.perf import PerfCounters
+from repro.resilience.checkpoint import resume_map
 from repro.sweep import SweepExecutor
 from repro.bench.suites import EXAMPLES, ExampleSpec
 
@@ -96,11 +97,15 @@ def table2_rows(
     library: Optional[CellLibrary] = None,
     backend: str = "serial",
     workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
 ) -> List[Table2Row]:
     """Regenerate Table 2 (both styles for every example).
 
     ``backend``/``workers`` select the sweep executor; row order and
-    values are identical on every backend.
+    values are identical on every backend.  ``checkpoint`` names a
+    :class:`~repro.resilience.checkpoint.SweepCheckpoint` file so an
+    interrupted regeneration resumes at row granularity; the library
+    cost model is part of the checkpoint fingerprint.
     """
     library = library or datapath_library()
     wanted = set(keys) if keys is not None else None
@@ -110,8 +115,29 @@ def table2_rows(
         if wanted is None or key in wanted
         for style in (1, 2)
     ]
+    ckpt = None
+    if checkpoint is not None:
+        from repro.dfg.fingerprint import library_fingerprint
+        from repro.resilience.checkpoint import SweepCheckpoint
+
+        ckpt = SweepCheckpoint(
+            checkpoint,
+            meta={"kind": "table2", "library": library_fingerprint(library)},
+        )
     executor = SweepExecutor(backend=backend, workers=workers)
-    return executor.map(_row_worker, payloads)
+    try:
+        return resume_map(
+            executor,
+            _row_worker,
+            payloads,
+            ckpt,
+            key_fn=lambda payload: f"{payload[0]}:style{payload[1]}",
+            encode=asdict,
+            decode=lambda value: Table2Row(**value),
+        )
+    finally:
+        if ckpt is not None:
+            ckpt.close()
 
 
 def style_overhead(rows: Sequence[Table2Row], number: int) -> float:

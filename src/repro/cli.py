@@ -117,7 +117,7 @@ def _command_table1(args) -> int:
     from repro.bench.table1 import render_table1, table1_rows
 
     keys = [args.example] if args.example else None
-    print(render_table1(table1_rows(keys=keys)))
+    print(render_table1(table1_rows(keys=keys, checkpoint=args.checkpoint)))
     return 0
 
 
@@ -125,7 +125,7 @@ def _command_table2(args) -> int:
     from repro.bench.table2 import render_table2, table2_rows
 
     keys = [args.example] if args.example else None
-    print(render_table2(table2_rows(keys=keys)))
+    print(render_table2(table2_rows(keys=keys, checkpoint=args.checkpoint)))
     return 0
 
 
@@ -209,6 +209,7 @@ def _command_explore(args) -> int:
         workers=args.workers,
         perf=perf,
         trace=trace,
+        checkpoint=args.checkpoint,
     )
     print(render_design_space(points))
     if trace is not None:
@@ -351,6 +352,9 @@ def _command_serve(args) -> int:
         backend="serial" if args.serial else "auto",
         cache_entries=args.cache_entries,
         default_timeout_s=args.timeout,
+        state_dir=args.state_dir,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
     return ServeApp(config).serve_forever()
 
@@ -396,7 +400,7 @@ def _command_submit(args) -> int:
         params["style"] = args.style
     params = {key: value for key, value in params.items() if value is not None}
 
-    client = Client(args.url, timeout=args.timeout + 30.0)
+    client = Client(args.url, timeout=args.timeout + 30.0, retries=args.retries)
     submit = client.schedule if args.algorithm == "mfs" else client.synth
     try:
         out = submit(
@@ -446,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=helptext)
         p.add_argument("--example", choices=[f"ex{i}" for i in range(1, 7)])
+        p.add_argument(
+            "--checkpoint",
+            help="resume file: completed rows are durably recorded and an "
+            "interrupted regeneration picks up where it stopped",
+        )
 
     for which, detail in (
         (1, "a move frame and its Liapunov argmin (§2.2)"),
@@ -501,6 +510,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace",
         help="write the merged per-budget decision trace (JSONL) here",
+    )
+    p.add_argument(
+        "--checkpoint",
+        help="resume file: completed budgets are durably recorded and an "
+        "interrupted sweep picks up where it stopped",
     )
     _add_timing_arguments(p)
     _add_sweep_arguments(p)
@@ -581,6 +595,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result-cache capacity, LRU beyond (default 1024)")
     p.add_argument("--timeout", type=float, default=60.0,
                    help="default per-job timeout in seconds (default 60)")
+    p.add_argument("--state-dir", default=None,
+                   help="directory for the write-ahead job journal; a "
+                   "restarted server replays unfinished jobs from it")
+    p.add_argument("--faults", default=None,
+                   help="fault-injection plan, e.g. "
+                   "'serve.cache.put:n=2,sweep.submit:p=0.25:times=3' "
+                   "(chaos testing)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for probabilistic fault triggers")
 
     p = sub.add_parser(
         "submit",
@@ -618,6 +641,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the raw canonical result bytes")
     p.add_argument("--timeout", type=float, default=60.0,
                    help="per-job timeout in seconds (default 60)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="transport retries with exponential backoff when "
+                   "the service is restarting or sheds load (default 3)")
     _add_timing_arguments(p)
 
     p = sub.add_parser(

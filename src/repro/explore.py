@@ -21,6 +21,7 @@ from repro.library.cells import CellLibrary
 from repro.core.liapunov import LiapunovWeights
 from repro.core.mfsa import MFSAResult, MFSAScheduler
 from repro.perf import PerfCounters
+from repro.resilience.checkpoint import resume_map
 from repro.sweep import SweepExecutor, merge_worker_perf, merge_worker_traces
 from repro.trace.recorder import TraceRecorder
 
@@ -126,6 +127,7 @@ def design_space(
     workers: Optional[int] = None,
     perf: Optional[PerfCounters] = None,
     trace: Optional[TraceRecorder] = None,
+    checkpoint: Optional[str] = None,
 ) -> List[DesignPoint]:
     """Synthesise the behaviour across a range of time budgets.
 
@@ -150,6 +152,15 @@ def design_space(
     back in budget order under a ``cs=<budget>`` source tag, so the
     combined JSONL splits back into per-budget runs on replay — identical
     whether the sweep ran serial or over the pool.
+
+    ``checkpoint`` names a :class:`~repro.resilience.checkpoint.\
+SweepCheckpoint` file: each completed budget is durably recorded as it
+    lands, and a re-run with the same file (and the same design, library,
+    style, weights and clock — anything else discards the stale file)
+    skips the budgets already done.  Restored budgets re-run nothing, so
+    they contribute no ``perf``/``trace`` events and no ``results``
+    entries — resume is for recovering the *points* of an interrupted
+    sweep, not its instrumentation.
     """
     if budgets is None:
         budgets = default_budget_ladder(dfg, timing)
@@ -171,8 +182,47 @@ def design_space(
         )
         for cs in budgets
     ]
+    ckpt = None
+    if checkpoint is not None:
+        from repro.dfg.fingerprint import dfg_fingerprint, library_fingerprint
+        from repro.resilience.checkpoint import SweepCheckpoint
+
+        ckpt = SweepCheckpoint(
+            checkpoint,
+            meta={
+                "kind": "design_space",
+                "design": dfg_fingerprint(dfg),
+                "library": library_fingerprint(library),
+                "style": style,
+                "weights": repr(weights),
+                "clock_ns": timing.clock_period_ns,
+            },
+        )
+
+    def _encode(outcome):
+        cs, fields, _result, _perf_snap, _trace_snap = outcome
+        return {"cs": cs, "fields": fields}
+
+    def _decode(value):
+        fields = value["fields"]
+        if fields is not None:
+            fields = dict(fields, alu_labels=tuple(fields["alu_labels"]))
+        return (value["cs"], fields, None, None, None)
+
     executor = SweepExecutor(backend=backend, workers=workers, perf=perf)
-    outcomes = executor.map(_design_point_worker, payloads)
+    try:
+        outcomes = resume_map(
+            executor,
+            _design_point_worker,
+            payloads,
+            ckpt,
+            key_fn=lambda payload: f"cs={payload[3]}",
+            encode=_encode,
+            decode=_decode,
+        )
+    finally:
+        if ckpt is not None:
+            ckpt.close()
     merge_worker_perf(perf, (snap for _cs, _f, _r, snap, _t in outcomes))
     merge_worker_traces(
         trace, ((f"cs={cs}", snap) for cs, _f, _r, _p, snap in outcomes)

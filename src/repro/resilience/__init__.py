@@ -1,0 +1,69 @@
+"""repro.resilience — convergence under perturbation, at the systems level.
+
+The paper's schedulers converge to equilibrium even when perturbed
+(local rescheduling, §2.2); this package gives the production layers
+around them the same property:
+
+* :mod:`~repro.resilience.faults` — a deterministic, seedable
+  fault-injection registry (:class:`FaultPlan`) with named failure
+  points compiled into ``repro.serve`` and ``repro.sweep``, replacing
+  ad-hoc crash-injection monkeypatching with reproducible chaos tests;
+* :mod:`~repro.resilience.journal` — the write-ahead job journal
+  (:class:`JobJournal`) that makes ``repro-hls serve`` survive
+  ``kill -9`` with every admitted job replayed on restart, audited by
+  :func:`audit_journal` through :mod:`repro.check`;
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy` (capped
+  exponential backoff, deterministic full jitter) and
+  :class:`CircuitBreaker` for well-behaved clients;
+* :mod:`~repro.resilience.checkpoint` — :class:`SweepCheckpoint`,
+  item-level resume for interrupted ``explore``/``table1``/``table2``
+  sweeps.
+
+See ``docs/ROBUSTNESS.md`` for the operator's guide.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    SweepCheckpoint,
+    resume_map,
+)
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    arm,
+    fault_point,
+)
+from repro.resilience.journal import (
+    JOURNAL_VERSION,
+    JobJournal,
+    JournalEntry,
+    JournalState,
+    audit_journal,
+    load_records,
+)
+from repro.resilience.retry import CircuitBreaker, CircuitOpen, RetryPolicy
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "arm",
+    "active_plan",
+    "fault_point",
+    "JOURNAL_VERSION",
+    "JobJournal",
+    "JournalEntry",
+    "JournalState",
+    "audit_journal",
+    "load_records",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CHECKPOINT_VERSION",
+    "SweepCheckpoint",
+    "resume_map",
+]

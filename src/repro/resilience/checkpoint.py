@@ -1,0 +1,175 @@
+"""Checkpoint/resume for long design-space sweeps.
+
+The multi-hour explorations behind Table 1/2 reproduction (and the
+feedback-guided iterative flows in the related work) cannot afford to
+restart from item zero after an interruption.  :class:`SweepCheckpoint`
+makes a sweep resumable at item granularity: each completed item appends
+one fsync'd JSONL record keyed by a caller-chosen string (a budget, a
+table cell), and a restarted sweep skips every key already present.
+
+The first line of the file is a header carrying the caller's *meta*
+fingerprint — the sweep configuration (design fingerprint, style,
+library digest, …).  Opening a checkpoint with different meta discards
+the stale file and starts fresh, so a checkpoint can never leak results
+across configurations.  Values must round-trip through JSON; the caller
+owns (de)serialisation of richer shapes.
+
+Torn trailing lines (the crash signature) are dropped on load, exactly
+as in :mod:`repro.resilience.journal`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+#: Checkpoint format version (embedded in the header line).
+CHECKPOINT_VERSION = 1
+
+
+class SweepCheckpoint:
+    """Append-only item-level checkpoint for one sweep configuration."""
+
+    def __init__(
+        self,
+        path: str,
+        meta: Optional[Mapping[str, Any]] = None,
+        fsync: bool = True,
+    ) -> None:
+        self.path = str(path)
+        self.meta = dict(meta or {})
+        self.fsync = fsync
+        self._handle = None
+        self._done: Dict[str, Any] = {}
+        #: Whether a stale checkpoint (meta mismatch / corruption) was dropped.
+        self.discarded_stale = False
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = [line for line in handle.read().split("\n") if line]
+        except FileNotFoundError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if (
+            not isinstance(header, dict)
+            or header.get("checkpoint") != CHECKPOINT_VERSION
+            or header.get("meta") != self.meta
+        ):
+            self.discarded_stale = True
+            os.unlink(self.path)
+            return
+        for index, line in enumerate(lines[1:], start=2):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines):
+                    break  # torn tail from a crash mid-write: drop it
+                self.discarded_stale = True
+                self._done.clear()
+                os.unlink(self.path)
+                return
+            key = record.get("key")
+            if isinstance(key, str):
+                self._done[key] = record.get("value")
+
+    def _open(self):
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            fresh = not os.path.exists(self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh or os.path.getsize(self.path) == 0:
+                self._handle.write(
+                    json.dumps(
+                        {"checkpoint": CHECKPOINT_VERSION, "meta": self.meta},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                self._flush()
+        return self._handle
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._done
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._done.get(key, default)
+
+    def record(self, key: str, value: Any) -> None:
+        """Durably record one completed item (idempotent per key)."""
+        if key in self._done:
+            return
+        handle = self._open()
+        handle.write(
+            json.dumps({"key": key, "value": value}, sort_keys=True) + "\n"
+        )
+        self._flush()
+        self._done[key] = value
+
+    def close(self) -> None:
+        if self._handle is not None:
+            handle, self._handle = self._handle, None
+            handle.close()
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def resume_map(
+    executor,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    ckpt: Optional[SweepCheckpoint],
+    key_fn: Callable[[Any], str],
+    encode: Callable[[Any], Any] = lambda value: value,
+    decode: Callable[[Any], Any] = lambda value: value,
+) -> List[Any]:
+    """A :meth:`SweepExecutor.map` that skips checkpointed items.
+
+    Items whose ``key_fn`` is already in ``ckpt`` are restored via
+    ``decode`` without re-running; the rest go through ``executor`` and
+    each completion is durably recorded (``encode`` must produce a
+    JSON-serialisable value).  Results come back in ``items`` order,
+    restored and fresh interleaved.  ``ckpt=None`` degrades to a plain
+    map.
+    """
+    results: List[Any] = [None] * len(items)
+    pending: List[Any] = []
+    pending_indices: List[int] = []
+    for index, item in enumerate(items):
+        key = key_fn(item) if ckpt is not None else None
+        if ckpt is not None and key in ckpt:
+            results[index] = decode(ckpt.get(key))
+        else:
+            pending.append(item)
+            pending_indices.append(index)
+    on_item = None
+    if ckpt is not None:
+        def on_item(pending_index: int, value: Any) -> None:
+            ckpt.record(key_fn(pending[pending_index]), encode(value))
+    fresh = executor.map(fn, pending, on_item=on_item)
+    for index, value in zip(pending_indices, fresh):
+        results[index] = value
+    return results

@@ -1,0 +1,390 @@
+"""Write-ahead job journal: crash-safe durability for ``repro.serve``.
+
+An append-only JSONL file under the server's ``--state-dir``.  Every
+*admitted* job writes an ``admit`` record (spec + id + cache key) before
+the server acknowledges the submission, and a ``complete`` record (final
+status + canonical response text) when it resolves — both fsync'd, so a
+``kill -9`` loses at most a partially written trailing line, never an
+acknowledged job.  On restart the server replays the journal: completed
+jobs repopulate the result cache and the job table (``GET
+/v1/jobs/<id>`` survives process death), and admitted-but-unfinished
+jobs are re-executed under their original ids.  Because synthesis is
+deterministic, the replayed results are byte-identical to an
+uninterrupted run.
+
+Record shapes (one JSON object per line)::
+
+    {"event": "admit",    "id": "...", "key": "...", "spec": {...}, "seq": 1}
+    {"event": "complete", "id": "...", "status": "done", "ok": true,
+     "text": "...", "seq": 2}
+
+Torn writes are expected under ``kill -9``: :func:`load_records`
+silently drops a final line that does not parse, and
+:func:`audit_journal` (the :mod:`repro.check` integration) flags any
+*interior* corruption, duplicate terminal states or completes without a
+matching admit.
+
+Compaction (:meth:`JobJournal.compact`) runs on graceful drain: finished
+jobs collapse to one ``complete`` record (the admit is dropped — its
+only purpose was to survive a crash *before* completion), pending admits
+are kept verbatim, and the rewrite goes through a temp file + ``rename``
+so a crash mid-compaction leaves the old journal intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.check.report import CheckReport
+from repro.resilience.faults import fault_point
+
+#: Journal format version (embedded in every record).
+JOURNAL_VERSION = 1
+
+#: Terminal job statuses a ``complete`` record may carry.
+TERMINAL_STATUSES = ("done", "failed", "timeout", "cancelled")
+
+
+@dataclass
+class JournalEntry:
+    """Replay state of one journaled job."""
+
+    job_id: str
+    key: Optional[str] = None
+    spec: Optional[Dict[str, Any]] = None
+    timeout_s: Optional[float] = None
+    status: Optional[str] = None
+    ok: Optional[bool] = None
+    text: Optional[str] = None
+    error: Optional[Dict[str, str]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+
+@dataclass
+class JournalState:
+    """The outcome of replaying a journal."""
+
+    #: Jobs with a terminal ``complete`` record, in journal order.
+    completed: List[JournalEntry] = field(default_factory=list)
+    #: Jobs admitted but never completed (the crash window), in order.
+    pending: List[JournalEntry] = field(default_factory=list)
+    #: Records read (excluding a torn trailing line).
+    records: int = 0
+    #: Whether the final line was torn (dropped) by a crash.
+    torn_tail: bool = False
+
+
+def load_records(path: str) -> "tuple[List[Dict[str, Any]], bool]":
+    """All parseable records, plus whether a torn trailing line was dropped.
+
+    A torn *final* line is the expected signature of ``kill -9`` landing
+    mid-write and is silently dropped; an unparseable line anywhere else
+    is real corruption and raises ``ValueError``.
+    """
+    records: List[Dict[str, Any]] = []
+    torn = False
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+    except FileNotFoundError:
+        return [], False
+    # split("\n") on a well-formed journal yields a trailing "" element.
+    if lines and lines[-1] == "":
+        lines.pop()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                torn = True
+                break
+            raise ValueError(
+                f"{path}: corrupt journal record at line {index + 1}"
+            )
+        records.append(record)
+    return records, torn
+
+
+class JobJournal:
+    """Append-only, fsync'd JSONL journal of job admissions/completions."""
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = str(path)
+        self.fsync = fsync
+        self._seq = 0
+        self._handle = None
+        self.write_errors = 0
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def _open(self):
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record (write + flush + fsync).
+
+        Raises whatever the filesystem raises (and
+        :class:`~repro.resilience.faults.InjectedFault` under an armed
+        plan); callers decide whether durability errors are fatal.
+        """
+        fault_point("serve.journal.write")
+        self._seq += 1
+        payload = dict(record)
+        payload["seq"] = self._seq
+        payload["v"] = JOURNAL_VERSION
+        handle = self._open()
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def record_admit(
+        self,
+        job_id: str,
+        key: str,
+        spec: Mapping[str, Any],
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        self.append(
+            {
+                "event": "admit",
+                "id": job_id,
+                "key": key,
+                "spec": dict(spec),
+                "timeout_s": timeout_s,
+            }
+        )
+
+    def record_complete(
+        self,
+        job_id: str,
+        status: str,
+        ok: bool,
+        text: Optional[str],
+        key: Optional[str] = None,
+        error: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if status not in TERMINAL_STATUSES:
+            raise ValueError(f"not a terminal status: {status!r}")
+        self.append(
+            {
+                "event": "complete",
+                "id": job_id,
+                "status": status,
+                "ok": bool(ok),
+                "text": text,
+                "key": key,
+                "error": dict(error) if error else None,
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            handle, self._handle = self._handle, None
+            handle.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # replay / compaction
+    # ------------------------------------------------------------------
+    def replay(self) -> JournalState:
+        """Fold the journal into per-job terminal state, in journal order."""
+        records, torn = load_records(self.path)
+        entries: "Dict[str, JournalEntry]" = {}
+        order: List[str] = []
+        for record in records:
+            job_id = record.get("id")
+            if not isinstance(job_id, str):
+                continue
+            entry = entries.get(job_id)
+            if entry is None:
+                entry = entries[job_id] = JournalEntry(job_id=job_id)
+                order.append(job_id)
+            if record.get("event") == "admit":
+                entry.key = record.get("key")
+                entry.spec = record.get("spec")
+                entry.timeout_s = record.get("timeout_s")
+            elif record.get("event") == "complete":
+                entry.status = record.get("status")
+                entry.ok = record.get("ok")
+                entry.text = record.get("text")
+                entry.error = record.get("error")
+                if record.get("key") and not entry.key:
+                    entry.key = record.get("key")
+        state = JournalState(records=len(records), torn_tail=torn)
+        for job_id in order:
+            entry = entries[job_id]
+            if entry.terminal:
+                state.completed.append(entry)
+            elif entry.spec is not None:
+                state.pending.append(entry)
+        return state
+
+    def compact(self, keep: Optional[int] = None) -> JournalState:
+        """Rewrite the journal in its minimal form (run on graceful drain).
+
+        Finished jobs collapse to a single ``complete`` record, pending
+        admits survive verbatim; with ``keep``, only the most recent
+        ``keep`` finished jobs are retained (pending jobs always are).
+        Atomic: written to a temp file in the same directory, then
+        ``rename``d over the old journal.
+        """
+        state = self.replay()
+        self.close()
+        completed = state.completed
+        if keep is not None:
+            completed = completed[-keep:]
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".journal-compact-"
+        )
+        seq = 0
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                for entry in completed:
+                    seq += 1
+                    handle.write(
+                        json.dumps(
+                            {
+                                "event": "complete",
+                                "id": entry.job_id,
+                                "status": entry.status,
+                                "ok": entry.ok,
+                                "text": entry.text,
+                                "key": entry.key,
+                                "error": entry.error,
+                                "seq": seq,
+                                "v": JOURNAL_VERSION,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                for entry in state.pending:
+                    seq += 1
+                    handle.write(
+                        json.dumps(
+                            {
+                                "event": "admit",
+                                "id": entry.job_id,
+                                "key": entry.key,
+                                "spec": entry.spec,
+                                "timeout_s": entry.timeout_s,
+                                "seq": seq,
+                                "v": JOURNAL_VERSION,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._seq = seq
+        return state
+
+
+def audit_journal(path: str) -> CheckReport:
+    """Audit a journal file's internal consistency (:mod:`repro.check`).
+
+    Flags completes without a matching admit or embedded spec (an
+    unreplayable orphan), duplicate terminal states, non-terminal
+    statuses in ``complete`` records, successful completions without
+    response text, and interior (non-tail) corruption.
+    """
+    report = CheckReport(target=f"journal {path}")
+    report.ran("journal.parse")
+    report.ran("journal.lifecycle")
+    try:
+        records, torn = load_records(path)
+    except ValueError as error:
+        report.add("journal.corrupt", path, str(error))
+        return report
+    if torn:
+        # Expected after kill -9; recorded as a check, not a violation.
+        report.ran("journal.torn-tail-dropped")
+    admitted: Dict[str, int] = {}
+    completed: Dict[str, str] = {}
+    for index, record in enumerate(records, start=1):
+        event = record.get("event")
+        job_id = record.get("id")
+        subject = f"record {index}"
+        if event not in ("admit", "complete"):
+            report.add("journal.unknown-event", subject, f"event {event!r}")
+            continue
+        if not isinstance(job_id, str) or not job_id:
+            report.add("journal.missing-id", subject, "record has no job id")
+            continue
+        if event == "admit":
+            if job_id in admitted:
+                report.add(
+                    "journal.duplicate-admit",
+                    job_id,
+                    f"admitted again at record {index}",
+                )
+            if not isinstance(record.get("spec"), Mapping):
+                report.add(
+                    "journal.admit-without-spec",
+                    job_id,
+                    "admit record carries no job spec (unreplayable)",
+                )
+            admitted[job_id] = index
+        else:
+            status = record.get("status")
+            if status not in TERMINAL_STATUSES:
+                report.add(
+                    "journal.nonterminal-complete",
+                    job_id,
+                    f"complete record with status {status!r}",
+                )
+            if job_id in completed:
+                report.add(
+                    "journal.duplicate-complete",
+                    job_id,
+                    f"already terminal ({completed[job_id]}), "
+                    f"completed again at record {index}",
+                )
+            if job_id not in admitted and record.get("spec") is None:
+                # Compacted journals legitimately drop the admit; the
+                # complete record then stands alone and must be usable.
+                if status == "done" and not record.get("text"):
+                    report.add(
+                        "journal.orphan-complete",
+                        job_id,
+                        "complete without admit or response text",
+                    )
+            if status == "done" and not record.get("text"):
+                report.add(
+                    "journal.done-without-text",
+                    job_id,
+                    "successful completion carries no response text",
+                )
+            completed[job_id] = str(status)
+    return report

@@ -1,0 +1,137 @@
+"""Retry backoff and circuit breaking for clients of flaky dependencies.
+
+Two small, deterministic-when-seeded primitives shared by
+:class:`repro.serve.client.Client` and the resilience tests:
+
+* :class:`RetryPolicy` — capped exponential backoff with full jitter
+  (AWS-style: ``sleep = uniform(0, min(cap, base * 2**attempt))``).
+  Jitter is drawn from the policy's own ``random.Random(seed)`` stream,
+  so a seeded policy produces the identical delay sequence on every run
+  — which is what lets the chaos suite assert timing-dependent behavior
+  byte for byte.  A server-provided ``Retry-After`` hint overrides the
+  computed delay (never sleeps *less* than the server asked).
+
+* :class:`CircuitBreaker` — counts consecutive failures; at the
+  threshold the circuit *opens* and calls fail fast with
+  :class:`CircuitOpen` instead of hammering a dying dependency.  After
+  ``reset_s`` the circuit goes *half-open*: one probe call is allowed
+  through, success closes the circuit, failure reopens it.  Time is an
+  injectable callable (default :func:`time.monotonic`) so tests never
+  sleep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional
+
+
+class CircuitOpen(Exception):
+    """The circuit breaker is open; the call was not attempted."""
+
+    def __init__(self, failures: int, retry_in_s: float) -> None:
+        super().__init__(
+            f"circuit open after {failures} consecutive failures; "
+            f"probe allowed in {max(retry_in_s, 0.0):.3f}s"
+        )
+        self.failures = failures
+        self.retry_in_s = retry_in_s
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic full jitter."""
+
+    def __init__(
+        self,
+        retries: int = 3,
+        base_s: float = 0.05,
+        cap_s: float = 2.0,
+        multiplier: float = 2.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if base_s <= 0 or cap_s <= 0:
+            raise ValueError("base_s and cap_s must be positive")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        self.retries = retries
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.multiplier = multiplier
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int, floor_s: Optional[float] = None) -> float:
+        """Sleep before retry number ``attempt`` (0-based).
+
+        ``floor_s`` is a server hint (``Retry-After``): the returned
+        delay is never below it.
+        """
+        ceiling = min(self.cap_s, self.base_s * self.multiplier**attempt)
+        delay = self._rng.uniform(0.0, ceiling)
+        if floor_s is not None:
+            delay = max(delay, floor_s)
+        return delay
+
+    def delays(self, floor_s: Optional[float] = None):
+        """The full delay sequence for one call's retry budget."""
+        return [self.delay(attempt, floor_s) for attempt in range(self.retries)]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe state."""
+
+    def __init__(
+        self,
+        threshold: int = 8,
+        reset_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if reset_s < 0:
+            raise ValueError(f"reset_s must be >= 0, got {reset_s}")
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"open"`` | ``"half-open"``."""
+        if self.opened_at is None:
+            return "closed"
+        if self._clock() - self.opened_at >= self.reset_s:
+            return "half-open"
+        return "open"
+
+    def before_call(self) -> None:
+        """Gate one call; raises :class:`CircuitOpen` while open.
+
+        In the half-open state exactly one caller is admitted as the
+        probe; concurrent callers keep failing fast until the probe
+        reports back.
+        """
+        state = self.state
+        if state == "closed":
+            return
+        if state == "half-open" and not self._probing:
+            self._probing = True
+            return
+        assert self.opened_at is not None
+        retry_in = self.reset_s - (self._clock() - self.opened_at)
+        raise CircuitOpen(self.failures, retry_in)
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._probing = False
+        if self.failures >= self.threshold:
+            self.opened_at = self._clock()

@@ -9,7 +9,12 @@ Prometheus-compatible metrics and graceful drain.  See
 
 from repro.serve.app import ServeApp, ServeConfig, ServeHandle
 from repro.serve.cache import ResultCache
-from repro.serve.client import Backpressure, Client, ServiceError
+from repro.serve.client import (
+    Backpressure,
+    Client,
+    JobFailedError,
+    ServiceError,
+)
 from repro.serve.jobs import (
     JobSpecError,
     cache_key,
@@ -28,6 +33,7 @@ __all__ = [
     "Client",
     "ServiceError",
     "Backpressure",
+    "JobFailedError",
     "JobSpecError",
     "cache_key",
     "normalize_spec",

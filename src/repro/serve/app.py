@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import sys
 import threading
@@ -41,6 +42,14 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.perf import PerfCounters
+from repro.resilience.faults import (
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    arm,
+    fault_point,
+)
+from repro.resilience.journal import JobJournal
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpecError, cache_key, normalize_spec
@@ -52,6 +61,9 @@ from repro.serve.queue import (
     JobTimeout,
     QueueFull,
 )
+
+#: Journal file name inside ``--state-dir``.
+JOURNAL_FILENAME = "jobs.journal.jsonl"
 
 _REASONS = {
     200: "OK",
@@ -94,6 +106,13 @@ class ServeConfig:
     retry_after_s: float = 1.0
     job_history: int = 1024
     max_body_bytes: int = 8 * 1024 * 1024
+    #: Directory for crash-safe state (the write-ahead job journal).
+    #: ``None`` disables durability; see docs/ROBUSTNESS.md.
+    state_dir: Optional[str] = None
+    #: Fault-injection plan spec (``FaultPlan.parse`` spelling) armed for
+    #: the lifetime of the server — chaos-testing only.
+    faults: Optional[str] = None
+    fault_seed: int = 0
 
 
 class ServeApp:
@@ -121,6 +140,16 @@ class ServeApp:
             perf=self.perf,
             metrics=self.metrics,
         )
+        self.journal: Optional[JobJournal] = None
+        if config.state_dir:
+            self.journal = JobJournal(
+                os.path.join(config.state_dir, JOURNAL_FILENAME)
+            )
+        self.fault_plan: Optional[FaultPlan] = None
+        if config.faults:
+            self.fault_plan = FaultPlan.parse(
+                config.faults, seed=config.fault_seed
+            )
         self.draining = False
         self.started_monotonic: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -142,6 +171,11 @@ class ServeApp:
         m.describe("singleflight_followers", "Submissions coalesced onto an identical in-flight job.")
         m.describe("backpressure", "Submissions rejected with 429 (queue full).")
         m.describe("http_requests", "HTTP requests, by method/route/status.")
+        m.describe("journal_writes", "Write-ahead journal records fsync'd.")
+        m.describe("journal_errors", "Journal writes that failed (job still served).")
+        m.describe("recovered_jobs", "Jobs replayed from the journal at startup, by kind.")
+        m.describe("dispatch_errors", "Batches failed by a dispatch-loop error.")
+        m.describe("cache_put_errors", "Result-cache insertions that failed (result still served).")
         m.gauge("queue_depth", self.queue.depth)
         m.gauge("inflight", lambda: len(self.inflight))
         m.gauge("cache_entries", lambda: len(self.cache))
@@ -151,7 +185,16 @@ class ServeApp:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listener and start the dispatch loop."""
+        """Bind the listener and start the dispatch loop.
+
+        Journal replay runs first — recovered jobs are queued before the
+        batcher starts and before the listener port is announced, so by
+        the time a client can reconnect every previously admitted job is
+        either served from the journal or back in the pipeline.
+        """
+        if self.fault_plan is not None:
+            arm(self.fault_plan)
+        self._recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -181,6 +224,15 @@ class ServeApp:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.journal is not None:
+            if drain:
+                try:
+                    self.journal.compact(keep=self.config.job_history)
+                except Exception:
+                    self.metrics.incr("journal_errors")
+            self.journal.close()
+        if self.fault_plan is not None and active_plan() is self.fault_plan:
+            arm(None)
         if self._announce is not None:
             # The final snapshot an operator sees after SIGTERM.
             print(self.metrics.render(self.perf), file=self._announce, end="")
@@ -272,6 +324,7 @@ class ServeApp:
         Must run on the event-loop thread.
         """
         spec = normalize_spec(algorithm, body, verify=verify, trace=trace)
+        fault_point("serve.admit")
         key = cache_key(spec)
         loop = asyncio.get_running_loop()
         job = Job(
@@ -305,7 +358,25 @@ class ServeApp:
             raise
         self.inflight[key] = job
         job.arm_timeout(loop)
+        self._journal_admit(job)
         return job
+
+    def _journal_admit(self, job: Job) -> None:
+        """Write-ahead the admission of an execution leader.
+
+        Cache hits and single-flight followers never reach the journal:
+        they hold no work a crash could lose.  A failed journal write is
+        counted but does not fail the job — the server prefers availability
+        (the job runs, undurably) over refusing work it can still do.
+        """
+        if self.journal is None:
+            return
+        job.journaled = True
+        try:
+            self.journal.record_admit(job.id, job.key, job.spec, job.timeout_s)
+            self.metrics.incr("journal_writes")
+        except Exception:
+            self.metrics.incr("journal_errors")
 
     def _register(self, job: Job) -> None:
         self.jobs[job.id] = job
@@ -323,16 +394,110 @@ class ServeApp:
             if self.inflight.get(job.key) is job and job.status != "done":
                 if job.status in ("timeout", "cancelled"):
                     self.inflight.pop(job.key, None)
+            if self.journal is not None and job.journaled:
+                try:
+                    self.journal.record_complete(
+                        job.id,
+                        job.status,
+                        job.status == "done",
+                        job.response_text,
+                        key=job.key,
+                        error=job.error,
+                    )
+                    self.metrics.incr("journal_writes")
+                except Exception:
+                    self.metrics.incr("journal_errors")
 
         job.future.add_done_callback(_on_terminal)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal into the cache, job table and queue.
+
+        Completed jobs are resurrected as terminal :class:`Job` records
+        (their ``GET /v1/jobs/<id>`` answers survive the crash) and
+        successful results repopulate the cache.  Admitted-but-unfinished
+        jobs — the crash window — are re-queued under their original ids;
+        synthesis is deterministic, so the replayed results are
+        byte-identical to what the dead process would have produced.
+        """
+        if self.journal is None:
+            return
+        state = self.journal.replay()
+        loop = asyncio.get_running_loop()
+        for entry in state.completed:
+            if entry.job_id in self.jobs:
+                continue
+            job = Job(
+                entry.spec or {},
+                entry.key or "",
+                timeout_s=None,
+                loop=loop,
+                job_id=entry.job_id,
+            )
+            job.journaled = True
+            job.status = entry.status or "failed"
+            job.error = dict(entry.error) if entry.error else None
+            job.response_text = entry.text
+            job.started_monotonic = job.created_monotonic
+            job.finished_monotonic = job.created_monotonic
+            if entry.status == "done" and entry.text is not None:
+                job.future.set_result(entry.text)
+                if entry.key:
+                    self.cache.put(entry.key, entry.text)
+            else:
+                # Nothing awaits a resurrected failure; a cancelled
+                # future is silent on collection, an exception is not.
+                job.future.cancel()
+            self.jobs[job.id] = job
+            while len(self.jobs) > self.config.job_history:
+                self.jobs.popitem(last=False)
+            self.metrics.incr("recovered_jobs", kind="completed")
+        for entry in state.pending:
+            if entry.spec is None or entry.job_id in self.jobs:
+                continue
+            job = Job(
+                entry.spec,
+                entry.key or cache_key(entry.spec),
+                timeout_s=entry.timeout_s
+                if entry.timeout_s is not None
+                else self.config.default_timeout_s,
+                loop=loop,
+                job_id=entry.job_id,
+            )
+            self._register(job)
+            job.journaled = True  # its admit record is already on disk
+            self.metrics.incr("recovered_jobs", kind="pending")
+            cached = self.cache.get(job.key)
+            if cached is not None:
+                job.cache = "hit"
+                job.mark_running()
+                job.finish(True, cached)
+                continue
+            leader = self.inflight.get(job.key)
+            if leader is not None and not leader.terminal:
+                job.follow(leader)
+                continue
+            # Recovered work was admitted by the previous incarnation;
+            # it bypasses the admission bound rather than being dropped.
+            self.queue.requeue(job)
+            self.inflight[job.key] = job
+            job.arm_timeout(loop)
 
     def _resolve(self, job: Job, payload: Mapping[str, Any], text: str) -> None:
         """Batcher callback: publish a computed result (loop thread)."""
         ok = bool(payload.get("ok"))
         if ok:
             # Cache before resolving waiters so anything they trigger
-            # next already sees the entry.
-            self.cache.put(job.key, text)
+            # next already sees the entry.  A cache that cannot accept
+            # the entry costs future hits, never this job's result.
+            try:
+                fault_point("serve.cache.put")
+                self.cache.put(job.key, text)
+            except InjectedFault:
+                self.metrics.incr("cache_put_errors")
         if self.inflight.get(job.key) is job:
             self.inflight.pop(job.key, None)
         job.finish(ok, text, payload.get("error"))

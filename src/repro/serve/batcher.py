@@ -26,6 +26,7 @@ import asyncio
 from typing import Callable, List, Optional
 
 from repro.perf import PerfCounters
+from repro.resilience.faults import fault_point
 from repro.serve.jobs import execute_spec, response_text
 from repro.serve.metrics import Metrics
 from repro.serve.queue import Job, JobQueue
@@ -115,12 +116,32 @@ class MicroBatcher:
             self._busy = True
             try:
                 await self._dispatch(batch, loop)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # The dispatch loop must outlive any single bad batch
+                # (an injected fault, a bug in the executor): fail the
+                # batch's jobs and keep consuming the queue.
+                self._fail_batch(batch, error)
             finally:
                 self._busy = False
+
+    def _fail_batch(self, batch: List[Job], error: BaseException) -> None:
+        if self.metrics is not None:
+            self.metrics.incr("dispatch_errors")
+        payload = {
+            "ok": False,
+            "error": {"type": type(error).__name__, "message": str(error)},
+        }
+        text = response_text(payload)
+        for job in batch:
+            if not job.terminal:
+                self.resolve(job, payload, text)
 
     async def _dispatch(
         self, batch: List[Job], loop: asyncio.AbstractEventLoop
     ) -> None:
+        fault_point("serve.dispatch")
         # A job can die (timeout, cancel) between enqueue and dispatch;
         # it already resolved its waiters, so just drop it here.
         live = [job for job in batch if not job.terminal]

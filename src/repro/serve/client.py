@@ -5,16 +5,32 @@ A thin, dependency-free wrapper over :mod:`http.client` used by the
 tests.  It speaks the same JSON API documented in ``docs/SERVICE.md``
 and turns the service's error statuses into typed exceptions —
 notably :class:`Backpressure` for 429, which carries the server's
-``Retry-After`` hint so callers can implement polite backoff.
+``Retry-After`` hint so callers can implement polite backoff, and
+:class:`JobFailedError` when a polled job lands on a non-``done``
+terminal status.
+
+Resilience (see ``docs/ROBUSTNESS.md``) is opt-in and off by default:
+``Client(url, retries=N)`` retries connection-level failures (the
+server restarting under the client) and 429 backpressure through a
+:class:`~repro.resilience.retry.RetryPolicy` — capped exponential
+backoff with seeded jitter, never sleeping less than the server's
+``Retry-After`` hint.  An optional
+:class:`~repro.resilience.retry.CircuitBreaker` fails fast once the
+service has been unreachable repeatedly.  Retried submissions are safe:
+results are content-addressed, so a duplicate POST coalesces onto the
+cache or the in-flight single-flight leader instead of recomputing.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import urlencode, urlsplit
+
+from repro.resilience.retry import CircuitBreaker, RetryPolicy
 
 
 class ServiceError(Exception):
@@ -37,22 +53,71 @@ class Backpressure(ServiceError):
         self.retry_after = retry_after
 
 
+class JobFailedError(Exception):
+    """A polled job reached a terminal status other than ``done``.
+
+    Raised by :meth:`Client.wait_for`; carries the job description so
+    callers can inspect the failure instead of parsing payloads.
+    """
+
+    def __init__(self, job_id: str, job: Mapping[str, Any]) -> None:
+        error = job.get("error") or {}
+        super().__init__(
+            f"job {job_id} {job.get('status')}: "
+            f"{error.get('message', 'no error detail')}"
+        )
+        self.job_id = job_id
+        self.job = dict(job)
+        self.status = job.get("status")
+
+
 class Client:
     """Synchronous client for one service instance.
 
     >>> client = Client("http://127.0.0.1:8421")   # doctest: +SKIP
     >>> out = client.schedule(source="x := a + b") # doctest: +SKIP
     >>> out["result"]["length"]                    # doctest: +SKIP
+
+    ``retries`` enables resilience to connection failures and 429
+    backpressure (default off: every error surfaces immediately);
+    ``backoff`` overrides the default
+    :class:`~repro.resilience.retry.RetryPolicy`, ``breaker`` installs a
+    :class:`~repro.resilience.retry.CircuitBreaker` shared across calls,
+    and ``retry_seed`` makes the jitter stream deterministic for tests.
     """
 
-    def __init__(self, url: str, timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 120.0,
+        retries: int = 0,
+        backoff: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        retry_seed: Optional[int] = None,
+    ) -> None:
+        # urlsplit("localhost:8421") reads "localhost" as the *scheme*
+        # and "8421" as the path — normalise scheme-less spellings first.
+        if "://" not in url:
+            url = f"http://{url}"
         split = urlsplit(url)
-        if split.scheme not in ("http", ""):
+        if split.scheme != "http":
             raise ValueError(f"unsupported scheme {split.scheme!r}")
-        netloc = split.netloc or split.path  # allow "host:port" without scheme
-        self.host, _sep, port = netloc.partition(":")
-        self.port = int(port) if port else 80
+        if not split.hostname:
+            raise ValueError(f"no host in service url {url!r}")
+        self.host = split.hostname
+        self.port = split.port if split.port is not None else 80
         self.timeout = timeout
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = retries
+        self.backoff = (
+            backoff
+            if backoff is not None
+            else RetryPolicy(retries=retries, seed=retry_seed)
+        )
+        self.breaker = breaker
+        self._rng = random.Random(retry_seed)
+        self._sleep = time.sleep  # injectable for tests
 
     # ------------------------------------------------------------------
     def _request(
@@ -91,16 +156,46 @@ class Client:
             connection.close()
 
     def _checked(self, *args, **kwargs) -> Any:
-        status, headers, decoded = self._request(*args, **kwargs)
-        if status == 429:
+        """One API call through the retry budget and circuit breaker.
+
+        Connection-level failures (the server restarting under us) and
+        429 backpressure are retried up to ``retries`` times with capped
+        exponential backoff; a 429's ``Retry-After`` hint floors the
+        delay.  Definite answers — 400s, job failures, 5xx other than
+        load shedding — surface immediately: retrying them cannot help.
+        """
+        attempt = 0
+        while True:
+            if self.breaker is not None:
+                self.breaker.before_call()
             try:
-                retry_after = float(headers.get("retry-after", "1"))
-            except ValueError:
-                retry_after = 1.0
-            raise Backpressure(status, decoded, retry_after)
-        if status >= 400:
-            raise ServiceError(status, decoded)
-        return decoded
+                status, headers, decoded = self._request(*args, **kwargs)
+            except (OSError, http.client.HTTPException):
+                # Includes ConnectionRefusedError while the server is
+                # down between kill and journal-replay restart.
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if attempt >= self.retries:
+                    raise
+                self._sleep(self.backoff.delay(attempt))
+                attempt += 1
+                continue
+            if self.breaker is not None:
+                # Any HTTP answer means the dependency is alive.
+                self.breaker.record_success()
+            if status == 429:
+                try:
+                    retry_after = float(headers.get("retry-after", "1"))
+                except ValueError:
+                    retry_after = 1.0
+                if attempt < self.retries:
+                    self._sleep(self.backoff.delay(attempt, retry_after))
+                    attempt += 1
+                    continue
+                raise Backpressure(status, decoded, retry_after)
+            if status >= 400:
+                raise ServiceError(status, decoded)
+            return decoded
 
     # ------------------------------------------------------------------
     def _submit(
@@ -191,17 +286,36 @@ class Client:
         return self._checked("GET", f"/v1/jobs/{job_id}/result", raw=True)
 
     def wait_for(
-        self, job_id: str, timeout: float = 60.0, poll_s: float = 0.05
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_s: float = 0.05,
+        max_poll_s: float = 1.0,
+        raise_on_failure: bool = True,
     ) -> Dict[str, Any]:
-        """Poll a job submitted with ``wait=False`` until it is terminal."""
+        """Poll a job submitted with ``wait=False`` until it is terminal.
+
+        The poll interval starts at ``poll_s`` and doubles (with jitter)
+        up to ``max_poll_s``, so a short job is noticed quickly while a
+        long one is not hammered at 20 requests a second.  A job that
+        ends ``failed``/``timeout``/``cancelled`` raises
+        :class:`JobFailedError` (pass ``raise_on_failure=False`` for the
+        old return-the-payload behaviour).
+        """
         deadline = time.monotonic() + timeout
+        delay = poll_s
         while True:
             info = self.job(job_id)
-            if info["job"]["status"] not in ("queued", "running"):
+            status = info["job"]["status"]
+            if status not in ("queued", "running"):
+                if status != "done" and raise_on_failure:
+                    raise JobFailedError(job_id, info["job"])
                 return info
-            if time.monotonic() >= deadline:
-                raise TimeoutError(f"job {job_id} still {info['job']['status']}")
-            time.sleep(poll_s)
+            now = time.monotonic()
+            if now >= deadline:
+                raise TimeoutError(f"job {job_id} still {status}")
+            self._sleep(min(delay * self._rng.uniform(0.5, 1.0), deadline - now))
+            delay = min(delay * 2.0, max_poll_s)
 
     def healthz(self) -> Dict[str, Any]:
         """Service health (``GET /healthz``)."""

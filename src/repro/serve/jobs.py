@@ -36,6 +36,7 @@ from repro.dfg.ops import standard_operation_set
 from repro.dfg.parser import parse_behavior
 from repro.io.jsonio import dfg_from_json, dfg_to_json
 from repro.perf import PerfCounters
+from repro.resilience.faults import fault_point
 
 #: Algorithms the service can run.
 ALGORITHMS = ("mfs", "mfsa")
@@ -197,6 +198,7 @@ def execute_spec(
     """
     perf = PerfCounters()
     try:
+        fault_point("scheduler.run")
         payload = _execute(spec, perf)
     except Exception as error:
         payload = {

@@ -65,14 +65,21 @@ class Job:
         key: str,
         timeout_s: Optional[float] = None,
         loop: Optional[asyncio.AbstractEventLoop] = None,
+        job_id: Optional[str] = None,
     ) -> None:
         loop = loop or asyncio.get_running_loop()
-        self.id = f"j{next(_job_seq):05d}-{uuid.uuid4().hex[:8]}"
+        # ``job_id`` pins the identity across process death: journal
+        # replay resurrects jobs under their original ids so that
+        # ``GET /v1/jobs/<id>`` keeps answering after a restart.
+        self.id = job_id or f"j{next(_job_seq):05d}-{uuid.uuid4().hex[:8]}"
         self.spec = dict(spec)
         self.key = key
         self.timeout_s = timeout_s
         self.status = "queued"
         self.cache = "miss"  # "miss" | "hit" | "follower"
+        #: Whether this job has an ``admit`` record in the write-ahead
+        #: journal (execution leaders under ``--state-dir`` only).
+        self.journaled = False
         self.error: Optional[Dict[str, str]] = None
         self.response_text: Optional[str] = None
         self.created_monotonic = time.monotonic()
@@ -231,6 +238,16 @@ class JobQueue:
         depth = self.depth()
         if depth >= self.maxsize:
             raise QueueFull(depth, self.maxsize, retry_after)
+        self._items.append(job)
+        self._arrival.set()
+
+    def requeue(self, job: Job) -> None:
+        """Enqueue bypassing the bound (crash-recovery replay only).
+
+        Journal replay happens before the listener admits new work; the
+        recovered jobs were all admitted by a previous incarnation, so
+        refusing them now would drop acknowledged work.
+        """
         self._items.append(job)
         self._arrival.set()
 

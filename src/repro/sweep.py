@@ -20,11 +20,27 @@ keeping the *contract* of the serial loop:
   per-reason ``sweep.fallback.<reason>`` counter) and in
   :attr:`SweepExecutor.last_fallback_reason`, so a degraded deployment is
   visible in ``--perf`` output and the ``repro.serve`` ``/metrics``
-  endpoint instead of silently running at 1/N throughput.
+  endpoint instead of silently running at 1/N throughput;
+* **self-healing** — the process path submits *per-item* futures, so one
+  crashed worker no longer forces the whole map back to the serial loop.
+  A broken pool is rebuilt and the unfinished items are retried with a
+  bounded per-item budget (``item_retries``); an item that keeps killing
+  workers is *quarantined* — it alone degrades to an in-process run
+  (``sweep.quarantined`` / ``sweep.quarantine.<reason>`` counters,
+  :attr:`SweepExecutor.last_quarantine_reason`) while every healthy item
+  still runs in the pool.  The :mod:`repro.resilience` fault site
+  ``"sweep.submit"`` fires per submission, so seeded chaos tests can
+  perturb exactly this machinery.
 
 Workers must be module-level functions and payloads picklable; the
 callers in :mod:`repro.explore` and :mod:`repro.bench` define dedicated
 ``_*_worker`` functions for exactly this reason.
+
+Callers that need item-level progress (checkpointing, progress bars)
+pass ``on_item`` to :meth:`SweepExecutor.map`: it is invoked in the
+parent process as each item's result lands.  ``on_item`` must be
+idempotent per item — a whole-map serial fallback after a partial pool
+round replays every item.
 
 Long-lived callers (the :mod:`repro.serve` micro-batcher) can pass
 ``keep_pool=True`` to reuse one warm process pool across many ``map``
@@ -37,9 +53,10 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.perf import PerfCounters
+from repro.resilience.faults import InjectedFault, fault_point
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -87,12 +104,20 @@ class SweepExecutor:
         done; a broken pool is discarded and lazily rebuilt.
     """
 
-    #: Fallback reason codes (the ``sweep.fallback.<reason>`` counters).
+    #: Whole-map fallback reason codes (``sweep.fallback.<reason>``):
+    #: degradations where the pool never ran any item.
     FALLBACK_REASONS = (
         "payload-unpicklable",
         "pool-start",
+    )
+
+    #: Per-item quarantine reason codes (``sweep.quarantine.<reason>``):
+    #: one poison item degraded to the in-process loop, the rest of the
+    #: map kept its pool.
+    QUARANTINE_REASONS = (
         "worker-crash",
         "result-unpicklable",
+        "injected-fault",
     )
 
     def __init__(
@@ -101,6 +126,7 @@ class SweepExecutor:
         workers: Optional[int] = None,
         perf: Optional[PerfCounters] = None,
         keep_pool: bool = False,
+        item_retries: int = 2,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -108,13 +134,18 @@ class SweepExecutor:
             )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if item_retries < 0:
+            raise ValueError(f"item_retries must be >= 0, got {item_retries}")
         self.backend = backend
         self.workers = workers or default_workers()
         self.perf = perf
         self.keep_pool = keep_pool
-        #: Reason code of the most recent serial fallback (``None`` when
-        #: every map so far ran where it was asked to run).
+        self.item_retries = item_retries
+        #: Reason code of the most recent whole-map serial fallback
+        #: (``None`` when every map so far ran where it was asked to run).
         self.last_fallback_reason: Optional[str] = None
+        #: Reason code of the most recent poison-item quarantine.
+        self.last_quarantine_reason: Optional[str] = None
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -125,21 +156,36 @@ class SweepExecutor:
             return True
         return self.workers > 1 and n_items > 1
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        on_item: Optional[Callable[[int, R], None]] = None,
+    ) -> List[R]:
         """Apply ``fn`` to every item; results in item order.
 
         The process path requires ``fn`` to be a module-level function and
         the items/results to pickle; when they do not (checked up front
         for the items, so no half-finished pool is left behind), or when
         the pool itself cannot start, the serial loop runs instead.
+        Worker crashes mid-map heal at item granularity (see the module
+        docstring); only the crashing item leaves the pool.
+
+        ``on_item(index, result)`` is called in the parent as each item
+        completes — the checkpoint hook.  It must be idempotent per item.
         """
         items = list(items)
         if self.perf is None:
-            return self._map(fn, items)
+            return self._map(fn, items, on_item)
         with self.perf.timer("sweep.map"):
-            return self._map(fn, items)
+            return self._map(fn, items, on_item)
 
-    def _map(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
+    def _map(
+        self,
+        fn: Callable[[T], R],
+        items: List[T],
+        on_item: Optional[Callable[[int, R], None]] = None,
+    ) -> List[R]:
         if self.perf is not None:
             self.perf.incr("sweep.tasks", len(items))
         if self._use_processes(len(items)):
@@ -150,33 +196,136 @@ class SweepExecutor:
                 self._note_fallback("payload-unpicklable", pool_failed=False)
             else:
                 try:
-                    if self.keep_pool:
-                        return list(self._warm_pool().map(fn, items))
-                    with ProcessPoolExecutor(
-                        max_workers=min(self.workers, len(items))
-                    ) as pool:
-                        return list(pool.map(fn, items))
+                    return self._map_pool(fn, items, on_item)
                 except (OSError, PermissionError):
                     # Pool could not start (sandbox, no /dev/shm, …).
                     self._note_fallback("pool-start")
-                except BrokenExecutor:
-                    # A worker died mid-map (OOM-killed, segfaulted, …);
-                    # the workers are pure functions, so rerunning
-                    # everything serially is safe.
-                    self._note_fallback("worker-crash")
-                except pickle.PicklingError:
-                    # A *result* refused to pickle on the way back — the
-                    # up-front dumps() above only vets fn and the items.
-                    self._note_fallback("result-unpicklable")
-        return [fn(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            value = fn(item)
+            results.append(value)
+            if on_item is not None:
+                on_item(index, value)
+        return results
+
+    # -- self-healing process path --------------------------------------
+    def _map_pool(
+        self,
+        fn: Callable[[T], R],
+        items: List[T],
+        on_item: Optional[Callable[[int, R], None]],
+    ) -> List[R]:
+        """Per-item futures through the pool, healing crashes item-wise.
+
+        Fast path: one submission round over a shared pool, results
+        harvested in item order.  When a worker dies every pending future
+        fails with ``BrokenExecutor`` and the *culprit is unknown*, so
+        the healing path re-runs each unfinished item in its own
+        submission against a rebuilt pool — an innocent item simply
+        completes (it stays on the pool), while a poison item breaks the
+        pool again, exhausts its ``item_retries`` budget and is
+        quarantined to the in-process loop.  Raises ``OSError`` /
+        ``PermissionError`` to the caller only when the pool cannot
+        (re)start at all.
+        """
+        results: List[Optional[R]] = [None] * len(items)
+
+        def finish(index: int, value: R) -> None:
+            results[index] = value
+            if on_item is not None:
+                on_item(index, value)
+
+        unfinished: List[Tuple[int, str]] = []
+        pool = self._warm_pool()
+        pending: List[Tuple[int, object]] = []
+        broken = False
+        for index, item in enumerate(items):
+            if broken:
+                unfinished.append((index, "worker-crash"))
+                continue
+            try:
+                fault_point("sweep.submit")
+                pending.append((index, pool.submit(fn, item)))
+            except InjectedFault:
+                self._note_item_retry(index)
+                unfinished.append((index, "injected-fault"))
+            except BrokenExecutor:
+                unfinished.append((index, "worker-crash"))
+                broken = True
+        for index, future in pending:
+            try:
+                finish(index, future.result())
+            except BrokenExecutor:
+                unfinished.append((index, "worker-crash"))
+                broken = True
+            except pickle.PicklingError:
+                # Only this item's result refused the trip back.
+                finish(
+                    index,
+                    self._quarantine(fn, items[index], "result-unpicklable"),
+                )
+        if broken:
+            self._note_pool_break()
+        for index, reason in sorted(unfinished):
+            finish(index, self._heal_item(fn, items[index], index, reason))
+        if not self.keep_pool:
+            self.close()
+        return results  # type: ignore[return-value]
+
+    def _heal_item(
+        self, fn: Callable[[T], R], item: T, index: int, reason: str
+    ) -> R:
+        """Retry one unfinished item alone on the pool, else quarantine.
+
+        A solo submission attributes failure precisely: if the pool
+        breaks now, *this* item is the poison.
+        """
+        for _attempt in range(self.item_retries):
+            try:
+                fault_point("sweep.submit")
+                future = self._warm_pool().submit(fn, item)
+                return future.result()
+            except InjectedFault:
+                reason = "injected-fault"
+                self._note_item_retry(index)
+            except BrokenExecutor:
+                reason = "worker-crash"
+                self._note_pool_break()
+                self._note_item_retry(index)
+            except pickle.PicklingError:
+                reason = "result-unpicklable"
+                break
+        return self._quarantine(fn, item, reason)
+
+    def _quarantine(self, fn: Callable[[T], R], item: T, reason: str) -> R:
+        """Run one poison item in-process; the rest of the map keeps its
+        pool.  Exceptions ``fn`` raises here propagate, exactly as on the
+        serial backend."""
+        self.last_quarantine_reason = reason
+        if self.perf is not None:
+            self.perf.incr("sweep.quarantined")
+            self.perf.incr(f"sweep.quarantine.{reason}")
+        return fn(item)
+
+    def _note_item_retry(self, _index: int) -> None:
+        if self.perf is not None:
+            self.perf.incr("sweep.item_retries")
+
+    def _note_pool_break(self) -> None:
+        """A pool broke mid-map (worker OOM-killed, segfaulted, …)."""
+        self._discard_pool()
+        if self.perf is not None:
+            self.perf.incr("sweep.pool_failures")
 
     def _note_fallback(self, reason: str, pool_failed: bool = True) -> None:
-        """Record why a map degraded to the serial loop.
+        """Record why a whole map degraded to the serial loop.
 
         ``sweep.pool_failures`` keeps its historical meaning (a pool that
         started — or tried to start — and failed); ``sweep.serial_fallbacks``
-        counts every degradation including payloads that never reached a
-        pool, with ``sweep.fallback.<reason>`` attributing the cause.
+        counts every whole-map degradation including payloads that never
+        reached a pool, with ``sweep.fallback.<reason>`` attributing the
+        cause.  Item-level degradations are counted separately as
+        quarantines (see :meth:`_quarantine`).
         """
         self.last_fallback_reason = reason
         if pool_failed:

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the serve ResultCache.
+
+Strategy: drive a :class:`~repro.serve.cache.ResultCache` with random
+operation sequences (put/get/peek/clear) against a pure-Python model of
+an LRU map, then assert the cache's global invariants — the bound is
+never exceeded, eviction order is exactly least-recently-used, the
+hit/miss/eviction counters are conserved, and ``peek`` never disturbs
+recency.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.cache import ResultCache
+
+# A small key space forces collisions, hits and evictions to all occur.
+keys = st.sampled_from([f"k{i}" for i in range(8)])
+values = st.text(min_size=0, max_size=8)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, values),
+        st.tuples(st.just("get"), keys, st.just("")),
+        st.tuples(st.just("peek"), keys, st.just("")),
+        st.tuples(st.just("clear"), st.just(""), st.just("")),
+    ),
+    max_size=60,
+)
+
+RELAXED = settings(max_examples=120, deadline=None)
+
+
+class ModelLRU:
+    """Reference LRU: a plain dict ordered oldest-first by recency."""
+
+    def __init__(self, bound):
+        self.bound = bound
+        self.entries = {}  # insertion order == recency order (oldest first)
+        self.evicted = 0
+
+    def touch(self, key):
+        self.entries[key] = self.entries.pop(key)
+
+    def put(self, key, value):
+        self.entries.pop(key, None)
+        self.entries[key] = value
+        while len(self.entries) > self.bound:
+            oldest = next(iter(self.entries))
+            del self.entries[oldest]
+            self.evicted += 1
+
+
+def _run(cache, model, ops):
+    hits = misses = 0
+    for op, key, value in ops:
+        if op == "put":
+            cache.put(key, value)
+            model.put(key, value)
+        elif op == "get":
+            got = cache.get(key)
+            expected = model.entries.get(key)
+            assert got == expected
+            if expected is None:
+                misses += 1
+            else:
+                hits += 1
+                model.touch(key)
+        elif op == "peek":
+            assert cache.peek(key) == model.entries.get(key)
+        else:
+            cache.clear()
+            model.entries.clear()
+    return hits, misses
+
+
+@given(bound=st.integers(min_value=1, max_value=5), ops=operations)
+@RELAXED
+def test_cache_matches_lru_model(bound, ops):
+    cache = ResultCache(max_entries=bound)
+    model = ModelLRU(bound)
+    hits, misses = _run(cache, model, ops)
+
+    # contents and recency agree with the model after every sequence
+    assert len(cache) == len(model.entries)
+    for key, value in model.entries.items():
+        assert key in cache
+        assert cache.peek(key) == value
+
+    # the bound was never exceeded (checked terminally; put() enforces
+    # it synchronously so an interior violation would also surface here
+    # through the eviction count)
+    assert len(cache) <= bound
+
+    # counter conservation
+    assert cache.hits == hits
+    assert cache.misses == misses
+    assert cache.evictions == model.evicted
+
+
+@given(bound=st.integers(min_value=1, max_value=5), ops=operations)
+@RELAXED
+def test_eviction_order_is_least_recently_used(bound, ops):
+    cache = ResultCache(max_entries=bound)
+    model = ModelLRU(bound)
+    _run(cache, model, ops)
+    # one more put of a fresh key evicts exactly the model's oldest entry
+    survivors_before = list(model.entries)
+    cache.put("fresh-key", "v")
+    model.put("fresh-key", "v")
+    if len(survivors_before) == bound and "fresh-key" not in survivors_before:
+        evicted_key = survivors_before[0]
+        assert evicted_key not in cache
+    for key in model.entries:
+        assert key in cache
+
+
+@given(ops=operations)
+@RELAXED
+def test_peek_never_disturbs_recency(ops):
+    bound = 2
+    cache = ResultCache(max_entries=bound)
+    model = ModelLRU(bound)
+    _run(cache, model, ops)
+    hits, misses = cache.hits, cache.misses
+    # peek every key (present or not): counters and recency must not move
+    order_before = [key for key in model.entries if cache.peek(key) is not None]
+    for key in [f"k{i}" for i in range(8)]:
+        cache.peek(key)
+    assert (cache.hits, cache.misses) == (hits, misses)
+    # fill the cache with fresh keys; eviction order still matches the
+    # model, proving the peeks did not refresh anything
+    for index, _key in enumerate(order_before):
+        cache.put(f"fresh{index}", "v")
+        model.put(f"fresh{index}", "v")
+    assert set(model.entries) == {
+        key
+        for key in list(model.entries) + order_before
+        if key in cache
+    }
+
+
+@given(value=values)
+@RELAXED
+def test_put_overwrite_refreshes_recency(value):
+    cache = ResultCache(max_entries=2)
+    cache.put("a", "1")
+    cache.put("b", "2")
+    cache.put("a", value)  # overwrite refreshes recency of "a"
+    cache.put("c", "3")  # evicts "b", the least recently used
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.peek("a") == value
+
+
+def test_hit_rate_and_bound_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=0)
+    cache = ResultCache(max_entries=2)
+    assert cache.hit_rate() is None
+    cache.put("a", "1")
+    cache.get("a")
+    cache.get("missing")
+    assert cache.hit_rate() == 0.5

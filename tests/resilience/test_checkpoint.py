@@ -1,0 +1,193 @@
+"""Unit tests for SweepCheckpoint and resume_map."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.resilience.checkpoint import SweepCheckpoint, resume_map
+from repro.sweep import SweepExecutor
+
+
+def _path(tmp_path):
+    return str(tmp_path / "sweep.ckpt")
+
+
+def test_record_resume_and_idempotence(tmp_path):
+    path = _path(tmp_path)
+    with SweepCheckpoint(path, meta={"kind": "t"}) as ckpt:
+        ckpt.record("cs=6", {"area": 100})
+        ckpt.record("cs=6", {"area": 999})  # idempotent: first write wins
+        ckpt.record("cs=7", {"area": 90})
+        assert len(ckpt) == 2
+
+    resumed = SweepCheckpoint(path, meta={"kind": "t"})
+    assert not resumed.discarded_stale
+    assert "cs=6" in resumed and "cs=7" in resumed
+    assert resumed.get("cs=6") == {"area": 100}
+    assert resumed.get("cs=8", "absent") == "absent"
+
+
+def test_meta_mismatch_discards_stale_file(tmp_path):
+    path = _path(tmp_path)
+    with SweepCheckpoint(path, meta={"design": "abc"}) as ckpt:
+        ckpt.record("cs=6", 1)
+
+    fresh = SweepCheckpoint(path, meta={"design": "DIFFERENT"})
+    assert fresh.discarded_stale
+    assert len(fresh) == 0
+    assert not os.path.exists(path)  # stale file removed before reuse
+
+
+def test_torn_tail_dropped_on_load(tmp_path):
+    path = _path(tmp_path)
+    with SweepCheckpoint(path, meta={}) as ckpt:
+        ckpt.record("a", 1)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "b", "val')  # crash mid-write
+
+    resumed = SweepCheckpoint(path, meta={})
+    assert not resumed.discarded_stale
+    assert "a" in resumed and "b" not in resumed
+
+
+def test_interior_corruption_discards(tmp_path):
+    path = _path(tmp_path)
+    with SweepCheckpoint(path, meta={}) as ckpt:
+        ckpt.record("a", 1)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("garbage\n")
+        handle.write(json.dumps({"key": "b", "value": 2}) + "\n")
+
+    resumed = SweepCheckpoint(path, meta={})
+    assert resumed.discarded_stale
+    assert len(resumed) == 0
+
+
+def test_corrupt_header_discards(tmp_path):
+    path = _path(tmp_path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("not a header\n")
+    resumed = SweepCheckpoint(path, meta={})
+    assert resumed.discarded_stale
+    assert len(resumed) == 0
+
+
+def test_checkpoint_in_subdirectory(tmp_path):
+    path = str(tmp_path / "deep" / "nested" / "sweep.ckpt")
+    with SweepCheckpoint(path, meta={}) as ckpt:
+        ckpt.record("a", 1)
+    assert os.path.exists(path)
+
+
+# ---------------------------------------------------------------------------
+# resume_map
+# ---------------------------------------------------------------------------
+def _double(x):
+    return x * 2
+
+
+def test_resume_map_without_checkpoint_is_plain_map():
+    executor = SweepExecutor(backend="serial")
+    out = resume_map(executor, _double, [1, 2, 3], None, key_fn=str)
+    assert out == [2, 4, 6]
+
+
+def test_resume_map_records_and_skips(tmp_path):
+    path = _path(tmp_path)
+    calls = []
+
+    def tracked(x):
+        calls.append(x)
+        return x * 2
+
+    executor = SweepExecutor(backend="serial")
+    ckpt = SweepCheckpoint(path, meta={"kind": "t"})
+    try:
+        first = resume_map(executor, tracked, [1, 2, 3, 4], ckpt, key_fn=str)
+    finally:
+        ckpt.close()
+    assert first == [2, 4, 6, 8]
+    assert calls == [1, 2, 3, 4]
+
+    calls.clear()
+    ckpt = SweepCheckpoint(path, meta={"kind": "t"})
+    try:
+        second = resume_map(executor, tracked, [1, 2, 3, 4], ckpt, key_fn=str)
+    finally:
+        ckpt.close()
+    assert second == first
+    assert calls == []  # everything restored, nothing re-ran
+
+
+def test_resume_map_interleaves_restored_and_fresh(tmp_path):
+    path = _path(tmp_path)
+    executor = SweepExecutor(backend="serial")
+    ckpt = SweepCheckpoint(path, meta={})
+    ckpt.record("2", -4)  # pre-existing (distinguishable) value for item 2
+    calls = []
+
+    def tracked(x):
+        calls.append(x)
+        return x * 2
+
+    try:
+        out = resume_map(executor, tracked, [1, 2, 3], ckpt, key_fn=str)
+    finally:
+        ckpt.close()
+    assert out == [2, -4, 6]  # restored value used verbatim, order kept
+    assert calls == [1, 3]
+
+
+def test_resume_map_encode_decode_round_trip(tmp_path):
+    path = _path(tmp_path)
+    executor = SweepExecutor(backend="serial")
+
+    def to_pair(x):
+        return (x, x * 10)
+
+    encode = lambda pair: list(pair)
+    decode = lambda value: tuple(value)
+
+    ckpt = SweepCheckpoint(path, meta={})
+    try:
+        first = resume_map(
+            executor, to_pair, [1, 2], ckpt, key_fn=str,
+            encode=encode, decode=decode,
+        )
+    finally:
+        ckpt.close()
+
+    ckpt = SweepCheckpoint(path, meta={})
+    try:
+        second = resume_map(
+            executor, to_pair, [1, 2], ckpt, key_fn=str,
+            encode=encode, decode=decode,
+        )
+    finally:
+        ckpt.close()
+    assert first == second == [(1, 10), (2, 20)]
+    assert all(isinstance(pair, tuple) for pair in second)
+
+
+def test_resume_map_partial_checkpoint_completes(tmp_path):
+    # Simulate an interrupted sweep: keep only the header + first record.
+    path = _path(tmp_path)
+    executor = SweepExecutor(backend="serial")
+    ckpt = SweepCheckpoint(path, meta={})
+    try:
+        resume_map(executor, _double, [1, 2, 3], ckpt, key_fn=str)
+    finally:
+        ckpt.close()
+    lines = open(path).read().splitlines()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines[:2]) + "\n")
+
+    ckpt = SweepCheckpoint(path, meta={})
+    try:
+        assert len(ckpt) == 1
+        out = resume_map(executor, _double, [1, 2, 3], ckpt, key_fn=str)
+        assert len(ckpt) == 3  # the missing items were re-recorded
+    finally:
+        ckpt.close()
+    assert out == [2, 4, 6]

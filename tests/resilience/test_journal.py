@@ -1,0 +1,196 @@
+"""Unit tests for the write-ahead job journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.resilience.journal import (
+    JobJournal,
+    audit_journal,
+    load_records,
+)
+
+SPEC = {"algorithm": "mfsa", "design": {"source": "..."}, "params": {"cs": 6}}
+
+
+def _journal(tmp_path, name="jobs.journal.jsonl"):
+    return JobJournal(str(tmp_path / name), fsync=False)
+
+
+def test_admit_complete_replay(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record_admit("j1", "key1", SPEC, timeout_s=30.0)
+    journal.record_admit("j2", "key2", SPEC)
+    journal.record_complete("j1", "done", True, "RESULT", key="key1")
+    journal.close()
+
+    state = JobJournal(journal.path).replay()
+    assert state.records == 3
+    assert not state.torn_tail
+    assert [e.job_id for e in state.completed] == ["j1"]
+    assert [e.job_id for e in state.pending] == ["j2"]
+    done = state.completed[0]
+    assert done.status == "done" and done.ok is True
+    assert done.text == "RESULT" and done.key == "key1"
+    pending = state.pending[0]
+    assert pending.spec == SPEC and pending.key == "key2"
+    assert pending.timeout_s is None
+
+
+def test_torn_tail_is_dropped_silently(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record_admit("j1", "key1", SPEC)
+    journal.close()
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"event": "complete", "id": "j1", "status"')  # kill -9
+
+    records, torn = load_records(journal.path)
+    assert torn
+    assert len(records) == 1
+
+    state = JobJournal(journal.path).replay()
+    assert state.torn_tail
+    assert [e.job_id for e in state.pending] == ["j1"]
+
+
+def test_interior_corruption_raises(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record_admit("j1", "key1", SPEC)
+    journal.close()
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write("NOT JSON\n")
+        handle.write(
+            json.dumps({"event": "admit", "id": "j2", "spec": SPEC}) + "\n"
+        )
+    with pytest.raises(ValueError, match="corrupt journal record at line 2"):
+        load_records(journal.path)
+
+
+def test_missing_file_replays_empty(tmp_path):
+    state = _journal(tmp_path, "never-written.jsonl").replay()
+    assert state.records == 0
+    assert state.completed == [] and state.pending == []
+
+
+def test_nonterminal_complete_rejected(tmp_path):
+    journal = _journal(tmp_path)
+    with pytest.raises(ValueError, match="not a terminal status"):
+        journal.record_complete("j1", "running", False, None)
+
+
+def test_compact_collapses_finished_and_keeps_pending(tmp_path):
+    journal = _journal(tmp_path)
+    for index in range(3):
+        journal.record_admit(f"j{index}", f"key{index}", SPEC)
+    journal.record_complete("j0", "done", True, "R0", key="key0")
+    journal.record_complete("j1", "failed", False, None, key="key1",
+                            error={"type": "X", "message": "boom"})
+    state = journal.compact()
+    assert [e.job_id for e in state.completed] == ["j0", "j1"]
+    assert [e.job_id for e in state.pending] == ["j2"]
+
+    records, torn = load_records(journal.path)
+    assert not torn
+    # two single complete records + one verbatim pending admit
+    assert [r["event"] for r in records] == ["complete", "complete", "admit"]
+    assert records[2]["id"] == "j2" and records[2]["spec"] == SPEC
+
+    # the compacted journal replays to the same state
+    replayed = JobJournal(journal.path).replay()
+    assert [e.job_id for e in replayed.completed] == ["j0", "j1"]
+    assert replayed.completed[1].error == {"type": "X", "message": "boom"}
+    assert [e.job_id for e in replayed.pending] == ["j2"]
+
+
+def test_compact_keep_bounds_history(tmp_path):
+    journal = _journal(tmp_path)
+    for index in range(5):
+        journal.record_admit(f"j{index}", f"key{index}", SPEC)
+        journal.record_complete(f"j{index}", "done", True, f"R{index}")
+    state = journal.compact(keep=2)
+    assert len(state.completed) == 5  # replay state reports everything
+    records, _torn = load_records(journal.path)
+    assert [r["id"] for r in records] == ["j3", "j4"]  # most recent kept
+
+
+def test_append_seq_continues_after_compact(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record_admit("j1", "key1", SPEC)
+    journal.record_complete("j1", "done", True, "R")
+    journal.compact()
+    journal.record_admit("j2", "key2", SPEC)
+    records, _torn = load_records(journal.path)
+    assert records[-1]["seq"] > records[0]["seq"]
+
+
+def test_journal_write_fault_site(tmp_path):
+    journal = _journal(tmp_path)
+    plan = FaultPlan.parse("serve.journal.write:n=2")
+    with plan.armed():
+        journal.record_admit("j1", "key1", SPEC)
+        with pytest.raises(InjectedFault):
+            journal.record_complete("j1", "done", True, "R")
+    # the failed append left no partial record behind
+    records, torn = load_records(journal.path)
+    assert not torn
+    assert [r["event"] for r in records] == ["admit"]
+
+
+def test_audit_clean_journal(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record_admit("j1", "key1", SPEC)
+    journal.record_complete("j1", "done", True, "R")
+    journal.close()
+    report = audit_journal(journal.path)
+    assert report.ok, report.render()
+
+
+def test_audit_flags_duplicate_and_orphan(tmp_path):
+    path = str(tmp_path / "bad.jsonl")
+    rows = [
+        {"event": "admit", "id": "j1", "key": "k", "spec": SPEC},
+        {"event": "complete", "id": "j1", "status": "done", "ok": True,
+         "text": "R"},
+        {"event": "complete", "id": "j1", "status": "done", "ok": True,
+         "text": "R"},  # duplicate terminal
+        {"event": "complete", "id": "j9", "status": "done", "ok": True,
+         "text": None},  # orphan done without text
+        {"event": "admit", "id": "j2"},  # admit without spec
+        {"event": "complete", "id": "j2", "status": "running", "ok": False,
+         "text": None},  # non-terminal complete
+        {"event": "retrogress", "id": "j3"},  # unknown event
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+    report = audit_journal(path)
+    kinds = {v.code for v in report.violations}
+    assert "journal.duplicate-complete" in kinds
+    assert "journal.orphan-complete" in kinds
+    assert "journal.admit-without-spec" in kinds
+    assert "journal.nonterminal-complete" in kinds
+    assert "journal.unknown-event" in kinds
+
+
+def test_audit_interior_corruption_is_a_violation(tmp_path):
+    path = str(tmp_path / "corrupt.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("garbage\n")
+        handle.write(json.dumps({"event": "admit", "id": "j1",
+                                 "spec": SPEC}) + "\n")
+    report = audit_journal(path)
+    assert not report.ok
+    assert any(v.code == "journal.corrupt" for v in report.violations)
+
+
+def test_audit_tolerates_torn_tail(tmp_path):
+    journal = _journal(tmp_path)
+    journal.record_admit("j1", "key1", SPEC)
+    journal.close()
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"torn":')
+    report = audit_journal(journal.path)
+    assert report.ok, report.render()

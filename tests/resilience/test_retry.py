@@ -1,0 +1,121 @@
+"""Unit tests for RetryPolicy and CircuitBreaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.retry import CircuitBreaker, CircuitOpen, RetryPolicy
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+def test_seeded_policy_is_deterministic():
+    a = RetryPolicy(retries=6, seed=11)
+    b = RetryPolicy(retries=6, seed=11)
+    assert a.delays() == b.delays()
+
+
+def test_delays_respect_exponential_ceiling_and_cap():
+    policy = RetryPolicy(
+        retries=8, base_s=0.05, cap_s=2.0, multiplier=2.0, seed=3
+    )
+    for attempt in range(8):
+        ceiling = min(2.0, 0.05 * 2.0**attempt)
+        for _ in range(20):
+            delay = policy.delay(attempt)
+            assert 0.0 <= delay <= ceiling
+
+
+def test_retry_after_floor_wins():
+    policy = RetryPolicy(retries=3, base_s=0.01, cap_s=0.02, seed=0)
+    # the ceiling is 0.02s; a 1.5s Retry-After must still be honoured
+    assert policy.delay(0, floor_s=1.5) == 1.5
+    assert all(d >= 0.25 for d in policy.delays(floor_s=0.25))
+
+
+def test_delays_length_matches_budget():
+    assert len(RetryPolicy(retries=0).delays()) == 0
+    assert len(RetryPolicy(retries=4).delays()) == 4
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"retries": -1},
+        {"base_s": 0.0},
+        {"cap_s": -1.0},
+        {"multiplier": 0.5},
+    ],
+)
+def test_bad_policy_parameters_raise(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_opens_at_threshold_and_fails_fast():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, reset_s=5.0, clock=clock)
+    for _ in range(3):
+        breaker.before_call()
+        breaker.record_failure()
+    assert breaker.state == "open"
+    with pytest.raises(CircuitOpen) as err:
+        breaker.before_call()
+    assert err.value.failures == 3
+    assert err.value.retry_in_s == pytest.approx(5.0)
+
+
+def test_breaker_half_open_probe_then_close():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=2, reset_s=5.0, clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.now = 5.0
+    assert breaker.state == "half-open"
+    breaker.before_call()  # the single probe is admitted
+    with pytest.raises(CircuitOpen):
+        breaker.before_call()  # concurrent caller still fails fast
+    breaker.record_success()
+    assert breaker.state == "closed"
+    breaker.before_call()  # back to normal
+
+
+def test_breaker_probe_failure_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=2, reset_s=5.0, clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.now = 5.0
+    breaker.before_call()  # probe
+    breaker.record_failure()
+    assert breaker.state == "open"  # reopened from the probe's time
+    with pytest.raises(CircuitOpen):
+        breaker.before_call()
+    clock.now = 10.0
+    assert breaker.state == "half-open"
+
+
+def test_success_resets_consecutive_count():
+    breaker = CircuitBreaker(threshold=2, reset_s=5.0, clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # never two *consecutive* failures
+
+
+@pytest.mark.parametrize("kwargs", [{"threshold": 0}, {"reset_s": -1.0}])
+def test_bad_breaker_parameters_raise(kwargs):
+    with pytest.raises(ValueError):
+        CircuitBreaker(**kwargs)

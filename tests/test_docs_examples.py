@@ -19,6 +19,7 @@ DOCUMENTED = [
     "docs/TUTORIAL.md",
     "docs/TRACING.md",
     "docs/SERVICE.md",
+    "docs/ROBUSTNESS.md",
 ]
 
 _FENCE = re.compile(r"^```python\n(.*?)^```$", re.M | re.S)
@@ -44,3 +45,12 @@ def test_doc_snippets_execute(name, tmp_path, monkeypatch):
             pytest.fail(
                 f"{name} snippet {index} failed: {error!r}\n---\n{block}"
             )
+
+
+def test_robustness_doc_lists_every_fault_site():
+    """docs/ROBUSTNESS.md documents the full fault-site registry."""
+    from repro.resilience.faults import FAULT_SITES
+
+    text = (REPO / "docs/ROBUSTNESS.md").read_text()
+    for site in FAULT_SITES:
+        assert site in text, f"fault site {site!r} missing from ROBUSTNESS.md"

@@ -132,14 +132,22 @@ class TestSweepExecutor:
 
 # ---------------------------------------------------------------------------
 # Pool fault tolerance: crashed workers and unpicklable results must not
-# kill the sweep — the serial loop reruns every item.
+# kill the sweep — the poison item is quarantined to an in-process run
+# while every healthy item still goes through the pool.
 # ---------------------------------------------------------------------------
 def _die_in_pool_worker(x):
     """Crash hard when running inside a pool child (simulated OOM-kill);
-    compute normally in the main process (the serial fallback rerun)."""
+    compute normally in the main process (the quarantine rerun)."""
     if multiprocessing.parent_process() is not None:
         os._exit(1)
     return x + 10
+
+
+def _poison_seven_worker(x):
+    """Crash the pool child only for item 7; every other item is healthy."""
+    if x == 7 and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x * 2
 
 
 class _RefusesToPickle:
@@ -149,34 +157,50 @@ class _RefusesToPickle:
 
 def _unpicklable_result_in_pool(x):
     """Return a result the child cannot send back; compute normally in
-    the serial fallback."""
+    the quarantine rerun."""
     if multiprocessing.parent_process() is not None:
         return _RefusesToPickle()
     return x * 2
 
 
 class TestPoolFaultTolerance:
-    def test_worker_crash_falls_back_to_serial(self):
+    def test_worker_crash_quarantines_items(self):
         perf = PerfCounters()
         executor = SweepExecutor(backend="process", workers=2, perf=perf)
         result = executor.map(_die_in_pool_worker, [1, 2, 3])
         assert result == [11, 12, 13]
-        assert perf.get("sweep.pool_failures") == 1
-        # The degradation is attributed, not silent (serve /metrics and
-        # --perf surface these counters).
-        assert perf.get("sweep.serial_fallbacks") == 1
-        assert perf.get("sweep.fallback.worker-crash") == 1
-        assert executor.last_fallback_reason == "worker-crash"
+        # Every item kills its worker, so after the per-item retry budget
+        # all three end up quarantined — but the map never degrades to a
+        # whole-map serial fallback.
+        assert perf.get("sweep.quarantined") == 3
+        assert perf.get("sweep.quarantine.worker-crash") == 3
+        assert perf.get("sweep.pool_failures") >= 1
+        assert perf.get("sweep.serial_fallbacks") == 0
+        assert executor.last_quarantine_reason == "worker-crash"
+        assert executor.last_fallback_reason is None
 
-    def test_unpicklable_result_falls_back_to_serial(self):
+    def test_single_poison_item_quarantined_alone(self):
+        # The acceptance scenario: one poison item in a 16-item sweep
+        # degrades only itself; the other 15 run in the pool.
+        perf = PerfCounters()
+        executor = SweepExecutor(backend="process", workers=2, perf=perf)
+        result = executor.map(_poison_seven_worker, list(range(16)))
+        assert result == [x * 2 for x in range(16)]
+        assert perf.get("sweep.quarantined") == 1
+        assert perf.get("sweep.quarantine.worker-crash") == 1
+        assert perf.get("sweep.serial_fallbacks") == 0
+        assert executor.last_quarantine_reason == "worker-crash"
+
+    def test_unpicklable_result_quarantines_item(self):
         perf = PerfCounters()
         executor = SweepExecutor(backend="process", workers=2, perf=perf)
         result = executor.map(_unpicklable_result_in_pool, [2, 3])
         assert result == [4, 6]
-        assert perf.get("sweep.pool_failures") == 1
-        assert perf.get("sweep.serial_fallbacks") == 1
-        assert perf.get("sweep.fallback.result-unpicklable") == 1
-        assert executor.last_fallback_reason == "result-unpicklable"
+        # The pool survives — only the offending results re-ran in-process.
+        assert perf.get("sweep.quarantined") == 2
+        assert perf.get("sweep.quarantine.result-unpicklable") == 2
+        assert perf.get("sweep.serial_fallbacks") == 0
+        assert executor.last_quarantine_reason == "result-unpicklable"
 
     def test_unpicklable_payload_fallback_is_attributed(self):
         perf = PerfCounters()
@@ -232,11 +256,11 @@ class TestPersistentPool:
             backend="process", workers=2, keep_pool=True, perf=perf
         ) as executor:
             assert executor.map(_die_in_pool_worker, [1, 2]) == [11, 12]
-            assert perf.get("sweep.fallback.worker-crash") == 1
+            assert perf.get("sweep.quarantine.worker-crash") == 2
             # The broken pool was discarded; the next map gets a fresh one
             # and runs in processes again.
             assert executor.map(_square, [3, 4]) == [9, 16]
-            assert perf.get("sweep.serial_fallbacks") == 1
+            assert perf.get("sweep.serial_fallbacks") == 0
 
     def test_close_is_idempotent(self):
         executor = SweepExecutor(backend="serial", keep_pool=True)
