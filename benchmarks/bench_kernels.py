@@ -1,0 +1,243 @@
+"""Kernel-scaling harness: scalar vs vector MFS/MFSA, emits BENCH_core.json.
+
+Times both scheduling kernels (the pure-python scalar reference and the
+numpy bitmask-grid vector path, see :mod:`repro.core.kernel`) on seeded
+layered workloads of 100, 1 000 and 10 000 operations.  The time budget
+uses generous slack (``cs = critical_path + slack``): tall move-frame
+grids are exactly the regime where the candidate scan dominates and the
+vector kernel pays.
+
+Before any timing, every tier asserts the two kernels produce
+byte-identical schedules, costs and ALU labels — the numbers are only
+comparable because the designs are equal.  Timings are best-of-N around
+``scheduler.run()`` with the process-wide mux memo cleared per run, so
+both kernels start cache-cold.
+
+The 10k-op scalar rows are skipped by default (the scalar MFSA run is
+minutes of wall clock); ``--full`` measures them too.  Results land in
+the ``history`` list of ``BENCH_core.json`` as a ``kernel_scaling``
+entry; ``--smoke`` runs only the 100-op tier against a checked-in
+wall-clock budget (fail at 2x) and does not write the JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke
+    PYTHONPATH=src python benchmarks/bench_kernels.py --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from bench_record import append_entry
+
+from repro.allocation.mux import clear_mux_memo
+from repro.core import kernel as kernel_mod
+from repro.core.mfs import MFSScheduler
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.generators import layered_workload
+from repro.dfg.ops import standard_operation_set
+from repro.library.ncr import datapath_library
+
+SEED = 7
+
+#: (ops -> layers, width, slack).  slack is added to the critical path.
+#: The 10k tier uses modest slack (grid height drives cost for *both*
+#: kernels) and, by default, times the vector kernel only — the scalar
+#: rows there are minutes of wall clock and need ``--full``.
+TIERS = [
+    {"ops": 100, "layers": 5, "width": 20, "slack": 40, "repeat": 5},
+    {"ops": 1000, "layers": 25, "width": 40, "slack": 400, "repeat": 3},
+    {"ops": 10000, "layers": 50, "width": 200, "slack": 10, "repeat": 1,
+     "scalar_needs_full": True},
+]
+
+#: Smoke budget for one cache-cold vector-path (``auto``) MFSA run on
+#: the 100-op tier.  Measured ~21 ms on the reference box; CI fails the
+#: perf-smoke job only when the wall time regresses past 2x this budget,
+#: so noise and slower runners don't trip it but complexity regressions
+#: in the kernel do.
+SMOKE_BUDGET_MS = 150.0
+
+
+def best_of(fn, repeat):
+    best = float("inf")
+    for _ in range(repeat):
+        clear_mux_memo()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_tier(tier):
+    timing = TimingModel(ops=standard_operation_set())
+    dfg = layered_workload(
+        seed=SEED, layers=tier["layers"], width=tier["width"]
+    )
+    cs = critical_path_length(dfg, timing) + tier["slack"]
+    library = datapath_library()
+    return dfg, timing, library, cs
+
+
+def runners(dfg, timing, library, cs, kern):
+    # record_alternatives=False is the production fast path (alternative
+    # placements are only materialised for tracing); it also unlocks the
+    # vector kernel's zero-mux column pruning, the regime the speedup
+    # targets are defined in.
+    mfs = lambda: MFSScheduler(  # noqa: E731
+        dfg, timing, cs=cs, mode="time", kernel=kern,
+        record_alternatives=False,
+    ).run()
+    mfsa = lambda: MFSAScheduler(  # noqa: E731
+        dfg, timing, library, cs=cs, kernel=kern,
+        record_alternatives=False,
+    ).run()
+    return mfs, mfsa
+
+
+def assert_identical(a, b, what):
+    assert a.schedule.starts == b.schedule.starts, f"{what}: starts diverge"
+    assert a.trajectory == b.trajectory, f"{what}: trajectory diverges"
+
+
+def measure_tier(tier, full):
+    dfg, timing, library, cs = build_tier(tier)
+    do_scalar = full or not tier.get("scalar_needs_full")
+    row = {
+        "ops": len(dfg),
+        "layers": tier["layers"],
+        "width": tier["width"],
+        "cs": cs,
+        "repeat": tier["repeat"],
+    }
+
+    mfs_v, mfsa_v = runners(dfg, timing, library, cs, "vector")
+    if do_scalar:
+        mfs_s, mfsa_s = runners(dfg, timing, library, cs, "scalar")
+        # Equivalence guard before any timing.
+        clear_mux_memo()
+        vec = mfsa_v()
+        clear_mux_memo()
+        sca = mfsa_s()
+        assert_identical(vec, sca, f"MFSA @{len(dfg)} ops")
+        assert vec.cost == sca.cost
+        assert vec.alu_labels() == sca.alu_labels()
+        assert_identical(mfs_v(), mfs_s(), f"MFS @{len(dfg)} ops")
+
+    repeat = tier["repeat"]
+    row["mfs_vector_ms"] = round(best_of(mfs_v, repeat) * 1e3, 1)
+    row["mfsa_vector_ms"] = round(best_of(mfsa_v, repeat) * 1e3, 1)
+    if do_scalar:
+        scalar_mfs_s = best_of(mfs_s, repeat)
+        scalar_mfsa_s = best_of(mfsa_s, repeat)
+        row["mfs_scalar_ms"] = round(scalar_mfs_s * 1e3, 1)
+        row["mfsa_scalar_ms"] = round(scalar_mfsa_s * 1e3, 1)
+        row["mfs_speedup"] = round(
+            scalar_mfs_s * 1e3 / row["mfs_vector_ms"], 2
+        )
+        row["mfsa_speedup"] = round(
+            scalar_mfsa_s * 1e3 / row["mfsa_vector_ms"], 2
+        )
+        row["identical"] = True
+    else:
+        row["mfs_scalar_ms"] = None
+        row["mfsa_scalar_ms"] = None
+        row["mfs_speedup"] = None
+        row["mfsa_speedup"] = None
+        row["identical"] = None
+    return row
+
+
+def smoke():
+    tier = TIERS[0]
+    dfg, timing, library, cs = build_tier(tier)
+    clear_mux_memo()
+    start = time.perf_counter()
+    MFSAScheduler(
+        dfg, timing, library, cs=cs, record_alternatives=False
+    ).run()
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    ceiling = 2 * SMOKE_BUDGET_MS
+    kern = kernel_mod.resolve_kernel("auto", len(dfg))
+    if elapsed_ms > ceiling:
+        print(
+            f"FAIL: {len(dfg)}-op MFSA ({kern} kernel) took "
+            f"{elapsed_ms:.1f} ms, over 2x the {SMOKE_BUDGET_MS:.0f} ms "
+            "budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"smoke OK: {len(dfg)}-op MFSA ({kern} kernel) "
+        f"{elapsed_ms:.1f} ms <= {ceiling:.0f} ms ceiling"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI variant: 100-op tier only, assert the wall-clock budget "
+        "(2x headroom), do not write BENCH_core.json",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also measure the scalar kernel on the 10k-op tier "
+        "(minutes of wall clock)",
+    )
+    parser.add_argument(
+        "--label", default="vector-kernel",
+        help="history-entry label recorded in BENCH_core.json",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_core.json"),
+        help="output path (default: repo root BENCH_core.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+
+    if not kernel_mod.HAVE_NUMPY:
+        print("numpy not installed: no vector kernel to measure", file=sys.stderr)
+        return 1
+
+    tiers = []
+    for tier in TIERS:
+        row = measure_tier(tier, args.full)
+        tiers.append(row)
+        mfsa_x = row["mfsa_speedup"]
+        mfs_x = row["mfs_speedup"]
+        print(
+            f"{row['ops']:>6} ops (cs={row['cs']}): "
+            f"MFS scalar {row['mfs_scalar_ms']} ms, vector "
+            f"{row['mfs_vector_ms']} ms"
+            + (f" -> x{mfs_x}" if mfs_x else "")
+            + f"; MFSA scalar {row['mfsa_scalar_ms']} ms, vector "
+            f"{row['mfsa_vector_ms']} ms"
+            + (f" -> x{mfsa_x}" if mfsa_x else "")
+        )
+
+    entry = {
+        "seed": SEED,
+        "tiers": tiers,
+        "smoke_budget_ms": SMOKE_BUDGET_MS,
+        "label": args.label,
+    }
+    out = append_entry(entry, "kernel_scaling", Path(args.out))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

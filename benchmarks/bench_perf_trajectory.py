@@ -25,10 +25,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
+
+from bench_record import append_entry
 
 from repro.allocation.mux import clear_mux_memo
 from repro.bench.suites import EXAMPLES
@@ -187,15 +188,7 @@ def main(argv=None):
         print(f"smoke OK: {cached_s * 1e3:.2f} ms <= {SMOKE_CEILING_S * 1e3:.0f} ms ceiling")
         return 0
 
-    out = Path(args.out)
-    payload = {"schema": 1, "benchmark": "perf_trajectory", "history": []}
-    if out.exists():
-        try:
-            payload = json.loads(out.read_text())
-        except (OSError, ValueError):
-            pass
-    payload.setdefault("history", []).append(entry)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = append_entry(entry, "perf_trajectory", Path(args.out))
     print(f"wrote {out}")
     return 0
 

@@ -1,0 +1,113 @@
+"""Shared BENCH_core.json recording: one append path, one schema.
+
+Every benchmark harness in this directory appends one history entry per
+run to ``BENCH_core.json`` at the repo root.  Historically each harness
+hand-rolled the read-append-write dance, and the schema drifted: some
+entries carried a ``benchmark`` discriminator, some leaned on the
+file-level default, and the resilience entry had none at all.  This
+module is now the only append path — :func:`append_entry` stamps the
+``benchmark`` key and validates the entry before anything touches disk,
+and ``conftest.py`` re-validates the whole file at session start so a
+drifted checkout fails loudly in the benchmark suite.
+
+Schema (``schema: 1``): the file is an object with ``schema``,
+``benchmark`` (historical file-level default, kept for compatibility)
+and ``history``; every history entry is an object carrying at least a
+non-empty ``benchmark`` string (which suite produced it) and a
+non-empty ``label`` string (which PR/layer the measurement belongs to).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+#: Repo-root BENCH_core.json (this file lives in ``benchmarks/``).
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: Keys every history entry must carry, with the required type.
+REQUIRED_KEYS = {"benchmark": str, "label": str}
+
+
+class BenchSchemaError(ValueError):
+    """A BENCH_core.json entry (or the file) violates the schema."""
+
+
+def validate_entry(entry: Any, where: str = "entry") -> Dict[str, Any]:
+    """Validate one history entry; return it unchanged on success."""
+    if not isinstance(entry, dict):
+        raise BenchSchemaError(f"{where}: expected an object, got {type(entry).__name__}")
+    for key, kind in REQUIRED_KEYS.items():
+        value = entry.get(key)
+        if not isinstance(value, kind) or not value:
+            raise BenchSchemaError(
+                f"{where}: missing or empty required key {key!r} "
+                f"(expected non-empty {kind.__name__}, got {value!r})"
+            )
+    for key, value in entry.items():
+        if not isinstance(key, str):  # pragma: no cover - json keys are str
+            raise BenchSchemaError(f"{where}: non-string key {key!r}")
+        _validate_value(value, f"{where}.{key}")
+    return entry
+
+
+def _validate_value(value: Any, where: str) -> None:
+    """Entries must stay plain JSON scalars/lists/objects."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, list):
+        for index, item in enumerate(value):
+            _validate_value(item, f"{where}[{index}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _validate_value(item, f"{where}.{key}")
+        return
+    raise BenchSchemaError(f"{where}: unserialisable value {value!r}")
+
+
+def validate_history(payload: Any, where: str = "BENCH_core.json") -> List[Dict[str, Any]]:
+    """Validate the whole file payload; return the history list."""
+    if not isinstance(payload, dict):
+        raise BenchSchemaError(f"{where}: expected a top-level object")
+    if payload.get("schema") != 1:
+        raise BenchSchemaError(f"{where}: unknown schema {payload.get('schema')!r}")
+    history = payload.get("history")
+    if not isinstance(history, list):
+        raise BenchSchemaError(f"{where}: history must be a list")
+    for index, entry in enumerate(history):
+        validate_entry(entry, where=f"{where}.history[{index}]")
+    return history
+
+
+def load_payload(path: Path = DEFAULT_PATH) -> Dict[str, Any]:
+    """Read the file (or a fresh skeleton when absent/corrupt)."""
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "benchmark": "perf_trajectory",
+        "history": [],
+    }
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            pass
+    payload.setdefault("history", [])
+    return payload
+
+
+def append_entry(
+    entry: Dict[str, Any],
+    benchmark: str,
+    path: Path = DEFAULT_PATH,
+) -> Path:
+    """Stamp ``benchmark``, validate, append to ``history``, write."""
+    entry = dict(entry)
+    entry.setdefault("benchmark", benchmark)
+    validate_entry(entry, where=f"new {benchmark} entry")
+    payload = load_payload(path)
+    payload["history"].append(entry)
+    validate_history(payload, where=str(path))
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

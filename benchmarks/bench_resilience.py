@@ -27,12 +27,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import statistics
 import sys
 import tempfile
 import time
 from pathlib import Path
+
+from bench_record import append_entry
 
 from repro.resilience.retry import CircuitBreaker
 from repro.resilience.journal import JobJournal
@@ -173,15 +174,7 @@ def main() -> int:
         print("smoke OK: replay and overhead within ceilings")
         return 0
 
-    out = Path(args.out)
-    payload = {"schema": 1, "benchmark": "perf_trajectory", "history": []}
-    if out.exists():
-        try:
-            payload = json.loads(out.read_text())
-        except (OSError, ValueError):
-            pass
-    payload.setdefault("history", []).append(entry)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = append_entry(entry, "resilience", Path(args.out))
     print(f"wrote {out}")
     return 0
 

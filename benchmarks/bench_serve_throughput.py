@@ -7,7 +7,10 @@ and measures, over real sockets:
   submitted by concurrent clients, at ``max_batch`` 1 / 4 / 16.  At
   batch 1 every job runs serially in-process; larger batches fan out
   through the warm process pool, so the ratio is the measured gain of
-  micro-batched dispatch;
+  micro-batched dispatch.  A fourth run enables the cost-aware
+  :class:`~repro.serve.batcher.AdaptiveBatchPolicy` at the same
+  ``max_batch=16`` cap, showing what the EWMA-sized batches recover
+  when fixed-size batching does not pay;
 * **cache-hit latency** — round-trip time of a repeated submission
   (served from the content-addressed cache) against the cold run of the
   same job, giving the cache-hit speedup.
@@ -25,11 +28,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+
+from bench_record import append_entry
 
 from repro.serve import Client, ServeApp
 
@@ -49,13 +53,17 @@ def _sources(count):
     return [DESIGN.format(k=3 + i, k2=5 + i) for i in range(count)]
 
 
-def measure_throughput(jobs, clients, max_batch, cs):
+def measure_throughput(
+    jobs, clients, max_batch, cs, adaptive=False, target_batch_seconds=0.25
+):
     """Jobs/sec for ``jobs`` distinct MFSA submissions at one batch size."""
     app = ServeApp(
         port=0,
         max_batch=max_batch,
         batch_wait_ms=5.0,
         queue_size=max(64, jobs),
+        adaptive_batching=adaptive,
+        target_batch_seconds=target_batch_seconds,
     )
     handle = app.start_in_thread()
     try:
@@ -107,6 +115,14 @@ def measure_cache_hit(repeat, cs):
         handle.stop()
 
 
+#: Adaptive-policy batch budget for the benchmark fleet.  These MFSA
+#: jobs cost a few milliseconds each, so a 50 ms budget lets the policy
+#: coalesce them up to the cap (matching the best fixed configuration)
+#: while still collapsing to immediate dispatch for any job stream
+#: whose measured cost reaches tens of milliseconds.
+ADAPTIVE_TARGET_S = 0.05
+
+
 def measure(jobs, clients, repeat, cs=6):
     throughput = {}
     for max_batch in (1, 4, 16):
@@ -116,6 +132,17 @@ def measure(jobs, clients, repeat, cs=6):
             f"max_batch={max_batch:>2}: {jobs} jobs in {elapsed:.2f} s "
             f"({jps:.1f} jobs/s, {batches} batches)"
         )
+    # Cost-aware batching against the fixed max_batch=16 configuration:
+    # same cap, but the policy is free to shrink batches when the
+    # measured per-job cost says the window will not pay.
+    adaptive_jps, elapsed, batches = measure_throughput(
+        jobs, clients, 16, cs,
+        adaptive=True, target_batch_seconds=ADAPTIVE_TARGET_S,
+    )
+    print(
+        f"adaptive(16): {jobs} jobs in {elapsed:.2f} s "
+        f"({adaptive_jps:.1f} jobs/s, {batches} batches)"
+    )
     cold_s, hit_s = measure_cache_hit(repeat, cs)
     print(
         f"cache: cold {cold_s * 1e3:.2f} ms, hit {hit_s * 1e3:.3f} ms "
@@ -132,6 +159,9 @@ def measure(jobs, clients, repeat, cs=6):
         "batch4_jobs_per_s": round(throughput[4], 2),
         "batch16_jobs_per_s": round(throughput[16], 2),
         "batching_gain": round(throughput[16] / throughput[1], 2),
+        "adaptive_jobs_per_s": round(adaptive_jps, 2),
+        "adaptive_target_s": ADAPTIVE_TARGET_S,
+        "adaptive_gain": round(adaptive_jps / throughput[16], 2),
         "cold_ms": round(cold_s * 1e3, 3),
         "cache_hit_ms": round(hit_s * 1e3, 3),
         "cache_speedup": round(cold_s / hit_s, 1),
@@ -184,15 +214,7 @@ def main(argv=None):
         )
         return 0
 
-    out = Path(args.out)
-    payload = {"schema": 1, "benchmark": "perf_trajectory", "history": []}
-    if out.exists():
-        try:
-            payload = json.loads(out.read_text())
-        except (OSError, ValueError):
-            pass
-    payload.setdefault("history", []).append(entry)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = append_entry(entry, "serve_throughput", Path(args.out))
     print(f"wrote {out}")
     return 0
 

@@ -3,11 +3,61 @@
 Every benchmark prints the regenerated table/figure once per session, so
 ``pytest benchmarks/ --benchmark-only -s`` doubles as the paper-artifact
 regeneration command.  See EXPERIMENTS.md for the paper-vs-measured log.
+
+Two suite-wide policies also live here:
+
+* ``--runslow`` gates the expensive tiers (the 10k-op scalability
+  workloads are marked ``@pytest.mark.slow`` and skip by default);
+* ``BENCH_core.json`` is schema-validated once per session, so an entry
+  appended without the required ``benchmark``/``label`` keys fails the
+  suite instead of silently drifting (see ``bench_record.py``).
 """
+
+import json
+import sys
+from pathlib import Path
 
 import pytest
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_record  # noqa: E402  (needs the path tweak above)
+
 _printed = set()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run benchmarks marked slow (10k-op scalability tiers)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: expensive benchmark tier, needs --runslow"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def validate_bench_history():
+    """Fail the session if BENCH_core.json has drifted off-schema."""
+    path = bench_record.DEFAULT_PATH
+    if path.exists():
+        bench_record.validate_history(
+            json.loads(path.read_text()), where=str(path)
+        )
 
 
 @pytest.fixture

@@ -105,23 +105,89 @@ def optimize_mux_inputs(operands: Sequence[MuxOperand]) -> MuxAssignment:
             l1.add(item.left)
             l2.add(item.right)
 
-    # Fixpoint improvement: re-orient while the total size shrinks.
-    for _sweep in range(len(commutatives) + 1):
-        changed = False
+    # Fixpoint improvement: re-orient while the total size shrinks.  Flip
+    # trials keep reference counts of each side's signals instead of
+    # rebuilding both sets from scratch — O(1) per trial, same decisions
+    # (a signal is "in the list" iff its count is positive), hence the
+    # same assignment.  Duplicate op ids share one ``swapped`` flag, which
+    # the counting trial cannot express — such (malformed but accepted)
+    # inputs keep the rebuild loop.
+    unique_ops = len({item.op for item in commutatives}) == len(commutatives)
+    if unique_ops:
+        counts1: Dict[str, int] = {}
+        counts2: Dict[str, int] = {}
+        for signal in fixed_l1:
+            counts1[signal] = counts1.get(signal, 0) + 1
+        for signal in fixed_l2:
+            counts2[signal] = counts2.get(signal, 0) + 1
         for item in commutatives:
-            current = swapped[item.op]
-            sizes = {}
-            for orientation in (False, True):
-                swapped[item.op] = orientation
-                trial_l1, trial_l2 = _build_lists(
-                    fixed_l1, fixed_l2, commutatives, swapped
+            into1, into2 = (
+                (item.right, item.left)
+                if swapped[item.op]
+                else (item.left, item.right)
+            )
+            counts1[into1] = counts1.get(into1, 0) + 1
+            counts2[into2] = counts2.get(into2, 0) + 1
+
+        get1, get2 = counts1.get, counts2.get
+        for _sweep in range(len(commutatives) + 1):
+            changed = False
+            for item in commutatives:
+                current = swapped[item.op]
+                if current:
+                    into1, into2 = item.right, item.left
+                else:
+                    into1, into2 = item.left, item.right
+                # Flip trial as a size delta: drop into1/into2 from their
+                # sides, add them to the opposite ones.
+                delta = 0
+                count = counts1[into1] - 1
+                counts1[into1] = count
+                if count == 0:
+                    delta -= 1
+                count = get1(into2, 0) + 1
+                counts1[into2] = count
+                if count == 1:
+                    delta += 1
+                count = counts2[into2] - 1
+                counts2[into2] = count
+                if count == 0:
+                    delta -= 1
+                count = get2(into1, 0) + 1
+                counts2[into1] = count
+                if count == 1:
+                    delta += 1
+                if delta < 0:
+                    swapped[item.op] = not current
+                    changed = True
+                else:
+                    counts1[into2] -= 1
+                    counts1[into1] += 1
+                    counts2[into1] -= 1
+                    counts2[into2] += 1
+            if not changed:
+                break
+    else:  # pragma: no cover - duplicate op ids
+        for _sweep in range(len(commutatives) + 1):
+            changed = False
+            for item in commutatives:
+                current = swapped[item.op]
+                sizes = {}
+                for orientation in (False, True):
+                    swapped[item.op] = orientation
+                    trial_l1, trial_l2 = _build_lists(
+                        fixed_l1, fixed_l2, commutatives, swapped
+                    )
+                    sizes[orientation] = len(trial_l1) + len(trial_l2)
+                best = (
+                    current
+                    if sizes[current] <= sizes[not current]
+                    else not current
                 )
-                sizes[orientation] = len(trial_l1) + len(trial_l2)
-            best = current if sizes[current] <= sizes[not current] else not current
-            swapped[item.op] = best
-            changed = changed or best != current
-        if not changed:
-            break
+                swapped[item.op] = best
+                changed = changed or best != current
+            if not changed:
+                break
 
     l1, l2 = _build_lists(fixed_l1, fixed_l2, commutatives, swapped)
     return MuxAssignment(l1=tuple(sorted(l1)), l2=tuple(sorted(l2)), swapped=swapped)
@@ -213,6 +279,149 @@ def cached_mux_input_sizes(
             tuple(assignment.swapped.get(item.op, False) for item in operands),
         )
     return len(assignment.l1), len(assignment.l2)
+
+
+def _optimize_canonical(
+    key: tuple,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[bool, ...]]:
+    """:func:`optimize_mux_inputs` run directly on a canonical key.
+
+    The key's ``(left, right, commutative)`` triples are a bijective
+    renaming of the real operand signals, and the optimiser touches
+    signals only through equality — so running it on the integer ids
+    reproduces the exact orientations and list *contents* (as ids) of
+    the real-name run, without ever materialising operand objects.
+    Returns the memo-entry triple ``(sorted L1 ids, sorted L2 ids,
+    per-operand swap pattern)``.  Keys come from :func:`_canonical_form`
+    (or an incremental equivalent), which already rejects duplicate op
+    ids, so the swap pattern is positional.
+    """
+    fixed1: List[int] = []
+    fixed2: List[int] = []
+    pairs: List[Tuple[int, int]] = []
+    commutative_at: List[int] = []
+    n = 0
+    for position, (left, right, commutative) in enumerate(key):
+        if left >= n:
+            n = left + 1
+        if right is not None and right >= n:
+            n = right + 1
+        if commutative and right is not None:
+            commutative_at.append(position)
+            pairs.append((left, right))
+        else:
+            fixed1.append(left)
+            if right is not None:
+                fixed2.append(right)
+
+    # Constructive pass on membership bitmaps.
+    in1 = bytearray(n)
+    in2 = bytearray(n)
+    for i in fixed1:
+        in1[i] = 1
+    for i in fixed2:
+        in2[i] = 1
+    flips: List[bool] = []
+    for left, right in pairs:
+        straight = (not in1[left]) + (not in2[right])
+        flipped = (not in1[right]) + (not in2[left])
+        flip = flipped < straight
+        flips.append(flip)
+        if flip:
+            in1[right] = 1
+            in2[left] = 1
+        else:
+            in1[left] = 1
+            in2[right] = 1
+
+    # Fixpoint sweeps on flat reference-count arrays (same trials and
+    # tie-breaks as the dict-based loop in :func:`optimize_mux_inputs`).
+    counts1 = [0] * n
+    counts2 = [0] * n
+    for i in set(fixed1):
+        counts1[i] += 1
+    for i in set(fixed2):
+        counts2[i] += 1
+    for (left, right), flip in zip(pairs, flips):
+        if flip:
+            counts1[right] += 1
+            counts2[left] += 1
+        else:
+            counts1[left] += 1
+            counts2[right] += 1
+    for _sweep in range(len(pairs) + 1):
+        changed = False
+        for index, (left, right) in enumerate(pairs):
+            if flips[index]:
+                into1, into2 = right, left
+            else:
+                into1, into2 = left, right
+            delta = 0
+            count = counts1[into1] - 1
+            counts1[into1] = count
+            if count == 0:
+                delta -= 1
+            count = counts1[into2] + 1
+            counts1[into2] = count
+            if count == 1:
+                delta += 1
+            count = counts2[into2] - 1
+            counts2[into2] = count
+            if count == 0:
+                delta -= 1
+            count = counts2[into1] + 1
+            counts2[into1] = count
+            if count == 1:
+                delta += 1
+            if delta < 0:
+                flips[index] = not flips[index]
+                changed = True
+            else:
+                counts1[into2] -= 1
+                counts1[into1] += 1
+                counts2[into1] -= 1
+                counts2[into2] += 1
+        if not changed:
+            break
+
+    l1 = set(fixed1)
+    l2 = set(fixed2)
+    for (left, right), flip in zip(pairs, flips):
+        if flip:
+            l1.add(right)
+            l2.add(left)
+        else:
+            l1.add(left)
+            l2.add(right)
+    pattern = [False] * len(key)
+    for position, flip in zip(commutative_at, flips):
+        pattern[position] = flip
+    return tuple(sorted(l1)), tuple(sorted(l2)), tuple(pattern)
+
+
+def cached_mux_sizes_for_key(key, perf=None):
+    """Memo probe with a caller-built canonical key.
+
+    For callers that maintain the canonical form *incrementally* (the
+    MFSA allocation state extends one committed prefix per ALU instance
+    by the candidate operand in O(1)) instead of re-deriving it with
+    :func:`_canonical_form` on every probe.  The key MUST equal
+    ``_canonical_form(operands)[0]`` — first-occurrence indices in
+    operand order — so entries interoperate with the other cached
+    entry points.  Misses run the optimiser on the key's integer
+    triples directly; real operand names are never needed.
+    """
+    hit = _CANON_CACHE.get(key)
+    if hit is not None:
+        if perf is not None:
+            perf.incr("mux.canon_hits")
+        return len(hit[0]), len(hit[1])
+    if perf is not None:
+        perf.incr("mux.canon_misses")
+    entry = _optimize_canonical(key)
+    if len(_CANON_CACHE) < _CANON_CACHE_MAX:
+        _CANON_CACHE[key] = entry
+    return len(entry[0]), len(entry[1])
 
 
 def cached_optimize_mux_inputs(

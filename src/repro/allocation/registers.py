@@ -10,7 +10,9 @@ maximum number of simultaneously live values.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from sys import maxsize
 from typing import Dict, Iterable, List, Tuple
 
 from repro.allocation.lifetimes import Lifetime
@@ -54,14 +56,21 @@ def left_edge_allocate(lifetimes: Iterable[Lifetime]) -> RegisterAllocation:
     )
     tracks: List[List[Lifetime]] = []
     assignment: Dict[str, int] = {}
+    # Births arrive in ascending order, so a track's members are disjoint
+    # and birth-sorted and only its last member (the one with the maximum
+    # death) can still conflict with a new lifetime: first-fit is one
+    # integer comparison per track instead of a full member scan.
+    last_death: List[int] = []
     for life in pending:
-        for index, track in enumerate(tracks):
-            if all(not life.overlaps(other) for other in track):
-                track.append(life)
+        for index, death in enumerate(last_death):
+            if death <= life.birth:
+                tracks[index].append(life)
+                last_death[index] = life.death
                 assignment[life.value] = index
                 break
         else:
             tracks.append([life])
+            last_death.append(life.death)
             assignment[life.value] = len(tracks) - 1
     return RegisterAllocation(
         count=len(tracks), assignment=assignment, tracks=tracks
@@ -99,11 +108,38 @@ class IncrementalRegisterEstimator:
     def __init__(self) -> None:
         self._tracks: List[List[Lifetime]] = []
         self._known: Dict[str, Lifetime] = {}
+        # Per-track interval index: (births, deaths), both sorted by birth
+        # (disjointness makes that order also death order).  Backs the
+        # O(log) availability probes of the vector kernel's batched f_REG.
+        self._index: List[Tuple[List[int], List[int]]] = []
 
     @property
     def count(self) -> int:
         """Registers allocated so far."""
         return len(self._tracks)
+
+    def is_known(self, value: str) -> bool:
+        """Whether a signal already has committed storage."""
+        return value in self._known
+
+    def track_thresholds(self, birth: int) -> List[int]:
+        """Per-track death ceilings for a candidate lifetime born at ``birth``.
+
+        A committed member conflicts with the candidate iff its death
+        exceeds ``birth`` and its birth precedes the candidate's death;
+        members of one track are pairwise disjoint, so the first member
+        dying after ``birth`` carries the smallest qualifying birth.  The
+        candidate therefore fits track ``t`` iff its death is at most the
+        returned ``τ_t`` (``sys.maxsize`` when nothing in the track can
+        conflict).  This turns :meth:`cost_of` availability into one
+        integer comparison per (track, candidate-step) — the vector
+        kernel broadcasts it over whole move frames.
+        """
+        out: List[int] = []
+        for births, deaths in self._index:
+            idx = bisect_right(deaths, birth)
+            out.append(births[idx] if idx < len(births) else maxsize)
+        return out
 
     def cost_of(self, lifetimes: Iterable[Lifetime]) -> int:
         """New registers the given lifetimes would require (no commit).
@@ -143,14 +179,25 @@ class IncrementalRegisterEstimator:
         return added
 
     def commit(self, lifetimes: Iterable[Lifetime]) -> None:
-        """Permanently record the lifetimes."""
+        """Permanently record the lifetimes.
+
+        First-fit through the sorted interval index: the lifetime fits a
+        track iff its death stays at or below the track's threshold (see
+        :meth:`track_thresholds`) — O(log members) per track instead of
+        an overlap scan of every member.
+        """
         for life in lifetimes:
             if not life.needs_register or life.value in self._known:
                 continue
             self._known[life.value] = life
-            for track in self._tracks:
-                if all(not life.overlaps(other) for other in track):
-                    track.append(life)
+            birth, death = life.birth, life.death
+            for index, (births, deaths) in enumerate(self._index):
+                pos = bisect_right(deaths, birth)
+                if pos == len(births) or death <= births[pos]:
+                    self._tracks[index].append(life)
+                    births.insert(pos, birth)
+                    deaths.insert(pos, death)
                     break
             else:
                 self._tracks.append([life])
+                self._index.append(([birth], [death]))

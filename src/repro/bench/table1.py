@@ -15,7 +15,7 @@ from repro.dfg.ops import OP_SYMBOLS, standard_operation_set
 from repro.core.mfs import MFSResult, MFSScheduler
 from repro.perf import PerfCounters
 from repro.resilience.checkpoint import resume_map
-from repro.sweep import SweepExecutor
+from repro.sweep import SweepExecutor, worker_cached
 from repro.bench.suites import EXAMPLES, ExampleSpec, Table1Case
 
 
@@ -64,8 +64,15 @@ def run_case(
 ) -> MFSResult:
     """Run MFS for one Table-1 cell."""
     dfg = spec.build()
-    ops = standard_operation_set(mul_latency=case.mul_latency)
-    timing = TimingModel(ops=ops, clock_period_ns=case.clock_ns)
+    # Per-worker cached: a pool worker running several cells with the
+    # same (mul_latency, clock) builds the timing model once.
+    timing = worker_cached(
+        ("table1.timing", case.mul_latency, case.clock_ns),
+        lambda: TimingModel(
+            ops=standard_operation_set(mul_latency=case.mul_latency),
+            clock_period_ns=case.clock_ns,
+        ),
+    )
     scheduler = MFSScheduler(
         dfg,
         timing,

@@ -21,7 +21,7 @@ from repro.library.ncr import datapath_library
 from repro.core.mfsa import MFSAResult, MFSAScheduler
 from repro.perf import PerfCounters
 from repro.resilience.checkpoint import resume_map
-from repro.sweep import SweepExecutor
+from repro.sweep import SweepExecutor, worker_cached, worker_context
 from repro.bench.suites import EXAMPLES, ExampleSpec
 
 
@@ -59,8 +59,15 @@ def run_example(
 ) -> MFSAResult:
     """Run MFSA for one Table-2 row."""
     dfg = spec.build()
-    ops = standard_operation_set(mul_latency=spec.mfsa_mul_latency)
-    timing = TimingModel(ops=ops, clock_period_ns=spec.mfsa_clock_ns)
+    # Per-worker cached: a pool worker regenerating several rows with the
+    # same (mul_latency, clock) builds the timing model once.
+    timing = worker_cached(
+        ("table2.timing", spec.mfsa_mul_latency, spec.mfsa_clock_ns),
+        lambda: TimingModel(
+            ops=standard_operation_set(mul_latency=spec.mfsa_mul_latency),
+            clock_period_ns=spec.mfsa_clock_ns,
+        ),
+    )
     scheduler = MFSAScheduler(
         dfg,
         timing,
@@ -74,10 +81,14 @@ def run_example(
 
 
 def _row_worker(payload) -> Table2Row:
-    """One Table-2 row (module-level so process pools can pickle it)."""
-    key, style, library = payload
+    """One Table-2 row (module-level so process pools can pickle it).
+
+    The cell library rides in the executor's shared worker context, so
+    the per-row payload is just ``(example key, style)``.
+    """
+    key, style = payload
     spec = EXAMPLES[key]
-    result = run_example(spec, style, library)
+    result = run_example(spec, style, worker_context())
     datapath = result.datapath
     return Table2Row(
         example=key,
@@ -110,7 +121,7 @@ def table2_rows(
     library = library or datapath_library()
     wanted = set(keys) if keys is not None else None
     payloads = [
-        (key, style, library)
+        (key, style)
         for key in EXAMPLES
         if wanted is None or key in wanted
         for style in (1, 2)
@@ -124,7 +135,9 @@ def table2_rows(
             checkpoint,
             meta={"kind": "table2", "library": library_fingerprint(library)},
         )
-    executor = SweepExecutor(backend=backend, workers=workers)
+    executor = SweepExecutor(
+        backend=backend, workers=workers, context=library
+    )
     try:
         return resume_map(
             executor,

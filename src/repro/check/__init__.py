@@ -15,7 +15,11 @@ against that claim end to end:
   register, mux/bus wiring matches the binding, the RTL netlist
   references only declared resources;
 * **differential cross-validation** — results compared against the
-  list / force-directed / exact baseline schedulers.
+  list / force-directed / exact baseline schedulers;
+* **kernel cross-validation** — the numpy vector kernel audited as
+  byte-identical to the scalar reference path (schedules, trajectories,
+  datapaths, comparable perf counters) on the paper examples and random
+  workloads (``repro check --kernels``).
 
 Entry points: :func:`check_mfs_result` / :func:`check_mfsa_result` for
 one run, :func:`check_schedule` for a bare schedule,
@@ -36,6 +40,13 @@ from repro.check.allocation import (
     check_netlist_consistency,
 )
 from repro.check.differential import DifferentialOutcome, cross_validate
+from repro.check.kernels import (
+    check_kernels_all_examples,
+    check_kernels_example,
+    check_kernels_random,
+    check_mfs_kernels,
+    check_mfsa_kernels,
+)
 from repro.check.runner import (
     check_all_examples,
     check_example,
@@ -58,6 +69,11 @@ __all__ = [
     "DifferentialOutcome",
     "check_mfs_result",
     "check_mfsa_result",
+    "check_mfs_kernels",
+    "check_mfsa_kernels",
+    "check_kernels_example",
+    "check_kernels_all_examples",
+    "check_kernels_random",
     "check_schedule",
     "check_example",
     "check_all_examples",

@@ -89,6 +89,18 @@ def _backend(args) -> str:
     return "auto" if getattr(args, "parallel", False) else "serial"
 
 
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="inner-loop kernel: 'vector' needs numpy (install the "
+        "[accel] extra), 'scalar' is the pure-python reference, 'auto' "
+        "picks vector for large designs when numpy is present; results "
+        "are byte-identical either way",
+    )
+
+
 def _add_verify_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--verify",
@@ -158,6 +170,7 @@ def _command_schedule(args) -> int:
         pipelined_kinds=tuple(args.pipelined.split(",")) if args.pipelined else (),
         verify=args.verify,
         perf=perf,
+        kernel=args.kernel,
     )
     result = scheduler.run()
     _print_perf(perf)
@@ -235,6 +248,7 @@ def _command_synth(args) -> int:
         style=args.style,
         verify=args.verify,
         perf=perf,
+        kernel=args.kernel,
     )
     result = scheduler.run()
     _print_perf(perf)
@@ -291,6 +305,26 @@ def _command_check(args) -> int:
                 differential=differential,
             )
         )
+    if args.kernels:
+        from repro.check import check_kernels_all_examples, check_kernels_random
+        from repro.check.kernels import vector_available
+
+        if not vector_available():
+            print(
+                "warning: numpy not installed, skipping --kernels "
+                "cross-validation (pip install repro[accel])",
+                file=sys.stderr,
+            )
+        else:
+            reports.append(
+                check_kernels_all_examples(
+                    keys=[args.example] if args.example else None
+                )
+            )
+            if args.random:
+                reports.append(
+                    check_kernels_random(count=args.random, seed=args.seed)
+                )
     failed = False
     for report in reports:
         print(report.render())
@@ -348,6 +382,8 @@ def _command_serve(args) -> int:
         queue_size=args.queue_size,
         max_batch=args.max_batch,
         batch_wait_ms=args.batch_wait_ms,
+        adaptive_batching=args.adaptive_batching,
+        target_batch_seconds=args.target_batch_seconds,
         workers=args.workers,
         backend="serial" if args.serial else "auto",
         cache_entries=args.cache_entries,
@@ -494,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="JSON output")
     p.add_argument("--dot", action="store_true", help="Graphviz output")
     p.add_argument("--svg", help="write a Gantt chart SVG to this path")
+    _add_kernel_argument(p)
     _add_verify_argument(p)
     _add_timing_arguments(p)
     _add_perf_argument(p)
@@ -541,6 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="seed for --random workloads"
     )
     p.add_argument(
+        "--kernels",
+        action="store_true",
+        help="additionally cross-validate the scalar and vector scheduling "
+        "kernels byte-for-byte (needs numpy; see repro.core.kernel)",
+    )
+    p.add_argument(
         "--no-differential",
         action="store_true",
         help="skip the cross-validation against baseline schedulers",
@@ -568,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vcd", help="simulate and write a VCD waveform")
     p.add_argument("--inputs", help="simulation inputs, e.g. a=3,b=5")
     p.add_argument("--json", action="store_true")
+    _add_kernel_argument(p)
     _add_verify_argument(p)
     _add_timing_arguments(p)
     _add_perf_argument(p)
@@ -587,6 +631,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="jobs coalesced per dispatch batch (default 8)")
     p.add_argument("--batch-wait-ms", type=float, default=10.0,
                    help="micro-batch coalescing window (default 10 ms)")
+    p.add_argument("--adaptive-batching", action="store_true",
+                   help="size batches from the measured per-job cost EWMA "
+                        "(small jobs coalesce, big jobs dispatch at once)")
+    p.add_argument("--target-batch-seconds", type=float, default=0.25,
+                   help="wall-time budget one adaptive batch aims to fill "
+                        "(default 0.25 s)")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool worker count (default: CPU count)")
     p.add_argument("--serial", action="store_true",

@@ -124,6 +124,49 @@ def _chain_feasible_rows(
     return tuple(rows)
 
 
+def frame_bounds(
+    dfg: DFG,
+    timing: TimingModel,
+    node: str,
+    cs: int,
+    placed_starts: Mapping[str, int],
+    chain_offsets: Optional[Mapping[str, float]] = None,
+) -> Tuple[int, int, int, Tuple[int, ...]]:
+    """Table-independent frame bounds of one operation.
+
+    Returns ``(latency, latest_pred_end, ff_rows_after, chain_rows)`` —
+    the forbidden-frame geometry every table of the operation shares.
+    :func:`compute_frames` intersects these with one table's occupancy;
+    the vector kernel (:mod:`repro.core.kernel`) computes them once per
+    operation and rebuilds only the per-table mask.
+    """
+    chain_offsets = chain_offsets or {}
+    kind = dfg.node(node).kind
+    latency = timing.latency(kind)
+
+    # Forbidden rows below: every step <= the latest placed-predecessor
+    # finishing step is forbidden (chaining re-admits specific rows).
+    latest_pred_end = 0
+    for pred in dfg.predecessors(node):
+        if pred in placed_starts:
+            pred_latency = timing.latency(dfg.node(pred).kind)
+            latest_pred_end = max(
+                latest_pred_end, placed_starts[pred] + pred_latency - 1
+            )
+    # Forbidden rows above: the node must finish before any placed successor
+    # starts (the paper's order makes this vacuous; kept for generality).
+    earliest_succ_start = cs + 1
+    for succ in dfg.successors(node):
+        if succ in placed_starts:
+            earliest_succ_start = min(earliest_succ_start, placed_starts[succ])
+    ff_rows_after = earliest_succ_start - latency + 1
+
+    chain_rows = _chain_feasible_rows(
+        dfg, timing, node, placed_starts, chain_offsets
+    )
+    return latency, latest_pred_end, ff_rows_after, chain_rows
+
+
 def compute_frames(
     dfg: DFG,
     timing: TimingModel,
@@ -153,35 +196,14 @@ def compute_frames(
         Instance columns the operation may not use (MFSA design style 2:
         no self-loop around an ALU — §4.2).
     """
-    chain_offsets = chain_offsets or {}
-    kind = dfg.node(node).kind
-    latency = timing.latency(kind)
+    latency, latest_pred_end, ff_rows_after, chain_rows = frame_bounds(
+        dfg, timing, node, grid.cs, placed_starts, chain_offsets
+    )
     max_cols = grid.columns(table)
 
     pf_rows = (asap[node], alap[node])
     pf_cols = (1, max_cols)
     rf_cols = (current + 1, max_cols) if current < max_cols else None
-
-    # Forbidden rows below: every step <= the latest placed-predecessor
-    # finishing step is forbidden (chaining re-admits specific rows).
-    latest_pred_end = 0
-    for pred in dfg.predecessors(node):
-        if pred in placed_starts:
-            pred_latency = timing.latency(dfg.node(pred).kind)
-            latest_pred_end = max(
-                latest_pred_end, placed_starts[pred] + pred_latency - 1
-            )
-    # Forbidden rows above: the node must finish before any placed successor
-    # starts (the paper's order makes this vacuous; kept for generality).
-    earliest_succ_start = grid.cs + 1
-    for succ in dfg.successors(node):
-        if succ in placed_starts:
-            earliest_succ_start = min(earliest_succ_start, placed_starts[succ])
-    ff_rows_after = earliest_succ_start - latency + 1
-
-    chain_rows = _chain_feasible_rows(
-        dfg, timing, node, placed_starts, chain_offsets
-    )
 
     frame = FrameSet(
         node=node,

@@ -199,6 +199,19 @@ class PlacementGrid:
             if tab == table and occupants
         }
 
+    def occupancy_cells(self, table: str) -> List[Tuple[int, int]]:
+        """Occupied ``(x, folded_y)`` cells of ``table``.
+
+        Sparse companion of :meth:`occupancy_matrix`; the vector kernel
+        (:mod:`repro.core.kernel`) seeds its boolean occupancy mirror
+        from it.
+        """
+        return [
+            (x, y)
+            for (tab, x, y), occupants in self._occupants.items()
+            if tab == table and occupants
+        ]
+
     def occupancy_matrix(self, table: str) -> List[List[Tuple[str, ...]]]:
         """Dense ``cs × columns`` matrix of occupant tuples (for rendering)."""
         rows = []

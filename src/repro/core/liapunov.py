@@ -96,6 +96,10 @@ class TimeConstrainedLiapunov(StaticLiapunov):
     def value(self, position: GridPosition) -> float:
         return position.x + self.n * position.y
 
+    def value_xy(self, x, y):
+        """:meth:`value` on raw coordinates; broadcasts over numpy arrays."""
+        return x + self.n * y
+
 
 @dataclass
 class ResourceConstrainedLiapunov(StaticLiapunov):
@@ -128,6 +132,10 @@ class ResourceConstrainedLiapunov(StaticLiapunov):
 
     def value(self, position: GridPosition) -> float:
         return self.cs * position.x + position.y
+
+    def value_xy(self, x, y):
+        """:meth:`value` on raw coordinates; broadcasts over numpy arrays."""
+        return self.cs * x + y
 
 
 @dataclass(frozen=True)
@@ -194,6 +202,22 @@ class MFSALiapunov:
             + w.mux * f_mux
             + w.reg * f_reg
         )
+
+    def value_grid(self, ys, f_alu, f_mux, f_reg):
+        """Vectorised :meth:`value` over one frame (numpy arrays).
+
+        ``ys`` indexes rows, ``f_alu``/``f_mux`` columns, ``f_reg`` rows;
+        the result is the ``(len(ys), len(f_alu))`` energy matrix.  The
+        terms are combined in exactly :meth:`value`'s order —
+        ``((time + alu) + mux) + reg`` — so every float is bit-identical
+        to the per-position scalar evaluation (argmin ties included).
+        """
+        w = self.weights
+        f_time = w.time * (self.c_constant * ys)
+        return (
+            (f_time[:, None] + (w.alu * f_alu)[None, :])
+            + (w.mux * f_mux)[None, :]
+        ) + (w.reg * f_reg)[:, None]
 
     def hardware_value(self, f_alu: float, f_mux: float, f_reg: float) -> float:
         """The hardware-only part of :meth:`value` (for reporting)."""

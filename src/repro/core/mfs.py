@@ -39,7 +39,8 @@ from repro.dfg.analysis import (
 )
 from repro.dfg.graph import DFG
 from repro.schedule.types import Schedule
-from repro.core.frames import FrameSet, compute_frames
+from repro.core import kernel as _kernel
+from repro.core.frames import FrameSet, compute_frames, frame_bounds
 from repro.core.grid import GridPosition, PlacementGrid
 from repro.core.liapunov import (
     ResourceConstrainedLiapunov,
@@ -113,6 +114,15 @@ class MFSScheduler:
         is validated against the §3.1 dominance bounds before any
         placement, so an undersized ``n`` or ``cs`` raises instead of
         silently breaking step ordering.
+    kernel:
+        Inner-loop implementation: ``"scalar"`` (the reference walk),
+        ``"vector"`` (numpy bitmask frames; needs the ``[accel]``
+        extra), or ``"auto"`` (vector when numpy is present and the
+        DFG is large enough to pay for it).  Both kernels produce
+        byte-identical results — see :mod:`repro.core.kernel` for the
+        dispatch rules and the features that pin a run to the scalar
+        walk (tracing, frame recording, pipelining, custom Liapunov
+        subclasses).
     verify:
         Audit the finished run with :mod:`repro.check` (schedule
         legality, grid-occupancy consistency, Liapunov descent) and raise
@@ -142,12 +152,18 @@ class MFSScheduler:
         record_frames: bool = False,
         record_alternatives: bool = True,
         liapunov: Optional[StaticLiapunov] = None,
+        kernel: str = "auto",
         verify: bool = False,
         perf: Optional[PerfCounters] = None,
         trace: Optional["TraceRecorder"] = None,
     ) -> None:
         if mode not in ("time", "resource"):
             raise ValueError(f"mode must be 'time' or 'resource', got {mode!r}")
+        if kernel not in _kernel.KERNELS:
+            raise ValueError(
+                f"kernel must be one of {_kernel.KERNELS}, got {kernel!r}"
+            )
+        self.kernel = kernel
         self.dfg = dfg
         self.timing = timing
         self.mode = mode
@@ -273,79 +289,144 @@ class MFSScheduler:
         trajectory = Trajectory()
         frames_log: Dict[str, FrameSet] = {}
 
+        # Vector kernel: numpy bitmask frames instead of the per-position
+        # walk.  Byte-identical to the scalar path (same placements,
+        # energies, trajectories, counters); unsupported feature
+        # combinations and custom Liapunov subclasses stay on the scalar
+        # reference walk.  See repro.core.kernel.
+        use_vector = (
+            _kernel.resolve_kernel(self.kernel, len(dfg)) == "vector"
+            and _kernel.vector_supported(
+                trace=trace is not None,
+                record_frames=self.record_frames,
+                latency_l=self.latency_l,
+                pipelined_tables=tuple(self.pipelined_kinds),
+            )
+            and type(liapunov)
+            in (TimeConstrainedLiapunov, ResourceConstrainedLiapunov)
+        )
+        view = _kernel.VectorGrid(grid) if use_vector else None
+        has_exclusions = use_vector and any(node.branch for node in dfg)
+
         perf = self.perf
         for name in order:
             kind = dfg.node(name).kind
-            while True:
-                if perf is not None:
-                    perf.incr("mfs.frames_computed")
-                frame = compute_frames(
-                    dfg,
-                    timing,
-                    grid,
-                    name,
-                    table=kind,
-                    asap=asap,
-                    alap=alap,
-                    current=current[kind],
-                    placed_starts=placed_starts,
-                    chain_offsets=chain_offsets,
+            latency = timing.latency(kind)
+            if use_vector:
+                _lat, latest_pred_end, ff_rows_after, chain_rows = frame_bounds(
+                    dfg, timing, name, grid.cs, placed_starts, chain_offsets
                 )
-                if trace is not None:
-                    trace.frame(name, kind, frame, current[kind])
-                if not frame.empty:
-                    break
-                # §3.2 Step 4: local rescheduling — open one more FU.
+                while True:
+                    if perf is not None:
+                        perf.incr("mfs.frames_computed")
+                    mask, lo_y = _kernel.move_frame_mask(
+                        view,
+                        grid,
+                        name,
+                        kind,
+                        latency,
+                        asap[name],
+                        alap[name],
+                        min(current[kind], grid.columns(kind)),
+                        latest_pred_end,
+                        ff_rows_after,
+                        chain_rows,
+                        has_exclusions=has_exclusions,
+                    )
+                    if mask is not None and mask.any():
+                        break
+                    if perf is not None:
+                        perf.incr("mfs.local_reschedules")
+                    if current[kind] < grid.columns(kind):
+                        current[kind] += 1
+                        continue
+                    if bounds_are_auto and self.relax_bounds:
+                        grid.widen(kind, grid.columns(kind) + 1)
+                        current[kind] = grid.columns(kind)
+                        liapunov = self._make_liapunov(
+                            {k: grid.columns(k) for k in grid.tables()}
+                        )
+                        continue
+                    raise InfeasibleScheduleError(
+                        f"no position for {name!r} ({kind}) within "
+                        f"{grid.columns(kind)} units and {self.cs} steps"
+                    )
                 if perf is not None:
-                    perf.incr("mfs.local_reschedules")
-                if current[kind] < grid.columns(kind):
-                    current[kind] += 1
-                    if trace is not None:
-                        trace.reschedule(name, kind, "open-fu", current[kind])
-                    continue
-                if bounds_are_auto and self.relax_bounds:
-                    grid.widen(kind, grid.columns(kind) + 1)
-                    current[kind] = grid.columns(kind)
-                    liapunov = self._make_liapunov(
-                        {k: grid.columns(k) for k in grid.tables()}
+                    perf.incr("mfs.positions_evaluated", int(mask.sum()))
+                chosen, energy, alternatives = _kernel.static_argmin(
+                    mask, lo_y, kind, liapunov, self.record_alternatives
+                )
+            else:
+                while True:
+                    if perf is not None:
+                        perf.incr("mfs.frames_computed")
+                    frame = compute_frames(
+                        dfg,
+                        timing,
+                        grid,
+                        name,
+                        table=kind,
+                        asap=asap,
+                        alap=alap,
+                        current=current[kind],
+                        placed_starts=placed_starts,
+                        chain_offsets=chain_offsets,
                     )
                     if trace is not None:
-                        trace.reschedule(name, kind, "widen-table", current[kind])
-                    continue
-                raise InfeasibleScheduleError(
-                    f"no position for {name!r} ({kind}) within "
-                    f"{grid.columns(kind)} units and {self.cs} steps"
+                        trace.frame(name, kind, frame, current[kind])
+                    if not frame.empty:
+                        break
+                    # §3.2 Step 4: local rescheduling — open one more FU.
+                    if perf is not None:
+                        perf.incr("mfs.local_reschedules")
+                    if current[kind] < grid.columns(kind):
+                        current[kind] += 1
+                        if trace is not None:
+                            trace.reschedule(name, kind, "open-fu", current[kind])
+                        continue
+                    if bounds_are_auto and self.relax_bounds:
+                        grid.widen(kind, grid.columns(kind) + 1)
+                        current[kind] = grid.columns(kind)
+                        liapunov = self._make_liapunov(
+                            {k: grid.columns(k) for k in grid.tables()}
+                        )
+                        if trace is not None:
+                            trace.reschedule(name, kind, "widen-table", current[kind])
+                        continue
+                    raise InfeasibleScheduleError(
+                        f"no position for {name!r} ({kind}) within "
+                        f"{grid.columns(kind)} units and {self.cs} steps"
+                    )
+                if self.record_frames:
+                    frames_log[name] = frame
+                # Single-pass Liapunov evaluation: every move-frame position
+                # is scored exactly once, feeding both the trajectory record
+                # and the argmin (previously ``best`` re-evaluated them all).
+                values = {
+                    position: liapunov.value(position) for position in frame.mf
+                }
+                if perf is not None:
+                    perf.incr("mfs.positions_evaluated", len(values))
+                chosen = liapunov.best(frame.mf, values=values)
+                energy = values[chosen]
+                alternatives = (
+                    tuple(values.items()) if self.record_alternatives else ()
                 )
-            if self.record_frames:
-                frames_log[name] = frame
-            # Single-pass Liapunov evaluation: every move-frame position is
-            # scored exactly once, feeding both the trajectory record and
-            # the argmin (previously ``best`` re-evaluated them all).
-            values = {position: liapunov.value(position) for position in frame.mf}
-            if perf is not None:
-                perf.incr("mfs.positions_evaluated", len(values))
-            chosen = liapunov.best(frame.mf, values=values)
-            if trace is not None:
-                trace.candidates(name, kind, values.items())
-                trace.commit(
-                    name,
-                    kind,
-                    kind,
-                    chosen.x,
-                    chosen.y,
-                    values[chosen],
-                    timing.latency(kind),
-                )
-            grid.place(name, chosen, timing.latency(kind))
+                if trace is not None:
+                    trace.candidates(name, kind, values.items())
+                    trace.commit(
+                        name, kind, kind, chosen.x, chosen.y, energy, latency
+                    )
+            grid.place(name, chosen, latency)
+            if view is not None:
+                view.place(chosen, latency)
             placed_starts[name] = chosen.y
             self._update_chain_offset(name, chosen.y, placed_starts, chain_offsets)
             trajectory.record(
                 node=name,
                 position=chosen,
-                energy=values[chosen],
-                alternatives=(
-                    tuple(values.items()) if self.record_alternatives else ()
-                ),
+                energy=energy,
+                alternatives=alternatives,
             )
 
         schedule = Schedule(

@@ -36,11 +36,13 @@ from repro.allocation.datapath import CostBreakdown, Datapath
 from repro.allocation.lifetimes import Lifetime
 from repro.allocation.mux import (
     MuxOperand,
-    cached_mux_input_sizes,
+    _canonical_form,
+    cached_mux_sizes_for_key,
     optimize_mux_inputs,
 )
 from repro.allocation.registers import IncrementalRegisterEstimator
-from repro.core.frames import FrameSet, compute_frames
+from repro.core import kernel as _kernel
+from repro.core.frames import FrameSet, compute_frames, frame_bounds
 from repro.core.grid import GridPosition, PlacementGrid
 from repro.core.liapunov import LiapunovWeights, MFSALiapunov
 from repro.core.priorities import priority_order
@@ -115,7 +117,12 @@ class _AllocationState:
         self.cache = cache
         self.perf = perf
         self._operand_cache: Dict[str, MuxOperand] = {}
-        self._mux_with_cache: Dict[Tuple[Tuple[str, ...], str], float] = {}
+        self._mux_with_cache: Dict[Tuple[str, int, int, str], float] = {}
+        # Canonical form (key, ids, names) of each instance's committed
+        # member list, so a candidate probe extends it by one operand in
+        # O(1) instead of re-canonicalising the whole list.  Entries are
+        # dropped on commit and lazily rebuilt.
+        self._canon_prefix: Dict[Tuple[str, int], tuple] = {}
 
     # -- ALU ------------------------------------------------------------
     def instance_open(self, cell: ALUCell, x: int) -> bool:
@@ -153,28 +160,60 @@ class _AllocationState:
 
     def mux_cost_with(self, cell: ALUCell, x: int, name: str) -> float:
         members = self.ops_on.get((cell.name, x), [])
-        if self.cache:
-            memo_key = (tuple(members), name)
-            cached = self._mux_with_cache.get(memo_key)
-            if cached is not None:
-                if self.perf is not None:
-                    self.perf.incr("mfsa.mux_cache_hits")
-                return cached
-        operands = [self._mux_operand(member) for member in members]
-        operands.append(self._mux_operand(name))
         costs = self.library.mux_costs
-        if self.cache:
-            # Second level: the process-wide renaming-canonical memo in
-            # repro.allocation.mux — isomorphic operand lists (across
-            # instances, runs and schedulers) share one optimiser call.
-            if self.perf is not None:
-                self.perf.incr("mfsa.mux_cache_misses")
-            n1, n2 = cached_mux_input_sizes(operands, perf=self.perf)
-            cost = costs.cost(n1) + costs.cost(n2)
-            self._mux_with_cache[memo_key] = cost
-        else:
+        if not self.cache:
+            operands = [self._mux_operand(member) for member in members]
+            operands.append(self._mux_operand(name))
             assignment = optimize_mux_inputs(operands)
-            cost = costs.cost(len(assignment.l1)) + costs.cost(len(assignment.l2))
+            return costs.cost(len(assignment.l1)) + costs.cost(
+                len(assignment.l2)
+            )
+        # Member lists only ever grow, so (instance, member count,
+        # candidate) identifies the operand list — an O(1) key where
+        # hashing the member tuple itself would walk the whole list.
+        memo_key = (cell.name, x, len(members), name)
+        cached = self._mux_with_cache.get(memo_key)
+        if cached is not None:
+            if self.perf is not None:
+                self.perf.incr("mfsa.mux_cache_hits")
+            return cached
+        if self.perf is not None:
+            self.perf.incr("mfsa.mux_cache_misses")
+        # Second level: the process-wide renaming-canonical memo in
+        # repro.allocation.mux — isomorphic operand lists (across
+        # instances, runs and schedulers) share one optimiser call.  The
+        # canonical key is built by extending the instance's committed
+        # canonical prefix with the candidate operand in O(1), instead of
+        # re-canonicalising the whole member list on every probe.
+        prefix = self._canon_prefix.get((cell.name, x))
+        if prefix is None:
+            canon_key, canon_names = _canonical_form(
+                [self._mux_operand(member) for member in members]
+            )
+            canon_ids = {s: i for i, s in enumerate(canon_names)}
+            prefix = (canon_key, canon_ids, canon_names)
+            self._canon_prefix[(cell.name, x)] = prefix
+        canon_key, canon_ids, canon_names = prefix
+        operand = self._mux_operand(name)
+        base = len(canon_names)
+        left = canon_ids.get(operand.left)
+        extra_names = []
+        if left is None:
+            left = base
+            extra_names.append(operand.left)
+        if operand.right is None:
+            right = None
+        elif operand.right == operand.left:
+            right = left
+        else:
+            right = canon_ids.get(operand.right)
+            if right is None:
+                right = base + len(extra_names)
+                extra_names.append(operand.right)
+        full_key = canon_key + ((left, right, operand.commutative),)
+        n1, n2 = cached_mux_sizes_for_key(full_key, perf=self.perf)
+        cost = costs.cost(n1) + costs.cost(n2)
+        self._mux_with_cache[memo_key] = cost
         return cost
 
     def f_mux(self, cell: ALUCell, x: int, name: str) -> float:
@@ -224,8 +263,35 @@ class _AllocationState:
             self.alu_area_spent += cell.area
         self._mux_cost[key] = self.mux_cost_with(cell, x, name)
         # Appending to the member list retires the old memo key of this
-        # instance automatically — no explicit invalidation needed.
+        # instance automatically — no explicit invalidation needed.  The
+        # canonical prefix is extended in place by the committed operand
+        # (first-occurrence indexing, exactly like _canonical_form).
         self.ops_on.setdefault(key, []).append(name)
+        entry = self._canon_prefix.get(key)
+        if entry is not None:
+            canon_key, canon_ids, canon_names = entry
+            if canon_key is None:  # pragma: no cover - duplicate op ids
+                self._canon_prefix.pop(key, None)
+            else:
+                operand = self._mux_operand(name)
+                left = canon_ids.get(operand.left)
+                if left is None:
+                    left = len(canon_names)
+                    canon_ids[operand.left] = left
+                    canon_names.append(operand.left)
+                if operand.right is None:
+                    right = None
+                else:
+                    right = canon_ids.get(operand.right)
+                    if right is None:
+                        right = len(canon_names)
+                        canon_ids[operand.right] = right
+                        canon_names.append(operand.right)
+                self._canon_prefix[key] = (
+                    canon_key + ((left, right, operand.commutative),),
+                    canon_ids,
+                    canon_names,
+                )
         self.opened_columns[cell.name] = max(
             self.opened_columns.get(cell.name, 0), x
         )
@@ -261,6 +327,15 @@ class MFSAScheduler:
         shared-frame caches) and re-derive every Liapunov term from
         scratch for every candidate position — the slow reference path
         the equivalence tests compare against.
+    kernel:
+        Inner-loop implementation: ``"scalar"`` (the reference walk),
+        ``"vector"`` (numpy bitmask frames and one broadcasted §4.1
+        energy matrix per cell; needs the ``[accel]`` extra), or
+        ``"auto"`` (vector when numpy is present and the DFG is large
+        enough to pay for it).  Both kernels are byte-identical —
+        :mod:`repro.core.kernel` documents the dispatch rules and the
+        features (tracing, ``record_frames``, pipelining, ``no_cache``)
+        that pin a run to the scalar walk.
     record_frames:
         Keep every :class:`FrameSet` built per node (Figure-2 harness
         only; grows O(ops × gather passes)).  Off by default.
@@ -304,12 +379,18 @@ class MFSAScheduler:
         count_input_registers: bool = True,
         open_policy: str = "reuse-first",
         area_budget: Optional[float] = None,
+        kernel: str = "auto",
         verify: bool = False,
         perf: Optional[PerfCounters] = None,
         trace: Optional["TraceRecorder"] = None,
     ) -> None:
         if style not in (1, 2):
             raise ValueError(f"style must be 1 or 2, got {style}")
+        if kernel not in _kernel.KERNELS:
+            raise ValueError(
+                f"kernel must be one of {_kernel.KERNELS}, got {kernel!r}"
+            )
+        self.kernel = kernel
         if open_policy not in ("reuse-first", "eager"):
             raise ValueError(
                 f"open_policy must be 'reuse-first' or 'eager', got {open_policy!r}"
@@ -458,6 +539,38 @@ class MFSAScheduler:
         trajectory = Trajectory()
         frames_log: Dict[str, List[FrameSet]] = {}
 
+        # Vector kernel: one bitmask frame and one broadcasted energy
+        # matrix per cell instead of the per-position walk.  Byte-identical
+        # to the scalar path (placements, energies, trajectories, perf
+        # counters); unsupported feature combinations stay on the scalar
+        # reference walk.  See repro.core.kernel.
+        use_vector = (
+            _kernel.resolve_kernel(self.kernel, len(dfg)) == "vector"
+            and _kernel.vector_supported(
+                trace=trace is not None,
+                record_frames=self.record_frames,
+                latency_l=self.latency_l,
+                pipelined_tables=tuple(pipelined_tables),
+                no_cache=self.no_cache,
+            )
+        )
+        view = _kernel.VectorGrid(grid) if use_vector else None
+        has_exclusions = use_vector and any(node.branch for node in dfg)
+        np = _kernel.np
+        # Lazy f_MUX: with a monotone mux-cost table the zero-mux energy
+        # lower-bounds a column, so columns that cannot beat the running
+        # best skip the §5.6 optimiser entirely.  The argmin (and hence
+        # every result) is unchanged; only the mux/operand cache counters
+        # reflect the skipped work, so pruning stays off when the caller
+        # wants the full per-candidate record.
+        prune_mux = (
+            use_vector
+            and not self.record_alternatives
+            and _kernel.mux_costs_monotone(
+                self.library.mux_costs, 2 * len(dfg) + 2
+            )
+        )
+
         perf = self.perf
         c_constant = liapunov.c_constant
         for name in order:
@@ -465,6 +578,33 @@ class MFSAScheduler:
             latency = timing.latency(kind)
             reg_cache: Dict[int, Tuple[float, List[Lifetime]]] = {}
             frame_cache: Dict[str, FrameSet] = {}
+            mask_cache: Dict[str, Tuple] = {}
+            bounds = (
+                frame_bounds(
+                    dfg, timing, name, grid.cs, placed_starts, chain_offsets
+                )
+                if use_vector
+                else None
+            )
+            # Batched f_REG (vector path): the node's unknown input signals
+            # and the death offset every candidate step implies; the actual
+            # per-step counts are computed lazily, once per node, over the
+            # whole primary-frame row range (shared by every cell — the row
+            # bounds are table-independent).
+            reg_seen: set = set()
+            reg_batch: List = []
+            reg_births: List[int] = []
+            reg_delta = 0
+            if use_vector:
+                if latency > 1 and kind not in self.pipelined_kinds:
+                    reg_delta = latency - 1
+                seen_ports = set()
+                for port in dfg.node(name).operands:
+                    if not port.is_node or port.name in seen_ports:
+                        continue
+                    seen_ports.add(port.name)
+                    if not state.registers.is_known(port.signal_name()):
+                        reg_births.append(placed_ends[port.name])
             alternatives: List[Tuple[GridPosition, float]] = []
             # Traced candidates accumulate in a plain local list (cheap)
             # and land in the recorder as one batch at commit time.
@@ -626,16 +766,173 @@ class MFSAScheduler:
                             best_choice = (cell, position, energy, lifetimes)
                 return best_choice
 
+            def gather_vector(fresh_instance):
+                """Vector-kernel :func:`gather`: same passes, masked frames.
+
+                Frames become boolean masks (cached per cell across both
+                passes, like the scalar shared frame); the reuse pass is a
+                column slice ``x <= opened``; the §4.1 terms are gathered
+                once per active row (f_REG) and column (f_ALU, f_MUX) —
+                the same calls, in a counter-identical pattern, as the
+                scalar caches make — and priced in one broadcast.
+                """
+                best_key = None
+                best_choice = None
+                _, latest_pred_end, ff_rows_after, chain_rows = bounds
+                for cell in candidates_by_kind[kind]:
+                    opened = state.opened_columns.get(cell.name, 0)
+                    if not fresh_instance and opened == 0:
+                        continue
+                    entry = mask_cache.get(cell.name)
+                    if entry is None:
+                        if perf is not None:
+                            perf.incr("mfsa.frames_computed")
+                        current = min(opened + 1, grid.columns(cell.name))
+                        entry = _kernel.move_frame_mask(
+                            view,
+                            grid,
+                            name,
+                            cell.name,
+                            latency,
+                            asap[name],
+                            alap[name],
+                            current,
+                            latest_pred_end,
+                            ff_rows_after,
+                            chain_rows,
+                            banned=(
+                                state.excluded_instances(cell, name)
+                                if self.style == 2
+                                else ()
+                            ),
+                            has_exclusions=has_exclusions,
+                        )
+                        mask_cache[cell.name] = entry
+                    mask, lo_y = entry
+                    if mask is None:
+                        continue
+                    limit = (
+                        mask.shape[1]
+                        if fresh_instance
+                        else min(opened, mask.shape[1])
+                    )
+                    if limit < 1:
+                        continue
+                    sub = mask[:, :limit]
+                    if self.area_budget is not None and (
+                        state.alu_area_spent
+                        + cell.area
+                        + reserve_after(cell, kind)
+                        > self.area_budget
+                    ):
+                        # Opening would overspend: only already-open
+                        # columns stay eligible (the scalar per-position
+                        # budget filter).
+                        col_ok = np.array(
+                            [
+                                state.instance_open(cell, j + 1)
+                                for j in range(limit)
+                            ]
+                        )
+                        sub = sub & col_ok[None, :]
+                    if not sub.any():
+                        continue
+                    n_candidates = int(sub.sum())
+                    row_idx = np.nonzero(sub.any(axis=1))[0]
+                    col_idx = np.nonzero(sub.any(axis=0))[0]
+                    if not reg_batch:
+                        counts = _kernel.batched_reg_costs(
+                            state.registers,
+                            reg_births,
+                            reg_delta,
+                            lo_y,
+                            lo_y + mask.shape[0] - 1,
+                        )
+                        reg_batch.append(
+                            counts * self.library.register_area
+                        )
+                    f_reg_vec = reg_batch[0]
+                    misses = 0
+                    for i in row_idx:
+                        y = lo_y + int(i)
+                        if y not in reg_seen:
+                            reg_seen.add(y)
+                            misses += 1
+                    if perf is not None:
+                        perf.incr("mfsa.candidates_evaluated", n_candidates)
+                        perf.incr("mfsa.reg_cache_misses", misses)
+                        perf.incr("mfsa.reg_cache_hits", n_candidates - misses)
+                    f_alu_vec = np.zeros(limit)
+                    for j in col_idx:
+                        f_alu_vec[j] = state.f_alu(cell, int(j) + 1)
+                    ys = np.arange(lo_y, lo_y + sub.shape[0], dtype=np.int64)
+                    eval_cols = col_idx
+                    if prune_mux and best_key is not None:
+                        # Zero-mux energies lower-bound each column; any
+                        # column whose bound already exceeds the running
+                        # best cannot host the argmin and skips the §5.6
+                        # mux optimiser.
+                        bound = liapunov.value_grid(
+                            ys, f_alu_vec, np.zeros(limit), f_reg_vec
+                        )
+                        col_lb = np.where(sub, bound, np.inf).min(axis=0)
+                        keep = col_lb[col_idx] <= best_key[0]
+                        if not keep.any():
+                            continue
+                        if not keep.all():
+                            eval_cols = col_idx[keep]
+                            col_ok = np.zeros(limit, dtype=bool)
+                            col_ok[eval_cols] = True
+                            sub = sub & col_ok[None, :]
+                    f_mux_vec = np.zeros(limit)
+                    for j in eval_cols:
+                        f_mux_vec[j] = state.f_mux(cell, int(j) + 1, name)
+                    energy = liapunov.value_grid(
+                        ys, f_alu_vec, f_mux_vec, f_reg_vec
+                    )
+                    if self.record_alternatives:
+                        alternatives.extend(
+                            zip(
+                                _kernel.mask_positions(sub, cell.name, lo_y),
+                                energy[sub].tolist(),
+                            )
+                        )
+                    position, best_energy = _kernel.argmin_position(
+                        sub, energy, cell.name, lo_y
+                    )
+                    best_energy = float(best_energy)
+                    key = (
+                        best_energy,
+                        position.y,
+                        cell_rank[cell.name],
+                        position.x,
+                    )
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_choice = (
+                            cell,
+                            position,
+                            best_energy,
+                            state.input_lifetimes(
+                                name,
+                                position.y,
+                                placed_ends,
+                                self.pipelined_kinds,
+                            ),
+                        )
+                return best_choice
+
+            pick = gather_vector if use_vector else gather
             if self.open_policy == "eager":
-                best_choice = gather(fresh_instance=True)
+                best_choice = pick(fresh_instance=True)
             else:
-                best_choice = gather(fresh_instance=False)
+                best_choice = pick(fresh_instance=False)
                 if best_choice is None:
                     # §4: no opened instance can host the op — let a fresh
                     # instance per cell join the frame (f_ALU arbitrates).
                     if trace is not None:
                         trace.reschedule(name, kind, "fresh-instance", 0)
-                    best_choice = gather(fresh_instance=True)
+                    best_choice = pick(fresh_instance=True)
             if best_choice is None:
                 raise InfeasibleScheduleError(
                     f"MFSA found no position for {name!r} ({kind}) in "
@@ -656,6 +953,8 @@ class MFSAScheduler:
                 )
             remaining_by_kind[kind] -= 1
             grid.place(name, position, latency)
+            if view is not None:
+                view.place(position, latency)
             placed_starts[name] = position.y
             placed_ends[name] = position.y + latency - 1
             self._update_chain_offset(name, position.y, placed_starts, chain_offsets)

@@ -187,10 +187,20 @@ def type_concurrency(
             folded = ((step - 1) % latency_l) + 1 if latency_l else step
             by_kind_step.setdefault(node.kind, {}).setdefault(folded, []).append(name)
 
+    # Without branch annotations no pair is mutually exclusive: every
+    # member gets its own unit and the packing loop below degenerates to
+    # ``len(members)``.  Skipping it drops the quadratic pair checks from
+    # the (hot) unconditional-DFG path.
+    exclusion_possible = any(
+        dfg.node(name).branch for name in schedule
+    )
     needed: Dict[str, int] = {}
     for kind, steps in by_kind_step.items():
         best = 0
         for members in steps.values():
+            if not exclusion_possible:
+                best = max(best, len(members))
+                continue
             units: List[List[str]] = []
             for member in members:
                 for unit in units:

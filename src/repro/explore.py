@@ -22,7 +22,12 @@ from repro.core.liapunov import LiapunovWeights
 from repro.core.mfsa import MFSAResult, MFSAScheduler
 from repro.perf import PerfCounters
 from repro.resilience.checkpoint import resume_map
-from repro.sweep import SweepExecutor, merge_worker_perf, merge_worker_traces
+from repro.sweep import (
+    SweepExecutor,
+    merge_worker_perf,
+    merge_worker_traces,
+    worker_context,
+)
 from repro.trace.recorder import TraceRecorder
 
 
@@ -69,13 +74,18 @@ def _design_point_worker(payload) -> Tuple[
 ]:
     """Synthesise one budget (module-level so process pools can pickle it).
 
+    The design, timing model and library ride in the executor's shared
+    worker context (installed once per worker process), so the per-item
+    payload is just the budget and the small run parameters.
+
     Returns ``(cs, point_fields, result | None, perf_snapshot | None,
     trace_snapshot | None)``; ``point_fields`` is ``None`` for infeasible
     budgets.  The trace snapshot is a header-less event list (see
     :meth:`~repro.trace.recorder.TraceRecorder.snapshot`) the caller
     merges back under a ``cs=<budget>`` source tag.
     """
-    dfg, timing, library, cs, style, weights, keep_results, want_perf, want_trace = payload
+    dfg, timing, library = worker_context()
+    cs, style, weights, keep_results, want_perf, want_trace = payload
     perf = PerfCounters() if want_perf else None
     trace = TraceRecorder() if want_trace else None
     try:
@@ -170,9 +180,6 @@ SweepCheckpoint` file: each completed budget is durably recorded as it
 
     payloads = [
         (
-            dfg,
-            timing,
-            library,
             cs,
             style,
             weights,
@@ -209,14 +216,19 @@ SweepCheckpoint` file: each completed budget is durably recorded as it
             fields = dict(fields, alu_labels=tuple(fields["alu_labels"]))
         return (value["cs"], fields, None, None, None)
 
-    executor = SweepExecutor(backend=backend, workers=workers, perf=perf)
+    executor = SweepExecutor(
+        backend=backend,
+        workers=workers,
+        perf=perf,
+        context=(dfg, timing, library),
+    )
     try:
         outcomes = resume_map(
             executor,
             _design_point_worker,
             payloads,
             ckpt,
-            key_fn=lambda payload: f"cs={payload[3]}",
+            key_fn=lambda payload: f"cs={payload[0]}",
             encode=_encode,
             decode=_decode,
         )

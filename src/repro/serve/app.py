@@ -99,6 +99,14 @@ class ServeConfig:
     queue_size: int = 64
     max_batch: int = 8
     batch_wait_ms: float = 10.0
+    #: Cost-aware batching: size batches from the measured per-job cost
+    #: EWMA (:class:`~repro.serve.batcher.AdaptiveBatchPolicy`) — small
+    #: jobs coalesce, big jobs dispatch immediately.  Live policy state
+    #: appears on ``/metrics`` as ``adaptive_batch_limit`` and
+    #: ``job_cost_ewma_seconds``.
+    adaptive_batching: bool = False
+    #: Wall-time budget one adaptive batch aims to fill.
+    target_batch_seconds: float = 0.25
     workers: Optional[int] = None
     backend: str = "auto"
     cache_entries: int = 1024
@@ -139,6 +147,8 @@ class ServeApp:
             workers=config.workers,
             perf=self.perf,
             metrics=self.metrics,
+            adaptive=config.adaptive_batching,
+            target_batch_seconds=config.target_batch_seconds,
         )
         self.journal: Optional[JobJournal] = None
         if config.state_dir:

@@ -37,6 +37,7 @@ from repro.dfg.parser import parse_behavior
 from repro.io.jsonio import dfg_from_json, dfg_to_json
 from repro.perf import PerfCounters
 from repro.resilience.faults import fault_point
+from repro.sweep import worker_cached
 
 #: Algorithms the service can run.
 ALGORITHMS = ("mfs", "mfsa")
@@ -215,8 +216,17 @@ def _execute(spec: Mapping[str, Any], perf: PerfCounters) -> Dict[str, Any]:
     from repro.library.ncr import datapath_library
 
     dfg = dfg_from_json(spec["dfg_json"])
-    ops = standard_operation_set(mul_latency=spec["mul_latency"])
-    timing = TimingModel(ops=ops, clock_period_ns=spec["clock_ns"])
+    # Warm-worker caches: the timing model and cell library are pure
+    # functions of their fingerprinted parameters, so a long-lived pool
+    # worker builds each exactly once and reuses it across every job it
+    # serves (see repro.sweep.worker_cached).
+    timing = worker_cached(
+        ("serve.timing", spec["mul_latency"], spec["clock_ns"]),
+        lambda: TimingModel(
+            ops=standard_operation_set(mul_latency=spec["mul_latency"]),
+            clock_period_ns=spec["clock_ns"],
+        ),
+    )
     cs = spec["cs"] or critical_path_length(dfg, timing)
 
     trace = None
@@ -245,7 +255,7 @@ def _execute(spec: Mapping[str, Any], perf: PerfCounters) -> Dict[str, Any]:
         result = MFSAScheduler(
             dfg,
             timing,
-            datapath_library(),
+            worker_cached(("serve.library",), datapath_library),
             cs=cs,
             style=spec["style"],
             latency_l=spec["latency_l"],

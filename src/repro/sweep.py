@@ -32,6 +32,15 @@ keeping the *contract* of the serial loop:
   ``"sweep.submit"`` fires per submission, so seeded chaos tests can
   perturb exactly this machinery.
 
+* **warm workers** — pool processes start through an initializer that
+  pre-imports the scheduler stack (:data:`WARM_IMPORTS`) and installs the
+  executor's shared ``context`` exactly once per worker; worker functions
+  memoise heavyweight per-process builds (cell library, timing model)
+  through :func:`worker_cached`, keyed by fingerprint.  Items stay
+  *compact* — indices and small parameter tuples — instead of re-pickling
+  the design and library into every payload, and ``chunksize`` groups
+  many small items into one submission when the per-item work is tiny.
+
 Workers must be module-level functions and payloads picklable; the
 callers in :mod:`repro.explore` and :mod:`repro.bench` define dedicated
 ``_*_worker`` functions for exactly this reason.
@@ -50,10 +59,21 @@ calls instead of paying pool start-up per batch; :meth:`SweepExecutor.close`
 
 from __future__ import annotations
 
+import hashlib
+import importlib
 import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.perf import PerfCounters
 from repro.resilience.faults import InjectedFault, fault_point
@@ -63,6 +83,97 @@ R = TypeVar("R")
 
 #: Recognised backend names.
 BACKENDS = ("auto", "process", "serial")
+
+#: Modules every pool worker imports at start-up (the warm-worker
+#: initializer).  Importing the scheduler stack once per *worker* instead
+#: of lazily on the first item moves the import cost out of the first
+#: map's critical path and off the per-item clock entirely.
+WARM_IMPORTS = (
+    "repro.core.kernel",
+    "repro.core.mfs",
+    "repro.core.mfsa",
+    "repro.dfg.analysis",
+    "repro.io.jsonio",
+    "repro.library.ncr",
+)
+
+# ---------------------------------------------------------------------------
+# Per-process worker state.  These globals live in *each* pool worker (and
+# in the parent, which runs the serial / quarantine paths): the initializer
+# fills them once per worker process, `worker_cached` memoises heavyweight
+# builds (cell libraries, timing models) across the items a worker serves,
+# and `worker_context` hands out the map-wide shared payload that would
+# otherwise be pickled into every item.
+# ---------------------------------------------------------------------------
+_WORKER_INITS = 0
+_WORKER_CACHE: Dict[Any, Any] = {}
+_WORKER_CACHE_BUILDS = 0
+_WORKER_CONTEXT: Optional[Tuple[str, Any]] = None
+
+
+def _init_worker(preload: Sequence[str], context_blob) -> None:
+    """Pool initializer: pre-import modules, install the shared context."""
+    global _WORKER_INITS, _WORKER_CONTEXT
+    _WORKER_INITS += 1
+    for module in preload:
+        try:
+            importlib.import_module(module)
+        except ImportError:  # pragma: no cover - trimmed installs
+            pass
+    if context_blob is not None:
+        fingerprint, payload = context_blob
+        _WORKER_CONTEXT = (fingerprint, pickle.loads(payload))
+
+
+def worker_init_count() -> int:
+    """How many times this process ran the pool initializer.
+
+    ``0`` in the parent / serial path; ``1`` in a healthy warm worker no
+    matter how many maps it has served (the warm-pool regression tests
+    assert exactly this).
+    """
+    return _WORKER_INITS
+
+
+def worker_cache_builds() -> int:
+    """How many :func:`worker_cached` misses this process has paid."""
+    return _WORKER_CACHE_BUILDS
+
+
+def worker_cached(key, build: Callable[[], Any]) -> Any:
+    """Fetch-or-build a per-worker cached object.
+
+    ``key`` is a stable fingerprint (e.g. ``("library",)`` or
+    ``("ops", mul_latency)``); ``build`` runs at most once per key per
+    worker process.  Cached objects are shared across every item and
+    every ``map`` a worker serves, so they must be treated as immutable.
+    """
+    global _WORKER_CACHE_BUILDS
+    value = _WORKER_CACHE.get(key)
+    if value is None:
+        _WORKER_CACHE_BUILDS += 1
+        value = _WORKER_CACHE[key] = build()
+    return value
+
+
+def worker_context():
+    """The shared context installed for the current map (or ``None``).
+
+    Workers of a :class:`SweepExecutor` constructed with ``context=...``
+    receive the context once at pool start-up via the initializer; the
+    serial, fallback and quarantine paths see the identical object
+    installed parent-side.  Items can therefore stay compact — indices
+    and small parameter tuples — instead of re-pickling the design,
+    timing model and library into every single payload.
+    """
+    if _WORKER_CONTEXT is None:
+        return None
+    return _WORKER_CONTEXT[1]
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
+    """Worker-side body of a chunked submission."""
+    return [fn(item) for item in chunk]
 
 
 def default_workers() -> int:
@@ -127,6 +238,9 @@ class SweepExecutor:
         perf: Optional[PerfCounters] = None,
         keep_pool: bool = False,
         item_retries: int = 2,
+        warm_imports: Sequence[str] = WARM_IMPORTS,
+        context: Any = None,
+        chunksize: int = 1,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -136,19 +250,57 @@ class SweepExecutor:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if item_retries < 0:
             raise ValueError(f"item_retries must be >= 0, got {item_retries}")
+        if chunksize < 0:
+            raise ValueError(f"chunksize must be >= 0, got {chunksize}")
         self.backend = backend
         self.workers = workers or default_workers()
         self.perf = perf
         self.keep_pool = keep_pool
         self.item_retries = item_retries
+        self.warm_imports = tuple(warm_imports)
+        #: ``chunksize=1`` submits per item (full healing granularity);
+        #: ``N > 1`` groups N items per submission (amortises the
+        #: submit/pickle round-trip for many small items — crash healing
+        #: then re-runs the chunk's items individually); ``0`` picks a
+        #: chunk size from the item and worker counts automatically.
+        self.chunksize = chunksize
         #: Reason code of the most recent whole-map serial fallback
         #: (``None`` when every map so far ran where it was asked to run).
         self.last_fallback_reason: Optional[str] = None
         #: Reason code of the most recent poison-item quarantine.
         self.last_quarantine_reason: Optional[str] = None
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._context = context
+        self._context_blob: Optional[Tuple[str, bytes]] = None
+        if context is not None:
+            payload = pickle.dumps(context)
+            fingerprint = hashlib.sha256(payload).hexdigest()
+            self._context_blob = (fingerprint, payload)
+            self._install_context()
+
+    def _install_context(self) -> None:
+        """Make the shared context visible to in-process item runs.
+
+        The serial, fallback and quarantine paths run items in this
+        process, so the parent installs the same context the pool
+        initializer gives the workers.
+        """
+        if self._context_blob is not None:
+            global _WORKER_CONTEXT
+            _WORKER_CONTEXT = (self._context_blob[0], self._context)
 
     # ------------------------------------------------------------------
+    def _effective_chunksize(self, n_items: int) -> int:
+        """Resolve ``chunksize=0`` (auto) against the map's item count.
+
+        Auto aims at ~4 chunks per worker: large enough to amortise the
+        per-submission pickle round-trip, small enough to keep the pool
+        load-balanced and crash healing reasonably fine-grained.
+        """
+        if self.chunksize > 0:
+            return self.chunksize
+        return max(1, -(-n_items // (self.workers * 4)))
+
     def _use_processes(self, n_items: int) -> bool:
         if self.backend == "serial":
             return False
@@ -175,6 +327,7 @@ class SweepExecutor:
         completes — the checkpoint hook.  It must be idempotent per item.
         """
         items = list(items)
+        self._install_context()
         if self.perf is None:
             return self._map(fn, items, on_item)
         with self.perf.timer("sweep.map"):
@@ -235,35 +388,67 @@ class SweepExecutor:
             if on_item is not None:
                 on_item(index, value)
 
+        chunk = self._effective_chunksize(len(items))
         unfinished: List[Tuple[int, str]] = []
         pool = self._warm_pool()
-        pending: List[Tuple[int, object]] = []
+        pending: List[Tuple[int, int, object]] = []
         broken = False
-        for index, item in enumerate(items):
+        for start in range(0, len(items), chunk):
+            batch = items[start : start + chunk]
             if broken:
-                unfinished.append((index, "worker-crash"))
+                unfinished.extend(
+                    (start + offset, "worker-crash")
+                    for offset in range(len(batch))
+                )
                 continue
             try:
                 fault_point("sweep.submit")
-                pending.append((index, pool.submit(fn, item)))
+                if len(batch) == 1:
+                    future = pool.submit(fn, batch[0])
+                else:
+                    future = pool.submit(_run_chunk, fn, batch)
+                pending.append((start, len(batch), future))
             except InjectedFault:
-                self._note_item_retry(index)
-                unfinished.append((index, "injected-fault"))
+                for offset in range(len(batch)):
+                    self._note_item_retry(start + offset)
+                    unfinished.append((start + offset, "injected-fault"))
             except BrokenExecutor:
-                unfinished.append((index, "worker-crash"))
+                unfinished.extend(
+                    (start + offset, "worker-crash")
+                    for offset in range(len(batch))
+                )
                 broken = True
-        for index, future in pending:
+        for start, count, future in pending:
             try:
-                finish(index, future.result())
+                value = future.result()
             except BrokenExecutor:
-                unfinished.append((index, "worker-crash"))
+                unfinished.extend(
+                    (start + offset, "worker-crash") for offset in range(count)
+                )
                 broken = True
             except pickle.PicklingError:
-                # Only this item's result refused the trip back.
-                finish(
-                    index,
-                    self._quarantine(fn, items[index], "result-unpicklable"),
-                )
+                if count == 1:
+                    # Only this item's result refused the trip back.
+                    finish(
+                        start,
+                        self._quarantine(
+                            fn, items[start], "result-unpicklable"
+                        ),
+                    )
+                else:
+                    # The culprit inside the chunk is unknown: solo
+                    # retries below let the innocent items complete and
+                    # quarantine only the poison one.
+                    unfinished.extend(
+                        (start + offset, "result-unpicklable")
+                        for offset in range(count)
+                    )
+            else:
+                if count == 1:
+                    finish(start, value)
+                else:
+                    for offset, item_value in enumerate(value):
+                        finish(start + offset, item_value)
         if broken:
             self._note_pool_break()
         for index, reason in sorted(unfinished):
@@ -339,7 +524,11 @@ class SweepExecutor:
     # -- persistent pool ------------------------------------------------
     def _warm_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.warm_imports, self._context_blob),
+            )
         return self._pool
 
     def _discard_pool(self) -> None:

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis): scalar and vector kernels agree.
+
+Strategy: generate random DFGs through the seeded generator, run MFS
+and MFSA under both kernels, and assert the results are *byte-identical*
+— schedule starts, Liapunov trajectories, FU mixes, datapath costs and
+(where meaningful) perf counters.  The vector kernel is a pure
+performance layer; any observable divergence is a bug, so these tests
+lean on :mod:`repro.check.kernels` for the comparison and only add the
+hypothesis-driven workload space on top.
+
+Counter caveat: with ``record_alternatives=False`` the vector MFSA path
+prunes whole columns via a zero-mux lower bound, so mux/operand *cache*
+counters (how often the optimiser was consulted) legitimately differ;
+``comparable_counters`` excludes them.  The whole module skips when
+numpy is not installed (there is no vector kernel to compare).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.mux import clear_mux_memo
+from repro.check.kernels import (
+    check_mfs_kernels,
+    check_mfsa_kernels,
+    comparable_counters,
+    vector_available,
+)
+from repro.core.liapunov import LiapunovWeights
+from repro.core.mfsa import MFSAScheduler
+from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.generators import random_conditional_dfg, random_dfg
+from repro.dfg.ops import standard_operation_set
+from repro.library.ncr import datapath_library
+from repro.perf import PerfCounters
+
+pytestmark = pytest.mark.skipif(
+    not vector_available(), reason="numpy not installed (no vector kernel)"
+)
+
+TIMING = TimingModel(ops=standard_operation_set())
+TIMING_MUL2 = TimingModel(ops=standard_operation_set(mul_latency=2))
+LIBRARY = datapath_library()
+
+dfg_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),   # seed
+    st.integers(min_value=1, max_value=40),       # n_ops
+    st.integers(min_value=1, max_value=6),        # n_inputs
+    st.integers(min_value=1, max_value=12),       # locality
+)
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(params=dfg_params, slack=st.integers(min_value=0, max_value=8))
+@RELAXED
+def test_mfs_kernels_byte_identical(params, slack):
+    seed, n_ops, n_inputs, locality = params
+    g = random_dfg(
+        seed=seed, n_ops=n_ops, n_inputs=n_inputs, locality=locality
+    )
+    cs = critical_path_length(g, TIMING) + slack
+    report = check_mfs_kernels(g, TIMING, cs=cs)
+    assert report.ok, report.render()
+
+
+@given(
+    params=dfg_params,
+    slack=st.integers(min_value=0, max_value=6),
+    style=st.sampled_from([1, 2]),
+)
+@RELAXED
+def test_mfsa_kernels_byte_identical(params, slack, style):
+    seed, n_ops, n_inputs, locality = params
+    g = random_dfg(
+        seed=seed, n_ops=n_ops, n_inputs=n_inputs, locality=locality
+    )
+    cs = critical_path_length(g, TIMING) + slack
+    report = check_mfsa_kernels(g, TIMING, LIBRARY, cs=cs, style=style)
+    assert report.ok, report.render()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_ops=st.integers(min_value=4, max_value=32),
+    slack=st.integers(min_value=0, max_value=4),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_conditional_dfgs_agree(seed, n_ops, slack):
+    g = random_conditional_dfg(seed=seed, n_ops=n_ops)
+    cs = critical_path_length(g, TIMING) + slack
+    report = check_mfs_kernels(g, TIMING, cs=cs)
+    assert report.ok, report.render()
+    report = check_mfsa_kernels(g, TIMING, LIBRARY, cs=cs)
+    assert report.ok, report.render()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_nondefault_weights_and_latency_agree(seed):
+    """Eager weights + multi-cycle multiplies hit the folded-frame paths."""
+    g = random_dfg(seed=seed, n_ops=24)
+    cs = critical_path_length(g, TIMING_MUL2) + 3
+    report = check_mfsa_kernels(
+        g,
+        TIMING_MUL2,
+        LIBRARY,
+        cs=cs,
+        weights=LiapunovWeights(1.0, 2.0, 0.5, 1.5),
+    )
+    assert report.ok, report.render()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    slack=st.integers(min_value=0, max_value=4),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_counters_identical_when_alternatives_recorded(seed, slack):
+    """With pruning off, *every* counter matches — including mux/operand."""
+    g = random_dfg(seed=seed, n_ops=20)
+    cs = critical_path_length(g, TIMING) + slack
+    counters = {}
+    for kern in ("scalar", "vector"):
+        clear_mux_memo()
+        perf = PerfCounters()
+        MFSAScheduler(
+            g,
+            TIMING,
+            LIBRARY,
+            cs=cs,
+            kernel=kern,
+            perf=perf,
+            record_alternatives=True,
+        ).run()
+        counters[kern] = dict(perf.counters)
+    assert counters["scalar"] == counters["vector"]
+
+
+def test_comparable_counters_filters_mux_and_operand():
+    perf = PerfCounters()
+    perf.incr("mfsa.candidates_evaluated")
+    perf.incr("mfsa.mux_cache_hits")
+    perf.incr("mfsa.operand_cache_misses")
+    perf.incr("mux.canon_hits")
+    kept = comparable_counters(perf)
+    assert kept == {"mfsa.candidates_evaluated": 1}

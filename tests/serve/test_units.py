@@ -209,3 +209,77 @@ class TestMetricsRender:
             'repro_perf_counter_total{name="sweep.fallback.worker-crash"} 1'
             in text
         )
+
+
+class TestAdaptiveBatchPolicy:
+    def _policy(self, **kw):
+        from repro.serve.batcher import AdaptiveBatchPolicy
+
+        return AdaptiveBatchPolicy(8, **kw)
+
+    def test_first_batch_uses_configured_maximum(self):
+        assert self._policy().batch_limit() == 8
+
+    def test_cheap_jobs_coalesce_to_the_cap(self):
+        policy = self._policy(target_batch_seconds=0.25)
+        policy.observe(0.001)  # 1 ms jobs: 250 would fit, cap at 8
+        assert policy.batch_limit() == 8
+
+    def test_expensive_jobs_dispatch_immediately(self):
+        policy = self._policy(target_batch_seconds=0.25)
+        policy.observe(2.0)
+        assert policy.batch_limit() == 1
+
+    def test_intermediate_costs_fill_the_target(self):
+        policy = self._policy(target_batch_seconds=0.25)
+        policy.observe(0.1)  # 0.25 / 0.1 -> 2 jobs per batch
+        assert policy.batch_limit() == 2
+
+    def test_ewma_update(self):
+        policy = self._policy(alpha=0.5)
+        policy.observe(1.0)
+        policy.observe(0.0)
+        assert policy.cost_ewma == pytest.approx(0.5)
+        policy.observe(0.5)
+        assert policy.cost_ewma == pytest.approx(0.5)
+
+    def test_negative_observations_are_ignored(self):
+        policy = self._policy()
+        policy.observe(-1.0)
+        assert policy.cost_ewma is None
+
+    def test_validation(self):
+        from repro.serve.batcher import AdaptiveBatchPolicy
+
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(8, target_batch_seconds=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(8, alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(8, alpha=1.5)
+
+    def test_batcher_registers_policy_gauges(self):
+        from repro.serve.batcher import MicroBatcher
+
+        metrics = Metrics()
+        batcher = MicroBatcher(
+            JobQueue(4),
+            resolve=lambda job, payload, text: None,
+            adaptive=True,
+            metrics=metrics,
+        )
+        assert batcher.policy is not None
+        batcher.policy.observe(0.5)
+        text = metrics.render()
+        assert "repro_serve_adaptive_batch_limit 1" in text
+        assert "repro_serve_job_cost_ewma_seconds 0.5" in text
+
+    def test_batcher_without_adaptive_has_no_policy(self):
+        from repro.serve.batcher import MicroBatcher
+
+        batcher = MicroBatcher(
+            JobQueue(4), resolve=lambda job, payload, text: None
+        )
+        assert batcher.policy is None

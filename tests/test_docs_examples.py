@@ -20,6 +20,7 @@ DOCUMENTED = [
     "docs/TRACING.md",
     "docs/SERVICE.md",
     "docs/ROBUSTNESS.md",
+    "docs/PERFORMANCE.md",
 ]
 
 _FENCE = re.compile(r"^```python\n(.*?)^```$", re.M | re.S)
