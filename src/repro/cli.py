@@ -376,6 +376,8 @@ def _command_trace(args) -> int:
 def _command_serve(args) -> int:
     from repro.serve import ServeApp, ServeConfig
 
+    if args.shards is not None:
+        return _command_serve_sharded(args)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -389,10 +391,52 @@ def _command_serve(args) -> int:
         cache_entries=args.cache_entries,
         default_timeout_s=args.timeout,
         state_dir=args.state_dir,
+        port_file=args.port_file,
         faults=args.faults,
         fault_seed=args.fault_seed,
     )
     return ServeApp(config).serve_forever()
+
+
+def _command_serve_sharded(args) -> int:
+    from repro.serve import RouterConfig, ShardRouter
+
+    # Tuning knobs are forwarded verbatim to every worker shard; the
+    # router itself only needs the fleet-level settings.
+    shard_args = [
+        "--queue-size", str(args.queue_size),
+        "--max-batch", str(args.max_batch),
+        "--batch-wait-ms", str(args.batch_wait_ms),
+        "--cache-entries", str(args.cache_entries),
+        "--timeout", str(args.timeout),
+    ]
+    if args.adaptive_batching:
+        shard_args += [
+            "--adaptive-batching",
+            "--target-batch-seconds", str(args.target_batch_seconds),
+        ]
+    if args.workers is not None:
+        shard_args += ["--workers", str(args.workers)]
+    if args.serial:
+        shard_args.append("--serial")
+    if args.faults:
+        shard_args += ["--faults", args.faults,
+                       "--fault-seed", str(args.fault_seed)]
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        state_dir=args.state_dir,
+        cache_entries=args.cache_entries,
+        forward_timeout_s=args.timeout + 60.0,
+        shard_args=tuple(shard_args),
+        port_file=args.port_file,
+        # One --faults spelling arms both tiers: router-side rules
+        # (router.forward) fire here, shard-side rules in each shard.
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+    )
+    return ShardRouter(config).serve_forever()
 
 
 def _command_submit(args) -> int:
@@ -625,6 +669,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1", help="bind address")
     p.add_argument("--port", type=int, default=8421,
                    help="bind port (0 picks an ephemeral port)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="spawn N worker-shard subprocesses behind a "
+                   "consistent-hash router (default: single process)")
+    p.add_argument("--port-file", default=None,
+                   help="write the bound port to this file once up "
+                   "(how the shard router finds its workers)")
     p.add_argument("--queue-size", type=int, default=64,
                    help="bounded queue capacity before 429s (default 64)")
     p.add_argument("--max-batch", type=int, default=8,
@@ -647,7 +697,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default per-job timeout in seconds (default 60)")
     p.add_argument("--state-dir", default=None,
                    help="directory for the write-ahead job journal; a "
-                   "restarted server replays unfinished jobs from it")
+                   "restarted server replays unfinished jobs from it "
+                   "(with --shards, each shard journals under shard-<i>/)")
     p.add_argument("--faults", default=None,
                    help="fault-injection plan, e.g. "
                    "'serve.cache.put:n=2,sweep.submit:p=0.25:times=3' "

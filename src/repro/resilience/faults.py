@@ -55,6 +55,7 @@ FAULT_SITES = (
     "serve.journal.write",  # JobJournal.append, before the write
     "sweep.submit",         # SweepExecutor, per-item pool submission
     "scheduler.run",        # execute_spec, before the scheduler runs
+    "router.forward",       # ShardRouter, before proxying to a shard
 )
 
 

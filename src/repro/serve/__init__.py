@@ -3,12 +3,16 @@
 A stdlib-only JSON-over-HTTP front end to the MFS/MFSA schedulers:
 content-addressed result cache, bounded job queue with backpressure,
 micro-batching dispatch through :class:`~repro.sweep.SweepExecutor`,
-Prometheus-compatible metrics and graceful drain.  See
-``docs/SERVICE.md`` for the operator's guide.
+Prometheus-compatible metrics and graceful drain.  ``--shards N`` scales
+it to a fleet: a :class:`ShardRouter` front end consistent-hashes jobs
+over N worker-shard subprocesses behind the same HTTP API.  See
+``docs/SERVICE.md`` for the operator's guide and ``docs/ARCHITECTURE.md``
+for how the pieces fit.
 """
 
 from repro.serve.app import ServeApp, ServeConfig, ServeHandle
 from repro.serve.cache import ResultCache
+from repro.serve.hashring import HashRing
 from repro.serve.client import (
     Backpressure,
     Client,
@@ -24,11 +28,16 @@ from repro.serve.jobs import (
 )
 from repro.serve.metrics import Metrics
 from repro.serve.queue import Job, JobFailed, JobQueue, JobTimeout, QueueFull
+from repro.serve.router import RouterConfig, RouterHandle, ShardRouter
 
 __all__ = [
     "ServeApp",
     "ServeConfig",
     "ServeHandle",
+    "ShardRouter",
+    "RouterConfig",
+    "RouterHandle",
+    "HashRing",
     "ResultCache",
     "Client",
     "ServiceError",

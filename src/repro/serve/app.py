@@ -39,7 +39,6 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
 
 from repro.perf import PerfCounters
 from repro.resilience.faults import (
@@ -50,6 +49,12 @@ from repro.resilience.faults import (
     fault_point,
 )
 from repro.resilience.journal import JobJournal
+from repro.serve.httpcore import (
+    ProtocolError,
+    flag as _query_flag,
+    read_request,
+    write_response,
+)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpecError, cache_key, normalize_spec
@@ -64,31 +69,6 @@ from repro.serve.queue import (
 
 #: Journal file name inside ``--state-dir``.
 JOURNAL_FILENAME = "jobs.journal.jsonl"
-
-_REASONS = {
-    200: "OK",
-    202: "Accepted",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    408: "Request Timeout",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
-
-_TRUE_VALUES = ("1", "on", "true", "yes")
-
-
-class ProtocolError(Exception):
-    """A request the HTTP layer could not parse."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
 
 @dataclass
 class ServeConfig:
@@ -117,6 +97,10 @@ class ServeConfig:
     #: Directory for crash-safe state (the write-ahead job journal).
     #: ``None`` disables durability; see docs/ROBUSTNESS.md.
     state_dir: Optional[str] = None
+    #: Write the bound port here once the listener is up (atomic
+    #: temp-file + rename).  How the shard router — and anything else
+    #: spawning ``serve --port 0`` — learns where a worker landed.
+    port_file: Optional[str] = None
     #: Fault-injection plan spec (``FaultPlan.parse`` spelling) armed for
     #: the lifetime of the server — chaos-testing only.
     faults: Optional[str] = None
@@ -210,6 +194,17 @@ class ServeApp:
         )
         self.batcher.start()
         self.started_monotonic = time.monotonic()
+        if self.config.port_file:
+            self._write_port_file(self.config.port_file)
+
+    def _write_port_file(self, path: str) -> None:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        temp_path = f"{path}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(f"{self.port}\n")
+        os.replace(temp_path, path)
 
     @property
     def port(self) -> int:
@@ -522,7 +517,9 @@ class ServeApp:
         status = 500
         try:
             try:
-                request = await self._read_request(reader)
+                request = await read_request(
+                    reader, self.config.max_body_bytes
+                )
                 if request is None:
                     return
                 method, path, query, body = request
@@ -552,7 +549,7 @@ class ServeApp:
                     {},
                     {"error": f"{type(error).__name__}: {error}"},
                 )
-            await self._write_response(writer, status, headers, payload)
+            await write_response(writer, status, headers, payload)
         finally:
             self.metrics.incr(
                 "http_requests", method=method, route=route, status=str(status)
@@ -563,40 +560,9 @@ class ServeApp:
             except (ConnectionError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        try:
-            request_line = await reader.readline()
-        except (ConnectionError, asyncio.LimitOverrunError):
-            return None
-        if not request_line.strip():
-            return None
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise ProtocolError(400, "malformed request line")
-        method, target, _version = parts
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _sep, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > self.config.max_body_bytes:
-            raise ProtocolError(413, "request body too large")
-        body = await reader.readexactly(length) if length else b""
-        split = urlsplit(target)
-        query = {
-            key: values[-1]
-            for key, values in parse_qs(split.query).items()
-        }
-        return method.upper(), split.path, query, body
-
     @staticmethod
     def _flag(query: Mapping[str, str], name: str) -> bool:
-        return query.get(name, "").lower() in _TRUE_VALUES
+        return _query_flag(query, name)
 
     async def _route(
         self,
@@ -693,41 +659,6 @@ class ServeApp:
             "cache_entries": len(self.cache),
             "uptime_seconds": round(uptime, 3),
         }
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        headers: Dict[str, str],
-        payload: Any,
-    ) -> None:
-        if isinstance(payload, str) and (
-            headers.pop("X-Raw-Body", None)
-            or headers.get("Content-Type", "").startswith("text/")
-        ):
-            body = payload.encode("utf-8")
-            content_type = headers.pop(
-                "Content-Type", "text/plain; charset=utf-8"
-            )
-        else:
-            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-            content_type = "application/json"
-        reason = _REASONS.get(status, "Unknown")
-        lines = [
-            f"HTTP/1.1 {status} {reason}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        for name, value in headers.items():
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        try:
-            writer.write(head + body)
-            await writer.drain()
-        except (ConnectionError, BrokenPipeError):  # pragma: no cover
-            pass
-
 
 class ServeHandle:
     """Control handle for a :meth:`ServeApp.start_in_thread` instance."""

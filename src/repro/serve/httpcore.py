@@ -1,0 +1,197 @@
+"""Shared HTTP/1.1 plumbing for the serve tier (stdlib asyncio streams).
+
+One hand-rolled request/response layer, used by both server roles:
+
+* :class:`~repro.serve.app.ServeApp` — a single worker shard (or the
+  whole service when unsharded);
+* :class:`~repro.serve.router.ShardRouter` — the consistent-hash front
+  end of a sharded fleet, which additionally *originates* requests to
+  its shards through :func:`proxy_request`.
+
+The dialect is deliberately minimal — ``Connection: close`` per
+request, explicit ``Content-Length``, no chunked encoding — because
+every peer (the stdlib client, the router, curl) speaks it and the
+serve tier's requests are small JSON bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+#: Reason phrases for every status the serve tier answers with.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Query-flag spellings accepted as true.
+TRUE_VALUES = ("1", "on", "true", "yes")
+
+
+class ProtocolError(Exception):
+    """A request the HTTP layer could not parse."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def flag(query: Mapping[str, str], name: str) -> bool:
+    """Whether query parameter ``name`` is a truthy flag."""
+    return query.get(name, "").lower() in TRUE_VALUES
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one request into ``(method, path, query, body)``.
+
+    Returns ``None`` on a bare connection close before the request line;
+    raises :class:`ProtocolError` on malformed or oversized input.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise ProtocolError(400, "malformed request line")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_body_bytes:
+        raise ProtocolError(413, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    query = {
+        key: values[-1] for key, values in parse_qs(split.query).items()
+    }
+    return method.upper(), split.path, query, body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    headers: Dict[str, str],
+    payload: Any,
+) -> None:
+    """Serialise and send one response; swallows client disconnects.
+
+    ``payload`` is JSON-encoded unless it is a string marked raw
+    (``X-Raw-Body`` header, consumed here) or typed ``text/*`` — the
+    raw path is what keeps cached result bytes byte-identical on the
+    wire.
+    """
+    headers = dict(headers)
+    if isinstance(payload, str) and (
+        headers.pop("X-Raw-Body", None)
+        or headers.get("Content-Type", "").startswith("text/")
+    ):
+        body = payload.encode("utf-8")
+        content_type = headers.pop("Content-Type", "text/plain; charset=utf-8")
+    elif isinstance(payload, bytes):
+        body = payload
+        content_type = headers.pop("Content-Type", "application/json")
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        content_type = "application/json"
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    try:
+        writer.write(head + body)
+        await writer.drain()
+    except (ConnectionError, BrokenPipeError):  # pragma: no cover
+        pass
+
+
+async def proxy_request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    body: bytes = b"",
+    headers: Optional[Mapping[str, str]] = None,
+    timeout_s: float = 120.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Send one request to a peer and read the full response.
+
+    The router's forwarding path: opens a fresh connection (the serve
+    dialect is one request per connection), writes the request verbatim,
+    reads status line + headers + ``Content-Length`` body.  Raises
+    ``OSError``/``asyncio.TimeoutError`` on transport failure — callers
+    translate those into failover or 502/504.
+    """
+
+    async def _roundtrip() -> Tuple[int, Dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            lines = [
+                f"{method} {target} HTTP/1.1",
+                f"Host: {host}:{port}",
+                f"Content-Length: {len(body)}",
+                "Connection: close",
+            ]
+            for name, value in (headers or {}).items():
+                lines.append(f"{name}: {value}")
+            writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+            if body:
+                writer.write(body)
+            await writer.drain()
+
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(
+                    f"malformed status line from {host}:{port}: {status_line!r}"
+                )
+            status = int(parts[1])
+            response_headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _sep, value = line.decode("latin-1").partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+            length = response_headers.get("content-length")
+            if length is not None:
+                payload = await reader.readexactly(int(length))
+            else:  # pragma: no cover - peers always send Content-Length
+                payload = await reader.read()
+            return status, response_headers, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    return await asyncio.wait_for(_roundtrip(), timeout=timeout_s)

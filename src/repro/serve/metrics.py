@@ -56,6 +56,63 @@ def _format(value: float) -> str:
     return repr(float(value))
 
 
+def relabel_exposition(text: str, **labels: str) -> str:
+    """Inject constant labels into every sample of an exposition.
+
+    The shard router scrapes each worker shard's ``/metrics`` and
+    re-emits the union with a ``shard="shard-<i>"`` label (its own
+    series carry ``shard="router"``), so one scrape of the router shows
+    the whole fleet with per-shard attribution.  ``# HELP``/``# TYPE``
+    comment lines pass through untouched; sample lines get the new
+    labels merged in front of any existing ones.
+    """
+    if not labels:
+        return text
+    injected = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    lines = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            lines.append(line)
+            continue
+        name_part, _sep, value_part = line.rpartition(" ")
+        if not name_part:  # pragma: no cover - malformed sample line
+            lines.append(line)
+            continue
+        if name_part.endswith("}"):
+            brace = name_part.index("{")
+            existing = name_part[brace + 1:-1]
+            merged = f"{injected},{existing}" if existing else injected
+            name_part = f"{name_part[:brace]}{{{merged}}}"
+        else:
+            name_part = f"{name_part}{{{injected}}}"
+        lines.append(f"{name_part} {value_part}")
+    return "\n".join(lines) + ("\n" if text.endswith("\n") else "")
+
+
+def merge_expositions(parts) -> str:
+    """Concatenate expositions, keeping one HELP/TYPE header per metric.
+
+    Prometheus rejects duplicate ``# TYPE`` lines for the same metric
+    name; when the router merges N shard scrapes the headers repeat, so
+    the first occurrence wins and later duplicates are dropped (sample
+    lines always pass through).
+    """
+    seen = set()
+    lines = []
+    for part in parts:
+        for line in part.splitlines():
+            if line.startswith(("# HELP ", "# TYPE ")):
+                kind, _, rest = line.partition(" ")[2].partition(" ")
+                key = (line.split(" ", 1)[0], kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+            lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
 class Metrics:
     """The service metrics registry (one per :class:`~repro.serve.app.ServeApp`)."""
 

@@ -1,0 +1,804 @@
+"""The shard router: a consistent-hash front end over worker shards.
+
+``repro-hls serve --shards N`` promotes the service from one asyncio
+loop to a small fleet: the router spawns N :class:`~repro.serve.app.
+ServeApp` worker subprocesses (each with its own event loop, warm
+:class:`~repro.sweep.SweepExecutor` pool and — under ``--state-dir`` —
+its own write-ahead journal in ``shard-<i>/``) and fronts them behind
+the *unchanged* HTTP API, so the client, the CLI and every docs example
+work identically against one process or a fleet::
+
+                          ┌────────────────────┐
+    client ──▶ router ──▶ │ L2 result cache?   │── hit ──▶ response
+               │          └────────────────────┘
+               │ miss: HashRing.ordered(dfg_fingerprint)
+               ├──▶ shard-0 (ServeApp: L1 cache, pool, journal)
+               ├──▶ shard-1
+               └──▶ shard-<n>    … first *healthy* shard in ring order
+
+Design choices, and why:
+
+* **Routing key = the canonical DFG fingerprint** (:func:`repro.dfg.
+  fingerprint.dfg_fingerprint`), not the full cache key — all parameter
+  sweeps over one design land on the same shard, so its warm worker
+  caches (timing model, cell library) and L1 result cache do maximal
+  work.
+* **Two cache tiers.**  Each shard keeps its L1
+  :class:`~repro.serve.cache.ResultCache`; the router keeps a shared L2
+  keyed by the same content address and populated from shard responses.
+  A result computed by one shard is therefore served as a cache hit to
+  *any* later client, even when failover routes the request to a
+  different shard — and byte-identically, because both tiers store
+  :func:`~repro.serve.jobs.response_text` output.
+* **Failover is re-routing, not retry logic in clients.**  A health
+  loop polls every shard; a dead or unresponsive shard is skipped and
+  the request forwarded to the next shard in the key's ring order
+  (deterministic fallback).  Crashed shards are respawned on their own
+  state dir, so journal replay restores their crash window
+  byte-identically (docs/ROBUSTNESS.md).
+* **One ``/metrics`` for the fleet.**  The router scrapes each shard
+  and re-emits the union with a ``shard="shard-<i>"`` label (its own
+  series carry ``shard="router"``).
+
+Graceful drain mirrors the single-process story: SIGTERM stops
+admission (503), SIGTERMs every shard (each drains its own queue and
+compacts its journal), then the router exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+from urllib.parse import urlencode
+
+from repro.dfg.fingerprint import dfg_fingerprint
+from repro.io.jsonio import dfg_from_json
+from repro.resilience.faults import (
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    arm,
+    fault_point,
+)
+from repro.serve.cache import ResultCache
+from repro.serve.hashring import HashRing
+from repro.serve.httpcore import (
+    ProtocolError,
+    flag as _query_flag,
+    proxy_request,
+    read_request,
+    write_response,
+)
+from repro.serve.jobs import JobSpecError, cache_key, normalize_spec, response_text
+from repro.serve.metrics import Metrics, merge_expositions, relabel_exposition
+from repro.serve.queue import Job
+
+
+@dataclass
+class RouterConfig:
+    """Tunables of one shard-router instance (see docs/SERVICE.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    #: Worker shards to spawn.  ``--shards 1`` still runs the router in
+    #: front of one shard (useful for like-for-like benchmarking).
+    shards: int = 2
+    #: Root of the fleet's crash-safe state; each shard journals under
+    #: ``<state_dir>/shard-<i>/``.  ``None`` disables durability (the
+    #: router still needs scratch space for port files and shard logs,
+    #: which it takes from a private temp dir).
+    state_dir: Optional[str] = None
+    #: Shared L2 result-cache capacity at the router.
+    cache_entries: int = 4096
+    job_history: int = 2048
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: Seconds between shard health probes; a shard is unhealthy after
+    #: ``health_failures`` consecutive probe failures and is respawned
+    #: (same state dir → journal replay) when its process has exited.
+    health_interval_s: float = 0.25
+    health_timeout_s: float = 2.0
+    health_failures: int = 2
+    respawn: bool = True
+    #: Budget for one forwarded request (covers ``?wait=1`` synthesis).
+    forward_timeout_s: float = 120.0
+    #: Budget for every shard to drain after fleet SIGTERM.
+    drain_timeout_s: float = 30.0
+    #: Extra ``repro-hls serve`` flags forwarded verbatim to every shard
+    #: (tuning knobs: ``--serial``, ``--max-batch``, ``--faults``, …).
+    shard_args: Tuple[str, ...] = ()
+    port_file: Optional[str] = None
+    #: Router-level fault plan (``router.forward`` site — chaos only).
+    faults: Optional[str] = None
+    fault_seed: int = 0
+
+
+class ShardProcess:
+    """One worker-shard subprocess as the router sees it."""
+
+    def __init__(self, name: str, index: int, home: str) -> None:
+        self.name = name
+        self.index = index
+        #: Shard-private directory: port file, log, and (under
+        #: ``--state-dir``) the write-ahead journal.
+        self.home = home
+        self.port_file = os.path.join(home, "port")
+        self.log_path = os.path.join(home, "shard.log")
+        self.process: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self.healthy = False
+        self.failures = 0
+        self.restarts = 0
+        self.last_health: Optional[Dict[str, Any]] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def describe(self) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "status": "ok" if self.healthy else ("starting" if self.alive else "down"),
+            "port": self.port,
+            "restarts": self.restarts,
+        }
+        if self.last_health is not None:
+            info["health"] = self.last_health
+        return info
+
+
+class ShardRouter:
+    """Front end of a sharded fleet: routing, shared cache, supervision."""
+
+    def __init__(self, config: Optional[RouterConfig] = None, **overrides) -> None:
+        if config is None:
+            config = RouterConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a RouterConfig or keyword overrides")
+        if config.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {config.shards}")
+        self.config = config
+        self.metrics = Metrics()
+        self.cache = ResultCache(config.cache_entries, metrics=self.metrics)
+        self.ring = HashRing(f"shard-{i}" for i in range(config.shards))
+        self.shards: Dict[str, ShardProcess] = {}
+        #: Router-answered jobs (shared-cache hits), by id.
+        self.jobs: "Dict[str, Job]" = {}
+        self._job_order: List[str] = []
+        #: Which shard answered which job id (forwarded submissions).
+        self.job_locations: Dict[str, str] = {}
+        self.fault_plan: Optional[FaultPlan] = None
+        if config.faults:
+            self.fault_plan = FaultPlan.parse(config.faults, seed=config.fault_seed)
+        self.draining = False
+        self.started_monotonic: Optional[float] = None
+        self._scratch: Optional[tempfile.TemporaryDirectory] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._drain_on_stop = True
+        self._announce = sys.stderr
+        self._describe_metrics()
+
+    def _describe_metrics(self) -> None:
+        m = self.metrics
+        m.describe("cache_hits", "Shared (L2) result-cache hits at the router.")
+        m.describe("cache_misses", "Shared (L2) result-cache misses at the router.")
+        m.describe("cache_evictions", "LRU evictions from the shared cache.")
+        m.describe("http_requests", "HTTP requests, by method/route/status.")
+        m.describe("router_forwards", "Requests forwarded, by target shard.")
+        m.describe("router_forward_errors", "Forward attempts that failed, by target shard.")
+        m.describe("router_failovers", "Submissions re-routed off their owner shard.")
+        m.describe("shard_restarts", "Shard subprocesses respawned, by target shard.")
+        m.gauge("shards_total", lambda: len(self.shards))
+        m.gauge(
+            "healthy_shards",
+            lambda: sum(1 for s in self.shards.values() if s.healthy),
+        )
+        m.gauge("cache_entries", lambda: len(self.cache))
+        m.gauge("draining", lambda: 1 if self.draining else 0)
+
+    # ------------------------------------------------------------------
+    # shard lifecycle
+    # ------------------------------------------------------------------
+    def _shard_home(self, name: str) -> str:
+        root = self.config.state_dir
+        if root is None:
+            if self._scratch is None:
+                self._scratch = tempfile.TemporaryDirectory(prefix="repro-router-")
+            root = self._scratch.name
+        home = os.path.join(root, name)
+        os.makedirs(home, exist_ok=True)
+        return home
+
+    def _shard_command(self, shard: ShardProcess) -> List[str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.config.host,
+            "--port",
+            "0",
+            "--port-file",
+            shard.port_file,
+        ]
+        if self.config.state_dir is not None:
+            command += ["--state-dir", shard.home]
+        command += list(self.config.shard_args)
+        return command
+
+    def _spawn(self, shard: ShardProcess) -> None:
+        """Start (or restart) one shard subprocess, stderr → its log."""
+        for stale in (shard.port_file, f"{shard.port_file}.tmp"):
+            try:
+                os.unlink(stale)
+            except FileNotFoundError:
+                pass
+        env = dict(os.environ)
+        # The shard must import repro from the same tree as the router,
+        # regardless of how the router itself was launched.
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        with open(shard.log_path, "ab") as log:
+            shard.process = subprocess.Popen(
+                self._shard_command(shard),
+                stdin=subprocess.DEVNULL,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+        shard.port = None
+        shard.healthy = False
+        shard.failures = 0
+
+    def _read_port(self, shard: ShardProcess) -> Optional[int]:
+        try:
+            with open(shard.port_file, "r", encoding="utf-8") as handle:
+                text = handle.read().strip()
+            return int(text) if text else None
+        except (FileNotFoundError, ValueError):
+            return None
+
+    async def _await_port(self, shard: ShardProcess, timeout_s: float = 60.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            port = self._read_port(shard)
+            if port is not None:
+                shard.port = port
+                shard.healthy = True
+                return
+            if not shard.alive:
+                raise RuntimeError(
+                    f"{shard.name} exited during startup "
+                    f"(rc={shard.process.returncode}); see {shard.log_path}"
+                )
+            await asyncio.sleep(0.02)
+        raise RuntimeError(f"{shard.name} did not announce a port; see {shard.log_path}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the fleet, wait for every shard, bind the listener."""
+        if self.fault_plan is not None:
+            arm(self.fault_plan)
+        for index in range(self.config.shards):
+            name = f"shard-{index}"
+            shard = ShardProcess(name, index, self._shard_home(name))
+            self.shards[name] = shard
+            self._spawn(shard)
+        for shard in self.shards.values():
+            await self._await_port(shard)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._health_task = asyncio.create_task(self._health_loop())
+        self.started_monotonic = time.monotonic()
+        if self.config.port_file:
+            directory = os.path.dirname(self.config.port_file)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            temp_path = f"{self.config.port_file}.tmp"
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                handle.write(f"{self.port}\n")
+            os.replace(temp_path, self.config.port_file)
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop the fleet; with ``drain``, let every shard finish first."""
+        self.draining = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        for shard in self.shards.values():
+            if shard.alive:
+                shard.process.send_signal(
+                    signal.SIGTERM if drain else signal.SIGKILL
+                )
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        for shard in self.shards.values():
+            if shard.process is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                await asyncio.to_thread(shard.process.wait, remaining)
+            except subprocess.TimeoutExpired:  # pragma: no cover - slow drain
+                shard.process.kill()
+                await asyncio.to_thread(shard.process.wait)
+            shard.healthy = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.fault_plan is not None and active_plan() is self.fault_plan:
+            arm(None)
+        if self._scratch is not None:
+            self._scratch.cleanup()
+            self._scratch = None
+        if self._announce is not None:
+            print(
+                relabel_exposition(self.metrics.render(), shard="router"),
+                file=self._announce,
+                end="",
+            )
+            print("drained and stopped", file=self._announce, flush=True)
+
+    def serve_forever(self, announce=sys.stderr, install_signals: bool = True) -> int:
+        """Blocking entry point of ``repro-hls serve --shards N``."""
+        self._announce = announce
+        return asyncio.run(self._serve_forever(install_signals))
+
+    async def _serve_forever(self, install_signals: bool) -> int:
+        await self.start()
+        self._stop_event = asyncio.Event()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_stop)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        if self._announce is not None:
+            print(
+                f"router: {self.config.shards} shard(s) up",
+                file=self._announce,
+                flush=True,
+            )
+            print(f"serving on {self.url}", file=self._announce, flush=True)
+        await self._stop_event.wait()
+        await self.shutdown(drain=self._drain_on_stop)
+        return 0
+
+    def request_stop(self, drain: bool = True) -> None:
+        """Ask the router loop to drain the fleet and exit."""
+        self.draining = True
+        self._drain_on_stop = drain
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    # -- threaded harness (tests, docs, benchmarks) --------------------
+    def start_in_thread(self) -> "RouterHandle":
+        """Run this router on a dedicated event-loop thread."""
+        ready = threading.Event()
+        failure: Dict[str, BaseException] = {}
+
+        def _runner() -> None:
+            try:
+                asyncio.run(self._thread_main(ready))
+            except BaseException as error:  # pragma: no cover - startup bugs
+                failure["error"] = error
+                ready.set()
+
+        thread = threading.Thread(target=_runner, name="repro-router", daemon=True)
+        thread.start()
+        ready.wait(timeout=120)
+        if "error" in failure:
+            raise RuntimeError("router failed to start") from failure["error"]
+        return RouterHandle(self, thread)
+
+    async def _thread_main(self, ready: threading.Event) -> None:
+        self._announce = None
+        await self.start()
+        self._stop_event = asyncio.Event()
+        self._thread_loop = asyncio.get_running_loop()
+        ready.set()
+        await self._stop_event.wait()
+        await self.shutdown(drain=self._drain_on_stop)
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    async def _health_loop(self) -> None:
+        while True:
+            for shard in self.shards.values():
+                if self.draining:
+                    return
+                await self._check(shard)
+            await asyncio.sleep(self.config.health_interval_s)
+
+    async def _check(self, shard: ShardProcess) -> None:
+        if not shard.alive:
+            shard.healthy = False
+            shard.last_health = None
+            if self.config.respawn and not self.draining:
+                shard.restarts += 1
+                self.metrics.incr("shard_restarts", target=shard.name)
+                self._spawn(shard)
+            return
+        if shard.port is None:
+            shard.port = self._read_port(shard)
+            if shard.port is None:
+                return  # still booting (journal replay runs pre-listener)
+        try:
+            status, _headers, body = await proxy_request(
+                self.config.host,
+                shard.port,
+                "GET",
+                "/healthz",
+                timeout_s=self.config.health_timeout_s,
+            )
+            if status != 200:
+                raise ConnectionError(f"healthz answered {status}")
+            shard.last_health = json.loads(body.decode("utf-8"))
+            shard.healthy = True
+            shard.failures = 0
+        except (OSError, asyncio.TimeoutError, ValueError):
+            shard.failures += 1
+            if shard.failures >= self.config.health_failures:
+                shard.healthy = False
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _candidates(self, fingerprint: str) -> List[ShardProcess]:
+        """Forwarding order for a key: healthy shards first, ring order."""
+        preference = [self.shards[name] for name in self.ring.ordered(fingerprint)]
+        usable = [s for s in preference if s.port is not None and s.alive]
+        healthy = [s for s in usable if s.healthy]
+        suspect = [s for s in usable if not s.healthy]
+        return healthy + suspect
+
+    async def _forward(
+        self,
+        shard: ShardProcess,
+        method: str,
+        target: str,
+        body: bytes = b"",
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One forwarding attempt; transport failures demote the shard."""
+        try:
+            fault_point("router.forward")
+            result = await proxy_request(
+                self.config.host,
+                shard.port,
+                method,
+                target,
+                body=body,
+                timeout_s=self.config.forward_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError, InjectedFault):
+            self.metrics.incr("router_forward_errors", target=shard.name)
+            shard.failures += 1
+            if not shard.alive or shard.failures >= self.config.health_failures:
+                shard.healthy = False
+            raise
+        self.metrics.incr("router_forwards", target=shard.name)
+        return result
+
+    @staticmethod
+    def _target(path: str, query: Mapping[str, str]) -> str:
+        return f"{path}?{urlencode(dict(query))}" if query else path
+
+    def _remember_job(self, job: Job) -> None:
+        self.jobs[job.id] = job
+        self._job_order.append(job.id)
+        while len(self._job_order) > self.config.job_history:
+            self.jobs.pop(self._job_order.pop(0), None)
+
+    def _remember_location(self, payload: Any, shard: ShardProcess) -> None:
+        """Pin job ids from a shard response to that shard for ``GET``s."""
+        if not isinstance(payload, Mapping):
+            return
+        info = payload.get("job")
+        if isinstance(info, Mapping) and isinstance(info.get("id"), str):
+            self.job_locations[info["id"]] = shard.name
+            while len(self.job_locations) > self.config.job_history:
+                oldest = next(iter(self.job_locations))
+                self.job_locations.pop(oldest)
+
+    def _absorb_result(self, payload: Any) -> None:
+        """Populate the shared L2 cache from a shard's finished response."""
+        if not isinstance(payload, Mapping):
+            return
+        info = payload.get("job")
+        result = payload.get("result")
+        if (
+            isinstance(info, Mapping)
+            and info.get("status") == "done"
+            and isinstance(info.get("key"), str)
+            and isinstance(result, Mapping)
+        ):
+            # response_text() of the parsed result reproduces the exact
+            # bytes the shard cached — canonical JSON both sides.
+            self.cache.put(info["key"], response_text(result))
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        method = route = "-"
+        status = 500
+        try:
+            try:
+                request = await read_request(reader, self.config.max_body_bytes)
+                if request is None:
+                    return
+                method, path, query, body = request
+                route, (status, headers, payload) = await self._route(
+                    method, path, query, body
+                )
+            except ProtocolError as error:
+                status, headers, payload = error.status, {}, {"error": str(error)}
+            except JobSpecError as error:
+                status, headers, payload = 400, {}, {"error": str(error)}
+            except Exception as error:  # pragma: no cover - defensive
+                status, headers, payload = (
+                    500,
+                    {},
+                    {"error": f"{type(error).__name__}: {error}"},
+                )
+            await write_response(writer, status, headers, payload)
+        finally:
+            self.metrics.incr(
+                "http_requests", method=method, route=route, status=str(status)
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, str],
+        body: bytes,
+    ) -> Tuple[str, Tuple[int, Dict[str, str], Any]]:
+        if path in ("/v1/schedule", "/v1/synth"):
+            if method != "POST":
+                return path, (405, {}, {"error": "POST required"})
+            algorithm = "mfs" if path == "/v1/schedule" else "mfsa"
+            return path, await self._handle_submit(algorithm, path, query, body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return "/v1/jobs", (405, {}, {"error": "GET required"})
+            return "/v1/jobs", await self._handle_job(path, path[len("/v1/jobs/"):])
+        if path == "/healthz":
+            return path, (200, {}, self._health())
+        if path == "/metrics":
+            return path, (
+                200,
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                await self._merged_metrics(),
+            )
+        return "-", (404, {}, {"error": f"no route for {method} {path}"})
+
+    async def _handle_submit(
+        self, algorithm: str, path: str, query: Mapping[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, str], Any]:
+        if self.draining:
+            return 503, {}, {"error": "draining; not accepting new work"}
+        try:
+            parsed = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(400, f"request body is not JSON: {error}")
+        # Validate at the edge: a malformed design 400s here without
+        # burning a forward, and normalisation gives the routing key.
+        spec = normalize_spec(
+            algorithm,
+            parsed,
+            verify=_query_flag(query, "verify"),
+            trace=_query_flag(query, "trace"),
+        )
+        key = cache_key(spec)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            job = Job(spec, key, timeout_s=None, loop=asyncio.get_running_loop())
+            job.cache = "hit"
+            job.mark_running()
+            job.finish(True, cached)
+            self._remember_job(job)
+            info = job.describe()
+            info["shard"] = "router"
+            if _query_flag(query, "wait"):
+                return 200, {}, {"job": info, "result": json.loads(cached)}
+            return 202, {}, {"job": info}
+
+        fingerprint = dfg_fingerprint(dfg_from_json(spec["dfg_json"]))
+        candidates = self._candidates(fingerprint)
+        if not candidates:
+            return 503, {}, {"error": "no shard available"}
+        owner = self.ring.node_for(fingerprint)
+        target = self._target(path, query)
+        last_error: Optional[BaseException] = None
+        for shard in candidates:
+            try:
+                status, headers, raw = await self._forward(
+                    shard, "POST", target, body
+                )
+            except (OSError, asyncio.TimeoutError, InjectedFault) as error:
+                last_error = error
+                continue
+            if shard.name != owner:
+                self.metrics.incr("router_failovers")
+            return self._relay(status, headers, raw, shard)
+        return 503, {}, {
+            "error": f"no healthy shard for this key ({last_error})",
+        }
+
+    def _relay(
+        self,
+        status: int,
+        headers: Mapping[str, str],
+        raw: bytes,
+        shard: ShardProcess,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """Pass a shard's JSON response through, annotated and absorbed."""
+        out_headers: Dict[str, str] = {}
+        if "retry-after" in headers:
+            out_headers["Retry-After"] = headers["retry-after"]
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return status, out_headers, raw
+        self._remember_location(payload, shard)
+        if status == 200:
+            self._absorb_result(payload)
+        if isinstance(payload, Mapping) and isinstance(payload.get("job"), Mapping):
+            payload = dict(payload)
+            payload["job"] = dict(payload["job"])
+            payload["job"]["shard"] = shard.name
+        return status, out_headers, payload
+
+    async def _handle_job(
+        self, path: str, tail: str
+    ) -> Tuple[int, Dict[str, str], Any]:
+        job_id, _sep, sub = tail.partition("/")
+        job = self.jobs.get(job_id)
+        if job is not None:
+            text = job.response_text
+            if sub == "result":
+                if text is None:  # pragma: no cover - router jobs are terminal
+                    return 404, {}, {"error": f"job {job_id} has no result yet"}
+                return 200, {"X-Raw-Body": "1"}, text
+            if sub:
+                return 404, {}, {"error": f"unknown job subresource {sub!r}"}
+            info = job.describe()
+            info["shard"] = "router"
+            response: Dict[str, Any] = {"job": info}
+            if text is not None:
+                response["result"] = json.loads(text)
+            return 200, {}, response
+
+        # Try the shard that admitted the id, then every other shard —
+        # after a crash the id may only exist in a replayed journal.
+        ordered: List[ShardProcess] = []
+        located = self.job_locations.get(job_id)
+        if located is not None and located in self.shards:
+            ordered.append(self.shards[located])
+        ordered += [s for s in self.shards.values() if s not in ordered]
+        last_status = 404
+        for shard in ordered:
+            if shard.port is None or not shard.alive:
+                continue
+            try:
+                status, headers, raw = await self._forward(shard, "GET", path)
+            except (OSError, asyncio.TimeoutError, InjectedFault):
+                continue
+            if status == 404:
+                last_status = status
+                continue
+            if sub == "result":
+                # Raw bytes straight through: byte-identity is the
+                # contract on this endpoint.
+                return status, {"X-Raw-Body": "1"}, raw.decode("utf-8")
+            self.job_locations[job_id] = shard.name
+            return self._relay(status, headers, raw, shard)
+        return last_status, {}, {"error": f"unknown job {job_id!r}"}
+
+    def _health(self) -> Dict[str, Any]:
+        uptime = (
+            time.monotonic() - self.started_monotonic
+            if self.started_monotonic is not None
+            else 0.0
+        )
+        return {
+            "status": "draining" if self.draining else "ok",
+            "role": "router",
+            "shards": {
+                name: shard.describe() for name, shard in self.shards.items()
+            },
+            "healthy_shards": sum(1 for s in self.shards.values() if s.healthy),
+            "cache_entries": len(self.cache),
+            "uptime_seconds": round(uptime, 3),
+        }
+
+    async def _merged_metrics(self) -> str:
+        """Fleet exposition: router series + every reachable shard's."""
+        parts = [relabel_exposition(self.metrics.render(), shard="router")]
+
+        async def _scrape(shard: ShardProcess) -> Optional[str]:
+            if shard.port is None or not shard.alive:
+                return None
+            try:
+                status, _headers, body = await self._forward(
+                    shard, "GET", "/metrics"
+                )
+            except (OSError, asyncio.TimeoutError, InjectedFault):
+                return None
+            if status != 200:
+                return None
+            return relabel_exposition(body.decode("utf-8"), shard=shard.name)
+
+        scrapes = await asyncio.gather(
+            *(_scrape(shard) for shard in self.shards.values())
+        )
+        parts += [scrape for scrape in scrapes if scrape]
+        return merge_expositions(parts)
+
+
+class RouterHandle:
+    """Control handle for a :meth:`ShardRouter.start_in_thread` instance."""
+
+    def __init__(self, router: ShardRouter, thread: threading.Thread) -> None:
+        self.router = router
+        self._thread = thread
+
+    @property
+    def url(self) -> str:
+        return self.router.url
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Drain (optionally) the fleet and stop the router thread."""
+        loop = getattr(self.router, "_thread_loop", None)
+        if loop is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(self.router.request_stop, drain)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RouterHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

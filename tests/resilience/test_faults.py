@@ -172,4 +172,4 @@ def test_injected_fault_pickles():
 def test_fault_sites_cover_the_production_layers():
     # The registry names every layer the PR threads faults through.
     prefixes = {site.split(".")[0] for site in FAULT_SITES}
-    assert prefixes == {"serve", "sweep", "scheduler"}
+    assert prefixes == {"serve", "sweep", "scheduler", "router"}

@@ -16,6 +16,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 DOCUMENTED = [
     "README.md",
+    "docs/ARCHITECTURE.md",
     "docs/TUTORIAL.md",
     "docs/TRACING.md",
     "docs/SERVICE.md",
@@ -46,6 +47,17 @@ def test_doc_snippets_execute(name, tmp_path, monkeypatch):
             pytest.fail(
                 f"{name} snippet {index} failed: {error!r}\n---\n{block}"
             )
+
+
+def test_architecture_doc_links_every_doc():
+    """docs/ARCHITECTURE.md is the map: it must reference every doc."""
+    text = (REPO / "docs/ARCHITECTURE.md").read_text()
+    for path in sorted((REPO / "docs").glob("*.md")):
+        if path.name == "ARCHITECTURE.md":
+            continue
+        assert path.name in text, (
+            f"docs/{path.name} is not linked from ARCHITECTURE.md"
+        )
 
 
 def test_robustness_doc_lists_every_fault_site():
