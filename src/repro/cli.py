@@ -51,6 +51,39 @@ def _timing(args) -> TimingModel:
     return TimingModel(ops=ops, clock_period_ns=args.clock_ns)
 
 
+def _resolve_design(args):
+    """The (dfg, timing) a schedule/synth invocation operates on.
+
+    Exactly one of the positional FILE or ``--generate SPEC`` must be
+    given.  A generated design takes its timing knobs (multiplier
+    latency, chaining clock) from the spec; explicit ``--mul-latency``
+    / ``--clock-ns`` flags override them.
+    """
+    if (args.file is None) == (not args.generate):
+        raise SystemExit(
+            "pass exactly one of FILE or --generate '<spec>'"
+        )
+    if not args.generate:
+        return _load_dfg(args.file), _timing(args)
+    from repro.scenarios.generator import (
+        generate_dfg,
+        parse_generator_spec,
+        with_seeded_name,
+    )
+
+    spec = parse_generator_spec(args.generate)
+    dfg = generate_dfg(spec, args.seed, name=with_seeded_name(spec, args.seed))
+    mul_latency = (
+        args.mul_latency if args.mul_latency != 1 else spec.mul_latency
+    )
+    clock_ns = args.clock_ns if args.clock_ns is not None else spec.clock_ns
+    timing = TimingModel(
+        ops=standard_operation_set(mul_latency=mul_latency),
+        clock_period_ns=clock_ns,
+    )
+    return dfg, timing
+
+
 def _make_perf(args) -> Optional[PerfCounters]:
     return PerfCounters() if getattr(args, "perf", False) else None
 
@@ -110,6 +143,23 @@ def _add_verify_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_generate_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--generate",
+        metavar="SPEC",
+        default=None,
+        help="generate the design from a seeded scenario spec instead of "
+        "a file, e.g. 'random:ops=24:mix=mul*3+add:cond=2' (see "
+        "docs/SCENARIOS.md); reproduces any scenario DFG standalone",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="generator seed for --generate (default 0)",
+    )
+
+
 def _add_timing_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mul-latency",
@@ -157,8 +207,7 @@ def _command_baselines(_args) -> int:
 
 
 def _command_schedule(args) -> int:
-    dfg = _load_dfg(args.file)
-    timing = _timing(args)
+    dfg, timing = _resolve_design(args)
     cs = args.cs or critical_path_length(dfg, timing)
     perf = _make_perf(args)
     scheduler = MFSScheduler(
@@ -236,8 +285,7 @@ def _command_explore(args) -> int:
 
 
 def _command_synth(args) -> int:
-    dfg = _load_dfg(args.file)
-    timing = _timing(args)
+    dfg, timing = _resolve_design(args)
     cs = args.cs or critical_path_length(dfg, timing)
     perf = _make_perf(args)
     scheduler = MFSAScheduler(
@@ -507,6 +555,153 @@ def _command_submit(args) -> int:
     return 0 if out["result"].get("ok") else 1
 
 
+def _command_scenarios_run(args) -> int:
+    import os
+
+    from repro.scenarios import (
+        failing_results,
+        load_config,
+        render_grid,
+        run_matrix,
+        save_reproducer,
+        shrink_scenario,
+        write_grid,
+    )
+
+    config = load_config(args.config)
+    perf = _make_perf(args)
+    for artifact in (args.grid, args.checkpoint):
+        if artifact and os.path.dirname(artifact):
+            os.makedirs(os.path.dirname(artifact), exist_ok=True)
+    run = run_matrix(
+        config,
+        backend=_backend(args),
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        perf=perf,
+    )
+    print(render_grid(run))
+    _print_perf(perf)
+    if args.grid:
+        write_grid(run, args.grid)
+        print(f"wrote {args.grid}", file=sys.stderr)
+
+    failures = failing_results(run)
+    shrunk_ok = True
+    if failures and args.corpus_dir:
+        os.makedirs(args.corpus_dir, exist_ok=True)
+        for scenario, _result in failures:
+            try:
+                reduced = shrink_scenario(scenario)
+            except Exception as error:
+                print(
+                    f"shrink failed for {scenario['id']}: {error}",
+                    file=sys.stderr,
+                )
+                shrunk_ok = False
+                continue
+            path = os.path.join(
+                args.corpus_dir, f"reproducer-{scenario['id']}.json"
+            )
+            save_reproducer(reduced, path)
+            print(
+                f"shrunk {scenario['id']}: {reduced.original_ops} -> "
+                f"{reduced.n_ops} ops, wrote {path}",
+                file=sys.stderr,
+            )
+    if args.expect_fail:
+        # CI defect runs: the matrix must fail AND every failure must
+        # have shrunk to a corpus reproducer.
+        return 0 if failures and shrunk_ok else 1
+    return 1 if failures else 0
+
+
+def _command_scenarios_replay(args) -> int:
+    import json as json_module
+
+    from repro.scenarios import parse_arrival_spec, run_replay
+
+    pattern = parse_arrival_spec(args.arrivals)
+    report = run_replay(
+        pattern,
+        seed=args.seed,
+        generator=args.generate,
+        algorithm=args.algorithm,
+        shards=args.shards or 0,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        time_scale=args.time_scale,
+    )
+    print(report.render())
+    if args.report:
+        import os
+
+        if os.path.dirname(args.report):
+            os.makedirs(os.path.dirname(args.report), exist_ok=True)
+        payload = dict(
+            report.deterministic_payload(),
+            latency_ms=report.latency_summary_ms(),
+            wall_seconds=report.wall_seconds,
+        )
+        with open(args.report, "w") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.report}", file=sys.stderr)
+    return 1 if report.errors else 0
+
+
+def _command_scenarios_shrink(args) -> int:
+    import json as json_module
+    import os
+
+    from repro.scenarios import save_reproducer, shrink_scenario
+
+    with open(args.grid) as handle:
+        payload = json_module.load(handle)
+    if payload.get("format") != "repro-scenario-grid":
+        print(f"{args.grid} is not a scenario grid", file=sys.stderr)
+        return 2
+    failing = [
+        scenario
+        for scenario, result in zip(
+            payload["scenarios"], payload["results"]
+        )
+        if not result["ok"] and (not args.id or scenario["id"] == args.id)
+    ]
+    if not failing:
+        print("nothing to shrink: no matching failures", file=sys.stderr)
+        return 0
+    os.makedirs(args.out_dir, exist_ok=True)
+    status = 0
+    for scenario in failing:
+        try:
+            reduced = shrink_scenario(scenario)
+        except Exception as error:
+            print(
+                f"shrink failed for {scenario['id']}: {error}",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        path = os.path.join(
+            args.out_dir, f"reproducer-{scenario['id']}.json"
+        )
+        save_reproducer(reduced, path)
+        print(
+            f"{scenario['id']}: {reduced.original_ops} -> {reduced.n_ops} "
+            f"ops ({reduced.rounds} rounds), wrote {path}"
+        )
+    return status
+
+
+def _command_scenarios(args) -> int:
+    if args.scenarios_command == "run":
+        return _command_scenarios_run(args)
+    if args.scenarios_command == "replay":
+        return _command_scenarios_replay(args)
+    return _command_scenarios_shrink(args)
+
+
 def _parse_inputs(spec: Optional[str], names) -> Dict[str, int]:
     values = {name: 0 for name in names}
     if spec:
@@ -563,9 +758,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "schedule",
-        help="run move frame scheduling (MFS, §3) on a behavioral file",
+        help="run move frame scheduling (MFS, §3) on a behavioral file "
+        "or a generated scenario design",
     )
-    p.add_argument("file")
+    p.add_argument("file", nargs="?",
+                   help="behavioral design file (or use --generate)")
+    _add_generate_arguments(p)
     p.add_argument("--cs", type=int, help="time constraint (default: critical path)")
     p.add_argument("--latency-l", type=int, default=None,
                    help="functional-pipelining initiation interval")
@@ -636,9 +834,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "synth",
         help="run mixed scheduling-allocation (MFSA, §4) on a behavioral "
-        "file",
+        "file or a generated scenario design",
     )
-    p.add_argument("file")
+    p.add_argument("file", nargs="?",
+                   help="behavioral design file (or use --generate)")
+    _add_generate_arguments(p)
     p.add_argument("--cs", type=int)
     p.add_argument("--style", type=int, choices=[1, 2], default=1)
     p.add_argument("--verilog", help="write Verilog to this path")
@@ -748,6 +948,97 @@ def build_parser() -> argparse.ArgumentParser:
     _add_timing_arguments(p)
 
     p = sub.add_parser(
+        "scenarios",
+        help="seeded scenario engine over the §3/§4 schedulers: expand a "
+        "generator × scheduler matrix, replay seeded traffic against a "
+        "live service under fault injection, and shrink failures to "
+        "minimal DFG reproducers",
+    )
+    scsub = p.add_subparsers(dest="scenarios_command", required=True)
+
+    sp = scsub.add_parser(
+        "run",
+        help="expand a matrix config and run every scenario through the "
+        "checkpointed sweep, auditing each result",
+    )
+    sp.add_argument("config",
+                    help="matrix config file (.json anywhere, .toml on "
+                    "Python 3.11+)")
+    sp.add_argument("--grid", help="write the pass/fail grid JSON here")
+    sp.add_argument(
+        "--checkpoint",
+        help="resume file: completed scenarios are durably recorded and "
+        "an interrupted matrix picks up where it stopped",
+    )
+    sp.add_argument(
+        "--corpus-dir",
+        help="shrink every failing scenario into this directory of "
+        "minimal DFG reproducers",
+    )
+    sp.add_argument(
+        "--expect-fail",
+        action="store_true",
+        help="CI defect mode: exit 0 only if the matrix HAS failures and "
+        "all of them shrank to corpus reproducers",
+    )
+    _add_sweep_arguments(sp)
+    _add_perf_argument(sp)
+
+    sp = scsub.add_parser(
+        "replay",
+        help="drive a live serve instance (optionally sharded) with a "
+        "seeded arrival process while a fault plan fires",
+    )
+    sp.add_argument(
+        "--arrivals",
+        default="poisson:n=20:rate=100",
+        help="arrival pattern: poisson:n=..:rate=.., "
+        "burst:n=..:size=..:gap=.., ramp:n=..:rate=..:peak=.. "
+        "(default poisson:n=20:rate=100)",
+    )
+    sp.add_argument("--seed", type=int, default=0,
+                    help="seed for arrivals and generated designs")
+    sp.add_argument(
+        "--generate",
+        metavar="SPEC",
+        default="random:ops=12",
+        help="generator spec for the submitted designs "
+        "(default random:ops=12)",
+    )
+    sp.add_argument(
+        "--algorithm",
+        choices=["schedule", "synth"],
+        default="schedule",
+        help="endpoint to drive (default schedule)",
+    )
+    sp.add_argument("--shards", type=int, default=None,
+                    help="boot a sharded fleet with N worker shards "
+                    "(default: single in-process service)")
+    sp.add_argument("--faults", default=None,
+                    help="fault plan armed in the service, e.g. "
+                    "'serve.admit:n=3' (router.forward with --shards)")
+    sp.add_argument("--fault-seed", type=int, default=0,
+                    help="seed for probabilistic fault triggers")
+    sp.add_argument("--time-scale", type=float, default=0.0,
+                    help="pace submissions by arrival offsets x this "
+                    "factor (0 = closed-loop, as fast as possible)")
+    sp.add_argument("--report", help="write the replay report JSON here")
+
+    sp = scsub.add_parser(
+        "shrink",
+        help="delta-debug failing scenarios from a pass/fail grid down "
+        "to minimal DFG reproducers",
+    )
+    sp.add_argument("grid", help="pass/fail grid JSON from 'scenarios run'")
+    sp.add_argument("--id", help="shrink only this scenario id")
+    sp.add_argument(
+        "--out-dir",
+        default="scenario-corpus",
+        help="directory for reproducer corpus files "
+        "(default scenario-corpus)",
+    )
+
+    p = sub.add_parser(
         "trace",
         help="run one traced MFS/MFSA pass: record every frame, candidate "
         "energy and commit (§2.2, §3.2, §4.1), write the JSONL event "
@@ -821,6 +1112,8 @@ def main(argv=None) -> int:
         return _command_serve(args)
     if args.command == "submit":
         return _command_submit(args)
+    if args.command == "scenarios":
+        return _command_scenarios(args)
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

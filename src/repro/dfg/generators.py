@@ -4,7 +4,17 @@
 kind mix and fan-in locality — the workload generator behind the property
 tests and the scalability benchmarks.  All randomness flows through an
 explicit :class:`random.Random` seed, so every generated workload is
-reproducible.
+reproducible — *across processes*: no choice may depend on the ambient
+global RNG or on set/dict iteration order (which varies with
+``PYTHONHASHSEED``).  :func:`_normalized_kinds` is where that contract
+is enforced for the one caller-supplied collection: an unordered
+``kinds`` argument (a set) is sorted before any draw, so the same seed
+produces the same graph — and the same canonical fingerprint — in every
+interpreter (locked down by the subprocess test in
+``tests/dfg/test_generators.py``).
+
+The richer, spec-driven scenario generator
+(:mod:`repro.scenarios.generator`) builds on the same discipline.
 """
 
 from __future__ import annotations
@@ -24,6 +34,27 @@ DEFAULT_KINDS: Tuple[str, ...] = (
     OpKind.OR,
     OpKind.LT,
 )
+
+
+def _normalized_kinds(kinds) -> Tuple[str, ...]:
+    """Deterministic draw order for a caller-supplied kind collection.
+
+    Sequences keep their given order (first occurrence wins); unordered
+    collections (sets, dict views) are *sorted*, because iterating them
+    directly would make the generated graph depend on the process's hash
+    seed.  Kinds are normalised to plain strings so enum members and
+    their mnemonic spellings behave identically.
+    """
+    names = [str(kind) for kind in kinds]
+    if isinstance(kinds, (set, frozenset)) or not isinstance(
+        kinds, (list, tuple)
+    ):
+        names = sorted(set(names))
+    else:
+        names = list(dict.fromkeys(names))
+    if not names:
+        raise ValueError("kinds must name at least one operation kind")
+    return tuple(names)
 
 
 def random_dfg(
@@ -55,13 +86,14 @@ def random_dfg(
         Fraction of sink values exposed as primary outputs (at least one).
     """
     rng = random.Random(seed)
+    kind_names = _normalized_kinds(kinds)
     dfg = DFG(name or f"random_{seed}")
     pool: List[Port] = []
     for index in range(max(1, n_inputs)):
         pool.append(dfg.add_input(f"in{index}"))
 
     for index in range(max(1, n_ops)):
-        kind = rng.choice(list(kinds))
+        kind = rng.choice(kind_names)
         window = pool[-max(1, locality):]
         left = rng.choice(window)
         right = rng.choice(window)
@@ -87,6 +119,7 @@ def random_conditional_dfg(
     arms of a single condition; the rest are unconditional.
     """
     rng = random.Random(seed)
+    kind_names = _normalized_kinds(kinds)
     dfg = DFG(name or f"random_cond_{seed}")
     pool: List[Port] = []
     for index in range(max(1, n_inputs)):
@@ -103,7 +136,7 @@ def random_conditional_dfg(
     # reading a never-computed value).
     arm_of: Dict[str, Tuple] = {}
     for index, branch in enumerate(arms):
-        kind = rng.choice(list(kinds))
+        kind = rng.choice(kind_names)
         candidates = [
             port
             for port in pool[-8:]
@@ -143,6 +176,7 @@ def layered_workload(
     the previous layer, so depth is exactly ``layers``.
     """
     rng = random.Random(seed)
+    kinds = _normalized_kinds(kinds)
     dfg = DFG(name or f"layered_{layers}x{width}")
     previous: List[Port] = [
         dfg.add_input(f"in{index}") for index in range(max(2, width))

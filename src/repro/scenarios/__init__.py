@@ -1,0 +1,93 @@
+"""repro.scenarios — the seeded workload engine.
+
+The paper's experiments run on six textbook designs; this package turns
+the repository's verification and chaos machinery into a *workload
+engine* that stress-tests every layer on as many designs as a config
+file can describe:
+
+* :mod:`repro.scenarios.generator` — fully seeded random-DFG generation
+  from compact, declarative *generator specs* (size, depth/width shape,
+  op mix, conditionals, multi-cycle ops, chaining).  Every DFG is a pure
+  function of ``(spec, seed)`` and fingerprint-stable across processes.
+* :mod:`repro.scenarios.matrix` — a scenario-matrix runner: a TOML/JSON
+  config of generator × scheduler × kernel × pipelining axes expands
+  into concrete scenarios, runs through :mod:`repro.sweep` with
+  checkpoint/resume, audits every result via :mod:`repro.check`, and
+  emits a byte-reproducible pass/fail grid artifact.
+* :mod:`repro.scenarios.replay` — a traffic replayer that drives a live
+  :mod:`repro.serve` instance (sharded or not) with seeded synthetic
+  arrival processes while a :mod:`repro.resilience` fault plan fires —
+  load and chaos in one deterministic run.
+* :mod:`repro.scenarios.shrink` — a delta-debugging reducer that shrinks
+  any failing scenario to a minimal DFG reproducer, saved as a corpus
+  file.
+
+The ``repro-hls scenarios`` CLI (``run`` / ``replay`` / ``shrink``)
+fronts all of it; see ``docs/SCENARIOS.md`` for the walkthrough.
+"""
+
+from repro.scenarios.generator import (
+    GeneratorSpec,
+    GeneratorSpecError,
+    generate_dfg,
+    parse_generator_spec,
+    scenario_timing,
+    spec_fingerprint,
+)
+from repro.scenarios.matrix import (
+    SYNTHETIC_DEFECTS,
+    MatrixConfigError,
+    config_fingerprint,
+    expand_matrix,
+    failing_results,
+    grid_payload,
+    load_config,
+    normalize_config,
+    render_grid,
+    run_matrix,
+    write_grid,
+)
+from repro.scenarios.replay import (
+    ArrivalPattern,
+    ReplayReport,
+    arrival_offsets,
+    parse_arrival_spec,
+    run_replay,
+)
+from repro.scenarios.shrink import (
+    ShrinkResult,
+    load_reproducer,
+    save_reproducer,
+    shrink_dfg,
+    shrink_scenario,
+)
+
+__all__ = [
+    "GeneratorSpec",
+    "GeneratorSpecError",
+    "generate_dfg",
+    "parse_generator_spec",
+    "scenario_timing",
+    "spec_fingerprint",
+    "MatrixConfigError",
+    "SYNTHETIC_DEFECTS",
+    "config_fingerprint",
+    "expand_matrix",
+    "failing_results",
+    "grid_payload",
+    "load_config",
+    "normalize_config",
+    "render_grid",
+    "run_matrix",
+    "write_grid",
+    "ArrivalPattern",
+    "ReplayReport",
+    "arrival_offsets",
+    "parse_arrival_spec",
+    "run_replay",
+    "ShrinkResult",
+    "load_reproducer",
+    "save_reproducer",
+    "shrink_dfg",
+    "shrink_scenario",
+]

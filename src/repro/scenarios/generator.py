@@ -1,0 +1,399 @@
+"""Seeded, spec-driven DFG generation — the scenario engine's front end.
+
+A *generator spec* is a compact, declarative description of a workload
+family::
+
+    random:ops=24:inputs=4:mix=mul*3+add+sub:cond=2:locality=6
+    layered:layers=6:width=4:mix=mul+add
+    random:ops=40:mul_latency=2:clock=20
+
+``family:key=value:...`` — every knob the memory-aware HLS literature
+motivates as a first-class generator parameter:
+
+=============  ======================================================
+``ops``        operation count (``random`` family)
+``inputs``     primary input count
+``mix``        weighted op mix, ``kind[*weight]+kind...`` (memory- vs
+               ALU-pressure shaping: ``mul*4+add`` is multiplier-bound)
+``locality``   fan-in window; small = deep chains, large = wide graphs
+``cond``       number of independent if/else regions (mutual exclusion)
+``outputs``    fraction of sink values exposed as primary outputs
+``layers``     exact depth (``layered`` family)
+``width``      ops per layer (``layered`` family)
+``mul_latency``  multi-cycle multiplier/divider latency (timing knob)
+``clock``      clock period in ns — enables operation chaining
+=============  ======================================================
+
+Determinism contract (the whole engine leans on it): a DFG is a pure
+function of ``(spec, seed)``.  The RNG is seeded with the *canonical
+string spelling* of the spec plus the seed — string seeding hashes the
+bytes through SHA-512 inside :class:`random.Random`, so it is stable
+across processes, platforms and ``PYTHONHASHSEED`` values, unlike
+``hash()``-based seeding.  No generation choice may touch the ambient
+global RNG or iterate a set/dict whose order is hash-dependent.  The
+subprocess tests in ``tests/scenarios/`` pin this down by comparing
+canonical fingerprints across interpreters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.analysis import TimingModel
+from repro.dfg.fingerprint import sha256_of
+from repro.dfg.graph import DFG, BranchPath, Port
+from repro.dfg.ops import OperationSet, standard_operation_set
+
+#: Generator families the engine knows how to expand.
+FAMILIES = ("random", "layered")
+
+#: Default weighted op mix (uniform over the classic six binary kinds).
+DEFAULT_MIX: Tuple[Tuple[str, int], ...] = (
+    ("add", 1),
+    ("sub", 1),
+    ("mul", 1),
+    ("and", 1),
+    ("or", 1),
+    ("lt", 1),
+)
+
+
+class GeneratorSpecError(ValueError):
+    """A generator spec string or field set that cannot be realised."""
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """One declarative workload family (see the module docstring).
+
+    Instances are immutable and hashable; :meth:`to_string` produces the
+    canonical spelling that seeds the RNG and fingerprints the spec.
+    """
+
+    family: str = "random"
+    n_ops: int = 20
+    n_inputs: int = 4
+    mix: Tuple[Tuple[str, int], ...] = DEFAULT_MIX
+    locality: int = 6
+    conditions: int = 0
+    output_fraction: float = 0.3
+    layers: int = 0
+    width: int = 0
+    mul_latency: int = 1
+    clock_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise GeneratorSpecError(
+                f"unknown generator family {self.family!r} "
+                f"(expected one of {FAMILIES})"
+            )
+        if self.family == "layered" and (self.layers < 1 or self.width < 1):
+            raise GeneratorSpecError(
+                "layered specs need layers>=1 and width>=1"
+            )
+        if self.family == "random" and self.n_ops < 1:
+            raise GeneratorSpecError("ops must be >= 1")
+        if self.n_inputs < 1:
+            raise GeneratorSpecError("inputs must be >= 1")
+        if self.locality < 1:
+            raise GeneratorSpecError("locality must be >= 1")
+        if self.conditions < 0:
+            raise GeneratorSpecError("cond must be >= 0")
+        if not 0.0 < self.output_fraction <= 1.0:
+            raise GeneratorSpecError("outputs must be within (0, 1]")
+        if self.mul_latency < 1:
+            raise GeneratorSpecError("mul_latency must be >= 1")
+        if self.clock_ns is not None and self.clock_ns <= 0:
+            raise GeneratorSpecError("clock must be positive")
+        if not self.mix:
+            raise GeneratorSpecError("mix must name at least one kind")
+        for kind, weight in self.mix:
+            if weight < 1:
+                raise GeneratorSpecError(
+                    f"mix weight for {kind!r} must be >= 1, got {weight}"
+                )
+
+    # ------------------------------------------------------------------
+    def total_ops(self) -> int:
+        """Operation count of a generated instance."""
+        if self.family == "layered":
+            return self.layers * self.width
+        return self.n_ops
+
+    def to_string(self) -> str:
+        """Canonical spec spelling (parse → to_string is a fixpoint)."""
+        parts = [self.family]
+        if self.family == "layered":
+            parts += [f"layers={self.layers}", f"width={self.width}"]
+        else:
+            parts.append(f"ops={self.n_ops}")
+        parts.append(f"inputs={self.n_inputs}")
+        parts.append(
+            "mix="
+            + "+".join(
+                kind if weight == 1 else f"{kind}*{weight}"
+                for kind, weight in self.mix
+            )
+        )
+        if self.family == "random":
+            parts.append(f"locality={self.locality}")
+        if self.conditions:
+            parts.append(f"cond={self.conditions}")
+        if self.output_fraction != 0.3:
+            parts.append(f"outputs={self.output_fraction:g}")
+        if self.mul_latency != 1:
+            parts.append(f"mul_latency={self.mul_latency}")
+        if self.clock_ns is not None:
+            parts.append(f"clock={self.clock_ns:g}")
+        return ":".join(parts)
+
+    def canonical(self) -> Dict[str, object]:
+        """JSON-shaped canonical form (what :func:`spec_fingerprint` hashes)."""
+        return {
+            "format": "repro-generator-spec",
+            "spec": self.to_string(),
+        }
+
+
+def _parse_mix(text: str) -> Tuple[Tuple[str, int], ...]:
+    mix: List[Tuple[str, int]] = []
+    for chunk in filter(None, text.split("+")):
+        kind, star, weight = chunk.partition("*")
+        try:
+            count = int(weight) if star else 1
+        except ValueError:
+            raise GeneratorSpecError(
+                f"bad mix weight in {chunk!r} (expected kind*integer)"
+            ) from None
+        mix.append((kind.strip(), count))
+    if not mix:
+        raise GeneratorSpecError(f"empty op mix {text!r}")
+    return tuple(mix)
+
+
+def parse_generator_spec(text: str) -> GeneratorSpec:
+    """Parse the compact ``family:key=value:...`` spelling.
+
+    >>> parse_generator_spec("random:ops=8:mix=mul*2+add").n_ops
+    8
+    """
+    chunks = [c.strip() for c in str(text).split(":") if c.strip()]
+    if not chunks:
+        raise GeneratorSpecError("empty generator spec")
+    family = chunks[0]
+    fields: Dict[str, object] = {"family": family}
+    casts = {
+        "ops": ("n_ops", int),
+        "inputs": ("n_inputs", int),
+        "locality": ("locality", int),
+        "cond": ("conditions", int),
+        "outputs": ("output_fraction", float),
+        "layers": ("layers", int),
+        "width": ("width", int),
+        "mul_latency": ("mul_latency", int),
+        "clock": ("clock_ns", float),
+    }
+    for chunk in chunks[1:]:
+        key, sep, value = chunk.partition("=")
+        key = key.strip()
+        if not sep:
+            raise GeneratorSpecError(
+                f"malformed spec clause {chunk!r} (expected key=value)"
+            )
+        if key == "mix":
+            fields["mix"] = _parse_mix(value)
+            continue
+        if key not in casts:
+            raise GeneratorSpecError(
+                f"unknown spec knob {key!r} "
+                f"(expected one of mix, {', '.join(sorted(casts))})"
+            )
+        attr, cast = casts[key]
+        try:
+            fields[attr] = cast(value)
+        except ValueError:
+            raise GeneratorSpecError(
+                f"{key!r} must be a {cast.__name__}, got {value!r}"
+            ) from None
+    try:
+        return GeneratorSpec(**fields)  # type: ignore[arg-type]
+    except TypeError as error:  # pragma: no cover - defensive
+        raise GeneratorSpecError(str(error)) from None
+
+
+def spec_fingerprint(spec: GeneratorSpec) -> str:
+    """Content address of a generator spec (sha256 hex)."""
+    return sha256_of(spec.canonical())
+
+
+def scenario_timing(spec: GeneratorSpec) -> TimingModel:
+    """The timing model a spec's scenarios schedule under.
+
+    Multi-cycle ops (``mul_latency``) and chaining (``clock``) are spec
+    knobs precisely so one scenario line can exercise the paper's §5.3
+    and §5.4 machinery.
+    """
+    return TimingModel(
+        ops=standard_operation_set(mul_latency=spec.mul_latency),
+        clock_period_ns=spec.clock_ns,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+def _rng_for(spec: GeneratorSpec, seed: int) -> random.Random:
+    """The spec+seed-keyed RNG (string seeding: hash-seed independent)."""
+    return random.Random(f"repro-scenario:{spec.to_string()}:{int(seed)}")
+
+
+def _weighted_kinds(spec: GeneratorSpec) -> Tuple[List[str], List[int]]:
+    kinds = [kind for kind, _weight in spec.mix]
+    weights = [weight for _kind, weight in spec.mix]
+    return kinds, weights
+
+
+def _branch_plan(
+    spec: GeneratorSpec, rng: random.Random, n_ops: int
+) -> List[BranchPath]:
+    """Assign each op index a branch path over ``spec.conditions`` regions.
+
+    Mirrors :func:`repro.dfg.generators.random_conditional_dfg`: roughly
+    half the operations land inside an arm, split evenly between the
+    then/else arms of a condition drawn per op; the rest (and always the
+    first and last quarter, so every graph has an unconditional spine)
+    stay unconditional.
+    """
+    if spec.conditions == 0:
+        return [()] * n_ops
+    plan: List[BranchPath] = []
+    for _index in range(n_ops):
+        if rng.random() < 0.5:
+            condition = rng.randrange(spec.conditions)
+            arm = rng.random() < 0.5
+            plan.append(((f"c{condition}", arm),))
+        else:
+            plan.append(())
+    return plan
+
+
+def _compatible(port_branch: BranchPath, branch: BranchPath) -> bool:
+    """May a value produced on ``port_branch`` feed an op on ``branch``?
+
+    Unconditional values feed anything; an arm-internal value may only
+    feed the same arm (reading a then-value in the else arm — or in the
+    unconditional tail — would read a never-computed value).
+    """
+    return port_branch == () or port_branch == branch
+
+
+def generate_dfg(
+    spec: GeneratorSpec, seed: int, name: Optional[str] = None
+) -> DFG:
+    """Generate the scenario DFG for ``(spec, seed)`` — pure and portable.
+
+    The same arguments produce the same graph (same node names, same
+    insertion order, same canonical fingerprint) in any process.
+    """
+    rng = _rng_for(spec, seed)
+    ops = standard_operation_set(mul_latency=spec.mul_latency)
+    if spec.family == "layered":
+        dfg = _generate_layered(spec, seed, rng, ops, name)
+    else:
+        dfg = _generate_random(spec, seed, rng, ops, name)
+    dfg.validate(ops)
+    return dfg
+
+
+def _arity(ops: OperationSet, kind: str) -> int:
+    try:
+        return ops.spec(kind).arity
+    except Exception:
+        raise GeneratorSpecError(
+            f"op mix names unknown operation kind {kind!r}"
+        ) from None
+
+
+def _generate_random(
+    spec: GeneratorSpec,
+    seed: int,
+    rng: random.Random,
+    ops: OperationSet,
+    name: Optional[str],
+) -> DFG:
+    kinds, weights = _weighted_kinds(spec)
+    dfg = DFG(name or f"scenario_{seed}")
+    pool: List[Tuple[Port, BranchPath]] = []
+    for index in range(spec.n_inputs):
+        pool.append((dfg.add_input(f"in{index}"), ()))
+
+    plan = _branch_plan(spec, rng, spec.n_ops)
+    for index, branch in enumerate(plan):
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        window = pool[-spec.locality:]
+        candidates = [
+            port
+            for port, port_branch in window
+            if _compatible(port_branch, branch)
+        ]
+        if not candidates:
+            # The recent window may hold only other-arm values; inputs
+            # are always safe sources.
+            candidates = [Port.input(n) for n in dfg.inputs]
+        operands = [
+            rng.choice(candidates) for _ in range(_arity(ops, kind))
+        ]
+        port = dfg.add_op(kind, operands, name=f"op{index}", branch=branch)
+        if branch == () or rng.random() < 0.5:
+            # Arm-internal values participate with lower probability so
+            # conditional regions stay shallow (as in the paper's ex4).
+            pool.append((port, branch))
+
+    sinks = dfg.sink_nodes()
+    keep = max(1, int(round(len(sinks) * spec.output_fraction)))
+    for out_index, sink in enumerate(sinks[:keep]):
+        dfg.set_output(f"out{out_index}", Port.node(sink))
+    return dfg
+
+
+def _generate_layered(
+    spec: GeneratorSpec,
+    seed: int,
+    rng: random.Random,
+    ops: OperationSet,
+    name: Optional[str],
+) -> DFG:
+    kinds, weights = _weighted_kinds(spec)
+    dfg = DFG(name or f"scenario_layered_{seed}")
+    previous: List[Port] = [
+        dfg.add_input(f"in{index}")
+        for index in range(max(2, spec.n_inputs))
+    ]
+    for layer in range(spec.layers):
+        current: List[Port] = []
+        for column in range(spec.width):
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            operands = [
+                rng.choice(previous) for _ in range(_arity(ops, kind))
+            ]
+            current.append(
+                dfg.add_op(kind, operands, name=f"l{layer}c{column}")
+            )
+        previous = current
+    keep = max(1, int(round(len(previous) * spec.output_fraction)))
+    for out_index, port in enumerate(previous[:keep]):
+        dfg.set_output(f"out{out_index}", port)
+    return dfg
+
+
+def with_seeded_name(spec: GeneratorSpec, seed: int) -> str:
+    """Stable human-readable scenario DFG name."""
+    return f"{spec.family}_{spec.total_ops()}ops_s{seed}"
+
+
+def vary(spec: GeneratorSpec, **changes) -> GeneratorSpec:
+    """A copy of ``spec`` with fields replaced (validated)."""
+    return replace(spec, **changes)

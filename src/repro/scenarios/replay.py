@@ -1,0 +1,348 @@
+"""Traffic replay: seeded arrival processes × live serve × chaos.
+
+:func:`run_replay` boots a real service — an in-thread
+:class:`~repro.serve.app.ServeApp`, or a
+:class:`~repro.serve.router.ShardRouter` fleet when ``shards > 0`` —
+and drives it through :class:`~repro.serve.client.Client` with a
+synthetic *arrival pattern* while an optional
+:class:`~repro.resilience.faults.FaultPlan` fires inside the service.
+Load and chaos in one run, with the latency/error/recovery picture
+folded into a single :class:`ReplayReport`.
+
+Arrival patterns use the same compact spelling as generator specs::
+
+    poisson:n=40:rate=200        # exponential interarrivals
+    burst:n=40:size=8:gap=0.05   # size-8 bursts, 50 ms apart
+    ramp:n=40:rate=50:peak=400   # rate climbs linearly to the peak
+
+Determinism contract: :func:`arrival_offsets` is a pure function of
+``(pattern, seed)`` (string-seeded RNG, like the DFG generator), jobs
+are submitted *closed-loop* (strictly one at a time, in offset order),
+and count-triggered fault rules (``n=`` / ``every=``) therefore fire at
+identical call indexes run after run — so
+:attr:`ReplayReport.fault_log` and the per-job outcome sequence are
+byte-identical across two replays of the same spec, which the scenario
+tests assert.  Wall-clock latencies are measured and reported but kept
+out of :meth:`ReplayReport.deterministic_payload`.
+
+By default the replay rushes (no pacing — offsets order the jobs but
+nobody sleeps); ``time_scale=1.0`` replays in real time, ``0.5`` at
+double speed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.dfg.fingerprint import sha256_of
+from repro.io.jsonio import dfg_to_json
+from repro.scenarios.generator import (
+    GeneratorSpec,
+    generate_dfg,
+    parse_generator_spec,
+)
+
+#: Arrival families.
+ARRIVALS = ("poisson", "burst", "ramp")
+
+
+class ArrivalSpecError(ValueError):
+    """An arrival-pattern spelling that cannot be realised."""
+
+
+@dataclass(frozen=True)
+class ArrivalPattern:
+    """One seeded synthetic arrival process."""
+
+    kind: str = "poisson"
+    n: int = 20
+    rate: float = 100.0
+    size: int = 4
+    gap: float = 0.05
+    peak: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVALS:
+            raise ArrivalSpecError(
+                f"unknown arrival kind {self.kind!r} (expected {ARRIVALS})"
+            )
+        if self.n < 1:
+            raise ArrivalSpecError("n must be >= 1")
+        if self.rate <= 0 or self.peak <= 0:
+            raise ArrivalSpecError("rates must be positive")
+        if self.size < 1:
+            raise ArrivalSpecError("size must be >= 1")
+        if self.gap < 0:
+            raise ArrivalSpecError("gap must be >= 0")
+
+    def to_string(self) -> str:
+        parts = [self.kind, f"n={self.n}"]
+        if self.kind in ("poisson", "ramp"):
+            parts.append(f"rate={self.rate:g}")
+        if self.kind == "burst":
+            parts += [f"size={self.size}", f"gap={self.gap:g}"]
+        if self.kind == "ramp":
+            parts.append(f"peak={self.peak:g}")
+        return ":".join(parts)
+
+
+def parse_arrival_spec(text: str) -> ArrivalPattern:
+    """Parse ``kind:key=value:...`` into an :class:`ArrivalPattern`."""
+    chunks = [c.strip() for c in str(text).split(":") if c.strip()]
+    if not chunks:
+        raise ArrivalSpecError("empty arrival spec")
+    fields: Dict[str, Any] = {"kind": chunks[0]}
+    casts = {
+        "n": int,
+        "rate": float,
+        "size": int,
+        "gap": float,
+        "peak": float,
+    }
+    for chunk in chunks[1:]:
+        key, sep, value = chunk.partition("=")
+        key = key.strip()
+        if not sep or key not in casts:
+            raise ArrivalSpecError(
+                f"malformed arrival clause {chunk!r} "
+                f"(expected one of {', '.join(sorted(casts))})"
+            )
+        try:
+            fields[key] = casts[key](value)
+        except ValueError:
+            raise ArrivalSpecError(
+                f"{key!r} must be a {casts[key].__name__}, got {value!r}"
+            ) from None
+    return ArrivalPattern(**fields)
+
+
+def arrival_offsets(pattern: ArrivalPattern, seed: int) -> List[float]:
+    """Seconds-from-start submission offsets — pure in ``(pattern, seed)``."""
+    rng = random.Random(f"repro-replay:{pattern.to_string()}:{int(seed)}")
+    offsets: List[float] = []
+    clock = 0.0
+    if pattern.kind == "poisson":
+        for _ in range(pattern.n):
+            clock += rng.expovariate(pattern.rate)
+            offsets.append(clock)
+    elif pattern.kind == "burst":
+        index = 0
+        while len(offsets) < pattern.n:
+            jitter = rng.random() * pattern.gap * 0.1
+            offsets.extend(
+                [index * pattern.gap + jitter]
+                * min(pattern.size, pattern.n - len(offsets))
+            )
+            index += 1
+    else:  # ramp
+        for index in range(pattern.n):
+            rate = pattern.rate + (pattern.peak - pattern.rate) * (
+                index / max(1, pattern.n - 1)
+            )
+            clock += rng.expovariate(rate)
+            offsets.append(clock)
+    return offsets
+
+
+def _result_fingerprint(result: Mapping[str, Any]) -> str:
+    """Content address of the deterministic part of one job response."""
+    return sha256_of(
+        {
+            "design": result.get("design"),
+            "cs": result.get("cs"),
+            "result": result.get("result"),
+        }
+    )[:16]
+
+
+# ---------------------------------------------------------------------------
+# The replay itself
+# ---------------------------------------------------------------------------
+@dataclass
+class ReplayReport:
+    """Everything one replay run observed."""
+
+    pattern: str
+    seed: int
+    shards: int
+    algorithm: str
+    jobs: int = 0
+    ok: int = 0
+    recovered: int = 0
+    errors: int = 0
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    latencies_ms: List[float] = field(default_factory=list)
+    fault_log: List[Tuple[str, int]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def latency_summary_ms(self) -> Dict[str, float]:
+        if not self.latencies_ms:
+            return {"p50": 0.0, "p95": 0.0, "max": 0.0}
+        ordered = sorted(self.latencies_ms)
+        return {
+            "p50": ordered[len(ordered) // 2],
+            "p95": ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))],
+            "max": ordered[-1],
+        }
+
+    def deterministic_payload(self) -> Dict[str, Any]:
+        """The replay facts that must match run for run (no wall clock)."""
+        return {
+            "format": "repro-scenario-replay",
+            "pattern": self.pattern,
+            "seed": self.seed,
+            "shards": self.shards,
+            "algorithm": self.algorithm,
+            "jobs": self.jobs,
+            "ok": self.ok,
+            "recovered": self.recovered,
+            "errors": self.errors,
+            "statuses": [outcome["status"] for outcome in self.outcomes],
+            "fingerprints": [
+                outcome.get("fingerprint") for outcome in self.outcomes
+            ],
+            "fault_log": [list(entry) for entry in self.fault_log],
+        }
+
+    def render(self) -> str:
+        latency = self.latency_summary_ms()
+        lines = [
+            f"replay {self.pattern} seed={self.seed} "
+            + (f"shards={self.shards}" if self.shards else "single"),
+            f"  jobs={self.jobs} ok={self.ok} recovered={self.recovered} "
+            f"errors={self.errors}",
+            f"  latency ms: p50={latency['p50']:.1f} "
+            f"p95={latency['p95']:.1f} max={latency['max']:.1f}",
+            f"  faults fired: {len(self.fault_log)} "
+            f"{[f'{site}#{idx}' for site, idx in self.fault_log]}",
+            f"  wall: {self.wall_seconds:.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+def _design_payloads(
+    spec: GeneratorSpec, seed: int, count: int, distinct: int
+) -> List[Dict[str, Any]]:
+    """``count`` request bodies drawn from ``distinct`` seeded designs.
+
+    Reusing designs round-robin exercises the service's result cache
+    and single-flight dedup alongside the cold-path scheduling.
+    """
+    distinct = max(1, min(distinct, count))
+    designs = [
+        json.loads(dfg_to_json(generate_dfg(spec, seed + index)))
+        for index in range(distinct)
+    ]
+    return [designs[index % distinct] for index in range(count)]
+
+
+def run_replay(
+    pattern: ArrivalPattern,
+    seed: int,
+    generator: str = "random:ops=12",
+    algorithm: str = "schedule",
+    shards: int = 0,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    distinct_designs: int = 6,
+    time_scale: float = 0.0,
+    serial: bool = True,
+) -> ReplayReport:
+    """Drive a live service with seeded traffic while faults fire.
+
+    ``shards=0`` boots one in-thread :class:`ServeApp`; ``shards>=1``
+    boots a :class:`ShardRouter` fleet (subprocess shards) with the
+    fault plan armed at the router (``router.forward`` chaos).  Failed
+    jobs are retried once through a fresh request — a success on retry
+    counts as *recovered*, modelling the client-visible effect of the
+    resilience layer.
+    """
+    from repro.serve.client import Client, JobFailedError, ServiceError
+
+    spec = parse_generator_spec(generator)
+    if algorithm not in ("schedule", "synth"):
+        raise ValueError(
+            f"algorithm must be 'schedule' or 'synth', got {algorithm!r}"
+        )
+    offsets = arrival_offsets(pattern, seed)
+    payloads = _design_payloads(spec, seed, pattern.n, distinct_designs)
+    report = ReplayReport(
+        pattern=pattern.to_string(),
+        seed=seed,
+        shards=shards,
+        algorithm=algorithm,
+    )
+
+    if shards > 0:
+        from repro.serve.router import RouterConfig, ShardRouter
+
+        service = ShardRouter(
+            RouterConfig(
+                port=0,
+                shards=shards,
+                faults=faults,
+                fault_seed=fault_seed,
+                shard_args=("--serial",) if serial else (),
+            )
+        )
+        plan = service.fault_plan
+    else:
+        from repro.serve.app import ServeApp
+
+        service = ServeApp(
+            port=0,
+            backend="serial" if serial else "auto",
+            faults=faults,
+            fault_seed=fault_seed,
+        )
+        plan = service.fault_plan
+
+    started = time.perf_counter()
+    with service.start_in_thread() as handle:
+        client = Client(handle.url, timeout=60.0, retries=0)
+        submit = client.schedule if algorithm == "schedule" else client.synth
+        base = time.perf_counter()
+        for index, (offset, payload) in enumerate(zip(offsets, payloads)):
+            if time_scale > 0:
+                due = base + offset * time_scale
+                pause = due - time.perf_counter()
+                if pause > 0:
+                    time.sleep(pause)
+            outcome: Dict[str, Any] = {
+                "index": index,
+                "offset": round(offset, 6),
+                "status": "ok",
+            }
+            job_started = time.perf_counter()
+            try:
+                result = submit(dfg=payload, mul_latency=spec.mul_latency)
+                outcome["fingerprint"] = _result_fingerprint(result)
+            except (ServiceError, JobFailedError, OSError) as error:
+                try:  # one client-level retry: measures recovery
+                    result = submit(dfg=payload, mul_latency=spec.mul_latency)
+                    outcome["fingerprint"] = _result_fingerprint(result)
+                    outcome["status"] = "recovered"
+                    outcome["first_error"] = type(error).__name__
+                except (ServiceError, JobFailedError, OSError) as retry_error:
+                    outcome["status"] = "error"
+                    outcome["error"] = (
+                        f"{type(retry_error).__name__}: {retry_error}"
+                    )
+            report.latencies_ms.append(
+                (time.perf_counter() - job_started) * 1000.0
+            )
+            report.outcomes.append(outcome)
+        if plan is not None:
+            report.fault_log = list(plan.log)
+    report.wall_seconds = time.perf_counter() - started
+    report.jobs = len(report.outcomes)
+    report.ok = sum(1 for o in report.outcomes if o["status"] == "ok")
+    report.recovered = sum(
+        1 for o in report.outcomes if o["status"] == "recovered"
+    )
+    report.errors = sum(1 for o in report.outcomes if o["status"] == "error")
+    return report

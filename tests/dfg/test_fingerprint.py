@@ -24,6 +24,8 @@ from repro.dfg.generators import random_conditional_dfg, random_dfg
 from repro.dfg.graph import DFG, Port
 from repro.library.cells import ALUCell, CellLibrary
 from repro.library.ncr import datapath_library
+from repro.scenarios.generator import GeneratorSpec
+from repro.scenarios.generator import generate_dfg as scenario_generate_dfg
 
 
 def shuffled_isomorph(dfg: DFG, seed: int, prefix: str = "ren_") -> DFG:
@@ -76,6 +78,35 @@ conditional_dfg_strategy = st.builds(
 )
 
 
+def _scenario_spec(ops, cond, mul_latency, clock, mix_weight):
+    """A scenario GeneratorSpec spanning the §5 feature axes."""
+    return GeneratorSpec(
+        n_ops=ops,
+        mix=(("mul", mix_weight), ("add", 1), ("sub", 1)),
+        conditions=cond,
+        mul_latency=mul_latency,
+        clock_ns=clock,
+    )
+
+
+# Specs with conditionals, multi-cycle multipliers and chaining clocks —
+# the scenario engine's whole knob surface in one strategy.
+scenario_spec_strategy = st.builds(
+    _scenario_spec,
+    ops=st.integers(min_value=1, max_value=20),
+    cond=st.integers(min_value=0, max_value=2),
+    mul_latency=st.integers(min_value=1, max_value=3),
+    clock=st.one_of(st.none(), st.sampled_from([20.0, 40.0])),
+    mix_weight=st.integers(min_value=1, max_value=3),
+)
+
+scenario_dfg_strategy = st.builds(
+    scenario_generate_dfg,
+    spec=scenario_spec_strategy,
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
 class TestInvariance:
     @settings(max_examples=60, deadline=None)
     @given(dfg=dfg_strategy, seed=st.integers(min_value=0, max_value=999))
@@ -100,6 +131,24 @@ class TestInvariance:
     def test_graph_name_is_not_semantic(self):
         dfg = random_dfg(seed=3)
         assert dfg_fingerprint(dfg.copy(name="other")) == dfg_fingerprint(dfg)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dfg=scenario_dfg_strategy, seed=st.integers(0, 999))
+    def test_scenario_graphs_isomorphic_renaming_collides(self, dfg, seed):
+        """Generator-produced DFGs — conditionals, multi-cycle muls and
+        chaining clocks included — obey the same invariance contract."""
+        twin = shuffled_isomorph(dfg, seed)
+        assert dfg_fingerprint(twin) == dfg_fingerprint(dfg)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        spec=scenario_spec_strategy,
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_scenario_generation_is_reproducible(self, spec, seed):
+        assert dfg_fingerprint(
+            scenario_generate_dfg(spec, seed)
+        ) == dfg_fingerprint(scenario_generate_dfg(spec, seed))
 
 
 def _diamond() -> DFG:

@@ -1,11 +1,20 @@
 """Tests for the random-DFG generators."""
 
+import os
+import subprocess
+import sys
+
+import pytest
+
 from repro.dfg.analysis import TimingModel, critical_path_length
+from repro.dfg.fingerprint import dfg_fingerprint
 from repro.dfg.generators import (
     layered_workload,
     random_conditional_dfg,
     random_dfg,
 )
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 
 class TestRandomDFG:
@@ -77,3 +86,53 @@ class TestLayeredWorkload:
         a = layered_workload(seed=9, layers=4, width=3)
         b = layered_workload(seed=9, layers=4, width=3)
         assert [n.operands for n in a] == [n.operands for n in b]
+
+
+_SNIPPET = """\
+import sys
+from repro.dfg.fingerprint import dfg_fingerprint
+from repro.dfg.generators import (
+    layered_workload,
+    random_conditional_dfg,
+    random_dfg,
+)
+builders = {
+    "random": lambda: random_dfg(seed=42, n_ops=25, kinds={"mul", "add", "sub"}),
+    "conditional": lambda: random_conditional_dfg(seed=42, n_ops=24),
+    "layered": lambda: layered_workload(seed=42, layers=4, width=3),
+}
+print(dfg_fingerprint(builders[sys.argv[1]]()))
+"""
+
+
+class TestCrossProcessDeterminism:
+    """Same seed → same fingerprint in any interpreter.
+
+    ``kinds`` is passed as a *set* on purpose: the generators must
+    normalise unordered collections before drawing from them, or the
+    result would depend on ``PYTHONHASHSEED``.
+    """
+
+    @pytest.mark.parametrize("family", ["random", "conditional", "layered"])
+    def test_fingerprint_stable_across_hash_seeds(self, family):
+        fingerprints = set()
+        for hash_seed in ("0", "271828"):
+            env = dict(
+                os.environ,
+                PYTHONHASHSEED=hash_seed,
+                PYTHONPATH=os.path.join(REPO, "src"),
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", _SNIPPET, family],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            fingerprints.add(out.stdout.strip())
+        assert len(fingerprints) == 1
+
+    def test_unordered_kinds_match_sorted_spelling(self):
+        a = random_dfg(seed=7, n_ops=20, kinds={"mul", "add", "sub"})
+        b = random_dfg(seed=7, n_ops=20, kinds=["add", "mul", "sub", "mul"])
+        assert dfg_fingerprint(a) == dfg_fingerprint(b)

@@ -1,0 +1,115 @@
+"""Tests for the delta-debugging scenario shrinker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.generator import generate_dfg, parse_generator_spec
+from repro.scenarios.matrix import (
+    SYNTHETIC_DEFECTS,
+    expand_matrix,
+    normalize_config,
+    run_scenario,
+)
+from repro.scenarios.shrink import (
+    load_reproducer,
+    save_reproducer,
+    shrink_dfg,
+    shrink_scenario,
+)
+
+MUL_CHAIN = SYNTHETIC_DEFECTS["mul-chain"]
+
+
+def _mul_heavy_dfg(seed=3, n_ops=24):
+    spec = parse_generator_spec(f"random:ops={n_ops}:mix=mul*3+add")
+    return generate_dfg(spec, seed)
+
+
+def _failing_scenario():
+    config = normalize_config(
+        {
+            "seeds": [3],
+            "generators": ["random:ops=24:mix=mul*3+add"],
+            "schedulers": ["mfsa"],
+            "defects": ["mul-chain"],
+        }
+    )
+    return expand_matrix(config)[0]
+
+
+class TestShrinkDFG:
+    def test_reduces_mul_chain_to_two_ops(self):
+        dfg = _mul_heavy_dfg()
+        assert MUL_CHAIN(dfg)
+        result = shrink_dfg(dfg, lambda d: bool(MUL_CHAIN(d)))
+        assert result.original_ops == len(dfg)
+        assert result.n_ops <= 8
+        assert MUL_CHAIN(result.dfg)  # still reproduces
+        assert all(node.kind == "mul" for node in result.dfg)
+
+    def test_deterministic(self):
+        a = shrink_dfg(_mul_heavy_dfg(), lambda d: bool(MUL_CHAIN(d)))
+        b = shrink_dfg(_mul_heavy_dfg(), lambda d: bool(MUL_CHAIN(d)))
+        assert a.fingerprint == b.fingerprint
+        assert a.rounds == b.rounds
+
+    def test_requires_failing_entry(self):
+        passing = generate_dfg(parse_generator_spec("random:ops=8:mix=add"), 1)
+        with pytest.raises(ValueError):
+            shrink_dfg(passing, lambda d: bool(MUL_CHAIN(d)))
+
+    def test_raising_predicate_never_accepted(self):
+        """A candidate that crashes the predicate is a *different* failure."""
+        dfg = _mul_heavy_dfg()
+        floor = len(dfg) - 4
+
+        def failing(candidate):
+            if len(candidate) < floor:
+                raise RuntimeError("predicate crashed on small graphs")
+            return bool(MUL_CHAIN(candidate))
+
+        result = shrink_dfg(dfg, failing)
+        assert result.n_ops >= floor
+        assert bool(MUL_CHAIN(result.dfg))
+
+    def test_candidates_stay_valid_designs(self, ops):
+        dfg = _mul_heavy_dfg(seed=5)
+        seen = []
+
+        def failing(candidate):
+            candidate.validate(ops)  # raises on a broken candidate
+            seen.append(len(candidate))
+            return bool(MUL_CHAIN(candidate))
+
+        result = shrink_dfg(dfg, failing)
+        assert result.dfg.outputs
+        assert seen  # predicate actually exercised
+
+
+class TestShrinkScenario:
+    def test_failing_matrix_cell_shrinks_small(self):
+        """Acceptance criterion: injected failure → reproducer of <= 8 ops."""
+        scenario = _failing_scenario()
+        assert run_scenario(scenario)["violations"]
+        result = shrink_scenario(scenario)
+        assert result.n_ops <= 8
+        assert result.violations  # the reduced graph still fails the cell
+        assert result.scenario == dict(scenario)
+
+    def test_corpus_round_trip(self, tmp_path):
+        result = shrink_scenario(_failing_scenario())
+        path = str(tmp_path / "reproducer.json")
+        payload = save_reproducer(result, path)
+        assert payload["reduced"]["n_ops"] == result.n_ops
+        scenario, dfg = load_reproducer(path)
+        assert scenario == result.scenario
+        assert len(dfg) == result.n_ops
+        # The loaded graph reproduces the failure on its own.
+        assert run_scenario(scenario, dfg=dfg)["violations"]
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not_a_reproducer.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_reproducer(str(path))

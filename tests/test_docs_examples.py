@@ -22,6 +22,7 @@ DOCUMENTED = [
     "docs/SERVICE.md",
     "docs/ROBUSTNESS.md",
     "docs/PERFORMANCE.md",
+    "docs/SCENARIOS.md",
 ]
 
 _FENCE = re.compile(r"^```python\n(.*?)^```$", re.M | re.S)
