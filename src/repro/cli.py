@@ -474,6 +474,7 @@ def _command_serve_sharded(args) -> int:
         host=args.host,
         port=args.port,
         shards=args.shards,
+        replication=args.replication,
         state_dir=args.state_dir,
         cache_entries=args.cache_entries,
         forward_timeout_s=args.timeout + 60.0,
@@ -485,6 +486,32 @@ def _command_serve_sharded(args) -> int:
         fault_seed=args.fault_seed,
     )
     return ShardRouter(config).serve_forever()
+
+
+def _command_serve_admin(args) -> int:
+    import json
+
+    from repro.serve.client import Client, ServiceError
+
+    client = Client(args.url, timeout=args.timeout, retries=0)
+    try:
+        if args.action == "status":
+            payload = client.admin_status()
+        elif args.action == "add":
+            payload = client.admin_add_shard()
+        else:
+            if not args.shard:
+                print("serve-admin remove requires --shard", file=sys.stderr)
+                return 2
+            payload = client.admin_remove_shard(args.shard)
+    except ServiceError as error:
+        print(f"serve-admin {args.action} failed: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"cannot reach {args.url}: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 def _command_submit(args) -> int:
@@ -631,6 +658,8 @@ def _command_scenarios_replay(args) -> int:
         faults=args.faults,
         fault_seed=args.fault_seed,
         time_scale=args.time_scale,
+        open_loop=args.open_loop,
+        max_in_flight=args.max_in_flight,
     )
     print(report.render())
     if args.report:
@@ -872,6 +901,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=None,
                    help="spawn N worker-shard subprocesses behind a "
                    "consistent-hash router (default: single process)")
+    p.add_argument("--replication", type=int, default=2,
+                   help="with --shards: cache copies per result (owner + "
+                   "ring successors; 1 disables replication; default 2)")
     p.add_argument("--port-file", default=None,
                    help="write the bound port to this file once up "
                    "(how the shard router finds its workers)")
@@ -905,6 +937,26 @@ def build_parser() -> argparse.ArgumentParser:
                    "(chaos testing)")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for probabilistic fault triggers")
+
+    p = sub.add_parser(
+        "serve-admin",
+        help="administer a running sharded MFS (§3) / MFSA (§4) fleet: "
+        "show ring membership, or grow/drain a worker shard online with "
+        "a warm cache handoff (zero-downtime reshard)",
+    )
+    p.add_argument(
+        "action",
+        choices=["status", "add", "remove"],
+        help="status = ring + per-shard state, add = boot one shard and "
+        "hand its keys off warm, remove = drain a shard out of the fleet",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8421",
+                   help="router base URL")
+    p.add_argument("--shard", default=None,
+                   help="shard name to remove (required for 'remove')")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="admin request timeout in seconds — covers shard "
+                   "boot plus the cache handoff (default 120)")
 
     p = sub.add_parser(
         "submit",
@@ -1022,6 +1074,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--time-scale", type=float, default=0.0,
                     help="pace submissions by arrival offsets x this "
                     "factor (0 = closed-loop, as fast as possible)")
+    sp.add_argument("--open-loop", action="store_true",
+                    help="submit at the arrival pace with concurrent "
+                    "in-flight jobs instead of one at a time "
+                    "(true load testing)")
+    sp.add_argument("--max-in-flight", type=int, default=8,
+                    help="with --open-loop: concurrent in-flight job "
+                    "bound (default 8)")
     sp.add_argument("--report", help="write the replay report JSON here")
 
     sp = scsub.add_parser(
@@ -1110,6 +1169,8 @@ def main(argv=None) -> int:
         return _command_check(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "serve-admin":
+        return _command_serve_admin(args)
     if args.command == "submit":
         return _command_submit(args)
     if args.command == "scenarios":

@@ -39,8 +39,21 @@ class CircuitOpen(Exception):
         self.retry_in_s = retry_in_s
 
 
+#: Jitter strategies a :class:`RetryPolicy` can draw delays from.
+JITTER_MODES = ("full", "equal")
+
+
 class RetryPolicy:
-    """Capped exponential backoff with deterministic full jitter."""
+    """Capped exponential backoff with deterministic, seeded jitter.
+
+    ``jitter="full"`` (the default) draws ``uniform(0, ceiling)`` —
+    maximal decorrelation, the right choice for competing clients.
+    ``jitter="equal"`` draws ``ceiling/2 + uniform(0, ceiling/2)``: each
+    delay lands in the upper half of its ceiling, so while ceilings keep
+    doubling the delay sequence is monotonically non-decreasing — which
+    is what the shard supervisor needs for respawn backoff (a crash-loop
+    must never respawn *faster* than the previous attempt).
+    """
 
     def __init__(
         self,
@@ -48,7 +61,8 @@ class RetryPolicy:
         base_s: float = 0.05,
         cap_s: float = 2.0,
         multiplier: float = 2.0,
-        seed: Optional[int] = None,
+        seed: Optional[object] = None,
+        jitter: str = "full",
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -56,10 +70,18 @@ class RetryPolicy:
             raise ValueError("base_s and cap_s must be positive")
         if multiplier < 1.0:
             raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if jitter not in JITTER_MODES:
+            raise ValueError(
+                f"jitter must be one of {JITTER_MODES}, got {jitter!r}"
+            )
         self.retries = retries
         self.base_s = base_s
         self.cap_s = cap_s
         self.multiplier = multiplier
+        self.jitter = jitter
+        # Seeds may be ints or strings (random.Random hashes either);
+        # string seeds let callers derive per-entity streams like
+        # "respawn:<seed>:<shard-name>" deterministically.
         self._rng = random.Random(seed)
 
     def delay(self, attempt: int, floor_s: Optional[float] = None) -> float:
@@ -69,7 +91,10 @@ class RetryPolicy:
         delay is never below it.
         """
         ceiling = min(self.cap_s, self.base_s * self.multiplier**attempt)
-        delay = self._rng.uniform(0.0, ceiling)
+        if self.jitter == "equal":
+            delay = ceiling / 2.0 + self._rng.uniform(0.0, ceiling / 2.0)
+        else:
+            delay = self._rng.uniform(0.0, ceiling)
         if floor_s is not None:
             delay = max(delay, floor_s)
         return delay

@@ -16,14 +16,22 @@ Arrival patterns use the same compact spelling as generator specs::
     ramp:n=40:rate=50:peak=400   # rate climbs linearly to the peak
 
 Determinism contract: :func:`arrival_offsets` is a pure function of
-``(pattern, seed)`` (string-seeded RNG, like the DFG generator), jobs
-are submitted *closed-loop* (strictly one at a time, in offset order),
-and count-triggered fault rules (``n=`` / ``every=``) therefore fire at
-identical call indexes run after run — so
+``(pattern, seed)`` (string-seeded RNG, like the DFG generator).  Jobs
+are submitted *closed-loop* by default (strictly one at a time, in
+offset order), and count-triggered fault rules (``n=`` / ``every=``)
+therefore fire at identical call indexes run after run — so
 :attr:`ReplayReport.fault_log` and the per-job outcome sequence are
 byte-identical across two replays of the same spec, which the scenario
 tests assert.  Wall-clock latencies are measured and reported but kept
 out of :meth:`ReplayReport.deterministic_payload`.
+
+``open_loop=True`` instead submits at the arrival process's pace with
+up to ``max_in_flight`` concurrent jobs — true load testing, and the
+driver of the reshard-under-load drill.  Outcomes are recorded in
+arrival-index order regardless of completion order, so
+:meth:`ReplayReport.deterministic_payload` stays stable; fault-rule
+call *indexes* may differ from the closed-loop run because concurrent
+requests race to each site.
 
 By default the replay rushes (no pacing — offsets order the jobs but
 nobody sleeps); ``time_scale=1.0`` replays in real time, ``0.5`` at
@@ -170,6 +178,8 @@ class ReplayReport:
     seed: int
     shards: int
     algorithm: str
+    #: ``"closed"`` (one at a time) or ``"open"`` (concurrent arrivals).
+    mode: str = "closed"
     jobs: int = 0
     ok: int = 0
     recovered: int = 0
@@ -197,6 +207,7 @@ class ReplayReport:
             "seed": self.seed,
             "shards": self.shards,
             "algorithm": self.algorithm,
+            "mode": self.mode,
             "jobs": self.jobs,
             "ok": self.ok,
             "recovered": self.recovered,
@@ -212,7 +223,8 @@ class ReplayReport:
         latency = self.latency_summary_ms()
         lines = [
             f"replay {self.pattern} seed={self.seed} "
-            + (f"shards={self.shards}" if self.shards else "single"),
+            + (f"shards={self.shards}" if self.shards else "single")
+            + (" open-loop" if self.mode == "open" else ""),
             f"  jobs={self.jobs} ok={self.ok} recovered={self.recovered} "
             f"errors={self.errors}",
             f"  latency ms: p50={latency['p50']:.1f} "
@@ -251,6 +263,9 @@ def run_replay(
     distinct_designs: int = 6,
     time_scale: float = 0.0,
     serial: bool = True,
+    open_loop: bool = False,
+    max_in_flight: int = 8,
+    actions: Optional[Mapping[int, Any]] = None,
 ) -> ReplayReport:
     """Drive a live service with seeded traffic while faults fire.
 
@@ -260,6 +275,13 @@ def run_replay(
     jobs are retried once through a fresh request — a success on retry
     counts as *recovered*, modelling the client-visible effect of the
     resilience layer.
+
+    ``open_loop=True`` submits at the arrival pace with up to
+    ``max_in_flight`` jobs concurrently in flight; outcomes are still
+    recorded in arrival-index order.  ``actions`` maps an arrival index
+    to a callable invoked with the live service object just before that
+    submission — the hook the reshard-under-load drill uses to add and
+    kill shards mid-replay.
     """
     from repro.serve.client import Client, JobFailedError, ServiceError
 
@@ -268,6 +290,8 @@ def run_replay(
         raise ValueError(
             f"algorithm must be 'schedule' or 'synth', got {algorithm!r}"
         )
+    if max_in_flight < 1:
+        raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
     offsets = arrival_offsets(pattern, seed)
     payloads = _design_payloads(spec, seed, pattern.n, distinct_designs)
     report = ReplayReport(
@@ -275,6 +299,7 @@ def run_replay(
         seed=seed,
         shards=shards,
         algorithm=algorithm,
+        mode="open" if open_loop else "closed",
     )
 
     if shards > 0:
@@ -305,13 +330,10 @@ def run_replay(
     with service.start_in_thread() as handle:
         client = Client(handle.url, timeout=60.0, retries=0)
         submit = client.schedule if algorithm == "schedule" else client.synth
-        base = time.perf_counter()
-        for index, (offset, payload) in enumerate(zip(offsets, payloads)):
-            if time_scale > 0:
-                due = base + offset * time_scale
-                pause = due - time.perf_counter()
-                if pause > 0:
-                    time.sleep(pause)
+
+        def run_one(
+            index: int, offset: float, payload: Dict[str, Any]
+        ) -> Tuple[Dict[str, Any], float]:
             outcome: Dict[str, Any] = {
                 "index": index,
                 "offset": round(offset, 6),
@@ -332,10 +354,45 @@ def run_replay(
                     outcome["error"] = (
                         f"{type(retry_error).__name__}: {retry_error}"
                     )
-            report.latencies_ms.append(
-                (time.perf_counter() - job_started) * 1000.0
-            )
-            report.outcomes.append(outcome)
+            return outcome, (time.perf_counter() - job_started) * 1000.0
+
+        base = time.perf_counter()
+        if open_loop:
+            from concurrent.futures import ThreadPoolExecutor
+
+            futures = []
+            with ThreadPoolExecutor(max_workers=max_in_flight) as pool:
+                for index, (offset, payload) in enumerate(
+                    zip(offsets, payloads)
+                ):
+                    if actions and index in actions:
+                        actions[index](service)
+                    if time_scale > 0:
+                        due = base + offset * time_scale
+                        pause = due - time.perf_counter()
+                        if pause > 0:
+                            time.sleep(pause)
+                    futures.append(
+                        pool.submit(run_one, index, offset, payload)
+                    )
+                completed = [future.result() for future in futures]
+            # Arrival-index order, not completion order: the
+            # deterministic payload must not depend on thread timing.
+            for outcome, latency in completed:
+                report.outcomes.append(outcome)
+                report.latencies_ms.append(latency)
+        else:
+            for index, (offset, payload) in enumerate(zip(offsets, payloads)):
+                if actions and index in actions:
+                    actions[index](service)
+                if time_scale > 0:
+                    due = base + offset * time_scale
+                    pause = due - time.perf_counter()
+                    if pause > 0:
+                        time.sleep(pause)
+                outcome, latency = run_one(index, offset, payload)
+                report.outcomes.append(outcome)
+                report.latencies_ms.append(latency)
         if plan is not None:
             report.fault_log = list(plan.log)
     report.wall_seconds = time.perf_counter() - started

@@ -57,7 +57,13 @@ from repro.serve.httpcore import (
 )
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
-from repro.serve.jobs import JobSpecError, cache_key, normalize_spec
+from repro.serve.jobs import (
+    JobSpecError,
+    cache_key,
+    key_and_fingerprint,
+    normalize_spec,
+    spec_fingerprint,
+)
 from repro.serve.metrics import Metrics
 from repro.serve.queue import (
     Job,
@@ -330,7 +336,7 @@ class ServeApp:
         """
         spec = normalize_spec(algorithm, body, verify=verify, trace=trace)
         fault_point("serve.admit")
-        key = cache_key(spec)
+        key, fingerprint = key_and_fingerprint(spec)
         loop = asyncio.get_running_loop()
         job = Job(
             spec,
@@ -340,6 +346,7 @@ class ServeApp:
             else self.config.default_timeout_s,
             loop=loop,
         )
+        job.fingerprint = fingerprint
         self._register(job)
 
         cached = self.cache.get(key)
@@ -451,7 +458,11 @@ class ServeApp:
             if entry.status == "done" and entry.text is not None:
                 job.future.set_result(entry.text)
                 if entry.key:
-                    self.cache.put(entry.key, entry.text)
+                    self.cache.put(
+                        entry.key,
+                        entry.text,
+                        tag=self._entry_fingerprint(entry.spec),
+                    )
             else:
                 # Nothing awaits a resurrected failure; a cancelled
                 # future is silent on collection, an exception is not.
@@ -472,6 +483,7 @@ class ServeApp:
                 loop=loop,
                 job_id=entry.job_id,
             )
+            job.fingerprint = self._entry_fingerprint(entry.spec)
             self._register(job)
             job.journaled = True  # its admit record is already on disk
             self.metrics.incr("recovered_jobs", kind="pending")
@@ -491,6 +503,16 @@ class ServeApp:
             self.inflight[job.key] = job
             job.arm_timeout(loop)
 
+    @staticmethod
+    def _entry_fingerprint(spec: Optional[Mapping[str, Any]]) -> Optional[str]:
+        """Best-effort routing tag for a journal entry's cached result."""
+        if not spec or "dfg_json" not in spec:
+            return None
+        try:
+            return spec_fingerprint(spec)
+        except Exception:  # pragma: no cover - corrupt journal entry
+            return None
+
     def _resolve(self, job: Job, payload: Mapping[str, Any], text: str) -> None:
         """Batcher callback: publish a computed result (loop thread)."""
         ok = bool(payload.get("ok"))
@@ -500,7 +522,7 @@ class ServeApp:
             # the entry costs future hits, never this job's result.
             try:
                 fault_point("serve.cache.put")
-                self.cache.put(job.key, text)
+                self.cache.put(job.key, text, tag=job.fingerprint)
             except InjectedFault:
                 self.metrics.incr("cache_put_errors")
         if self.inflight.get(job.key) is job:
@@ -588,7 +610,85 @@ class ServeApp:
                 {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
                 self.metrics.render(self.perf),
             )
+        if path.startswith("/admin/cache/"):
+            return path, self._handle_admin_cache(method, path, query, body)
         return "-", (404, {}, {"error": f"no route for {method} {path}"})
+
+    def _handle_admin_cache(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, str],
+        body: bytes,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """Cache transfer endpoints backing the router's reshard handoff.
+
+        * ``GET  /admin/cache/index``  — every entry's ``(key, tag)``;
+        * ``POST /admin/cache/export`` — ``{"keys": [...]}`` → full
+          entries for the keys still cached;
+        * ``POST /admin/cache/import`` — ``{"entries": [...]}`` → puts,
+          returning ``{"imported": n}`` (replica writes land here too);
+        * ``GET  /admin/cache/entry?key=`` — one raw stored payload, the
+          router's replica read-path probe.
+        """
+        sub = path[len("/admin/cache/"):]
+        if sub == "index":
+            if method != "GET":
+                return 405, {}, {"error": "GET required"}
+            entries = [
+                {"key": key, "tag": tag}
+                for key, tag, _text in self.cache.tagged_entries()
+            ]
+            return 200, {}, {"entries": entries, "total": len(self.cache)}
+        if sub == "entry":
+            if method != "GET":
+                return 405, {}, {"error": "GET required"}
+            key = query.get("key", "")
+            if not key:
+                return 400, {}, {"error": "'key' query parameter required"}
+            text = self.cache.peek(key)
+            if text is None:
+                return 404, {}, {"error": "not cached"}
+            return 200, {"X-Raw-Body": "1"}, text
+        if sub in ("export", "import"):
+            if method != "POST":
+                return 405, {}, {"error": "POST required"}
+            try:
+                parsed = json.loads(body.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ProtocolError(400, f"request body is not JSON: {error}")
+            if sub == "export":
+                keys = parsed.get("keys")
+                if not isinstance(keys, list):
+                    return 400, {}, {"error": "'keys' must be a list"}
+                entries = []
+                for key in keys:
+                    text = self.cache.peek(key) if isinstance(key, str) else None
+                    if text is not None:
+                        entries.append(
+                            {
+                                "key": key,
+                                "tag": self.cache.tag(key),
+                                "text": text,
+                            }
+                        )
+                return 200, {}, {"entries": entries}
+            items = parsed.get("entries")
+            if not isinstance(items, list):
+                return 400, {}, {"error": "'entries' must be a list"}
+            imported = 0
+            for item in items:
+                if not isinstance(item, Mapping):
+                    continue
+                key, text = item.get("key"), item.get("text")
+                if isinstance(key, str) and isinstance(text, str):
+                    tag = item.get("tag")
+                    self.cache.put(
+                        key, text, tag=tag if isinstance(tag, str) else None
+                    )
+                    imported += 1
+            return 200, {}, {"imported": imported}
+        return 404, {}, {"error": f"unknown admin resource {sub!r}"}
 
     async def _handle_submit(
         self, algorithm: str, query: Mapping[str, str], body: bytes

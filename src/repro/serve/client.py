@@ -324,3 +324,31 @@ class Client:
     def metrics_text(self) -> str:
         """Prometheus exposition text (``GET /metrics``)."""
         return self._checked("GET", "/metrics", raw=True)
+
+    # -- fleet administration (shard router only) ----------------------
+    def admin_status(self) -> Dict[str, Any]:
+        """Ring membership and per-shard state (``GET /admin/shards``)."""
+        return self._checked("GET", "/admin/shards")
+
+    def admin_add_shard(self) -> Dict[str, Any]:
+        """Grow the fleet by one shard; blocks through the warm handoff.
+
+        Admin reshards are not retried: a timeout could otherwise boot
+        two shards.  409 means another reshard is already running.
+        """
+        return self._request_once("POST", "/admin/shards", {"action": "add"})
+
+    def admin_remove_shard(self, shard: str) -> Dict[str, Any]:
+        """Drain ``shard`` out of the fleet (handoff → drain → exit)."""
+        return self._request_once(
+            "POST", "/admin/shards", {"action": "remove", "shard": shard}
+        )
+
+    def _request_once(
+        self, method: str, path: str, body: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """One non-retried call; non-2xx answers raise ServiceError."""
+        status, _headers, decoded = self._request(method, path, body=body)
+        if status >= 300:
+            raise ServiceError(status, decoded)
+        return decoded

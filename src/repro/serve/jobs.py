@@ -139,13 +139,27 @@ def normalize_spec(
 
 
 def cache_key(spec: Mapping[str, Any]) -> str:
-    """Content address of a job spec (the result-cache key).
+    """Content address of a job spec (the result-cache key)."""
+    return key_and_fingerprint(spec)[0]
 
-    Combines the canonical DFG fingerprint (renaming/insertion-order
-    free), the full parameter tuple, and — for allocation jobs — the
-    cell library cost model.  The ``verify``/``trace`` flags are part of
-    the key because they change the response payload (audit fields, the
-    trace artifact), and cached responses are returned byte-identical.
+
+def spec_fingerprint(spec: Mapping[str, Any]) -> str:
+    """The canonical DFG fingerprint of a spec (the ring routing key)."""
+    return dfg_fingerprint(dfg_from_json(spec["dfg_json"]))
+
+
+def key_and_fingerprint(spec: Mapping[str, Any]) -> Tuple[str, str]:
+    """``(cache_key, dfg_fingerprint)`` of a job spec in one DFG parse.
+
+    The cache key combines the canonical DFG fingerprint
+    (renaming/insertion-order free), the full parameter tuple, and — for
+    allocation jobs — the cell library cost model.  The
+    ``verify``/``trace`` flags are part of the key because they change
+    the response payload (audit fields, the trace artifact), and cached
+    responses are returned byte-identical.  The fingerprint is returned
+    alongside because it is the *routing* key: the hash ring places jobs
+    and cache entries by it, and every cache write tags the entry with
+    it so a ring resize can compute the handoff set.
     """
     dfg = dfg_from_json(spec["dfg_json"])
     params = {
@@ -174,15 +188,17 @@ def cache_key(spec: Mapping[str, Any]) -> str:
         from repro.library.ncr import datapath_library
 
         library_digest = library_fingerprint(datapath_library())
-    return sha256_of(
+    fingerprint = dfg_fingerprint(dfg)
+    key = sha256_of(
         [
             "repro-serve-key",
             SPEC_VERSION,
-            dfg_fingerprint(dfg),
+            fingerprint,
             params_fingerprint(params),
             library_digest,
         ]
     )
+    return key, fingerprint
 
 
 def execute_spec(

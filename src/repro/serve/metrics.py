@@ -120,7 +120,7 @@ class Metrics:
         self.namespace = namespace
         self._counters: Dict[str, Dict[LabelSet, float]] = {}
         self._summaries: Dict[str, Dict[LabelSet, Tuple[float, int]]] = {}
-        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._gauges: Dict[str, Dict[LabelSet, Callable[[], float]]] = {}
         self._help: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
@@ -151,9 +151,29 @@ class Metrics:
         """The ``(sum, count)`` pair of a summary (zeros when untouched)."""
         return self._summaries.get(name, {}).get(_labels(labels), (0.0, 0))
 
-    def gauge(self, name: str, read: Callable[[], float]) -> None:
-        """Register gauge ``name``; ``read()`` is called at render time."""
-        self._gauges[name] = read
+    def gauge(
+        self, name: str, read: Callable[[], float], **labels: str
+    ) -> None:
+        """Register gauge ``name``; ``read()`` is called at render time.
+
+        Labels give one gauge per label set under the same metric name
+        (e.g. ``shard_respawn_backoff_seconds{target="shard-1"}``);
+        re-registering a name+label set replaces its reader.
+        """
+        self._gauges.setdefault(name, {})[_labels(labels)] = read
+
+    def remove_gauge(self, name: str, **labels: str) -> None:
+        """Drop the gauge registered for ``name`` + label set, if any.
+
+        Needed when the labelled entity goes away (a drained shard must
+        stop appearing in the scrape); unknown names are a no-op.
+        """
+        series = self._gauges.get(name)
+        if series is None:
+            return
+        series.pop(_labels(labels), None)
+        if not series:
+            del self._gauges[name]
 
     # ------------------------------------------------------------------
     def render(self, perf: Optional[PerfCounters] = None) -> str:
@@ -176,7 +196,11 @@ class Metrics:
         for name in sorted(self._gauges):
             full = f"{self.namespace}_{name}"
             emit_header(full, "gauge", name)
-            lines.append(f"{full} {_format(self._gauges[name]())}")
+            for key in sorted(self._gauges[name]):
+                read = self._gauges[name][key]
+                lines.append(
+                    f"{full}{_render_labels(key)} {_format(read())}"
+                )
 
         for name in sorted(self._summaries):
             full = f"{self.namespace}_{name}"

@@ -74,6 +74,10 @@ class Job:
         self.id = job_id or f"j{next(_job_seq):05d}-{uuid.uuid4().hex[:8]}"
         self.spec = dict(spec)
         self.key = key
+        #: Canonical DFG fingerprint — the hash-ring routing key.  Set
+        #: by the app when it parses the spec; the router reads it from
+        #: job payloads to place replica cache writes on the ring.
+        self.fingerprint: Optional[str] = None
         self.timeout_s = timeout_s
         self.status = "queued"
         self.cache = "miss"  # "miss" | "hit" | "follower"
@@ -207,6 +211,8 @@ class Job:
             "algorithm": self.spec.get("algorithm"),
             "key": self.key,
         }
+        if self.fingerprint is not None:
+            info["fingerprint"] = self.fingerprint
         for label, value in (
             ("queue_seconds", self.queue_seconds()),
             ("run_seconds", self.run_seconds()),

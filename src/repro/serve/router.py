@@ -39,6 +39,25 @@ Design choices, and why:
 * **One ``/metrics`` for the fleet.**  The router scrapes each shard
   and re-emits the union with a ``shard="shard-<i>"`` label (its own
   series carry ``shard="router"``).
+* **The fleet is elastic.**  ``POST /admin/shards`` (and the
+  ``repro-hls serve-admin`` CLI) boots or drains a shard at runtime: the
+  router builds the pending ring, pushes every cache entry whose owner
+  changes to its new owner (*warm handoff*, so repeat submissions stay
+  hits across the resize), and only then flips the live ring; a removed
+  shard finishes its in-flight jobs and compacts its journal before the
+  process exits.
+* **Results are replicated.**  Each fresh result is written to its
+  owner *and* the next ``replication - 1`` shards in ring order — as a
+  coalesced background flush (one import POST per target per
+  ``replica_flush_s`` window), never on the response path; on a
+  router-L2 miss the read path probes the replica holders before
+  recomputing and read-repairs what it finds, so ``kill -9`` on a shard
+  no longer costs the fleet its hottest cache entries.
+* **Supervision is crash-loop safe.**  A dead shard respawns after a
+  capped exponential backoff with seeded *equal* jitter (monotone
+  non-decreasing gaps, :class:`repro.resilience.retry.RetryPolicy`);
+  after ``crash_loop_threshold`` rapid deaths the shard is permanently
+  demoted — the ring routes around it and the fleet keeps serving.
 
 Graceful drain mirrors the single-process story: SIGTERM stops
 admission (503), SIGTERMs every shard (each drains its own queue and
@@ -60,8 +79,6 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 from urllib.parse import urlencode
 
-from repro.dfg.fingerprint import dfg_fingerprint
-from repro.io.jsonio import dfg_from_json
 from repro.resilience.faults import (
     FaultPlan,
     InjectedFault,
@@ -69,8 +86,9 @@ from repro.resilience.faults import (
     arm,
     fault_point,
 )
+from repro.resilience.retry import RetryPolicy
 from repro.serve.cache import ResultCache
-from repro.serve.hashring import HashRing
+from repro.serve.hashring import HashRing, moved_keys
 from repro.serve.httpcore import (
     ProtocolError,
     flag as _query_flag,
@@ -78,7 +96,12 @@ from repro.serve.httpcore import (
     read_request,
     write_response,
 )
-from repro.serve.jobs import JobSpecError, cache_key, normalize_spec, response_text
+from repro.serve.jobs import (
+    JobSpecError,
+    key_and_fingerprint,
+    normalize_spec,
+    response_text,
+)
 from repro.serve.metrics import Metrics, merge_expositions, relabel_exposition
 from repro.serve.queue import Job
 
@@ -108,6 +131,25 @@ class RouterConfig:
     health_timeout_s: float = 2.0
     health_failures: int = 2
     respawn: bool = True
+    #: Respawn backoff (equal-jitter exponential): the first rapid-death
+    #: respawn waits ~``respawn_base_s``, doubling per consecutive rapid
+    #: death up to ``respawn_cap_s``.  A shard that lived longer than
+    #: ``crash_loop_window_s`` respawns immediately.
+    respawn_base_s: float = 0.25
+    respawn_cap_s: float = 10.0
+    respawn_seed: int = 0
+    #: A death within this many seconds of the spawn counts as "rapid".
+    crash_loop_window_s: float = 5.0
+    #: Consecutive rapid deaths before a shard is permanently demoted
+    #: (the ring routes around it; only an admin remove cleans it up).
+    crash_loop_threshold: int = 5
+    #: Cache copies per result: the owner plus ``replication - 1`` ring
+    #: successors.  ``1`` disables replica writes and read-path probes.
+    replication: int = 2
+    #: Coalescing window for replica writes: results absorbed within one
+    #: window ride a single cache-import POST per target shard, so the
+    #: per-result replication cost amortises away under load.
+    replica_flush_s: float = 0.02
     #: Budget for one forwarded request (covers ``?wait=1`` synthesis).
     forward_timeout_s: float = 120.0
     #: Budget for every shard to drain after fleet SIGTERM.
@@ -138,17 +180,45 @@ class ShardProcess:
         self.failures = 0
         self.restarts = 0
         self.last_health: Optional[Dict[str, Any]] = None
+        #: Respawn backoff stream (equal jitter — monotone gaps), seeded
+        #: per shard by the router.
+        self.backoff: Optional[RetryPolicy] = None
+        #: Permanently taken out of service by the crash-loop detector.
+        self.demoted = False
+        #: Being removed by an admin reshard; supervision leaves it alone.
+        self.draining = False
+        self.rapid_deaths = 0
+        self.spawned_monotonic: Optional[float] = None
+        self.death_monotonic: Optional[float] = None
+        self.next_respawn_monotonic: Optional[float] = None
+        #: Last scheduled respawn delay (the backoff gauge reads this).
+        self.respawn_delay_s = 0.0
+        #: Every scheduled respawn delay, oldest first (tests assert the
+        #: monotone-gap property on this).
+        self.respawn_gaps: List[float] = []
 
     @property
     def alive(self) -> bool:
         return self.process is not None and self.process.poll() is None
 
     def describe(self) -> Dict[str, Any]:
+        if self.demoted:
+            status = "demoted"
+        elif self.draining:
+            status = "draining"
+        elif self.healthy:
+            status = "ok"
+        else:
+            status = "starting" if self.alive else "down"
         info: Dict[str, Any] = {
-            "status": "ok" if self.healthy else ("starting" if self.alive else "down"),
+            "status": status,
             "port": self.port,
             "restarts": self.restarts,
         }
+        if self.rapid_deaths:
+            info["rapid_deaths"] = self.rapid_deaths
+        if self.respawn_delay_s:
+            info["respawn_backoff_seconds"] = round(self.respawn_delay_s, 6)
         if self.last_health is not None:
             info["health"] = self.last_health
         return info
@@ -177,6 +247,17 @@ class ShardRouter:
         self.fault_plan: Optional[FaultPlan] = None
         if config.faults:
             self.fault_plan = FaultPlan.parse(config.faults, seed=config.fault_seed)
+        #: Names are never reused: the next admin-added shard gets this.
+        self._next_index = config.shards
+        #: Serializes admin reshards (a second one answers 409).
+        self._reshard_lock = asyncio.Lock()
+        #: In-flight background work (replica flushes), kept referenced.
+        self._background: set = set()
+        #: Replica writes awaiting a flush: target shard → key → entry.
+        #: Coalescing per target turns N per-result POSTs into one
+        #: import per ``replica_flush_s`` window (re-puts dedupe by key).
+        self._replica_buffer: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        self._replica_flush_scheduled = False
         self.draining = False
         self.started_monotonic: Optional[float] = None
         self._scratch: Optional[tempfile.TemporaryDirectory] = None
@@ -197,6 +278,15 @@ class ShardRouter:
         m.describe("router_forward_errors", "Forward attempts that failed, by target shard.")
         m.describe("router_failovers", "Submissions re-routed off their owner shard.")
         m.describe("shard_restarts", "Shard subprocesses respawned, by target shard.")
+        m.describe("shard_demoted", "Shards permanently demoted by the crash-loop detector.")
+        m.describe("shard_respawn_backoff_seconds", "Current respawn backoff delay, by shard.")
+        m.describe("replica_puts", "Replica cache writes, by target shard.")
+        m.describe("replica_put_errors", "Replica cache writes that failed, by target shard.")
+        m.describe("replica_probe_hits", "Submissions served from a replica shard's cache.")
+        m.describe("reshards", "Ring resizes completed, by action.")
+        m.describe("handoff_entries", "Cache entries warm-pushed during reshards, by receiver.")
+        m.describe("handoff_errors", "Handoff pushes that failed, by receiver.")
+        m.describe("handoff_seconds", "Wall time of one reshard warm handoff.")
         m.gauge("shards_total", lambda: len(self.shards))
         m.gauge(
             "healthy_shards",
@@ -217,6 +307,24 @@ class ShardRouter:
         home = os.path.join(root, name)
         os.makedirs(home, exist_ok=True)
         return home
+
+    def _new_shard(self, name: str, index: int) -> ShardProcess:
+        """Create and register one shard record (not yet spawned)."""
+        shard = ShardProcess(name, index, self._shard_home(name))
+        shard.backoff = RetryPolicy(
+            retries=0,
+            base_s=self.config.respawn_base_s,
+            cap_s=self.config.respawn_cap_s,
+            seed=f"respawn:{self.config.respawn_seed}:{name}",
+            jitter="equal",
+        )
+        self.metrics.gauge(
+            "shard_respawn_backoff_seconds",
+            lambda s=shard: s.respawn_delay_s,
+            target=name,
+        )
+        self.shards[name] = shard
+        return shard
 
     def _shard_command(self, shard: ShardProcess) -> List[str]:
         command = [
@@ -261,6 +369,9 @@ class ShardRouter:
         shard.port = None
         shard.healthy = False
         shard.failures = 0
+        shard.spawned_monotonic = time.monotonic()
+        shard.death_monotonic = None
+        shard.next_respawn_monotonic = None
 
     def _read_port(self, shard: ShardProcess) -> Optional[int]:
         try:
@@ -294,11 +405,9 @@ class ShardRouter:
         if self.fault_plan is not None:
             arm(self.fault_plan)
         for index in range(self.config.shards):
-            name = f"shard-{index}"
-            shard = ShardProcess(name, index, self._shard_home(name))
-            self.shards[name] = shard
+            shard = self._new_shard(f"shard-{index}", index)
             self._spawn(shard)
-        for shard in self.shards.values():
+        for shard in list(self.shards.values()):
             await self._await_port(shard)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -334,13 +443,23 @@ class ShardRouter:
             except asyncio.CancelledError:
                 pass
             self._health_task = None
-        for shard in self.shards.values():
+        if self._background:
+            # Give in-flight replica writes one drain window, then cut.
+            pending = list(self._background)
+            _done, still_pending = await asyncio.wait(
+                pending, timeout=self.config.health_timeout_s
+            )
+            for task in still_pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            self._background.clear()
+        for shard in list(self.shards.values()):
             if shard.alive:
                 shard.process.send_signal(
                     signal.SIGTERM if drain else signal.SIGKILL
                 )
         deadline = time.monotonic() + self.config.drain_timeout_s
-        for shard in self.shards.values():
+        for shard in list(self.shards.values()):
             if shard.process is None:
                 continue
             remaining = max(0.1, deadline - time.monotonic())
@@ -434,20 +553,79 @@ class ShardRouter:
     # ------------------------------------------------------------------
     async def _health_loop(self) -> None:
         while True:
-            for shard in self.shards.values():
+            # Reshards mutate ``self.shards`` between awaits — iterate a
+            # snapshot.
+            for shard in list(self.shards.values()):
                 if self.draining:
                     return
                 await self._check(shard)
             await asyncio.sleep(self.config.health_interval_s)
 
+    def _log(self, message: str) -> None:
+        if self._announce is not None:
+            print(f"router: {message}", file=self._announce, flush=True)
+
+    def _demote(self, shard: ShardProcess) -> None:
+        """Crash-loop verdict: take the shard out of service for good."""
+        shard.demoted = True
+        shard.healthy = False
+        if shard.name in self.ring:
+            self.ring.remove(shard.name)
+        self.metrics.incr("shard_demoted", target=shard.name)
+        self._log(
+            f"{shard.name} demoted after {shard.rapid_deaths} rapid deaths "
+            f"(< {self.config.crash_loop_window_s:g}s each); "
+            "ring routes around it"
+        )
+
     async def _check(self, shard: ShardProcess) -> None:
+        if shard.demoted or shard.draining:
+            return
         if not shard.alive:
             shard.healthy = False
             shard.last_health = None
-            if self.config.respawn and not self.draining:
-                shard.restarts += 1
-                self.metrics.incr("shard_restarts", target=shard.name)
-                self._spawn(shard)
+            if not self.config.respawn or self.draining:
+                return
+            now = time.monotonic()
+            if shard.death_monotonic is None:
+                # First probe to notice this death: classify it and
+                # *schedule* the respawn — never re-exec instantly, or a
+                # poisoned shard becomes a fork bomb.
+                shard.death_monotonic = now
+                lifetime = (
+                    now - shard.spawned_monotonic
+                    if shard.spawned_monotonic is not None
+                    else None
+                )
+                rapid = (
+                    lifetime is not None
+                    and lifetime < self.config.crash_loop_window_s
+                )
+                shard.rapid_deaths = shard.rapid_deaths + 1 if rapid else 0
+                if shard.rapid_deaths >= self.config.crash_loop_threshold:
+                    self._demote(shard)
+                    return
+                delay = 0.0
+                if rapid and shard.backoff is not None:
+                    delay = shard.backoff.delay(shard.rapid_deaths - 1)
+                shard.respawn_delay_s = delay
+                shard.respawn_gaps.append(delay)
+                shard.next_respawn_monotonic = now + delay
+                if rapid:
+                    self._log(
+                        f"{shard.name} died after {lifetime:.2f}s; respawn "
+                        f"in {delay:.2f}s (rapid death {shard.rapid_deaths}"
+                        f"/{self.config.crash_loop_threshold})"
+                    )
+                return
+            if (
+                shard.next_respawn_monotonic is not None
+                and now < shard.next_respawn_monotonic
+            ):
+                return  # backoff still running
+            shard.restarts += 1
+            self.metrics.incr("shard_restarts", target=shard.name)
+            self._spawn(shard)
             return
         if shard.port is None:
             shard.port = self._read_port(shard)
@@ -476,7 +654,13 @@ class ShardRouter:
     # ------------------------------------------------------------------
     def _candidates(self, fingerprint: str) -> List[ShardProcess]:
         """Forwarding order for a key: healthy shards first, ring order."""
-        preference = [self.shards[name] for name in self.ring.ordered(fingerprint)]
+        if not len(self.ring):
+            return []  # every shard demoted/removed
+        preference = [
+            self.shards[name]
+            for name in self.ring.ordered(fingerprint)
+            if name in self.shards
+        ]
         usable = [s for s in preference if s.port is not None and s.alive]
         healthy = [s for s in usable if s.healthy]
         suspect = [s for s in usable if not s.healthy]
@@ -530,10 +714,16 @@ class ShardRouter:
                 oldest = next(iter(self.job_locations))
                 self.job_locations.pop(oldest)
 
-    def _absorb_result(self, payload: Any) -> None:
-        """Populate the shared L2 cache from a shard's finished response."""
+    def _absorb_result(
+        self, payload: Any
+    ) -> Optional[Tuple[str, Optional[str], str]]:
+        """Populate the shared L2 cache from a shard's finished response.
+
+        Returns the absorbed ``(key, fingerprint, text)`` so the caller
+        can fan the entry out to its replica holders.
+        """
         if not isinstance(payload, Mapping):
-            return
+            return None
         info = payload.get("job")
         result = payload.get("result")
         if (
@@ -544,7 +734,371 @@ class ShardRouter:
         ):
             # response_text() of the parsed result reproduces the exact
             # bytes the shard cached — canonical JSON both sides.
-            self.cache.put(info["key"], response_text(result))
+            fingerprint = info.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                fingerprint = None
+            text = response_text(result)
+            self.cache.put(info["key"], text, tag=fingerprint)
+            return info["key"], fingerprint, text
+        return None
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+    def _replica_names(self, fingerprint: str) -> List[str]:
+        """The shards holding copies of ``fingerprint``'s results."""
+        if self.config.replication < 2 or len(self.ring) < 2:
+            return []
+        return self.ring.ordered(fingerprint)[: self.config.replication]
+
+    async def _put_replica(
+        self, shard: ShardProcess, entries: List[Dict[str, Any]]
+    ) -> bool:
+        """Best-effort cache write into one shard's L1; never fatal.
+
+        Counters move by ``len(entries)`` — they track replicated
+        *results*, not POSTs, so coalescing does not skew them.
+        """
+        try:
+            fault_point("shard.replica.put")
+            await self._import_entries(shard, entries)
+        except (OSError, asyncio.TimeoutError, InjectedFault):
+            self.metrics.incr(
+                "replica_put_errors", len(entries), target=shard.name
+            )
+            return False
+        self.metrics.incr("replica_puts", len(entries), target=shard.name)
+        return True
+
+    def _spawn_background(self, coro) -> None:
+        """Run ``coro`` off the response path; the task set keeps it
+        referenced until done (cancelled wholesale at shutdown)."""
+        task = asyncio.get_running_loop().create_task(coro)
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+
+    def _queue_replica(
+        self,
+        key: str,
+        fingerprint: Optional[str],
+        text: str,
+        served_by: str,
+    ) -> None:
+        """Buffer a fresh result for its other replica holders (RF ≥ 2).
+
+        Synchronous and allocation-only — nothing here touches the
+        network, so the response path pays nothing.  The first queued
+        entry arms one flush; everything absorbed within the window
+        rides the same per-target import POST.
+        """
+        if fingerprint is None:
+            return
+        entry = {"key": key, "tag": fingerprint, "text": text}
+        queued = False
+        for name in self._replica_names(fingerprint):
+            if name == served_by:
+                continue
+            self._replica_buffer.setdefault(name, {})[key] = entry
+            queued = True
+        if queued and not self._replica_flush_scheduled:
+            self._replica_flush_scheduled = True
+            self._spawn_background(self._flush_replicas())
+
+    async def _flush_replicas(self) -> None:
+        """Drain the replica buffer: one cache-import POST per target."""
+        await asyncio.sleep(self.config.replica_flush_s)
+        self._replica_flush_scheduled = False
+        buffered, self._replica_buffer = self._replica_buffer, {}
+        for name, entries in buffered.items():
+            shard = self.shards.get(name)
+            if shard is None or shard.port is None or not shard.alive:
+                continue
+            await self._put_replica(shard, list(entries.values()))
+
+    async def _probe_replicas(
+        self, key: str, fingerprint: str, skip: str
+    ) -> Optional[str]:
+        """Read-path fall-through: ask replica holders for a cached result.
+
+        Runs only on a router-L2 miss, before forwarding.  The forward
+        target serves its own L1 anyway, so only the *other* replica
+        holders are probed — this is what rescues the hottest entries
+        when their owner was SIGKILLed and came back cold.
+        """
+        for name in self._replica_names(fingerprint):
+            if name == skip:
+                continue
+            shard = self.shards.get(name)
+            if shard is None or shard.port is None or not shard.alive:
+                continue
+            try:
+                status, _headers, raw = await proxy_request(
+                    self.config.host,
+                    shard.port,
+                    "GET",
+                    f"/admin/cache/entry?{urlencode({'key': key})}",
+                    timeout_s=self.config.health_timeout_s,
+                )
+            except (OSError, asyncio.TimeoutError):
+                continue
+            if status != 200:
+                continue
+            self.metrics.incr("replica_probe_hits", target=name)
+            return raw.decode("utf-8")
+        return None
+
+    # ------------------------------------------------------------------
+    # online reshard
+    # ------------------------------------------------------------------
+    async def _import_entries(
+        self, shard: ShardProcess, entries: List[Dict[str, Any]]
+    ) -> None:
+        """POST a batch of cache entries into one shard's L1."""
+        status, _headers, _raw = await proxy_request(
+            self.config.host,
+            shard.port,
+            "POST",
+            "/admin/cache/import",
+            body=json.dumps({"entries": entries}).encode("utf-8"),
+            timeout_s=self.config.health_timeout_s,
+        )
+        if status != 200:
+            raise ConnectionError(f"cache import answered {status}")
+
+    async def _fetch_cache_index(
+        self, shard: ShardProcess
+    ) -> List[Dict[str, str]]:
+        """One shard's ``(key, tag)`` cache index; empty on any failure."""
+        try:
+            status, _headers, raw = await proxy_request(
+                self.config.host,
+                shard.port,
+                "GET",
+                "/admin/cache/index",
+                timeout_s=self.config.health_timeout_s,
+            )
+            if status != 200:
+                return []
+            payload = json.loads(raw.decode("utf-8"))
+        except (OSError, asyncio.TimeoutError, ValueError):
+            return []
+        return [
+            item
+            for item in payload.get("entries", ())
+            if isinstance(item, Mapping)
+            and isinstance(item.get("key"), str)
+            and isinstance(item.get("tag"), str)
+        ]
+
+    async def _export_entries(
+        self, shard: ShardProcess, keys: List[str]
+    ) -> List[Dict[str, Any]]:
+        """Pull full cache entries for ``keys`` from one shard."""
+        try:
+            status, _headers, raw = await proxy_request(
+                self.config.host,
+                shard.port,
+                "POST",
+                "/admin/cache/export",
+                body=json.dumps({"keys": keys}).encode("utf-8"),
+                timeout_s=self.config.health_timeout_s,
+            )
+            if status != 200:
+                return []
+            payload = json.loads(raw.decode("utf-8"))
+        except (OSError, asyncio.TimeoutError, ValueError):
+            return []
+        return [
+            item
+            for item in payload.get("entries", ())
+            if isinstance(item, Mapping)
+            and isinstance(item.get("key"), str)
+            and isinstance(item.get("text"), str)
+            and isinstance(item.get("tag"), str)
+        ]
+
+    async def _relocated_entries(
+        self, after: HashRing
+    ) -> List[Dict[str, Any]]:
+        """Every cached entry whose owner changes under the ``after`` ring.
+
+        Sources both tiers: the router's own L2 (text already in hand)
+        and each live shard's L1 via its cache-index/export endpoints.
+        Deduplicated by cache key — one push per entry no matter how
+        many tiers hold it.
+        """
+        tagged = list(self.cache.tagged_entries())
+        tags = {tag for _key, tag, _text in tagged}
+        indexes: List[Tuple[ShardProcess, List[Dict[str, str]]]] = []
+        for shard in list(self.shards.values()):
+            if shard.port is None or not shard.alive or shard.demoted:
+                continue
+            index = await self._fetch_cache_index(shard)
+            indexes.append((shard, index))
+            tags.update(item["tag"] for item in index)
+        moved = moved_keys(self.ring, after, sorted(tags))
+        entries: Dict[str, Dict[str, Any]] = {}
+        for key, tag, text in tagged:
+            if tag in moved:
+                entries[key] = {"key": key, "tag": tag, "text": text}
+        for shard, index in indexes:
+            wanted = [
+                item["key"]
+                for item in index
+                if item["tag"] in moved and item["key"] not in entries
+            ]
+            if not wanted:
+                continue
+            for item in await self._export_entries(shard, wanted):
+                entries.setdefault(item["key"], dict(item))
+        return list(entries.values())
+
+    async def _handoff(self, after: HashRing, absorb: bool = False) -> int:
+        """Warm-push every relocated cache entry to its new owner.
+
+        Runs *before* the live ring flips to ``after``, so the new
+        owners are already warm when routing changes.  ``absorb`` also
+        copies each relocated entry into the router L2 — insurance when
+        the old owner is about to exit.  Push failures are counted, not
+        fatal: a lost handoff entry costs a future cache hit, never a
+        result.
+        """
+        started = time.monotonic()
+        entries = await self._relocated_entries(after)
+        by_owner: Dict[str, List[Dict[str, Any]]] = {}
+        for entry in entries:
+            if absorb:
+                self.cache.put(entry["key"], entry["text"], tag=entry["tag"])
+            by_owner.setdefault(after.node_for(entry["tag"]), []).append(entry)
+        pushed = 0
+        for owner in sorted(by_owner):
+            batch = by_owner[owner]
+            shard = self.shards.get(owner)
+            if shard is None or shard.port is None or not shard.alive:
+                self.metrics.incr(
+                    "handoff_errors", amount=len(batch), target=owner
+                )
+                continue
+            for start in range(0, len(batch), 64):
+                chunk = batch[start:start + 64]
+                try:
+                    fault_point("router.handoff")
+                    await self._import_entries(shard, chunk)
+                except (OSError, asyncio.TimeoutError, InjectedFault):
+                    self.metrics.incr(
+                        "handoff_errors", amount=len(chunk), target=owner
+                    )
+                    continue
+                pushed += len(chunk)
+                self.metrics.incr(
+                    "handoff_entries", amount=len(chunk), target=owner
+                )
+        self.metrics.observe("handoff_seconds", time.monotonic() - started)
+        return pushed
+
+    async def add_shard(self) -> Dict[str, Any]:
+        """Boot a new shard, warm-hand off its keys, then flip the ring."""
+        name = f"shard-{self._next_index}"
+        index = self._next_index
+        self._next_index += 1
+        shard = self._new_shard(name, index)
+        self._spawn(shard)
+        await self._await_port(shard)
+        after = self.ring.grown(name)
+        moved = await self._handoff(after)
+        self.ring = after
+        self.metrics.incr("reshards", action="add")
+        self._log(
+            f"{name} joined the ring ({len(self.ring)} shards); "
+            f"{moved} cache entries handed off"
+        )
+        return {
+            "action": "add",
+            "shard": name,
+            "ring": list(self.ring.nodes),
+            "handoff_entries": moved,
+        }
+
+    async def remove_shard(self, name: Any) -> Dict[str, Any]:
+        """Hand off a shard's keys, drain it, and retire the process."""
+        if not isinstance(name, str) or name not in self.shards:
+            raise ValueError(f"unknown shard {name!r}")
+        shard = self.shards[name]
+        moved = 0
+        if name in self.ring:
+            if len(self.ring) == 1:
+                raise ValueError("cannot remove the last shard on the ring")
+            after = self.ring.shrunk(name)
+            moved = await self._handoff(after, absorb=True)
+            self.ring = after
+        shard.draining = True
+        shard.healthy = False
+        await self._drain_shard(shard)
+        self.metrics.remove_gauge(
+            "shard_respawn_backoff_seconds", target=name
+        )
+        self.shards.pop(name, None)
+        for job_id, location in list(self.job_locations.items()):
+            if location == name:
+                self.job_locations.pop(job_id, None)
+        self.metrics.incr("reshards", action="remove")
+        self._log(
+            f"{name} drained and left the ring ({len(self.ring)} shards); "
+            f"{moved} cache entries handed off"
+        )
+        return {
+            "action": "remove",
+            "shard": name,
+            "ring": list(self.ring.nodes),
+            "handoff_entries": moved,
+        }
+
+    async def _fetch_health(
+        self, shard: ShardProcess
+    ) -> Optional[Dict[str, Any]]:
+        if shard.port is None:
+            return None
+        try:
+            status, _headers, raw = await proxy_request(
+                self.config.host,
+                shard.port,
+                "GET",
+                "/healthz",
+                timeout_s=self.config.health_timeout_s,
+            )
+            if status != 200:
+                return None
+            return json.loads(raw.decode("utf-8"))
+        except (OSError, asyncio.TimeoutError, ValueError):
+            return None
+
+    async def _drain_shard(self, shard: ShardProcess) -> None:
+        """Let in-flight work finish, then SIGTERM (drain + compaction).
+
+        The ring has already flipped, so no new work reaches the shard;
+        this waits for its queue and in-flight table to empty before the
+        graceful shutdown that compacts its journal.
+        """
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline:
+            if not shard.alive:
+                return
+            health = await self._fetch_health(shard)
+            if (
+                health is not None
+                and health.get("queue_depth") == 0
+                and health.get("inflight") == 0
+            ):
+                break
+            await asyncio.sleep(0.05)
+        if shard.alive:
+            shard.process.send_signal(signal.SIGTERM)
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                await asyncio.to_thread(shard.process.wait, remaining)
+            except subprocess.TimeoutExpired:  # pragma: no cover - slow drain
+                shard.process.kill()
+                await asyncio.to_thread(shard.process.wait)
 
     # ------------------------------------------------------------------
     # HTTP layer
@@ -608,7 +1162,45 @@ class ShardRouter:
                 {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
                 await self._merged_metrics(),
             )
+        if path == "/admin/shards":
+            if method == "GET":
+                return path, (200, {}, self._admin_status())
+            if method != "POST":
+                return path, (405, {}, {"error": "GET or POST required"})
+            return path, await self._handle_admin_shards(body)
         return "-", (404, {}, {"error": f"no route for {method} {path}"})
+
+    def _admin_status(self) -> Dict[str, Any]:
+        return {
+            "ring": list(self.ring.nodes),
+            "replication": self.config.replication,
+            "shards": {
+                name: shard.describe() for name, shard in self.shards.items()
+            },
+        }
+
+    async def _handle_admin_shards(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, str], Any]:
+        if self.draining:
+            return 503, {}, {"error": "draining; not accepting admin work"}
+        try:
+            parsed = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(400, f"request body is not JSON: {error}")
+        action = parsed.get("action") if isinstance(parsed, Mapping) else None
+        if action not in ("add", "remove"):
+            return 400, {}, {"error": "'action' must be 'add' or 'remove'"}
+        if self._reshard_lock.locked():
+            return 409, {}, {"error": "a reshard is already in progress"}
+        async with self._reshard_lock:
+            if action == "add":
+                return 200, {}, await self.add_shard()
+            try:
+                result = await self.remove_shard(parsed.get("shard"))
+            except ValueError as error:
+                return 400, {}, {"error": str(error)}
+            return 200, {}, result
 
     async def _handle_submit(
         self, algorithm: str, path: str, query: Mapping[str, str], body: bytes
@@ -627,11 +1219,28 @@ class ShardRouter:
             verify=_query_flag(query, "verify"),
             trace=_query_flag(query, "trace"),
         )
-        key = cache_key(spec)
+        key, fingerprint = key_and_fingerprint(spec)
 
         cached = self.cache.get(key)
+        if cached is None:
+            candidates = self._candidates(fingerprint)
+            if not candidates:
+                return 503, {}, {"error": "no shard available"}
+            # L2 missed: before recomputing, ask the *other* replica
+            # holders (the forward target answers from its own L1).  A
+            # hit is read-repaired into the L2 and the forward target.
+            cached = await self._probe_replicas(
+                key, fingerprint, skip=candidates[0].name
+            )
+            if cached is not None:
+                self.cache.put(key, cached, tag=fingerprint)
+                await self._put_replica(
+                    candidates[0],
+                    [{"key": key, "tag": fingerprint, "text": cached}],
+                )
         if cached is not None:
             job = Job(spec, key, timeout_s=None, loop=asyncio.get_running_loop())
+            job.fingerprint = fingerprint
             job.cache = "hit"
             job.mark_running()
             job.finish(True, cached)
@@ -642,10 +1251,6 @@ class ShardRouter:
                 return 200, {}, {"job": info, "result": json.loads(cached)}
             return 202, {}, {"job": info}
 
-        fingerprint = dfg_fingerprint(dfg_from_json(spec["dfg_json"]))
-        candidates = self._candidates(fingerprint)
-        if not candidates:
-            return 503, {}, {"error": "no shard available"}
         owner = self.ring.node_for(fingerprint)
         target = self._target(path, query)
         last_error: Optional[BaseException] = None
@@ -659,12 +1264,12 @@ class ShardRouter:
                 continue
             if shard.name != owner:
                 self.metrics.incr("router_failovers")
-            return self._relay(status, headers, raw, shard)
+            return await self._relay(status, headers, raw, shard)
         return 503, {}, {
             "error": f"no healthy shard for this key ({last_error})",
         }
 
-    def _relay(
+    async def _relay(
         self,
         status: int,
         headers: Mapping[str, str],
@@ -681,7 +1286,17 @@ class ShardRouter:
             return status, out_headers, raw
         self._remember_location(payload, shard)
         if status == 200:
-            self._absorb_result(payload)
+            absorbed = self._absorb_result(payload)
+            if absorbed is not None:
+                # Replica writes never sit on the response path: the
+                # result is buffered here (pure dict ops) and flushed
+                # in coalesced per-target batches off-path.  Awaiting
+                # the POST inline measured >60% throughput cost —
+                # benchmarks/bench_reshard.py keeps the budget honest.
+                key, fingerprint, text = absorbed
+                self._queue_replica(
+                    key, fingerprint, text, served_by=shard.name
+                )
         if isinstance(payload, Mapping) and isinstance(payload.get("job"), Mapping):
             payload = dict(payload)
             payload["job"] = dict(payload["job"])
@@ -731,7 +1346,7 @@ class ShardRouter:
                 # contract on this endpoint.
                 return status, {"X-Raw-Body": "1"}, raw.decode("utf-8")
             self.job_locations[job_id] = shard.name
-            return self._relay(status, headers, raw, shard)
+            return await self._relay(status, headers, raw, shard)
         return last_status, {}, {"error": f"unknown job {job_id!r}"}
 
     def _health(self) -> Dict[str, Any]:
@@ -743,6 +1358,8 @@ class ShardRouter:
         return {
             "status": "draining" if self.draining else "ok",
             "role": "router",
+            "ring": list(self.ring.nodes),
+            "replication": self.config.replication,
             "shards": {
                 name: shard.describe() for name, shard in self.shards.items()
             },
@@ -769,7 +1386,7 @@ class ShardRouter:
             return relabel_exposition(body.decode("utf-8"), shard=shard.name)
 
         scrapes = await asyncio.gather(
-            *(_scrape(shard) for shard in self.shards.values())
+            *(_scrape(shard) for shard in list(self.shards.values()))
         )
         parts += [scrape for scrape in scrapes if scrape]
         return merge_expositions(parts)

@@ -172,4 +172,8 @@ def test_injected_fault_pickles():
 def test_fault_sites_cover_the_production_layers():
     # The registry names every layer the PR threads faults through.
     prefixes = {site.split(".")[0] for site in FAULT_SITES}
-    assert prefixes == {"serve", "sweep", "scheduler", "router"}
+    assert prefixes == {"serve", "sweep", "scheduler", "router", "shard"}
+    # The elastic-fleet sites are router-side: they fire in the router
+    # process so router-armed plans can chaos-test them.
+    assert "router.handoff" in FAULT_SITES
+    assert "shard.replica.put" in FAULT_SITES

@@ -46,11 +46,49 @@ def test_delays_length_matches_budget():
         {"base_s": 0.0},
         {"cap_s": -1.0},
         {"multiplier": 0.5},
+        {"jitter": "none"},
     ],
 )
 def test_bad_policy_parameters_raise(kwargs):
     with pytest.raises(ValueError):
         RetryPolicy(**kwargs)
+
+
+def test_equal_jitter_delays_are_monotone_while_ceilings_double():
+    """The respawn-supervision guarantee: successive equal-jitter delays
+    never shrink (full jitter cannot promise this — delay(1) may draw
+    near 0 while delay(0) drew near its ceiling)."""
+    for seed in range(20):
+        policy = RetryPolicy(
+            retries=8, base_s=0.05, cap_s=100.0, seed=seed, jitter="equal"
+        )
+        delays = [policy.delay(attempt) for attempt in range(8)]
+        assert all(a <= b for a, b in zip(delays, delays[1:])), delays
+
+
+def test_equal_jitter_stays_in_the_upper_half_of_the_ceiling():
+    policy = RetryPolicy(
+        retries=6, base_s=0.1, cap_s=2.0, seed=5, jitter="equal"
+    )
+    for attempt in range(6):
+        ceiling = min(2.0, 0.1 * 2.0**attempt)
+        for _ in range(20):
+            delay = policy.delay(attempt)
+            assert ceiling / 2.0 <= delay <= ceiling
+
+
+def test_string_seeds_give_independent_deterministic_streams():
+    """The router seeds one stream per shard: same string, same stream;
+    different shard names, different streams."""
+    streams = {
+        name: RetryPolicy(retries=5, seed=name, jitter="equal").delays()
+        for name in ("respawn:0:shard-0", "respawn:0:shard-1")
+    }
+    twin = RetryPolicy(
+        retries=5, seed="respawn:0:shard-0", jitter="equal"
+    ).delays()
+    assert streams["respawn:0:shard-0"] == twin
+    assert streams["respawn:0:shard-0"] != streams["respawn:0:shard-1"]
 
 
 # ---------------------------------------------------------------------------

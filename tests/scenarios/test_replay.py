@@ -136,3 +136,48 @@ class TestRunReplay:
     def test_rejects_unknown_algorithm(self):
         with pytest.raises(ValueError):
             run_replay(parse_arrival_spec("poisson:n=2"), 1, algorithm="magic")
+
+    def test_rejects_bad_max_in_flight(self):
+        with pytest.raises(ValueError):
+            run_replay(parse_arrival_spec("poisson:n=2"), 1, max_in_flight=0)
+
+
+class TestOpenLoopReplay:
+    def test_open_loop_outcomes_are_arrival_ordered_and_deterministic(self):
+        """Concurrent submission must not leak thread timing into the
+        deterministic payload: two open-loop runs agree with each other,
+        and their fingerprints match the closed-loop run's."""
+        pattern = parse_arrival_spec("burst:n=8:size=4:gap=0.01")
+        kwargs = dict(seed=11, generator="random:ops=6", distinct_designs=4)
+        closed = run_replay(pattern, **kwargs)
+        first = run_replay(pattern, open_loop=True, max_in_flight=4, **kwargs)
+        second = run_replay(pattern, open_loop=True, max_in_flight=4, **kwargs)
+        assert first.mode == "open" and closed.mode == "closed"
+        assert first.jobs == 8 and first.errors == 0
+        assert [o["index"] for o in first.outcomes] == list(range(8))
+        assert first.deterministic_payload() == second.deterministic_payload()
+        assert first.deterministic_payload()["fingerprints"] == (
+            closed.deterministic_payload()["fingerprints"]
+        )
+        assert "open-loop" in first.render()
+
+    def test_actions_fire_before_their_arrival_index(self):
+        """``actions`` receives the live service object just before the
+        indexed submission — the reshard drill's hook."""
+        pattern = parse_arrival_spec("poisson:n=4:rate=500")
+        seen = []
+
+        def probe(service):
+            seen.append(type(service).__name__)
+
+        report = run_replay(
+            pattern,
+            seed=3,
+            generator="random:ops=6",
+            distinct_designs=2,
+            open_loop=True,
+            max_in_flight=2,
+            actions={0: probe, 2: probe},
+        )
+        assert report.errors == 0
+        assert seen == ["ServeApp", "ServeApp"]

@@ -15,8 +15,10 @@ import subprocess
 import sys
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.serve.hashring import DEFAULT_REPLICAS, HashRing
+from repro.serve.hashring import DEFAULT_REPLICAS, HashRing, moved_keys
 
 
 def fingerprints(count: int, seed: str = "ring") -> list:
@@ -91,6 +93,79 @@ class TestStability:
                 assert ring.node_for(key) == owned[key]
             else:
                 assert ring.node_for(key) != "shard-2"
+
+
+class TestReshardViews:
+    """grown()/shrunk()/moved_keys() — the online-reshard primitives."""
+
+    def test_grown_and_shrunk_leave_the_original_untouched(self):
+        ring = HashRing(["a", "b"])
+        bigger = ring.grown("c")
+        assert ring.nodes == ("a", "b")
+        assert sorted(bigger.nodes) == ["a", "b", "c"]
+        smaller = bigger.shrunk("c")
+        assert sorted(bigger.nodes) == ["a", "b", "c"]
+        assert sorted(smaller.nodes) == ["a", "b"]
+        keys = fingerprints(200)
+        assert [smaller.node_for(k) for k in keys] == [
+            ring.node_for(k) for k in keys
+        ]
+
+    def test_moved_keys_matches_brute_force(self):
+        keys = fingerprints(500, seed="moved")
+        before = HashRing([f"shard-{i}" for i in range(3)])
+        after = before.grown("shard-3")
+        moved = moved_keys(before, after, keys)
+        expected = {
+            key: (before.node_for(key), after.node_for(key))
+            for key in keys
+            if before.node_for(key) != after.node_for(key)
+        }
+        assert moved == expected
+        assert moved  # 500 keys over 3→4 shards always relocate some
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shards=st.integers(min_value=1, max_value=6),
+        sample=st.integers(min_value=0, max_value=3000),
+    )
+    def test_scale_out_movement_bound_property(self, shards, sample):
+        """Adding one shard relocates ≤ (1/(N+1) + tolerance) of a large
+        key sample, and every relocated key lands on the newcomer."""
+        keys = fingerprints(2000, seed=f"prop-{sample}")
+        before = HashRing([f"shard-{i}" for i in range(shards)])
+        newcomer = f"shard-{shards}"
+        after = before.grown(newcomer)
+        moved = moved_keys(before, after, keys)
+        assert all(new == newcomer for _old, new in moved.values())
+        ideal = len(keys) / (shards + 1)
+        assert len(moved) <= 1.5 * ideal + 25, (
+            f"{len(moved)} of {len(keys)} keys moved at "
+            f"{shards}→{shards + 1} (ideal {ideal:.0f})"
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shards=st.integers(min_value=2, max_value=6),
+        victim=st.integers(min_value=0, max_value=5),
+        sample=st.integers(min_value=0, max_value=3000),
+    )
+    def test_scale_in_handoff_set_is_exactly_the_victims_keys(
+        self, shards, victim, sample
+    ):
+        """Removing a shard relocates exactly its keys: the handoff set
+        the router pushes equals {key : owner was the victim}, and
+        nobody else's placement changes."""
+        keys = fingerprints(1000, seed=f"shrink-{sample}")
+        before = HashRing([f"shard-{i}" for i in range(shards)])
+        name = f"shard-{victim % shards}"
+        after = before.shrunk(name)
+        moved = moved_keys(before, after, keys)
+        owned_by_victim = {k for k in keys if before.node_for(k) == name}
+        assert set(moved) == owned_by_victim
+        for key, (old, new) in moved.items():
+            assert old == name and new != name
+            assert after.node_for(key) == new
 
 
 class TestDeterminism:

@@ -302,3 +302,59 @@ class TestHttpSurface:
             assert health["status"] == "ok"
             assert health["queue_depth"] == 0
             assert "uptime_seconds" in health
+
+
+class TestAdminCacheEndpoints:
+    """The cache-transfer surface the router's reshard handoff and
+    replica writes ride on: index, entry, export, import."""
+
+    def test_index_entry_export_import_roundtrip(self):
+        with service() as (app, client):
+            out = client.schedule(source=SRC, cs=6, wait=True)
+            key = out["job"]["key"]
+            fingerprint = out["job"]["fingerprint"]
+
+            index = client._request("GET", "/admin/cache/index")[2]
+            assert index["total"] == 1
+            assert index["entries"] == [{"key": key, "tag": fingerprint}]
+
+            status, _headers, text = client._request(
+                "GET", "/admin/cache/entry", query={"key": key}, raw=True
+            )
+            assert status == 200
+            assert json.loads(text)["ok"] is True
+
+            exported = client._request(
+                "POST", "/admin/cache/export",
+                body={"keys": [key, "missing"]},
+            )[2]
+            assert len(exported["entries"]) == 1
+            entry = exported["entries"][0]
+            assert entry["key"] == key and entry["tag"] == fingerprint
+            assert entry["text"] == text
+
+            # A fresh service warmed purely by import answers a hit.
+            with service() as (_twin, twin_client):
+                imported = twin_client._request(
+                    "POST", "/admin/cache/import",
+                    body={"entries": exported["entries"]},
+                )[2]
+                assert imported == {"imported": 1}
+                again = twin_client.schedule(source=SRC, cs=6, wait=True)
+                assert again["job"]["cache"] == "hit"
+                assert twin_client.result_text(again["job"]["id"]) == text
+
+    def test_entry_validation(self):
+        with service() as (_app, client):
+            status = client._request("GET", "/admin/cache/entry")[0]
+            assert status == 400
+            status = client._request(
+                "GET", "/admin/cache/entry", query={"key": "nope"}
+            )[0]
+            assert status == 404
+            status = client._request(
+                "POST", "/admin/cache/export", body={"keys": "not-a-list"}
+            )[0]
+            assert status == 400
+            status = client._request("POST", "/admin/cache/index")[0]
+            assert status == 405

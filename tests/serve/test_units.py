@@ -120,6 +120,25 @@ class TestResultCache:
         assert metrics.counter_value("cache_hits") == 1
         assert metrics.counter_value("cache_evictions") == 1
 
+    def test_fingerprint_tags_follow_entries(self):
+        """Tags ride along for ring placement: readable, listed in LRU
+        order, and dropped with their entry on eviction or clear."""
+        cache = ResultCache(max_entries=2)
+        cache.put("k1", "T1", tag="fp1")
+        cache.put("k2", "T2")  # untagged entries stay anonymous
+        assert cache.tag("k1") == "fp1"
+        assert cache.tag("k2") is None
+        assert cache.tag("missing") is None
+        assert list(cache.tagged_entries()) == [("k1", "fp1", "T1")]
+        cache.put("k3", "T3", tag="fp3")  # evicts k1 (LRU)
+        assert cache.peek("k1") is None
+        assert cache.tag("k1") is None
+        assert list(cache.tagged_entries()) == [("k3", "fp3", "T3")]
+        cache.put("k3", "T3", tag="fp3b")  # re-put refreshes the tag
+        assert cache.tag("k3") == "fp3b"
+        cache.clear()
+        assert list(cache.tagged_entries()) == []
+
 
 class TestJobQueue:
     def _run(self, coro):
@@ -193,6 +212,37 @@ class TestMetricsRender:
         assert "repro_serve_batch_size_sum 8" in text
         assert "repro_serve_batch_size_count 2" in text
         assert "repro_serve_queue_depth 7" in text
+
+    def test_labelled_gauges_render_one_series_per_labelset(self):
+        """The router's per-shard backoff gauge: one callable per
+        labelset under a single metric name, removable when the shard
+        leaves the fleet."""
+        metrics = Metrics()
+        values = {"shard-0": 0.25, "shard-1": 1.5}
+        for name, value in values.items():
+            metrics.gauge(
+                "respawn_backoff_seconds",
+                lambda v=value: v,
+                target=name,
+            )
+        text = metrics.render()
+        assert (
+            'repro_serve_respawn_backoff_seconds{target="shard-0"} 0.25'
+            in text
+        )
+        assert (
+            'repro_serve_respawn_backoff_seconds{target="shard-1"} 1.5'
+            in text
+        )
+        metrics.remove_gauge("respawn_backoff_seconds", target="shard-0")
+        text = metrics.render()
+        assert 'target="shard-0"' not in text
+        assert 'target="shard-1"' in text
+        # Removing the last labelset removes the series entirely.
+        metrics.remove_gauge("respawn_backoff_seconds", target="shard-1")
+        assert "respawn_backoff_seconds" not in metrics.render()
+        # Removing an unknown gauge is a harmless no-op.
+        metrics.remove_gauge("respawn_backoff_seconds", target="ghost")
 
     def test_perf_counters_are_exported(self):
         from repro.perf import PerfCounters
